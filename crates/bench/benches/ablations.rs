@@ -1,0 +1,232 @@
+//! Ablation benches for the design decisions called out in `DESIGN.md`.
+//!
+//! 1. **Removal masks vs rebuilds** — the attack loop removes one edge
+//!    at a time; compare a `GraphView` mask against rebuilding the CSR
+//!    network after each removal.
+//! 2. **Yen spur heuristic** — reverse-distance A\* spurs vs plain
+//!    Dijkstra spurs.
+//! 3. **GreedyEig centrality precomputation** — one power iteration per
+//!    attack vs recomputing per cut.
+//! 4. **LP variable restriction** — variables limited to discovered-path
+//!    edges vs one variable per cuttable edge in the whole city.
+
+use citygen::{CityPreset, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lp::{ConstraintOp, Problem as LpProblem};
+use pathattack::{
+    AttackAlgorithm, AttackProblem, CostType, GreedyEig, Oracle, WeightType,
+};
+use routing::{k_shortest_paths, k_shortest_paths_with, Dijkstra, YenConfig};
+use std::time::Duration;
+use traffic_graph::{
+    eigenvector_centrality, GraphView, NodeId, PoiKind, RoadNetwork, RoadNetworkBuilder,
+};
+
+fn city() -> RoadNetwork {
+    CityPreset::Chicago.build(Scale::Custom(0.04), 42)
+}
+
+fn configure(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+}
+
+/// Rebuilds a network without the given edges (the baseline the mask
+/// design replaces).
+fn rebuild_without(net: &RoadNetwork, removed: &[traffic_graph::EdgeId]) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new(net.name());
+    for v in net.nodes() {
+        b.add_node(net.node_point(v));
+    }
+    for e in net.edges() {
+        if removed.contains(&e) {
+            continue;
+        }
+        let (u, v) = net.edge_endpoints(e);
+        b.add_edge(u, v, net.edge_attrs(e).clone());
+    }
+    b.build()
+}
+
+fn ablation_mask_vs_rebuild(c: &mut Criterion) {
+    let net = city();
+    let weight = WeightType::Time.compute(&net);
+    let (s, t) = (NodeId::new(0), NodeId::new(net.num_nodes() - 1));
+    // remove 5 edges of the current shortest path, re-querying each time
+    let victim_edges: Vec<traffic_graph::EdgeId> = {
+        let view = GraphView::new(&net);
+        let mut dij = Dijkstra::new(net.num_nodes());
+        dij.shortest_path(&view, |e| weight[e.index()], s, t)
+            .map(|p| p.edges().iter().copied().take(5).collect())
+            .unwrap_or_default()
+    };
+
+    let mut g = c.benchmark_group("ablation_mask_vs_rebuild");
+    configure(&mut g);
+    g.bench_function("graphview_mask", |b| {
+        b.iter(|| {
+            let mut view = GraphView::new(&net);
+            let mut dij = Dijkstra::new(net.num_nodes());
+            for &e in &victim_edges {
+                view.remove_edge(e);
+                let _ = dij.shortest_path(&view, |e| weight[e.index()], s, t);
+            }
+        })
+    });
+    g.bench_function("csr_rebuild", |b| {
+        b.iter(|| {
+            let mut removed = Vec::new();
+            for &e in &victim_edges {
+                removed.push(e);
+                let rebuilt = rebuild_without(&net, &removed);
+                let w2 = WeightType::Time.compute(&rebuilt);
+                let view = GraphView::new(&rebuilt);
+                let mut dij = Dijkstra::new(rebuilt.num_nodes());
+                let _ = dij.shortest_path(&view, |e| w2[e.index()], s, t);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn ablation_yen_heuristic(c: &mut Criterion) {
+    let net = city();
+    let weight = WeightType::Time.compute(&net);
+    let hospital = net.pois_of_kind(PoiKind::Hospital).next().unwrap().node;
+    let source = bench::pick_far_source(&net, hospital, WeightType::Time, 42);
+    let view = GraphView::new(&net);
+
+    let mut g = c.benchmark_group("ablation_yen_heuristic");
+    configure(&mut g);
+    g.bench_function("reverse_distance_astar_spurs", |b| {
+        b.iter(|| k_shortest_paths(&view, |e| weight[e.index()], source, hospital, 15))
+    });
+    g.bench_function("plain_dijkstra_spurs", |b| {
+        b.iter(|| {
+            k_shortest_paths_with(
+                &view,
+                |e| weight[e.index()],
+                source,
+                hospital,
+                15,
+                &YenConfig {
+                    reverse_heuristic: false,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn ablation_eig_precompute(c: &mut Criterion) {
+    let net = city();
+    let hospital = net.pois_of_kind(PoiKind::Hospital).next().unwrap().node;
+    let source = bench::pick_far_source(&net, hospital, WeightType::Time, 42);
+    let problem = AttackProblem::with_path_rank(
+        &net,
+        WeightType::Time,
+        CostType::Lanes,
+        source,
+        hospital,
+        12,
+    )
+    .expect("instance");
+
+    let mut g = c.benchmark_group("ablation_eig_precompute");
+    configure(&mut g);
+    g.bench_function("precompute_once", |b| {
+        b.iter(|| GreedyEig::default().attack(&problem))
+    });
+    g.bench_function("recompute_per_cut", |b| {
+        b.iter(|| {
+            // GreedyEig loop with per-iteration centrality recomputation.
+            let mut oracle = Oracle::new(&problem);
+            let mut view = problem.base_view().clone();
+            let mut removed = Vec::new();
+            while let Some(violating) = oracle.next_violating(&problem, &view) {
+                let centrality = eigenvector_centrality(&view, 100, 1e-8);
+                let pick = violating
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|&e| problem.is_cuttable(e) && !view.is_removed(e))
+                    .max_by(|&a, &b| {
+                        let ra = traffic_graph::edge_eigenscore(&view, &centrality, a)
+                            / problem.cost_of(a);
+                        let rb = traffic_graph::edge_eigenscore(&view, &centrality, b)
+                            / problem.cost_of(b);
+                        ra.total_cmp(&rb)
+                    });
+                match pick {
+                    Some(e) => {
+                        view.remove_edge(e);
+                        removed.push(e);
+                    }
+                    None => break,
+                }
+            }
+            removed
+        })
+    });
+    g.finish();
+}
+
+fn ablation_lp_variable_restriction(c: &mut Criterion) {
+    let net = city();
+    let weight = WeightType::Time.compute(&net);
+    let cost = CostType::Lanes.compute(&net);
+    let hospital = net.pois_of_kind(PoiKind::Hospital).next().unwrap().node;
+    let source = bench::pick_far_source(&net, hospital, WeightType::Time, 42);
+    let view = GraphView::new(&net);
+
+    // Constraint paths: the 8 shortest routes (stand-ins for discovered
+    // violating paths).
+    let paths = k_shortest_paths(&view, |e| weight[e.index()], source, hospital, 8);
+    assert!(!paths.is_empty());
+
+    let solve = |restrict: bool| {
+        // variable set
+        let mut edges: Vec<traffic_graph::EdgeId> = Vec::new();
+        if restrict {
+            for p in &paths {
+                for &e in p.edges() {
+                    if !edges.contains(&e) {
+                        edges.push(e);
+                    }
+                }
+            }
+        } else {
+            edges.extend(net.edges());
+        }
+        let index_of = |e: traffic_graph::EdgeId| edges.iter().position(|&x| x == e);
+        let mut lp = LpProblem::minimize(edges.iter().map(|&e| cost[e.index()]).collect());
+        for v in 0..edges.len() {
+            lp.bound_var(v, 1.0);
+        }
+        for p in &paths {
+            let terms: Vec<(usize, f64)> = p
+                .edges()
+                .iter()
+                .filter_map(|&e| index_of(e).map(|v| (v, 1.0)))
+                .collect();
+            lp.add_constraint(terms, ConstraintOp::Ge, 1.0);
+        }
+        lp.solve()
+    };
+
+    let mut g = c.benchmark_group("ablation_lp_variable_restriction");
+    configure(&mut g);
+    g.bench_function("restricted_to_discovered_paths", |b| b.iter(|| solve(true)));
+    g.bench_function("all_city_edges", |b| b.iter(|| solve(false)));
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_mask_vs_rebuild,
+    ablation_yen_heuristic,
+    ablation_eig_precompute,
+    ablation_lp_variable_restriction
+);
+criterion_main!(ablations);

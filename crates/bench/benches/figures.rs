@@ -1,0 +1,30 @@
+//! One Criterion bench per paper figure: the full pipeline behind each
+//! visualization (build instance → attack → render SVG).
+
+use bench::{figure, RunConfig, FIGURES};
+use citygen::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn figures_1_to_4(c: &mut Criterion) {
+    let cfg = RunConfig {
+        scale: Scale::Custom(0.04),
+        seed: 42,
+        sources_per_hospital: 1,
+        path_rank: 16,
+    };
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    for (n, preset, _, _, _) in FIGURES {
+        let slug = preset.name().to_lowercase().replace(' ', "_");
+        g.bench_function(BenchmarkId::new("render", format!("fig{n}_{slug}")), |b| {
+            b.iter(|| figure(&cfg, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, figures_1_to_4);
+criterion_main!(figures);

@@ -1,0 +1,152 @@
+//! One Criterion group per paper table.
+//!
+//! Each group benchmarks the computation that the corresponding table
+//! reports: Table I benches city construction, Tables II–VIII bench the
+//! four attack algorithms on a representative instance of the table's
+//! (city, weight) set across the three cost types, Table IX benches the
+//! aggregation, and Table X benches the path-rank threshold sweep.
+//!
+//! Scale note: benches run on shrunk cities (`Scale::Custom`) so a full
+//! `cargo bench` stays in minutes; regenerate the actual tables with the
+//! `tables` binary, which accepts `--scale paper`.
+
+use bench::{pick_far_source, RunConfig, EXPERIMENT_TABLES};
+use citygen::{summarize, CityPreset, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::threshold_row;
+use pathattack::{all_algorithms, AttackProblem, CostType, WeightType};
+use std::time::Duration;
+use traffic_graph::PoiKind;
+
+fn bench_scale() -> Scale {
+    Scale::Custom(0.04)
+}
+
+fn configure(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+}
+
+fn table1_city_graphs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_city_graphs");
+    configure(&mut g);
+    for preset in CityPreset::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(preset.name()),
+            &preset,
+            |b, &p| {
+                b.iter(|| {
+                    let net = p.build(bench_scale(), 42);
+                    summarize(&net)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Benchmarks the four algorithms for one (city, weight) table.
+fn bench_experiment_table(c: &mut Criterion, number: usize, preset: CityPreset, weight: WeightType) {
+    let cfg = RunConfig {
+        scale: bench_scale(),
+        seed: 42,
+        sources_per_hospital: 1,
+        path_rank: 12,
+    };
+    let city = preset.build(cfg.scale, cfg.seed);
+    let hospital = city
+        .pois_of_kind(PoiKind::Hospital)
+        .next()
+        .expect("hospital")
+        .clone();
+    let source = pick_far_source(&city, hospital.node, weight, cfg.seed);
+
+    let slug = preset.name().to_lowercase().replace(' ', "_");
+    let mut g = c.benchmark_group(format!(
+        "table{number}_{slug}_{}",
+        weight.name().to_lowercase()
+    ));
+    configure(&mut g);
+    for cost in CostType::ALL {
+        let Ok(problem) = AttackProblem::with_path_rank(
+            &city,
+            weight,
+            cost,
+            source,
+            hospital.node,
+            cfg.path_rank,
+        ) else {
+            continue;
+        };
+        for alg in all_algorithms() {
+            g.bench_function(
+                BenchmarkId::new(alg.name(), cost.name()),
+                |b| b.iter(|| alg.attack(&problem)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn tables_2_to_8(c: &mut Criterion) {
+    for (number, preset, weight) in EXPERIMENT_TABLES {
+        bench_experiment_table(c, number, preset, weight);
+    }
+}
+
+fn table9_aggregation(c: &mut Criterion) {
+    // Table IX is pure aggregation over records; bench the record
+    // pipeline on an in-memory record set.
+    use experiments::{aggregate, city_average, ExperimentRecord};
+    use pathattack::AttackStatus;
+    let records: Vec<ExperimentRecord> = (0..480)
+        .map(|i| ExperimentRecord {
+            city: "Chicago".into(),
+            weight: if i % 2 == 0 { WeightType::Length } else { WeightType::Time },
+            cost: CostType::ALL[i % 3],
+            algorithm: ["LP-PathCover", "GreedyPathCover", "GreedyEdge", "GreedyEig"][i % 4]
+                .to_string(),
+            hospital: format!("H{}", i % 4),
+            source: i,
+            runtime_s: 0.01 * (i % 7) as f64,
+            edges_removed: 3 + i % 5,
+            cost_removed: 4.0 + (i % 9) as f64,
+            status: AttackStatus::Success,
+        })
+        .collect();
+    let mut g = c.benchmark_group("table9_aggregation");
+    configure(&mut g);
+    g.bench_function("aggregate_480_records", |b| b.iter(|| aggregate(&records)));
+    g.bench_function("city_average_480_records", |b| {
+        b.iter(|| city_average(&records))
+    });
+    g.finish();
+}
+
+fn table10_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table10_threshold");
+    configure(&mut g);
+    for preset in [
+        CityPreset::Boston,
+        CityPreset::SanFrancisco,
+        CityPreset::Chicago,
+    ] {
+        let city = preset.build(bench_scale(), 42);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(preset.name()),
+            &city,
+            |b, city| b.iter(|| threshold_row(city, WeightType::Time, 10, 20, 1, 42)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    table1_city_graphs,
+    tables_2_to_8,
+    table9_aggregation,
+    table10_threshold
+);
+criterion_main!(tables);

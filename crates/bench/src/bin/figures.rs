@@ -1,0 +1,60 @@
+//! Regenerates the paper's Figures 1–4 as SVG files.
+//!
+//! ```text
+//! figures [--fig N] [--scale small|medium|paper|<factor>] [--seed S]
+//!         [--rank K] [--out DIR]
+//! ```
+//!
+//! Files are written as `DIR/figN_<city>.svg` (default `results/`).
+
+use bench::{figure, RunConfig, FIGURES};
+use citygen::Scale;
+
+fn main() {
+    let mut fig = None;
+    let mut cfg = RunConfig {
+        scale: Scale::Small,
+        seed: 42,
+        sources_per_hospital: 1,
+        path_rank: 40,
+    };
+    let mut out = "results".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fig" => fig = Some(args.next().and_then(|v| v.parse().ok()).expect("--fig N")),
+            "--scale" => {
+                let v = args.next().expect("--scale value");
+                cfg.scale = match v.as_str() {
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "paper" => Scale::Paper,
+                    other => Scale::Custom(other.parse().expect("scale factor")),
+                };
+            }
+            "--seed" => cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            "--rank" => {
+                cfg.path_rank = args.next().and_then(|v| v.parse().ok()).expect("--rank K")
+            }
+            "--out" => out = args.next().expect("--out DIR"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    std::fs::create_dir_all(&out).expect("create out dir");
+    let numbers: Vec<usize> = match fig {
+        Some(n) => vec![n],
+        None => FIGURES.iter().map(|(n, _, _, _, _)| *n).collect(),
+    };
+    for n in numbers {
+        let (_, preset, _, _, _) = FIGURES
+            .iter()
+            .find(|(m, _, _, _, _)| *m == n)
+            .unwrap_or_else(|| panic!("no figure {n}"));
+        let (svg, removed) = figure(&cfg, n);
+        let slug = preset.name().to_lowercase().replace(' ', "_");
+        let path = format!("{out}/fig{n}_{slug}.svg");
+        std::fs::write(&path, &svg).expect("write SVG");
+        println!("wrote {path} ({} KiB, {removed} removed segments)", svg.len() / 1024);
+    }
+}

@@ -1,0 +1,117 @@
+//! Regenerates the paper's Tables I–X.
+//!
+//! ```text
+//! tables [--table N] [--scale small|medium|paper|<factor>] [--seed S]
+//!        [--sources N] [--rank K] [--out DIR]
+//! ```
+//!
+//! Without `--table`, every table is generated. Output goes to stdout
+//! and, with `--out DIR`, to `DIR/tableN.txt`.
+
+use bench::{
+    experiment_records, render_experiment_table_for, table1, table10, table9, RunConfig,
+    EXPERIMENT_TABLES,
+};
+use citygen::Scale;
+use experiments::records_to_csv;
+use std::io::Write as _;
+
+fn parse_args() -> (Option<usize>, RunConfig, Option<String>, Option<String>) {
+    let mut table = None;
+    let mut cfg = RunConfig {
+        scale: Scale::Small,
+        seed: 42,
+        sources_per_hospital: 3,
+        path_rank: 20,
+    };
+    let mut out = None;
+    let mut csv = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--table" => {
+                table = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--table N"),
+                )
+            }
+            "--scale" => {
+                let v = args.next().expect("--scale value");
+                cfg.scale = match v.as_str() {
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "paper" => Scale::Paper,
+                    other => Scale::Custom(other.parse().expect("scale factor")),
+                };
+            }
+            "--seed" => cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            "--sources" => {
+                cfg.sources_per_hospital =
+                    args.next().and_then(|v| v.parse().ok()).expect("--sources N")
+            }
+            "--rank" => {
+                cfg.path_rank = args.next().and_then(|v| v.parse().ok()).expect("--rank K")
+            }
+            "--out" => out = Some(args.next().expect("--out DIR")),
+            "--csv" => csv = Some(args.next().expect("--csv DIR")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    (table, cfg, out, csv)
+}
+
+fn emit(out: &Option<String>, number: usize, text: &str) {
+    println!("{text}");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        let path = format!("{dir}/table{number}.txt");
+        let mut f = std::fs::File::create(&path).expect("create table file");
+        f.write_all(text.as_bytes()).expect("write table file");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let (table, cfg, out, csv) = parse_args();
+    eprintln!(
+        "scale {:?}, seed {}, {} sources/hospital, path rank {}",
+        cfg.scale, cfg.seed, cfg.sources_per_hospital, cfg.path_rank
+    );
+
+    let run = |n: usize| -> String {
+        match n {
+            1 => table1(&cfg),
+            2..=8 => {
+                let (_, city, weight) = EXPERIMENT_TABLES
+                    .iter()
+                    .copied()
+                    .find(|(m, _, _)| *m == n)
+                    .expect("experiment table number");
+                let records = experiment_records(&cfg, city, weight);
+                if let Some(dir) = &csv {
+                    std::fs::create_dir_all(dir).expect("create csv dir");
+                    let path = format!("{dir}/table{n}_records.csv");
+                    std::fs::write(&path, records_to_csv(&records)).expect("write csv");
+                    eprintln!("wrote {path}");
+                }
+                render_experiment_table_for(n, city, weight, &records)
+            }
+            9 => table9(&cfg),
+            10 => table10(&cfg),
+            other => panic!("no table {other}"),
+        }
+    };
+
+    match table {
+        Some(n) => emit(&out, n, &run(n)),
+        None => {
+            emit(&out, 1, &run(1));
+            for (n, _, _) in EXPERIMENT_TABLES {
+                emit(&out, n, &run(n));
+            }
+            emit(&out, 9, &run(9));
+            emit(&out, 10, &run(10));
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Shared logic for the table/figure regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every table and figure of the paper maps to one function here (see
+//! `DESIGN.md` for the experiment index); `src/bin/tables.rs`,
+//! `src/bin/figures.rs` and `benches/*.rs` are thin wrappers.
+
+use citygen::{summarize, CityPreset, CitySummary, Scale};
+use experiments::{
+    aggregate, city_average, render_experiment_table, render_svg, render_table1, render_table10,
+    render_table9, run_plan, threshold_row, AggregateRow, CityAverage,
+    ExperimentPlan, FigureSpec, ThresholdRow,
+};
+use pathattack::{AttackAlgorithm, AttackProblem, CostType, GreedyPathCover, WeightType};
+use traffic_graph::{GraphView, NodeId, PoiKind, RoadNetwork};
+
+/// Knobs shared by all regeneration entry points.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// City generation scale.
+    pub scale: Scale,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Sources sampled per hospital (paper: 10).
+    pub sources_per_hospital: usize,
+    /// Alternative-route rank (paper: 100).
+    pub path_rank: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            scale: Scale::Small,
+            seed: 42,
+            sources_per_hospital: 3,
+            path_rank: 20,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Full paper-sized configuration (slow: hours at `Scale::Paper`).
+    pub fn paper() -> Self {
+        RunConfig {
+            scale: Scale::Paper,
+            seed: 42,
+            sources_per_hospital: 10,
+            path_rank: 100,
+        }
+    }
+
+    fn plan(&self, city: CityPreset, weight: WeightType) -> ExperimentPlan {
+        let mut plan = ExperimentPlan::paper(city, weight, self.scale, self.seed);
+        plan.sources_per_hospital = self.sources_per_hospital;
+        plan.path_rank = self.path_rank;
+        plan
+    }
+}
+
+/// The (city, weight) set behind each of Tables II–VIII, in paper order.
+pub const EXPERIMENT_TABLES: [(usize, CityPreset, WeightType); 7] = [
+    (2, CityPreset::Boston, WeightType::Length),
+    (3, CityPreset::Boston, WeightType::Time),
+    (4, CityPreset::SanFrancisco, WeightType::Length),
+    (5, CityPreset::SanFrancisco, WeightType::Time),
+    (6, CityPreset::Chicago, WeightType::Length),
+    (7, CityPreset::Chicago, WeightType::Time),
+    (8, CityPreset::LosAngeles, WeightType::Time),
+];
+
+/// Table I rows: build each city at the configured scale and summarize.
+pub fn table1_rows(cfg: &RunConfig) -> Vec<CitySummary> {
+    CityPreset::ALL
+        .iter()
+        .map(|p| summarize(&p.build(cfg.scale, cfg.seed)))
+        .collect()
+}
+
+/// Renders Table I.
+pub fn table1(cfg: &RunConfig) -> String {
+    render_table1(&table1_rows(cfg))
+}
+
+/// Aggregate rows for one of Tables II–VIII.
+pub fn experiment_table_rows(
+    cfg: &RunConfig,
+    city: CityPreset,
+    weight: WeightType,
+) -> Vec<AggregateRow> {
+    aggregate(&run_plan(&cfg.plan(city, weight)))
+}
+
+/// Raw experiment records for one of Tables II–VIII (for CSV export).
+pub fn experiment_records(
+    cfg: &RunConfig,
+    city: CityPreset,
+    weight: WeightType,
+) -> Vec<experiments::ExperimentRecord> {
+    run_plan(&cfg.plan(city, weight))
+}
+
+/// Renders one of Tables II–VIII from pre-computed records.
+pub fn render_experiment_table_for(
+    number: usize,
+    city: CityPreset,
+    weight: WeightType,
+    records: &[experiments::ExperimentRecord],
+) -> String {
+    render_experiment_table(
+        &format!("TABLE {}", roman(number)),
+        city.name(),
+        weight,
+        &aggregate(records),
+    )
+}
+
+/// Renders one of Tables II–VIII by its paper number.
+///
+/// # Panics
+///
+/// Panics if `number` is not in `2..=8`.
+pub fn experiment_table(cfg: &RunConfig, number: usize) -> String {
+    let (_, city, weight) = EXPERIMENT_TABLES
+        .iter()
+        .find(|(n, _, _)| *n == number)
+        .unwrap_or_else(|| panic!("no experiment table {number}"));
+    let rows = experiment_table_rows(cfg, *city, *weight);
+    render_experiment_table(
+        &format!("TABLE {}", roman(number)),
+        city.name(),
+        *weight,
+        &rows,
+    )
+}
+
+/// Table IX cells: city averages for every (city, weight) set.
+pub fn table9_cells(cfg: &RunConfig) -> Vec<CityAverage> {
+    let mut cells = Vec::new();
+    for preset in CityPreset::ALL {
+        for weight in WeightType::ALL {
+            let records = run_plan(&cfg.plan(preset, weight));
+            if let Some(c) = city_average(&records) {
+                cells.push(c);
+            }
+        }
+    }
+    cells
+}
+
+/// Renders Table IX.
+pub fn table9(cfg: &RunConfig) -> String {
+    render_table9(&table9_cells(cfg))
+}
+
+/// Table X rows (Boston, San Francisco, Chicago — as in the paper).
+pub fn table10_rows(cfg: &RunConfig) -> Vec<ThresholdRow> {
+    [
+        CityPreset::Boston,
+        CityPreset::SanFrancisco,
+        CityPreset::Chicago,
+    ]
+    .iter()
+    .map(|p| {
+        let net = p.build(cfg.scale, cfg.seed);
+        threshold_row(
+            &net,
+            WeightType::Time,
+            cfg.path_rank,
+            cfg.path_rank * 2,
+            cfg.sources_per_hospital,
+            cfg.seed,
+        )
+    })
+    .collect()
+}
+
+/// Renders Table X.
+pub fn table10(cfg: &RunConfig) -> String {
+    render_table10(&table10_rows(cfg))
+}
+
+/// The (city, hospital substring, weight, cost) behind Figures 1–4.
+pub const FIGURES: [(usize, CityPreset, &str, WeightType, CostType); 4] = [
+    (1, CityPreset::Boston, "Brigham", WeightType::Length, CostType::Width),
+    (
+        2,
+        CityPreset::SanFrancisco,
+        "UCSF",
+        WeightType::Length,
+        CostType::Width,
+    ),
+    (
+        3,
+        CityPreset::Chicago,
+        "Northwestern",
+        WeightType::Length,
+        CostType::Uniform,
+    ),
+    (
+        4,
+        CityPreset::LosAngeles,
+        "Downtown",
+        WeightType::Time,
+        CostType::Lanes,
+    ),
+];
+
+/// Generates the SVG for one of Figures 1–4 by its paper number.
+///
+/// Returns `(svg, num_removed)`.
+///
+/// # Panics
+///
+/// Panics if `number` is not in `1..=4` or the instance cannot be set up.
+pub fn figure(cfg: &RunConfig, number: usize) -> (String, usize) {
+    let (_, preset, hospital_sub, weight, cost) = FIGURES
+        .iter()
+        .find(|(n, _, _, _, _)| *n == number)
+        .unwrap_or_else(|| panic!("no figure {number}"));
+    let city = preset.build(cfg.scale, cfg.seed);
+    let hospital = city
+        .pois_of_kind(PoiKind::Hospital)
+        .find(|p| p.name.contains(hospital_sub))
+        .unwrap_or_else(|| panic!("{preset} preset lacks hospital {hospital_sub}"))
+        .clone();
+
+    let source = pick_far_source(&city, hospital.node, *weight, cfg.seed);
+    // Lower the rank until the instance is solvable at this scale.
+    let mut problem = None;
+    let mut rank = cfg.path_rank;
+    while rank >= 2 {
+        match AttackProblem::with_path_rank(&city, *weight, *cost, source, hospital.node, rank) {
+            Ok(p) => {
+                problem = Some(p);
+                break;
+            }
+            Err(_) => rank /= 2,
+        }
+    }
+    let problem = problem.expect("figure instance solvable at some rank");
+    let outcome = GreedyPathCover.attack(&problem);
+    outcome.verify(&problem).expect("figure attack verifies");
+    let svg = render_svg(
+        &city,
+        &FigureSpec {
+            pstar: problem.pstar().clone(),
+            removed: outcome.removed.clone(),
+            source,
+            target: hospital.node,
+            title: format!(
+                "Fig. {number}: {} — destination {}, weight {}, cost {}",
+                preset.name(),
+                hospital.name,
+                weight.name(),
+                cost.name()
+            ),
+        },
+    );
+    (svg, outcome.num_removed())
+}
+
+/// Picks a deterministic source far from the target (mirrors the paper's
+/// long random trips).
+pub fn pick_far_source(
+    city: &RoadNetwork,
+    target: NodeId,
+    weight: WeightType,
+    seed: u64,
+) -> NodeId {
+    let w = weight.compute(city);
+    let view = GraphView::new(city);
+    let mut dij = routing::Dijkstra::new(city.num_nodes());
+    let dist = dij.distances(&view, |e| w[e.index()], target, routing::Direction::Backward);
+    // take a high-but-not-extreme percentile, rotated by seed for variety
+    let mut nodes: Vec<usize> = (0..city.num_nodes())
+        .filter(|&v| dist[v].is_finite() && v != target.index())
+        .collect();
+    nodes.sort_by(|&a, &b| dist[a].total_cmp(&dist[b]));
+    let idx = nodes.len().saturating_sub(1 + (seed as usize % (nodes.len() / 10 + 1)));
+    NodeId::new(nodes[idx])
+}
+
+/// Lowercase Roman numeral helper for table titles.
+fn roman(n: usize) -> &'static str {
+    match n {
+        1 => "I",
+        2 => "II",
+        3 => "III",
+        4 => "IV",
+        5 => "V",
+        6 => "VI",
+        7 => "VII",
+        8 => "VIII",
+        9 => "IX",
+        10 => "X",
+        _ => "?",
+    }
+}
+
+/// Convenience used by benches: one pre-built attack instance on a city.
+pub fn bench_instance(
+    preset: CityPreset,
+    weight: WeightType,
+    cost: CostType,
+    cfg: &RunConfig,
+) -> (RoadNetwork, NodeId, NodeId) {
+    let city = preset.build(cfg.scale, cfg.seed);
+    let hospital = city
+        .pois_of_kind(PoiKind::Hospital)
+        .next()
+        .expect("hospital attached")
+        .clone();
+    let source = pick_far_source(&city, hospital.node, weight, cfg.seed);
+    let _ = cost;
+    (city, source, hospital.node)
+}
+
+/// Re-export for bins.
+pub use experiments::ExperimentPlan as Plan;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            scale: Scale::Custom(0.03),
+            seed: 5,
+            sources_per_hospital: 1,
+            path_rank: 8,
+        }
+    }
+
+    #[test]
+    fn table1_has_four_rows() {
+        let rows = table1_rows(&tiny());
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn experiment_table_renders() {
+        let s = experiment_table(&tiny(), 7);
+        assert!(s.contains("Chicago"));
+        assert!(s.contains("TIME"));
+        assert!(s.contains("GreedyPathCover"));
+    }
+
+    #[test]
+    fn figure_generates_svg() {
+        let (svg, _) = figure(&tiny(), 3);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(7), "VII");
+        assert_eq!(roman(10), "X");
+    }
+}

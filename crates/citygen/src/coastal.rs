@@ -1,0 +1,264 @@
+//! Coastline-constrained grid generator (San-Francisco-style).
+//!
+//! San Francisco is a surveyed grid squeezed onto a hilly peninsula: the
+//! lattice is cut by the ocean on one side and the bay on the other, and
+//! hills bend speeds and lengths. The result sits between Chicago's
+//! near-perfect lattice and Boston's organic sprawl — matching its
+//! middle position in the paper's Table X threshold ordering.
+
+use crate::util::restrict_to_largest_scc;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use traffic_graph::{EdgeAttrs, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+/// Configuration for [`generate_coastal`].
+#[derive(Debug, Clone)]
+pub struct CoastalConfig {
+    /// Grid width before the coastline cut.
+    pub width: usize,
+    /// Grid height before the coastline cut.
+    pub height: usize,
+    /// Block edge length in meters.
+    pub block_m: f64,
+    /// Positional jitter (fraction of block).
+    pub pos_jitter: f64,
+    /// Street length noise.
+    pub length_noise: f64,
+    /// Arterial period (as in the grid generator).
+    pub arterial_every: usize,
+    /// Amplitude of the coastline cut as a fraction of the width
+    /// (0 = no cut, 0.3 = deep bays).
+    pub coast_amplitude: f64,
+    /// Number of hill "bumps"; hills slow streets down (reduced speed
+    /// limit) and lengthen them (switchbacks).
+    pub hills: usize,
+    /// Maximum speed reduction on the steepest streets (0..1).
+    pub hill_severity: f64,
+    /// Probability that a street segment is deleted.
+    pub block_removal_prob: f64,
+}
+
+impl Default for CoastalConfig {
+    fn default() -> Self {
+        CoastalConfig {
+            width: 36,
+            height: 36,
+            block_m: 100.0,
+            pos_jitter: 0.08,
+            length_noise: 0.06,
+            arterial_every: 6,
+            coast_amplitude: 0.22,
+            hills: 5,
+            hill_severity: 0.5,
+            block_removal_prob: 0.04,
+        }
+    }
+}
+
+impl CoastalConfig {
+    /// Sizes the pre-cut grid so the post-cut city holds roughly
+    /// `target_nodes` intersections (the coastline removes ~25 %).
+    pub fn with_target_nodes(mut self, target_nodes: usize) -> Self {
+        let side = ((target_nodes as f64 / 0.75).sqrt()).round().max(2.0) as usize;
+        self.width = side;
+        self.height = side;
+        self
+    }
+}
+
+/// Deterministic pseudo-elevation field: sum of `hills` Gaussian bumps.
+struct Terrain {
+    bumps: Vec<(f64, f64, f64, f64)>, // (cx, cy, sigma, height)
+}
+
+impl Terrain {
+    fn new(cfg: &CoastalConfig, rng: &mut SmallRng) -> Terrain {
+        let w = cfg.width as f64 * cfg.block_m;
+        let h = cfg.height as f64 * cfg.block_m;
+        let bumps = (0..cfg.hills)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..w),
+                    rng.gen_range(0.0..h),
+                    rng.gen_range(0.15..0.35) * w,
+                    rng.gen_range(0.4..1.0),
+                )
+            })
+            .collect();
+        Terrain { bumps }
+    }
+
+    fn elevation(&self, p: Point) -> f64 {
+        self.bumps
+            .iter()
+            .map(|&(cx, cy, sigma, height)| {
+                let d2 = (p.x - cx).powi(2) + (p.y - cy).powi(2);
+                height * (-d2 / (2.0 * sigma * sigma)).exp()
+            })
+            .sum()
+    }
+}
+
+/// Whether grid position `(x, y)` survives the coastline cut.
+///
+/// The west edge is ocean with a wavy shoreline; the north-east corner is
+/// a bay bite.
+fn on_land(cfg: &CoastalConfig, x: usize, y: usize) -> bool {
+    let fx = x as f64 / cfg.width.max(1) as f64;
+    let fy = y as f64 / cfg.height.max(1) as f64;
+    // ocean: west shoreline wiggles with y
+    let shoreline = cfg.coast_amplitude * (0.5 + 0.5 * (fy * 9.0).sin());
+    if fx < shoreline * 0.6 {
+        return false;
+    }
+    // bay: circular bite from the north-east corner
+    let dx = fx - 1.05;
+    let dy = fy - 1.05;
+    if (dx * dx + dy * dy).sqrt() < cfg.coast_amplitude + 0.18 {
+        return false;
+    }
+    true
+}
+
+/// Generates a coastal-constrained grid city, pruned to its largest
+/// strongly connected component.
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{generate_coastal, CoastalConfig};
+/// let cfg = CoastalConfig { width: 12, height: 12, ..CoastalConfig::default() };
+/// let net = generate_coastal("mini-sf", &cfg, 42);
+/// assert!(traffic_graph::is_strongly_connected(&net));
+/// ```
+pub fn generate_coastal(name: &str, cfg: &CoastalConfig, seed: u64) -> RoadNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let terrain = Terrain::new(cfg, &mut rng);
+    let mut b = RoadNetworkBuilder::new(name);
+
+    let mut nodes: Vec<Option<NodeId>> = vec![None; cfg.width * cfg.height];
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            if !on_land(cfg, x, y) {
+                continue;
+            }
+            let jx = rng.gen_range(-cfg.pos_jitter..=cfg.pos_jitter) * cfg.block_m;
+            let jy = rng.gen_range(-cfg.pos_jitter..=cfg.pos_jitter) * cfg.block_m;
+            nodes[y * cfg.width + x] = Some(b.add_node(Point::new(
+                x as f64 * cfg.block_m + jx,
+                y as f64 * cfg.block_m + jy,
+            )));
+        }
+    }
+
+    let class_for = |i: usize| {
+        if cfg.arterial_every > 0 && i.is_multiple_of(cfg.arterial_every) {
+            RoadClass::Secondary
+        } else {
+            RoadClass::Residential
+        }
+    };
+
+    let add_segment = |b: &mut RoadNetworkBuilder,
+                           rng: &mut SmallRng,
+                           from: NodeId,
+                           to: NodeId,
+                           class: RoadClass| {
+        if rng.gen_bool(cfg.block_removal_prob.clamp(0.0, 1.0)) {
+            return;
+        }
+        let pa = b.node_point(from);
+        let pb = b.node_point(to);
+        let base = pa.distance(pb);
+        // slope between endpoints scales both crookedness and speed
+        let slope = (terrain.elevation(pa) - terrain.elevation(pb)).abs()
+            / (base / cfg.block_m).max(1e-9);
+        let steep = slope.min(1.0);
+        let noise = 1.0 + rng.gen_range(0.0..=cfg.length_noise.max(1e-9)) + steep * 0.15;
+        let mut attrs = EdgeAttrs::from_class(class, base * noise);
+        attrs.speed_limit_mps *= 1.0 - cfg.hill_severity.clamp(0.0, 0.95) * steep;
+        b.add_two_way(from, to, attrs);
+    };
+
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            let Some(from) = nodes[y * cfg.width + x] else {
+                continue;
+            };
+            if x + 1 < cfg.width {
+                if let Some(to) = nodes[y * cfg.width + x + 1] {
+                    add_segment(&mut b, &mut rng, from, to, class_for(y));
+                }
+            }
+            if y + 1 < cfg.height {
+                if let Some(to) = nodes[(y + 1) * cfg.width + x] {
+                    add_segment(&mut b, &mut rng, from, to, class_for(x));
+                }
+            }
+        }
+    }
+
+    restrict_to_largest_scc(&b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::is_strongly_connected;
+
+    fn small_cfg() -> CoastalConfig {
+        CoastalConfig {
+            width: 16,
+            height: 16,
+            ..CoastalConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_routable_city() {
+        let net = generate_coastal("c", &small_cfg(), 1);
+        assert!(net.num_nodes() > 100);
+        assert!(is_strongly_connected(&net));
+    }
+
+    #[test]
+    fn coastline_removes_nodes() {
+        let cfg = small_cfg();
+        let net = generate_coastal("c", &cfg, 1);
+        assert!(
+            net.num_nodes() < cfg.width * cfg.height,
+            "coast cut should remove intersections"
+        );
+    }
+
+    #[test]
+    fn hills_slow_some_streets() {
+        let net = generate_coastal("c", &small_cfg(), 2);
+        let residential_default = RoadClass::Residential.default_speed_mps();
+        let slowed = net
+            .edges()
+            .filter(|&e| {
+                let a = net.edge_attrs(e);
+                a.class == RoadClass::Residential
+                    && a.speed_limit_mps < residential_default * 0.95
+            })
+            .count();
+        assert!(slowed > 0, "expected hill-slowed streets");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_coastal("c", &small_cfg(), 11);
+        let b = generate_coastal("c", &small_cfg(), 11);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn with_target_nodes_close() {
+        let cfg = CoastalConfig::default().with_target_nodes(600);
+        let net = generate_coastal("c", &cfg, 3);
+        let got = net.num_nodes() as f64;
+        assert!(got > 250.0 && got < 1200.0, "got {got}");
+    }
+}

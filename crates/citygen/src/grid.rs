@@ -1,0 +1,267 @@
+//! Lattice street-network generator (Chicago-style).
+//!
+//! Produces a jittered W×H grid with an arterial hierarchy, optional
+//! alternating one-way conversions, and random block deletions standing
+//! in for parks, rivers and rail yards. A near-perfect lattice yields the
+//! paper's key Chicago property: tiny travel-time gaps between the 1st
+//! and 100th shortest paths (Table X), which is what makes the naive
+//! attack algorithms competitive there.
+
+use crate::util::restrict_to_largest_scc;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use traffic_graph::{EdgeAttrs, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+/// Configuration for [`generate_grid`].
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Number of intersections west–east.
+    pub width: usize,
+    /// Number of intersections south–north.
+    pub height: usize,
+    /// Block edge length in meters.
+    pub block_m: f64,
+    /// Positional jitter as a fraction of the block size (0 = perfect
+    /// lattice).
+    pub pos_jitter: f64,
+    /// Multiplicative noise on street lengths (models curvature; 0 =
+    /// straight streets).
+    pub length_noise: f64,
+    /// Every `arterial_every`-th row/column is an arterial
+    /// ([`RoadClass::Secondary`], 2 lanes); `0` disables arterials.
+    pub arterial_every: usize,
+    /// Every `highway_every`-th arterial is upgraded to
+    /// [`RoadClass::Primary`]; `0` disables.
+    pub highway_every: usize,
+    /// Probability that a street segment is deleted (parks/rivers).
+    pub block_removal_prob: f64,
+    /// Fraction of residential rows/columns converted to alternating
+    /// one-way operation (Manhattan style).
+    pub oneway_fraction: f64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            width: 40,
+            height: 40,
+            block_m: 100.0,
+            pos_jitter: 0.03,
+            length_noise: 0.01,
+            arterial_every: 6,
+            highway_every: 4,
+            block_removal_prob: 0.015,
+            oneway_fraction: 0.15,
+        }
+    }
+}
+
+impl GridConfig {
+    /// Scales width/height to approximate `target_nodes` intersections,
+    /// keeping the aspect ratio square.
+    pub fn with_target_nodes(mut self, target_nodes: usize) -> Self {
+        let side = (target_nodes as f64).sqrt().round().max(2.0) as usize;
+        self.width = side;
+        self.height = side;
+        self
+    }
+}
+
+/// Street class for row/column `i` under the arterial hierarchy.
+fn class_for_line(cfg: &GridConfig, i: usize) -> RoadClass {
+    if cfg.arterial_every > 0 && i.is_multiple_of(cfg.arterial_every) {
+        if cfg.highway_every > 0 && i.is_multiple_of(cfg.arterial_every * cfg.highway_every) {
+            RoadClass::Primary
+        } else {
+            RoadClass::Secondary
+        }
+    } else {
+        RoadClass::Residential
+    }
+}
+
+/// Generates a lattice city. The result is pruned to its largest
+/// strongly connected component, so it is always fully routable.
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{generate_grid, GridConfig};
+/// let cfg = GridConfig { width: 10, height: 10, ..GridConfig::default() };
+/// let net = generate_grid("mini-chicago", &cfg, 42);
+/// assert!(net.num_nodes() <= 100);
+/// assert!(traffic_graph::is_strongly_connected(&net));
+/// ```
+pub fn generate_grid(name: &str, cfg: &GridConfig, seed: u64) -> RoadNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = RoadNetworkBuilder::new(name);
+
+    let mut nodes = vec![NodeId::new(0); cfg.width * cfg.height];
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            let jx = rng.gen_range(-cfg.pos_jitter..=cfg.pos_jitter) * cfg.block_m;
+            let jy = rng.gen_range(-cfg.pos_jitter..=cfg.pos_jitter) * cfg.block_m;
+            nodes[y * cfg.width + x] = b.add_node(Point::new(
+                x as f64 * cfg.block_m + jx,
+                y as f64 * cfg.block_m + jy,
+            ));
+        }
+    }
+
+    // Decide which residential rows/columns run one-way.
+    let oneway_row: Vec<bool> = (0..cfg.height)
+        .map(|y| {
+            class_for_line(cfg, y) == RoadClass::Residential
+                && rng.gen_bool(cfg.oneway_fraction.clamp(0.0, 1.0))
+        })
+        .collect();
+    let oneway_col: Vec<bool> = (0..cfg.width)
+        .map(|x| {
+            class_for_line(cfg, x) == RoadClass::Residential
+                && rng.gen_bool(cfg.oneway_fraction.clamp(0.0, 1.0))
+        })
+        .collect();
+
+    let add_segment = |b: &mut RoadNetworkBuilder,
+                           rng: &mut SmallRng,
+                           from: NodeId,
+                           to: NodeId,
+                           class: RoadClass,
+                           oneway_forward: Option<bool>| {
+        if rng.gen_bool(cfg.block_removal_prob.clamp(0.0, 1.0)) {
+            return;
+        }
+        let base = b.node_point(from).distance(b.node_point(to));
+        let noise = 1.0 + rng.gen_range(0.0..=cfg.length_noise.max(1e-9));
+        let attrs = EdgeAttrs::from_class(class, base * noise);
+        match oneway_forward {
+            None => b.add_two_way(from, to, attrs),
+            Some(true) => b.add_edge(from, to, attrs),
+            Some(false) => b.add_edge(to, from, attrs),
+        }
+    };
+
+    // Horizontal streets (row y, x → x+1).
+    for y in 0..cfg.height {
+        let class = class_for_line(cfg, y);
+        let oneway = oneway_row[y].then_some(y % 2 == 0);
+        for x in 0..cfg.width - 1 {
+            add_segment(
+                &mut b,
+                &mut rng,
+                nodes[y * cfg.width + x],
+                nodes[y * cfg.width + x + 1],
+                class,
+                oneway,
+            );
+        }
+    }
+    // Vertical streets (column x, y → y+1).
+    for x in 0..cfg.width {
+        let class = class_for_line(cfg, x);
+        let oneway = oneway_col[x].then_some(x % 2 == 0);
+        for y in 0..cfg.height - 1 {
+            add_segment(
+                &mut b,
+                &mut rng,
+                nodes[y * cfg.width + x],
+                nodes[(y + 1) * cfg.width + x],
+                class,
+                oneway,
+            );
+        }
+    }
+
+    restrict_to_largest_scc(&b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::is_strongly_connected;
+
+    fn small_cfg() -> GridConfig {
+        GridConfig {
+            width: 12,
+            height: 12,
+            ..GridConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_routable_city() {
+        let net = generate_grid("g", &small_cfg(), 1);
+        assert!(net.num_nodes() > 100);
+        assert!(is_strongly_connected(&net));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_grid("g", &small_cfg(), 7);
+        let b = generate_grid("g", &small_cfg(), 7);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().zip(b.edges()) {
+            assert_eq!(a.edge_endpoints(ea), b.edge_endpoints(eb));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_grid("g", &small_cfg(), 1);
+        let b = generate_grid("g", &small_cfg(), 2);
+        // removals/one-ways virtually guarantee different edge counts
+        assert!(a.num_edges() != b.num_edges() || a.num_nodes() != b.num_nodes());
+    }
+
+    #[test]
+    fn perfect_lattice_has_expected_counts() {
+        let cfg = GridConfig {
+            width: 5,
+            height: 4,
+            pos_jitter: 0.0,
+            length_noise: 0.0,
+            block_removal_prob: 0.0,
+            oneway_fraction: 0.0,
+            ..GridConfig::default()
+        };
+        let net = generate_grid("g", &cfg, 0);
+        assert_eq!(net.num_nodes(), 20);
+        // undirected edges: 4*4 (horizontal) + 5*3 (vertical) = 31 → 62 directed
+        assert_eq!(net.num_edges(), 62);
+    }
+
+    #[test]
+    fn arterials_present() {
+        let net = generate_grid("g", &small_cfg(), 3);
+        let has_secondary = net
+            .edges()
+            .any(|e| net.edge_attrs(e).class == RoadClass::Secondary);
+        assert!(has_secondary);
+    }
+
+    #[test]
+    fn with_target_nodes_sizes_grid() {
+        let cfg = GridConfig::default().with_target_nodes(900);
+        assert_eq!(cfg.width, 30);
+        assert_eq!(cfg.height, 30);
+    }
+
+    #[test]
+    fn oneway_edges_exist_when_enabled() {
+        let cfg = GridConfig {
+            oneway_fraction: 1.0,
+            arterial_every: 0,
+            block_removal_prob: 0.0,
+            ..small_cfg()
+        };
+        let net = generate_grid("g", &cfg, 5);
+        // An all-one-way lattice has one directed edge per street; a few
+        // boundary streets may be pruned with their sink/source corners.
+        let n = 12;
+        let undirected = 2 * n * (n - 1);
+        assert!(net.num_edges() <= undirected);
+        assert!(net.num_edges() > undirected * 9 / 10);
+        assert!(is_strongly_connected(&net));
+    }
+}

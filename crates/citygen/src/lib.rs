@@ -1,0 +1,55 @@
+//! Synthetic metropolitan street-network generators.
+//!
+//! The DSN 2022 paper this workspace reproduces runs its attacks on
+//! OpenStreetMap extracts of Boston, San Francisco, Chicago and Los
+//! Angeles. No network access or map data is available offline, so this
+//! crate generates *topological stand-ins*: parametric street networks
+//! that match each city's scale (Table I) and — more importantly — its
+//! degree of "latticeness", the property the paper identifies as the
+//! main driver of attack cost (Table X). See `DESIGN.md` for the full
+//! substitution rationale.
+//!
+//! Four generator families:
+//!
+//! - [`generate_grid`] — jittered lattice with arterial hierarchy
+//!   (Chicago).
+//! - [`generate_organic`] — radial rings/spokes with heavy irregularity
+//!   (Boston).
+//! - [`generate_coastal`] — lattice cut by a coastline and bent by hills
+//!   (San Francisco).
+//! - [`generate_sprawl`] — huge lattice plus a freeway overlay
+//!   (Los Angeles).
+//!
+//! [`CityPreset`] wires each paper city to its generator, scales it with
+//! [`Scale`], and attaches the four hospital destinations the paper
+//! attacks.
+//!
+//! # Examples
+//!
+//! ```
+//! use citygen::{CityPreset, Scale, summarize};
+//!
+//! let boston = CityPreset::Boston.build(Scale::Small, 42);
+//! let row = summarize(&boston);
+//! assert_eq!(row.city, "Boston");
+//! assert!(traffic_graph::is_strongly_connected(&boston));
+//! assert_eq!(boston.pois().len(), 4); // the hospitals
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coastal;
+mod config;
+mod grid;
+mod organic;
+mod presets;
+mod sprawl;
+pub mod util;
+
+pub use coastal::{generate_coastal, CoastalConfig};
+pub use config::Scale;
+pub use grid::{generate_grid, GridConfig};
+pub use organic::{generate_organic, OrganicConfig};
+pub use presets::{summarize, CityPreset, CitySummary};
+pub use sprawl::{generate_sprawl, SprawlConfig};

@@ -1,0 +1,191 @@
+//! Sprawl-with-freeways generator (Los-Angeles-style).
+//!
+//! A vast, mostly regular surface grid overlaid with a sparse network of
+//! high-speed freeways connected by ramps. Freeways concentrate the
+//! fastest routes onto few corridors — the structure behind the paper's
+//! LA experiments (Table VIII), where cutting a handful of segments
+//! reroutes long trips.
+
+use crate::grid::{generate_grid, GridConfig};
+use crate::util::{network_to_builder, restrict_to_largest_scc};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use traffic_graph::{EdgeAttrs, Point, RoadClass, RoadNetwork};
+
+/// Configuration for [`generate_sprawl`].
+#[derive(Debug, Clone)]
+pub struct SprawlConfig {
+    /// Surface street grid.
+    pub grid: GridConfig,
+    /// Number of west–east freeways.
+    pub freeways_h: usize,
+    /// Number of south–north freeways.
+    pub freeways_v: usize,
+    /// A ramp connects the freeway to the surface grid every
+    /// `ramp_every` blocks.
+    pub ramp_every: usize,
+}
+
+impl Default for SprawlConfig {
+    fn default() -> Self {
+        SprawlConfig {
+            grid: GridConfig {
+                width: 56,
+                height: 56,
+                block_m: 120.0,
+                pos_jitter: 0.07,
+                length_noise: 0.04,
+                arterial_every: 7,
+                highway_every: 0,
+                block_removal_prob: 0.04,
+                oneway_fraction: 0.15,
+            },
+            freeways_h: 3,
+            freeways_v: 3,
+            ramp_every: 8,
+        }
+    }
+}
+
+impl SprawlConfig {
+    /// Sizes the surface grid to roughly `target_nodes` intersections
+    /// (freeway nodes add a few percent on top).
+    pub fn with_target_nodes(mut self, target_nodes: usize) -> Self {
+        self.grid = self.grid.with_target_nodes(target_nodes);
+        self
+    }
+}
+
+/// Generates a sprawl city with a freeway overlay, pruned to its largest
+/// strongly connected component.
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{generate_sprawl, SprawlConfig};
+/// let mut cfg = SprawlConfig::default().with_target_nodes(400);
+/// cfg.ramp_every = 4;
+/// let net = generate_sprawl("mini-la", &cfg, 42);
+/// assert!(traffic_graph::is_strongly_connected(&net));
+/// // freeway segments present
+/// assert!(net.edges().any(|e| net.edge_attrs(e).class == traffic_graph::RoadClass::Motorway));
+/// ```
+pub fn generate_sprawl(name: &str, cfg: &SprawlConfig, seed: u64) -> RoadNetwork {
+    let surface = generate_grid(name, &cfg.grid, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_f00d);
+    let mut b = network_to_builder(&surface);
+
+    let bb = surface.bounding_box();
+    let block = cfg.grid.block_m;
+    let ramp_spacing = (cfg.ramp_every.max(1) as f64) * block;
+
+    // Lay one freeway as a chain of dedicated nodes, with two-way
+    // motorway segments and ramps down to the nearest surface node.
+    let lay_freeway = |b: &mut traffic_graph::RoadNetworkBuilder,
+                           rng: &mut SmallRng,
+                           horizontal: bool,
+                           frac: f64| {
+        let (start, end, fixed) = if horizontal {
+            (bb.min_x, bb.max_x, bb.min_y + frac * bb.height())
+        } else {
+            (bb.min_y, bb.max_y, bb.min_x + frac * bb.width())
+        };
+        let steps = ((end - start) / ramp_spacing).floor().max(1.0) as usize;
+        let mut prev: Option<traffic_graph::NodeId> = None;
+        for i in 0..=steps {
+            let along = start + i as f64 * ramp_spacing;
+            let wiggle = rng.gen_range(-0.3..0.3) * block;
+            let p = if horizontal {
+                Point::new(along, fixed + wiggle)
+            } else {
+                Point::new(fixed + wiggle, along)
+            };
+            let fw_node = b.add_node(p);
+            if let Some(prev) = prev {
+                let len = b.node_point(prev).distance(p);
+                b.add_two_way(prev, fw_node, EdgeAttrs::from_class(RoadClass::Motorway, len));
+            }
+            // Ramp to the nearest surface node (surface nodes are the
+            // first `surface.num_nodes()` ids in the builder).
+            let mut best = None;
+            let mut best_d = f64::INFINITY;
+            for v in 0..surface.num_nodes() {
+                let d = surface.node_point(traffic_graph::NodeId::new(v)).distance_sq(p);
+                if d < best_d {
+                    best_d = d;
+                    best = Some(traffic_graph::NodeId::new(v));
+                }
+            }
+            if let Some(surf) = best {
+                let len = b.node_point(surf).distance(p).max(30.0);
+                b.add_two_way(
+                    fw_node,
+                    surf,
+                    EdgeAttrs::from_class(RoadClass::Trunk, len * 1.4), // ramp detour
+                );
+            }
+            prev = Some(fw_node);
+        }
+    };
+
+    for k in 0..cfg.freeways_h {
+        let frac = (k as f64 + 0.5) / cfg.freeways_h.max(1) as f64;
+        lay_freeway(&mut b, &mut rng, true, frac);
+    }
+    for k in 0..cfg.freeways_v {
+        let frac = (k as f64 + 0.5) / cfg.freeways_v.max(1) as f64;
+        lay_freeway(&mut b, &mut rng, false, frac);
+    }
+
+    restrict_to_largest_scc(&b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::is_strongly_connected;
+
+    fn small_cfg() -> SprawlConfig {
+        let mut cfg = SprawlConfig::default().with_target_nodes(300);
+        cfg.ramp_every = 4;
+        cfg
+    }
+
+    #[test]
+    fn generates_routable_city() {
+        let net = generate_sprawl("s", &small_cfg(), 1);
+        assert!(net.num_nodes() > 200);
+        assert!(is_strongly_connected(&net));
+    }
+
+    #[test]
+    fn has_motorways_and_ramps() {
+        let net = generate_sprawl("s", &small_cfg(), 2);
+        assert!(net
+            .edges()
+            .any(|e| net.edge_attrs(e).class == RoadClass::Motorway));
+        assert!(net
+            .edges()
+            .any(|e| net.edge_attrs(e).class == RoadClass::Trunk));
+    }
+
+    #[test]
+    fn freeways_are_faster() {
+        let net = generate_sprawl("s", &small_cfg(), 3);
+        let motorway_speed = net
+            .edges()
+            .filter(|&e| net.edge_attrs(e).class == RoadClass::Motorway)
+            .map(|e| net.edge_attrs(e).speed_limit_mps)
+            .fold(f64::NAN, f64::max);
+        let residential_speed = RoadClass::Residential.default_speed_mps();
+        assert!(motorway_speed > residential_speed * 2.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_sprawl("s", &small_cfg(), 4);
+        let b = generate_sprawl("s", &small_cfg(), 4);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

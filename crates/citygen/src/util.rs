@@ -1,0 +1,126 @@
+//! Post-processing helpers shared by the generators.
+
+use traffic_graph::{largest_scc, NodeId, PoiKind, Point, RoadNetwork, RoadNetworkBuilder};
+
+/// Converts a built network back into a builder (dropping POIs), e.g. to
+/// attach hospitals after connectivity pruning.
+pub fn network_to_builder(net: &RoadNetwork) -> RoadNetworkBuilder {
+    let mut b = RoadNetworkBuilder::new(net.name());
+    for v in net.nodes() {
+        b.add_node(net.node_point(v));
+    }
+    for e in net.edges() {
+        let (u, v) = net.edge_endpoints(e);
+        b.add_edge(u, v, net.edge_attrs(e).clone());
+    }
+    b
+}
+
+/// Restricts a network to its largest strongly connected component,
+/// remapping node ids densely. POIs do not survive pruning: presets
+/// attach hospitals *after* this step (via [`attach_hospitals`]) so a
+/// POI's artificial connector can never be severed by the prune.
+///
+/// Generators use this as a safety net so random block/edge deletions can
+/// never leave unreachable pockets: the paper's attack model assumes any
+/// source can reach any destination before the attack.
+pub fn restrict_to_largest_scc(net: &RoadNetwork) -> RoadNetwork {
+    let keep: Vec<NodeId> = largest_scc(net);
+    if keep.len() == net.num_nodes() {
+        return net.clone();
+    }
+    let mut remap = vec![usize::MAX; net.num_nodes()];
+    let mut b = RoadNetworkBuilder::new(net.name());
+    for &v in &keep {
+        let nv = b.add_node(net.node_point(v));
+        remap[v.index()] = nv.index();
+    }
+    for e in net.edges() {
+        let (u, v) = net.edge_endpoints(e);
+        let (ru, rv) = (remap[u.index()], remap[v.index()]);
+        if ru != usize::MAX && rv != usize::MAX {
+            b.add_edge(
+                NodeId::new(ru),
+                NodeId::new(rv),
+                net.edge_attrs(e).clone(),
+            );
+        }
+    }
+    b.build()
+}
+
+/// Attaches a list of named hospitals to a network and returns the
+/// result. Hospital coordinates are given in the network's local frame.
+pub fn attach_hospitals(net: &RoadNetwork, hospitals: &[(String, Point)]) -> RoadNetwork {
+    let mut b = network_to_builder(net);
+    for (name, p) in hospitals {
+        b.attach_poi(name.clone(), PoiKind::Hospital, *p);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::{is_strongly_connected, EdgeAttrs, RoadClass};
+
+    fn attrs() -> EdgeAttrs {
+        EdgeAttrs::from_class(RoadClass::Residential, 100.0)
+    }
+
+    #[test]
+    fn roundtrip_builder_preserves_structure() {
+        let mut b = RoadNetworkBuilder::new("x");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        b.add_two_way(a, c, attrs());
+        let net = b.build();
+        let net2 = network_to_builder(&net).build();
+        assert_eq!(net2.num_nodes(), net.num_nodes());
+        assert_eq!(net2.num_edges(), net.num_edges());
+        assert_eq!(net2.name(), net.name());
+    }
+
+    #[test]
+    fn prune_drops_disconnected_parts() {
+        let mut b = RoadNetworkBuilder::new("x");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        let d = b.add_node(Point::new(9.0, 0.0)); // stranded (one-way in)
+        b.add_two_way(a, c, attrs());
+        b.add_edge(c, d, attrs());
+        let net = b.build();
+        assert!(!is_strongly_connected(&net));
+        let pruned = restrict_to_largest_scc(&net);
+        assert_eq!(pruned.num_nodes(), 2);
+        assert!(is_strongly_connected(&pruned));
+    }
+
+    #[test]
+    fn prune_noop_when_connected() {
+        let mut b = RoadNetworkBuilder::new("x");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        b.add_two_way(a, c, attrs());
+        let net = b.build();
+        let pruned = restrict_to_largest_scc(&net);
+        assert_eq!(pruned.num_nodes(), 2);
+        assert_eq!(pruned.num_edges(), 2);
+    }
+
+    #[test]
+    fn attach_hospitals_adds_pois() {
+        let mut b = RoadNetworkBuilder::new("x");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        b.add_two_way(a, c, attrs());
+        let net = b.build();
+        let with = attach_hospitals(
+            &net,
+            &[("General".to_string(), Point::new(50.0, 20.0))],
+        );
+        assert_eq!(with.pois().len(), 1);
+        assert_eq!(with.pois()[0].kind, PoiKind::Hospital);
+        assert!(is_strongly_connected(&with));
+    }
+}

@@ -1,0 +1,66 @@
+//! The generated cities must differ in latticeness the way the paper's
+//! real cities do — this is the topological property behind Tables
+//! II–VIII and X.
+
+use citygen::{CityPreset, Scale};
+use traffic_graph::{average_circuity, orientation_order};
+
+#[test]
+fn chicago_is_most_gridded() {
+    let mut phis = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let chicago = orientation_order(&CityPreset::Chicago.build(Scale::Small, seed));
+        let boston = orientation_order(&CityPreset::Boston.build(Scale::Small, seed));
+        assert!(
+            chicago > boston,
+            "seed {seed}: Chicago φ {chicago:.3} must exceed Boston φ {boston:.3}"
+        );
+        phis.push((chicago, boston));
+    }
+    // Chicago should be near-perfectly gridded, Boston clearly not.
+    let (avg_c, avg_b) = phis
+        .iter()
+        .fold((0.0, 0.0), |(c, b), (pc, pb)| (c + pc / 3.0, b + pb / 3.0));
+    assert!(avg_c > 0.9, "Chicago mean φ = {avg_c:.3}");
+    assert!(avg_b < 0.6, "Boston mean φ = {avg_b:.3}");
+}
+
+#[test]
+fn san_francisco_sits_between() {
+    let mut between = 0;
+    for seed in [1u64, 2, 3] {
+        let sf = orientation_order(&CityPreset::SanFrancisco.build(Scale::Small, seed));
+        let chicago = orientation_order(&CityPreset::Chicago.build(Scale::Small, seed));
+        let boston = orientation_order(&CityPreset::Boston.build(Scale::Small, seed));
+        if sf <= chicago && sf >= boston {
+            between += 1;
+        }
+    }
+    assert!(between >= 2, "SF should usually sit between Boston and Chicago");
+}
+
+#[test]
+fn boston_is_more_circuitous() {
+    let mut wins = 0;
+    for seed in [1u64, 2, 3] {
+        let boston = average_circuity(&CityPreset::Boston.build(Scale::Small, seed), 60)
+            .expect("boston circuity");
+        let chicago = average_circuity(&CityPreset::Chicago.build(Scale::Small, seed), 60)
+            .expect("chicago circuity");
+        if boston > chicago {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "Boston should be more circuitous in most seeds");
+}
+
+#[test]
+fn all_presets_have_sane_circuity() {
+    for preset in CityPreset::ALL {
+        let c = average_circuity(&preset.build(Scale::Small, 4), 40).expect("circuity");
+        assert!(
+            (1.0..3.0).contains(&c),
+            "{preset}: circuity {c:.2} out of plausible range"
+        );
+    }
+}

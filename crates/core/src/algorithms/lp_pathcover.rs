@@ -1,0 +1,415 @@
+//! The `LP-PathCover` algorithm.
+
+use crate::algorithms::{AttackAlgorithm, CutLoop};
+use crate::{AttackOutcome, AttackProblem, AttackStatus, Oracle};
+use lp::{ConstraintOp, Outcome, Problem as LpProblem};
+use routing::Path;
+use std::collections::HashMap;
+use traffic_graph::EdgeId;
+
+/// LP-relaxation attack with constraint generation (paper §III-A,
+/// algorithm 1; PATHATTACK-LP adapted to directed graphs).
+///
+/// Force Path Cut is a weighted set cover whose universe — every s→t
+/// path no longer than `p*` — can be factorially large. Constraint
+/// generation sidesteps that: only paths actually discovered as
+/// *violating* become LP rows. Each round:
+///
+/// 1. solve the LP relaxation over the discovered paths
+///    (`x_e ∈ [0, 1]`, minimize `Σ cost·x`, each path row `Σ x_e ≥ 1`);
+/// 2. **re-derive the whole cut set** from the fractional solution:
+///    for each still-uncovered path, commit its cuttable edge with the
+///    largest `x̂_e` (deterministic rounding, cheapest on ties);
+/// 3. apply the cut set to a clean view and search for the next
+///    violating path; add it as a row and repeat, or stop if none —
+///    the attack succeeded.
+///
+/// Re-deriving from the latest LP solution (instead of committing cuts
+/// permanently as constraints trickle in) is what makes the LP's global
+/// view count; the paper uses this algorithm as the near-optimal cost
+/// baseline, at 5–10× the runtime of [`crate::GreedyPathCover`].
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{CityPreset, Scale};
+/// use pathattack::{AttackProblem, AttackAlgorithm, LpPathCover, WeightType, CostType};
+/// use traffic_graph::{NodeId, PoiKind};
+///
+/// let city = CityPreset::SanFrancisco.build(Scale::Small, 5);
+/// let hospital = city.pois_of_kind(PoiKind::Hospital).next().unwrap().node;
+/// let problem = AttackProblem::with_path_rank(
+///     &city, WeightType::Length, CostType::Lanes, NodeId::new(0), hospital, 10,
+/// ).unwrap();
+/// let outcome = LpPathCover::default().attack(&problem);
+/// assert!(outcome.is_success());
+/// outcome.verify(&problem).unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LpPathCover {
+    /// How the fractional LP solution is rounded to a cut set.
+    pub rounding: Rounding,
+}
+
+/// Rounding strategy for the LP relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rounding {
+    /// Per uncovered path, commit the cuttable edge with the largest
+    /// fractional value (cheapest on ties). Deterministic and what the
+    /// experiment harness uses.
+    #[default]
+    Deterministic,
+    /// PATHATTACK-style randomized rounding: sample several candidate
+    /// covers, drawing each path's cut edge with probability
+    /// proportional to its fractional value, and keep the cheapest.
+    Randomized {
+        /// RNG seed (rounding stays deterministic per seed).
+        seed: u64,
+        /// Number of sampled covers per LP solution.
+        trials: usize,
+    },
+}
+
+impl LpPathCover {
+    /// LP-PathCover with randomized rounding.
+    pub fn randomized(seed: u64, trials: usize) -> Self {
+        LpPathCover {
+            rounding: Rounding::Randomized { seed, trials },
+        }
+    }
+    /// Solves the covering LP over the discovered constraint paths.
+    ///
+    /// Returns the fractional solution per edge, or `None` if the LP is
+    /// infeasible (some constraint path has no cuttable edges).
+    fn solve_relaxation(
+        problem: &AttackProblem<'_>,
+        constraints: &[Path],
+    ) -> Option<HashMap<EdgeId, f64>> {
+        // Variables: cuttable edges appearing in at least one constraint.
+        let mut var_of: HashMap<EdgeId, usize> = HashMap::new();
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for path in constraints {
+            for &e in path.edges() {
+                if problem.is_cuttable(e) && !var_of.contains_key(&e) {
+                    var_of.insert(e, edges.len());
+                    edges.push(e);
+                }
+            }
+        }
+        let mut lp = LpProblem::minimize(edges.iter().map(|&e| problem.cost_of(e)).collect());
+        for v in 0..edges.len() {
+            lp.bound_var(v, 1.0);
+        }
+        for path in constraints {
+            let terms: Vec<(usize, f64)> = path
+                .edges()
+                .iter()
+                .filter_map(|e| var_of.get(e).map(|&v| (v, 1.0)))
+                .collect();
+            if terms.is_empty() {
+                return None; // uncuttable violating path
+            }
+            lp.add_constraint(terms, ConstraintOp::Ge, 1.0);
+        }
+        match lp.solve() {
+            Outcome::Optimal(sol) => {
+                Some(edges.iter().zip(sol.x).map(|(&e, x)| (e, x)).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// Deterministic rounding: cover every constraint path, preferring
+    /// edges with large fractional values (cost breaks ties).
+    fn round_deterministic(
+        problem: &AttackProblem<'_>,
+        constraints: &[Path],
+        fractional: &HashMap<EdgeId, f64>,
+    ) -> Option<Vec<EdgeId>> {
+        let mut uncovered: Vec<&Path> = constraints.iter().collect();
+        let mut cuts: Vec<EdgeId> = Vec::new();
+        // Cover the paths in discovery order; each pick may cover later
+        // paths too.
+        while let Some(path) = uncovered.first() {
+            let pick = path
+                .edges()
+                .iter()
+                .copied()
+                .filter(|&e| problem.is_cuttable(e))
+                .max_by(|&a, &b| {
+                    let xa = fractional.get(&a).copied().unwrap_or(0.0);
+                    let xb = fractional.get(&b).copied().unwrap_or(0.0);
+                    xa.total_cmp(&xb)
+                        .then_with(|| problem.cost_of(b).total_cmp(&problem.cost_of(a)))
+                        .then_with(|| b.cmp(&a))
+                })?;
+            cuts.push(pick);
+            uncovered.retain(|p| !p.contains_edge(pick));
+        }
+        Some(cuts)
+    }
+
+    /// Randomized rounding: sample `trials` covers, drawing each
+    /// uncovered path's cut edge with probability ∝ its fractional
+    /// value, and keep the cheapest cover found.
+    fn round_randomized(
+        problem: &AttackProblem<'_>,
+        constraints: &[Path],
+        fractional: &HashMap<EdgeId, f64>,
+        seed: u64,
+        trials: usize,
+    ) -> Option<Vec<EdgeId>> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed ^ constraints.len() as u64);
+        let mut best: Option<(f64, Vec<EdgeId>)> = None;
+        for _ in 0..trials.max(1) {
+            let mut uncovered: Vec<&Path> = constraints.iter().collect();
+            let mut cuts: Vec<EdgeId> = Vec::new();
+            let mut cost = 0.0;
+            while let Some(path) = uncovered.first() {
+                let candidates: Vec<EdgeId> = path
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|&e| problem.is_cuttable(e))
+                    .collect();
+                if candidates.is_empty() {
+                    return None;
+                }
+                // weights: fractional value with a small floor so zero-x
+                // edges stay possible (they may still be optimal picks)
+                let weights: Vec<f64> = candidates
+                    .iter()
+                    .map(|e| fractional.get(e).copied().unwrap_or(0.0).max(1e-3))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut draw = rng.gen_range(0.0..total);
+                let mut pick = candidates[candidates.len() - 1];
+                for (e, w) in candidates.iter().zip(&weights) {
+                    if draw < *w {
+                        pick = *e;
+                        break;
+                    }
+                    draw -= w;
+                }
+                cuts.push(pick);
+                cost += problem.cost_of(pick);
+                uncovered.retain(|p| !p.contains_edge(pick));
+            }
+            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                best = Some((cost, cuts));
+            }
+        }
+        best.map(|(_, cuts)| cuts)
+    }
+
+    fn round_cover(
+        &self,
+        problem: &AttackProblem<'_>,
+        constraints: &[Path],
+        fractional: &HashMap<EdgeId, f64>,
+    ) -> Option<Vec<EdgeId>> {
+        match self.rounding {
+            Rounding::Deterministic => {
+                Self::round_deterministic(problem, constraints, fractional)
+            }
+            Rounding::Randomized { seed, trials } => {
+                Self::round_randomized(problem, constraints, fractional, seed, trials)
+            }
+        }
+    }
+}
+
+impl AttackAlgorithm for LpPathCover {
+    fn name(&self) -> &'static str {
+        "LP-PathCover"
+    }
+
+    fn attack(&self, problem: &AttackProblem<'_>) -> AttackOutcome {
+        let mut oracle = Oracle::new(problem);
+        let mut state = CutLoop::new(problem);
+        let mut constraints: Vec<Path> = Vec::new();
+        let mut fractional: HashMap<EdgeId, f64> = HashMap::new();
+
+        loop {
+            let Some(cuts) = self.round_cover(problem, &constraints, &fractional) else {
+                return state.finish(self.name(), AttackStatus::Stuck);
+            };
+            state.view = problem.base_view().clone();
+            state.removed.clear();
+            state.total_cost = 0.0;
+            for e in cuts {
+                if !state.cut(e) {
+                    return state.finish(self.name(), AttackStatus::BudgetExhausted);
+                }
+            }
+
+            match oracle.next_violating(problem, &state.view) {
+                None => return state.finish(self.name(), AttackStatus::Success),
+                Some(p) => {
+                    if constraints.iter().any(|q| q.edges() == p.edges()) {
+                        return state.finish(self.name(), AttackStatus::Stuck);
+                    }
+                    constraints.push(p);
+                    match Self::solve_relaxation(problem, &constraints) {
+                        Some(x) => fractional = x,
+                        None => return state.finish(self.name(), AttackStatus::Stuck),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostType, GreedyEdge, WeightType};
+    use traffic_graph::{EdgeAttrs, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    /// Shared-bridge topology where the LP sees the sharing immediately.
+    fn shared_bridge() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("bridge");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let hub = b.add_node(Point::new(1.0, 0.0));
+        let m1 = b.add_node(Point::new(2.0, 1.0));
+        let m2 = b.add_node(Point::new(2.0, -1.0));
+        let d = b.add_node(Point::new(3.0, 0.0));
+        let alt = b.add_node(Point::new(1.5, -3.0));
+        let mut arc = |from, to, len: f64| {
+            b.add_edge(from, to, EdgeAttrs::from_class(RoadClass::Primary, len));
+        };
+        arc(a, hub, 1.0);
+        arc(hub, m1, 1.0);
+        arc(m1, d, 1.0); // 3
+        arc(hub, m2, 2.0);
+        arc(m2, d, 2.0); // 5
+        arc(a, alt, 5.0);
+        arc(alt, d, 5.0); // 10 — p*
+        b.build()
+    }
+
+    fn problem(net: &RoadNetwork) -> AttackProblem<'_> {
+        AttackProblem::with_path_rank(
+            net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(4),
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_minimal_cut() {
+        let net = shared_bridge();
+        let p = problem(&net);
+        let out = LpPathCover::default().attack(&p);
+        assert!(out.is_success());
+        out.verify(&p).unwrap();
+        assert_eq!(out.num_removed(), 1, "{:?}", out.removed);
+        assert!((out.total_cost - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_costlier_than_greedy_edge_on_bridge() {
+        let net = shared_bridge();
+        let p = problem(&net);
+        let lp = LpPathCover::default().attack(&p);
+        let ge = GreedyEdge.attack(&p);
+        assert!(lp.total_cost <= ge.total_cost + 1e-9);
+    }
+
+    #[test]
+    fn respects_costs_in_rounding() {
+        // Two disjoint shorter routes with different costs; LP must cut
+        // both; total cost = sum of the cheapest edge of each.
+        let mut b = RoadNetworkBuilder::new("two");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let m1 = b.add_node(Point::new(1.0, 1.0));
+        let m2 = b.add_node(Point::new(1.0, -1.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(a, m1, EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(1));
+        b.add_edge(m1, d, EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(4));
+        b.add_edge(a, m2, EdgeAttrs::from_class(RoadClass::Primary, 2.0).with_lanes(2));
+        b.add_edge(m2, d, EdgeAttrs::from_class(RoadClass::Primary, 2.0).with_lanes(3));
+        // p* long way
+        let alt = b.add_node(Point::new(1.0, -3.0));
+        b.add_edge(a, alt, EdgeAttrs::from_class(RoadClass::Primary, 6.0));
+        b.add_edge(alt, d, EdgeAttrs::from_class(RoadClass::Primary, 6.0));
+        let net = b.build();
+        let p = AttackProblem::with_path_rank(
+            &net,
+            WeightType::Length,
+            CostType::Lanes,
+            NodeId::new(0),
+            NodeId::new(3),
+            3,
+        )
+        .unwrap();
+        let out = LpPathCover::default().attack(&p);
+        assert!(out.is_success());
+        out.verify(&p).unwrap();
+        // cheapest cut: 1-lane edge (cost 1) + 2-lane edge (cost 2) = 3
+        assert_eq!(out.num_removed(), 2);
+        assert!((out.total_cost - 3.0).abs() < 1e-9, "cost {}", out.total_cost);
+    }
+
+    #[test]
+    fn randomized_rounding_succeeds_and_verifies() {
+        let net = shared_bridge();
+        let p = problem(&net);
+        let out = LpPathCover::randomized(7, 8).attack(&p);
+        assert!(out.is_success());
+        out.verify(&p).unwrap();
+        // randomized rounding must not beat the instance optimum of 1
+        assert!(out.total_cost >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn randomized_rounding_deterministic_per_seed() {
+        let net = shared_bridge();
+        let p = problem(&net);
+        let a = LpPathCover::randomized(3, 4).attack(&p);
+        let b = LpPathCover::randomized(3, 4).attack(&p);
+        assert_eq!(a.removed, b.removed);
+        assert_eq!(a.total_cost, b.total_cost);
+    }
+
+    #[test]
+    fn more_trials_never_costlier_here() {
+        let net = shared_bridge();
+        let p = problem(&net);
+        let few = LpPathCover::randomized(5, 1).attack(&p);
+        let many = LpPathCover::randomized(5, 32).attack(&p);
+        assert!(many.total_cost <= few.total_cost + 1e-9);
+    }
+
+    #[test]
+    fn stuck_when_alternatives_uncuttable() {
+        // Shorter route entirely over artificial edges → Stuck.
+        let mut b = RoadNetworkBuilder::new("art");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let m = b.add_node(Point::new(1.0, 1.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(a, m, EdgeAttrs::from_class(RoadClass::Artificial, 1.0));
+        b.add_edge(m, d, EdgeAttrs::from_class(RoadClass::Artificial, 1.0));
+        let alt = b.add_node(Point::new(1.0, -1.0));
+        b.add_edge(a, alt, EdgeAttrs::from_class(RoadClass::Primary, 3.0));
+        b.add_edge(alt, d, EdgeAttrs::from_class(RoadClass::Primary, 3.0));
+        let net = b.build();
+        let p = AttackProblem::with_path_rank(
+            &net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(2),
+            2,
+        )
+        .unwrap();
+        let out = LpPathCover::default().attack(&p);
+        assert_eq!(out.status, AttackStatus::Stuck);
+    }
+}

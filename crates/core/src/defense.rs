@@ -1,0 +1,359 @@
+//! Defense analysis: minimal road hardening against route forcing.
+//!
+//! Dual of the attack: a road authority wants to make a Force Path Cut
+//! instance *infeasible*. The attack fails exactly when some path no
+//! longer than `p*` has no cuttable edge — so the defender's cheapest
+//! move is to **harden** (protect against blockage) the cuttable edges
+//! of the violating path that needs the fewest of them:
+//!
+//! `min_{p : w(p) ≤ w(p*), p ≠ p*}  |cuttable edges of p|`
+//!
+//! That is a resource-constrained shortest path. It is solved exactly
+//! with a Dijkstra sweep over the product graph `(intersection, hardened
+//! count)`: traversing a cuttable edge increments the count, and the
+//! answer is the smallest count whose distance to the destination stays
+//! within `w(p*)`.
+
+use crate::{AttackProblem, Oracle};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use traffic_graph::EdgeId;
+
+/// A minimal hardening plan that makes the attack infeasible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardeningPlan {
+    /// Road segments to harden (all cuttable edges of the witness path).
+    pub edges: Vec<EdgeId>,
+    /// Weight of the witness path (≤ `w(p*)`), which the victim can then
+    /// always take.
+    pub witness_weight: f64,
+}
+
+impl HardeningPlan {
+    /// Number of segments to harden.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct State {
+    weight: f64,
+    node: u32,
+    count: u32,
+}
+
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.weight.total_cmp(&self.weight)
+    }
+}
+
+/// Computes a minimal hardening plan for `problem`, searching witness
+/// paths with up to `max_hardened` cuttable edges.
+///
+/// Returns:
+///
+/// - `Some(plan)` with `plan.edges.is_empty()` when the attack is
+///   *already* infeasible (an uncuttable path no longer than `p*`
+///   exists);
+/// - `Some(plan)` with the minimal edge set to harden otherwise;
+/// - `None` when every witness within `max_hardened` is exhausted (the
+///   attack cannot be cheaply defended against).
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{CityPreset, Scale};
+/// use pathattack::{
+///     minimal_hardening, AttackAlgorithm, AttackProblem, GreedyPathCover,
+///     AttackStatus, WeightType, CostType,
+/// };
+/// use traffic_graph::{NodeId, PoiKind};
+///
+/// let city = CityPreset::Chicago.build(Scale::Small, 7);
+/// let hospital = city.pois_of_kind(PoiKind::Hospital).next().unwrap().node;
+/// let problem = AttackProblem::with_path_rank(
+///     &city, WeightType::Time, CostType::Uniform, NodeId::new(0), hospital, 10,
+/// ).unwrap();
+/// assert!(GreedyPathCover.attack(&problem).is_success());
+///
+/// let plan = minimal_hardening(&problem, 32).expect("defensible");
+/// let hardened = problem.clone().with_protected_edges(plan.edges.clone());
+/// assert_eq!(GreedyPathCover.attack(&hardened).status, AttackStatus::Stuck);
+/// ```
+pub fn minimal_hardening(problem: &AttackProblem<'_>, max_hardened: usize) -> Option<HardeningPlan> {
+    let net = problem.network();
+    let n = net.num_nodes();
+    let threshold = problem.pstar_weight() + problem.tie_margin();
+
+    // Case 0: an uncuttable violating path already exists — nothing to
+    // harden. Check by hiding every cuttable edge and asking the oracle.
+    {
+        let mut view = problem.base_view().clone();
+        for e in net.edges() {
+            if problem.is_cuttable(e) {
+                view.remove_edge(e);
+            }
+        }
+        let mut oracle = Oracle::new(problem);
+        if let Some(alt) = oracle.best_alternative(problem, &view) {
+            if alt.total_weight() <= threshold {
+                return Some(HardeningPlan {
+                    edges: Vec::new(),
+                    witness_weight: alt.total_weight(),
+                });
+            }
+        }
+    }
+
+    // Product-graph Dijkstra: state (node, hardened-count).
+    // Any path using ≥ 1 cuttable edge is automatically distinct from
+    // p* (p* edges are never cuttable), so no deviation bookkeeping is
+    // needed for counts ≥ 1.
+    let kmax = max_hardened.max(1);
+    let idx = |v: usize, c: usize| c * n + v;
+    let mut dist = vec![f64::INFINITY; n * (kmax + 1)];
+    let mut parent: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); n * (kmax + 1)]; // (edge, prev count)
+    let view = problem.base_view();
+
+    let s = problem.source().index();
+    let t = problem.target().index();
+    dist[idx(s, 0)] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(State {
+        weight: 0.0,
+        node: s as u32,
+        count: 0,
+    });
+
+    // Run the product Dijkstra to exhaustion within the weight threshold
+    // (states beyond it are pruned), then pick the smallest hardened
+    // count whose witness stays within w(p*). Breaking on the first
+    // target pop would return the minimum-WEIGHT witness instead, which
+    // can need strictly more hardened edges.
+    while let Some(State { weight, node, count }) = heap.pop() {
+        let (v, c) = (node as usize, count as usize);
+        if weight > dist[idx(v, c)] + 1e-12 || weight > threshold {
+            continue;
+        }
+        for (e, w) in view.out_neighbors(traffic_graph::NodeId::new(v)) {
+            let cuttable = problem.is_cuttable(e);
+            let nc = c + usize::from(cuttable);
+            if nc > kmax {
+                continue;
+            }
+            let nw = weight + problem.weight_of(e);
+            if nw > threshold {
+                continue;
+            }
+            let wi = w.index();
+            if nw < dist[idx(wi, nc)] - 1e-15 {
+                dist[idx(wi, nc)] = nw;
+                parent[idx(wi, nc)] = (e.index() as u32, c as u32);
+                heap.push(State {
+                    weight: nw,
+                    node: wi as u32,
+                    count: nc as u32,
+                });
+            }
+        }
+    }
+
+    let best_count =
+        (1..=kmax).find(|&c| dist[idx(t, c)] <= threshold + 1e-12);
+    let c = best_count?;
+    // Extract the witness path and collect its cuttable edges.
+    let mut edges_rev = Vec::new();
+    let mut v = t;
+    let mut cc = c;
+    while v != s || cc != 0 {
+        let (pe, pc) = parent[idx(v, cc)];
+        if pe == u32::MAX {
+            return None; // should not happen
+        }
+        let e = EdgeId::new(pe as usize);
+        edges_rev.push(e);
+        v = net.edge_source(e).index();
+        cc = pc as usize;
+    }
+    let hardened: Vec<EdgeId> = edges_rev
+        .iter()
+        .copied()
+        .filter(|&e| problem.is_cuttable(e))
+        .collect();
+    debug_assert_eq!(hardened.len(), c);
+    Some(HardeningPlan {
+        edges: hardened,
+        witness_weight: dist[idx(t, c)],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackAlgorithm, AttackStatus, CostType, GreedyPathCover, WeightType};
+    use traffic_graph::{EdgeAttrs, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    /// Two shorter routes (2 and 4) below p* (8).
+    fn net3() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("n3");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let m1 = b.add_node(Point::new(1.0, 2.0));
+        let m2 = b.add_node(Point::new(1.0, 0.0));
+        let m3 = b.add_node(Point::new(1.0, -2.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        let mut arc = |from, to, len: f64| {
+            b.add_edge(from, to, EdgeAttrs::from_class(RoadClass::Primary, len));
+        };
+        arc(a, m1, 1.0);
+        arc(m1, d, 1.0); // 2
+        arc(a, m2, 2.0);
+        arc(m2, d, 2.0); // 4
+        arc(a, m3, 4.0);
+        arc(m3, d, 4.0); // 8 — p*
+        b.build()
+    }
+
+    fn problem(net: &RoadNetwork) -> AttackProblem<'_> {
+        AttackProblem::with_path_rank(
+            net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(4),
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hardening_blocks_the_attack() {
+        let net = net3();
+        let p = problem(&net);
+        assert!(GreedyPathCover.attack(&p).is_success());
+        let plan = minimal_hardening(&p, 16).expect("plan exists");
+        // cheapest witness: the 2-route, hardening its 2 edges
+        assert_eq!(plan.num_edges(), 2);
+        assert!((plan.witness_weight - 2.0).abs() < 1e-9);
+        let hardened = p.clone().with_protected_edges(plan.edges.clone());
+        assert_eq!(GreedyPathCover.attack(&hardened).status, AttackStatus::Stuck);
+    }
+
+    #[test]
+    fn plan_is_minimal_count() {
+        // Add a one-cuttable-edge violating path: a →(artificial) x → d
+        // where only x→d is cuttable… artificial edges are uncuttable,
+        // so witness needs just 1 hardened edge.
+        let mut b = RoadNetworkBuilder::new("n1");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let x = b.add_node(Point::new(1.0, 1.0));
+        let m = b.add_node(Point::new(1.0, -1.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(a, x, EdgeAttrs::from_class(RoadClass::Artificial, 1.0));
+        b.add_edge(x, d, EdgeAttrs::from_class(RoadClass::Primary, 1.0));
+        b.add_edge(a, m, EdgeAttrs::from_class(RoadClass::Primary, 3.0));
+        b.add_edge(m, d, EdgeAttrs::from_class(RoadClass::Primary, 3.0));
+        let net = b.build();
+        let p = AttackProblem::with_path_rank(
+            &net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(3),
+            2,
+        )
+        .unwrap();
+        let plan = minimal_hardening(&p, 8).unwrap();
+        assert_eq!(plan.num_edges(), 1);
+    }
+
+    #[test]
+    fn already_infeasible_needs_no_hardening() {
+        // Shorter route entirely artificial → attack infeasible already.
+        let mut b = RoadNetworkBuilder::new("n0");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let x = b.add_node(Point::new(1.0, 1.0));
+        let m = b.add_node(Point::new(1.0, -1.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(a, x, EdgeAttrs::from_class(RoadClass::Artificial, 1.0));
+        b.add_edge(x, d, EdgeAttrs::from_class(RoadClass::Artificial, 1.0));
+        b.add_edge(a, m, EdgeAttrs::from_class(RoadClass::Primary, 3.0));
+        b.add_edge(m, d, EdgeAttrs::from_class(RoadClass::Primary, 3.0));
+        let net = b.build();
+        let p = AttackProblem::with_path_rank(
+            &net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(3),
+            2,
+        )
+        .unwrap();
+        let plan = minimal_hardening(&p, 8).unwrap();
+        assert!(plan.edges.is_empty());
+    }
+
+    #[test]
+    fn prefers_fewer_hardened_edges_over_lighter_witness() {
+        // Route A: weight 2 but 2 cuttable edges. Route B: weight 6 but
+        // only 1 cuttable edge (its first hop is artificial). p* = 8.
+        // The minimal plan hardens route B's single edge, even though
+        // route A is the lighter witness.
+        let mut b = RoadNetworkBuilder::new("count-vs-weight");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let m1 = b.add_node(Point::new(1.0, 2.0));
+        let x = b.add_node(Point::new(1.0, 0.0));
+        let m3 = b.add_node(Point::new(1.0, -2.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        let mut arc = |from, to, len: f64, class: RoadClass| {
+            b.add_edge(from, to, EdgeAttrs::from_class(class, len));
+        };
+        arc(a, m1, 1.0, RoadClass::Primary);
+        arc(m1, d, 1.0, RoadClass::Primary); // route A: 2, 2 cuttable
+        arc(a, x, 3.0, RoadClass::Artificial);
+        arc(x, d, 3.0, RoadClass::Primary); // route B: 6, 1 cuttable
+        arc(a, m3, 4.0, RoadClass::Primary);
+        arc(m3, d, 4.0, RoadClass::Primary); // p*: 8
+        let net = b.build();
+        let p = AttackProblem::with_path_rank(
+            &net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(4),
+            3,
+        )
+        .unwrap();
+        assert_eq!(p.pstar_weight(), 8.0);
+        let plan = minimal_hardening(&p, 8).unwrap();
+        assert_eq!(plan.num_edges(), 1, "{plan:?}");
+        assert!((plan.witness_weight - 6.0).abs() < 1e-9);
+        let hardened = p.clone().with_protected_edges(plan.edges.clone());
+        assert_eq!(GreedyPathCover.attack(&hardened).status, AttackStatus::Stuck);
+    }
+
+    #[test]
+    fn respects_max_hardened_cap() {
+        let net = net3();
+        let p = problem(&net);
+        // witness needs 2 edges; capping at 1 must fail
+        assert!(minimal_hardening(&p, 1).is_none());
+    }
+
+    #[test]
+    fn protected_edges_affect_cuttability() {
+        let net = net3();
+        let e = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let p = problem(&net).with_protected_edges([e]);
+        assert!(!p.is_cuttable(e));
+        assert!(p.is_protected(e));
+    }
+}

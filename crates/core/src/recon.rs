@@ -1,0 +1,145 @@
+//! Attacker-side topological reconnaissance (paper §II-A).
+//!
+//! "An attacker can perform topological analysis on the road network
+//! graph representation to find critical roads, as reflected by their
+//! high (edge) betweenness centrality values." This module packages that
+//! analysis: rank road segments by betweenness under the victim's weight
+//! model, optionally estimating from a source sample on large cities.
+
+use crate::WeightType;
+use serde::{Deserialize, Serialize};
+use traffic_graph::{edge_betweenness, EdgeId, GraphView, NodeId, RoadNetwork};
+
+/// One critical road segment found by reconnaissance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalSegment {
+    /// The road segment.
+    pub edge: EdgeId,
+    /// Its (possibly sampled) edge betweenness centrality.
+    pub betweenness: f64,
+    /// Road name-ish context: its class tag and length, for reporting.
+    pub class: String,
+    /// Segment length in meters.
+    pub length_m: f64,
+}
+
+/// Ranks the `top_k` most critical road segments of a network by edge
+/// betweenness centrality under `weight`.
+///
+/// `sample_sources` bounds the number of Brandes source sweeps: `None`
+/// runs exact betweenness (O(n·m·log n) — fine below ~10 k nodes),
+/// `Some(s)` estimates from `s` evenly-strided sources. Artificial POI
+/// connectors are excluded from the ranking.
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{CityPreset, Scale};
+/// use pathattack::{critical_segments, WeightType};
+///
+/// let city = CityPreset::Chicago.build(Scale::Small, 4);
+/// let top = critical_segments(&city, WeightType::Time, Some(32), 10);
+/// assert_eq!(top.len(), 10);
+/// // ranked high → low
+/// assert!(top[0].betweenness >= top[9].betweenness);
+/// ```
+pub fn critical_segments(
+    net: &RoadNetwork,
+    weight: WeightType,
+    sample_sources: Option<usize>,
+    top_k: usize,
+) -> Vec<CriticalSegment> {
+    let w = weight.compute(net);
+    let view = GraphView::new(net);
+    let sample: Option<Vec<NodeId>> = sample_sources.map(|s| {
+        let n = net.num_nodes().max(1);
+        let stride = (n / s.max(1)).max(1);
+        (0..n).step_by(stride).take(s).map(NodeId::new).collect()
+    });
+    let centrality = edge_betweenness(&view, |e| w[e.index()], sample.as_deref());
+
+    let mut ranked: Vec<CriticalSegment> = net
+        .edges()
+        .filter(|&e| !net.edge_attrs(e).artificial)
+        .map(|e| CriticalSegment {
+            edge: e,
+            betweenness: centrality[e.index()],
+            class: net.edge_attrs(e).class.to_string(),
+            length_m: net.edge_attrs(e).length_m,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.betweenness
+            .total_cmp(&a.betweenness)
+            .then_with(|| a.edge.cmp(&b.edge))
+    });
+    ranked.truncate(top_k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::{EdgeAttrs, Point, RoadClass, RoadNetworkBuilder};
+
+    /// Barbell: two cliques joined by one bridge — the bridge must rank
+    /// first.
+    fn barbell() -> (RoadNetwork, EdgeId) {
+        let mut b = RoadNetworkBuilder::new("barbell");
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..4 {
+            left.push(b.add_node(Point::new(i as f64 * 10.0, 0.0)));
+            right.push(b.add_node(Point::new(1000.0 + i as f64 * 10.0, 0.0)));
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_two_way(left[i], left[j], EdgeAttrs::from_class(RoadClass::Residential, 10.0));
+                b.add_two_way(right[i], right[j], EdgeAttrs::from_class(RoadClass::Residential, 10.0));
+            }
+        }
+        b.add_two_way(
+            left[3],
+            right[0],
+            EdgeAttrs::from_class(RoadClass::Primary, 900.0),
+        );
+        let net = b.build();
+        let bridge = net.find_edge(left[3], right[0]).unwrap();
+        (net, bridge)
+    }
+
+    #[test]
+    fn bridge_ranks_first() {
+        let (net, bridge) = barbell();
+        let top = critical_segments(&net, WeightType::Length, None, 4);
+        // bridge (either direction) dominates
+        let (u, v) = net.edge_endpoints(bridge);
+        let top_endpoints = net.edge_endpoints(top[0].edge);
+        assert!(
+            top_endpoints == (u, v) || top_endpoints == (v, u),
+            "expected the bridge first, got {:?}",
+            top[0]
+        );
+    }
+
+    #[test]
+    fn sampled_recon_agrees_on_the_bridge() {
+        let (net, _) = barbell();
+        let exact = critical_segments(&net, WeightType::Length, None, 1);
+        let sampled = critical_segments(&net, WeightType::Length, Some(4), 1);
+        assert_eq!(
+            net.edge_endpoints(exact[0].edge),
+            net.edge_endpoints(sampled[0].edge)
+        );
+    }
+
+    #[test]
+    fn top_k_truncates_and_sorts() {
+        let (net, _) = barbell();
+        let top = critical_segments(&net, WeightType::Length, None, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].betweenness >= w[1].betweenness);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Attack outcomes and verification.
+
+use crate::{AttackProblem, Oracle};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use traffic_graph::EdgeId;
+
+/// Terminal status of an attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackStatus {
+    /// `p*` is the exclusive shortest path after the removals.
+    Success,
+    /// The attacker's budget would be exceeded by the next required cut.
+    BudgetExhausted,
+    /// A violating path had no cuttable edge (e.g. all alternatives run
+    /// over artificial connectors) — the instance is infeasible for this
+    /// attacker.
+    Stuck,
+}
+
+/// Result of running one attack algorithm on one problem instance.
+///
+/// `removed`/`total_cost` feed the paper's ANER and ACRE metrics;
+/// `runtime` feeds Avg. Runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Name of the algorithm that produced this outcome.
+    pub algorithm: String,
+    /// Road segments removed, in cut order.
+    pub removed: Vec<EdgeId>,
+    /// Total removal cost under the problem's cost model.
+    pub total_cost: f64,
+    /// Number of edge-cut operations performed. For the constraint-
+    /// generation algorithms (which re-derive their cut set after every
+    /// discovered path) this counts cumulative cut operations, not just
+    /// the final cut set size.
+    pub iterations: usize,
+    /// Wall-clock time of the attack computation.
+    pub runtime: Duration,
+    /// How the attack terminated.
+    pub status: AttackStatus,
+}
+
+impl AttackOutcome {
+    /// Number of removed edges (the paper's NER for one experiment).
+    pub fn num_removed(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Whether the attack reached its goal.
+    pub fn is_success(&self) -> bool {
+        self.status == AttackStatus::Success
+    }
+
+    /// Independently verifies this outcome against `problem`:
+    ///
+    /// 1. no removed edge lies on `p*`, is artificial, or was already
+    ///    removed pre-attack;
+    /// 2. the reported cost matches the cost model;
+    /// 3. if the status is [`AttackStatus::Success`], `p*` is the
+    ///    exclusive shortest path after applying the removals.
+    pub fn verify(&self, problem: &AttackProblem<'_>) -> Result<(), String> {
+        let mut view = problem.base_view().clone();
+        let mut cost = 0.0;
+        for &e in &self.removed {
+            if !problem.is_cuttable(e) {
+                return Err(format!("removed edge {e} is not cuttable"));
+            }
+            if !view.remove_edge(e) {
+                return Err(format!("edge {e} removed twice"));
+            }
+            cost += problem.cost_of(e);
+        }
+        if (cost - self.total_cost).abs() > 1e-6 * cost.max(1.0) {
+            return Err(format!(
+                "cost mismatch: reported {}, recomputed {}",
+                self.total_cost, cost
+            ));
+        }
+        if self.status == AttackStatus::Success {
+            let mut oracle = Oracle::new(problem);
+            if let Some(v) = oracle.next_violating(problem, &view) {
+                return Err(format!(
+                    "a violating path of weight {} remains (p* = {})",
+                    v.total_weight(),
+                    problem.pstar_weight()
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,260 @@
+//! The violating-path oracle shared by all four attack algorithms.
+//!
+//! Every algorithm in the paper iterates "find a path that is still at
+//! least as short as `p*`, then cut something on it". The oracle answers
+//! that query efficiently:
+//!
+//! - the main s→t query runs A\* guided by exact distances-to-target
+//!   computed once on the pre-attack view (removals only lengthen paths,
+//!   so the heuristic stays admissible for the entire attack);
+//! - when the shortest path *is* `p*` itself, exclusivity still requires
+//!   checking for ties, so the oracle computes the best path distinct
+//!   from `p*` with a Yen-style spur pass along `p*`.
+
+use crate::AttackProblem;
+use routing::{AStar, Dijkstra, Direction, Path};
+use traffic_graph::{EdgeId, GraphView};
+
+/// Reusable search state for one attack run.
+#[derive(Debug)]
+pub struct Oracle {
+    astar: AStar,
+    /// Exact distance from every node to the target on the pre-attack
+    /// view (admissible heuristic for all later views).
+    rev: Vec<f64>,
+}
+
+impl Oracle {
+    /// Builds the oracle for `problem`, running one backward Dijkstra.
+    pub fn new(problem: &AttackProblem<'_>) -> Self {
+        let net = problem.network();
+        let mut dij = Dijkstra::new(net.num_nodes());
+        let rev = dij.distances(
+            problem.base_view(),
+            |e| problem.weight_of(e),
+            problem.target(),
+            Direction::Backward,
+        );
+        Oracle {
+            astar: AStar::new(net.num_nodes()),
+            rev,
+        }
+    }
+
+    /// Shortest s→t path in `view` under the problem's weights.
+    pub fn shortest(&mut self, problem: &AttackProblem<'_>, view: &GraphView<'_>) -> Option<Path> {
+        let rev = &self.rev;
+        self.astar.shortest_path(
+            view,
+            |e| problem.weight_of(e),
+            |v| rev[v.index()],
+            problem.source(),
+            problem.target(),
+        )
+    }
+
+    /// Cheapest s→t path in `view` that differs from `p*` in at least
+    /// one edge. `None` when `p*` is the only remaining s→t path.
+    pub fn best_alternative(
+        &mut self,
+        problem: &AttackProblem<'_>,
+        view: &GraphView<'_>,
+    ) -> Option<Path> {
+        let shortest = self.shortest(problem, view)?;
+        if shortest.edges() != problem.pstar().edges() {
+            return Some(shortest);
+        }
+        // Shortest == p*: find the best deviation with a spur pass.
+        let pstar = problem.pstar().clone();
+        let net = problem.network();
+        let mut work = view.clone();
+        let mut best: Option<Path> = None;
+
+        let mut prefix_w = Vec::with_capacity(pstar.len() + 1);
+        prefix_w.push(0.0);
+        for &e in pstar.edges() {
+            prefix_w.push(prefix_w.last().unwrap() + problem.weight_of(e));
+        }
+
+        #[allow(clippy::needless_range_loop)] // i indexes nodes, edges and prefix weights together
+        for i in 0..pstar.len() {
+            let spur_node = pstar.nodes()[i];
+            let mut removed: Vec<EdgeId> = Vec::new();
+            // force a deviation at index i
+            if work.remove_edge(pstar.edges()[i]) {
+                removed.push(pstar.edges()[i]);
+            }
+            // keep the deviation simple: no re-entry into the prefix
+            for &v in &pstar.nodes()[..i] {
+                for e in net.out_edges(v) {
+                    if work.remove_edge(e) {
+                        removed.push(e);
+                    }
+                }
+            }
+            let rev = &self.rev;
+            if let Some(spur) = self.astar.shortest_path(
+                &work,
+                |e| problem.weight_of(e),
+                |v| rev[v.index()],
+                spur_node,
+                problem.target(),
+            ) {
+                let total = prefix_w[i] + spur.total_weight();
+                if best
+                    .as_ref()
+                    .is_none_or(|b| total < b.total_weight())
+                {
+                    let mut edges = pstar.edges()[..i].to_vec();
+                    edges.extend_from_slice(spur.edges());
+                    let joined = Path::from_edges(net, edges, |e| problem.weight_of(e))
+                        .expect("prefix + spur is contiguous");
+                    best = Some(joined);
+                }
+            }
+            for e in removed {
+                work.restore_edge(e);
+            }
+        }
+        best
+    }
+
+    /// The next violating path: the cheapest s→t path distinct from `p*`
+    /// whose weight does not exceed `w(p*)` (within the tie margin).
+    /// `None` means the attack has succeeded — `p*` is the exclusive
+    /// shortest path.
+    pub fn next_violating(
+        &mut self,
+        problem: &AttackProblem<'_>,
+        view: &GraphView<'_>,
+    ) -> Option<Path> {
+        let alt = self.best_alternative(problem, view)?;
+        problem.is_violating(&alt).then_some(alt)
+    }
+
+    /// Distance from `node` to the target on the pre-attack view.
+    pub fn reverse_distance(&self, node: traffic_graph::NodeId) -> f64 {
+        self.rev[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostType, WeightType};
+    use traffic_graph::{EdgeAttrs, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    /// Three parallel routes a→d with weights 4, 6, 10.
+    fn three_routes() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("three");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let m1 = b.add_node(Point::new(1.0, 2.0));
+        let m2 = b.add_node(Point::new(1.0, 0.0));
+        let m3 = b.add_node(Point::new(1.0, -2.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        let mut arc = |from, to, len: f64| {
+            b.add_edge(from, to, EdgeAttrs::from_class(RoadClass::Primary, len));
+        };
+        arc(a, m1, 2.0);
+        arc(m1, d, 2.0); // 4
+        arc(a, m2, 3.0);
+        arc(m2, d, 3.0); // 6
+        arc(a, m3, 5.0);
+        arc(m3, d, 5.0); // 10
+        b.build()
+    }
+
+    fn problem(net: &RoadNetwork) -> AttackProblem<'_> {
+        // p* = the middle route (weight 6)
+        AttackProblem::with_path_rank(
+            net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(4),
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn next_violating_finds_shorter_route() {
+        let net = three_routes();
+        let p = problem(&net);
+        assert_eq!(p.pstar_weight(), 6.0);
+        let mut oracle = Oracle::new(&p);
+        let view = p.base_view().clone();
+        let v = oracle.next_violating(&p, &view).expect("route 4 violates");
+        assert_eq!(v.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn no_violating_after_cutting_shorter_route() {
+        let net = three_routes();
+        let p = problem(&net);
+        let mut oracle = Oracle::new(&p);
+        let mut view = p.base_view().clone();
+        // cut the 4-route's first edge
+        let e = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        view.remove_edge(e);
+        assert!(oracle.next_violating(&p, &view).is_none());
+    }
+
+    #[test]
+    fn best_alternative_when_shortest_is_pstar() {
+        let net = three_routes();
+        let p = problem(&net);
+        let mut oracle = Oracle::new(&p);
+        let mut view = p.base_view().clone();
+        let e = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        view.remove_edge(e);
+        // shortest is now p* (6); best alternative must be the 10-route
+        let alt = oracle.best_alternative(&p, &view).unwrap();
+        assert_eq!(alt.total_weight(), 10.0);
+        assert_ne!(alt.edges(), p.pstar().edges());
+    }
+
+    #[test]
+    fn best_alternative_none_when_pstar_unique() {
+        let net = three_routes();
+        let p = problem(&net);
+        let mut oracle = Oracle::new(&p);
+        let mut view = p.base_view().clone();
+        for (u, v) in [(0usize, 1usize), (0, 3)] {
+            view.remove_edge(net.find_edge(NodeId::new(u), NodeId::new(v)).unwrap());
+        }
+        assert!(oracle.best_alternative(&p, &view).is_none());
+    }
+
+    #[test]
+    fn ties_count_as_violating() {
+        // two disjoint routes of identical weight; p* = rank-2 (tied)
+        let mut b = RoadNetworkBuilder::new("tie");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let m1 = b.add_node(Point::new(1.0, 1.0));
+        let m2 = b.add_node(Point::new(1.0, -1.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        let mut arc = |from, to, len: f64| {
+            b.add_edge(from, to, EdgeAttrs::from_class(RoadClass::Primary, len));
+        };
+        arc(a, m1, 2.0);
+        arc(m1, d, 2.0);
+        arc(a, m2, 2.0);
+        arc(m2, d, 2.0);
+        let net = b.build();
+        let p = AttackProblem::with_path_rank(
+            &net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(3),
+            2,
+        )
+        .unwrap();
+        let mut oracle = Oracle::new(&p);
+        let view = p.base_view().clone();
+        // the tied sibling must be reported as violating
+        let v = oracle.next_violating(&p, &view).expect("tie violates");
+        assert_eq!(v.total_weight(), p.pstar_weight());
+    }
+}

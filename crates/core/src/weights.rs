@@ -1,0 +1,173 @@
+//! The paper's edge-weight and removal-cost models.
+//!
+//! Weights encode the *victim's* routing objective (what "shortest"
+//! means); costs encode the *attacker's* effort to shut a road segment
+//! down. The paper studies two weight types (§II-B, Eq. 1) and three
+//! cost types (Eq. 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use traffic_graph::{RoadNetwork, AVERAGE_CAR_WIDTH_M};
+
+/// Edge-weight model: the victim's path metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightType {
+    /// Weight = road-segment length in meters (the paper's baseline,
+    /// readily available from OpenStreetMap).
+    Length,
+    /// Weight = seconds to traverse the segment at the speed limit
+    /// (Eq. 1: `TIME = roadLength / speedLimit`); the paper's realistic
+    /// choice.
+    Time,
+}
+
+impl WeightType {
+    /// Both weight types, in the paper's order.
+    pub const ALL: [WeightType; 2] = [WeightType::Length, WeightType::Time];
+
+    /// Computes the weight of every edge of `net` under this model.
+    pub fn compute(self, net: &RoadNetwork) -> Vec<f64> {
+        net.edges()
+            .map(|e| {
+                let a = net.edge_attrs(e);
+                match self {
+                    WeightType::Length => a.length_m,
+                    WeightType::Time => a.travel_time_s(),
+                }
+            })
+            .collect()
+    }
+
+    /// Table-header name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightType::Length => "LENGTH",
+            WeightType::Time => "TIME",
+        }
+    }
+}
+
+impl fmt::Display for WeightType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Edge-removal cost model: the attacker's capability constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostType {
+    /// Every segment costs 1 to remove (one large disruption suffices).
+    Uniform,
+    /// Cost = number of lanes (one small vehicle blocks one lane).
+    Lanes,
+    /// Cost = road width / average US car width (Eq. 2).
+    Width,
+}
+
+impl CostType {
+    /// All three cost types, in the paper's order.
+    pub const ALL: [CostType; 3] = [CostType::Uniform, CostType::Lanes, CostType::Width];
+
+    /// Computes the removal cost of every edge of `net` under this model.
+    pub fn compute(self, net: &RoadNetwork) -> Vec<f64> {
+        net.edges()
+            .map(|e| {
+                let a = net.edge_attrs(e);
+                match self {
+                    CostType::Uniform => 1.0,
+                    CostType::Lanes => f64::from(a.lanes),
+                    CostType::Width => a.width_m / AVERAGE_CAR_WIDTH_M,
+                }
+            })
+            .collect()
+    }
+
+    /// Table-header name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostType::Uniform => "UNIFORM",
+            CostType::Lanes => "LANES",
+            CostType::Width => "WIDTH",
+        }
+    }
+}
+
+impl fmt::Display for CostType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::{EdgeAttrs, Point, RoadClass, RoadNetworkBuilder};
+
+    fn toy() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("toy");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(500.0, 0.0));
+        b.add_edge(
+            a,
+            c,
+            EdgeAttrs::from_class(RoadClass::Primary, 500.0).with_lanes(3),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn length_weights_are_lengths() {
+        let net = toy();
+        let w = WeightType::Length.compute(&net);
+        assert_eq!(w, vec![500.0]);
+    }
+
+    #[test]
+    fn time_weights_match_eq1() {
+        let net = toy();
+        let w = WeightType::Time.compute(&net);
+        let a = net.edge_attrs(traffic_graph::EdgeId::new(0));
+        assert!((w[0] - 500.0 / a.speed_limit_mps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_costs_are_one() {
+        let net = toy();
+        assert_eq!(CostType::Uniform.compute(&net), vec![1.0]);
+    }
+
+    #[test]
+    fn lane_costs_count_lanes() {
+        let net = toy();
+        assert_eq!(CostType::Lanes.compute(&net), vec![3.0]);
+    }
+
+    #[test]
+    fn width_costs_match_eq2() {
+        let net = toy();
+        let c = CostType::Width.compute(&net);
+        let a = net.edge_attrs(traffic_graph::EdgeId::new(0));
+        assert!((c[0] - a.width_m / AVERAGE_CAR_WIDTH_M).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(WeightType::Length.to_string(), "LENGTH");
+        assert_eq!(WeightType::Time.to_string(), "TIME");
+        assert_eq!(CostType::Uniform.to_string(), "UNIFORM");
+        assert_eq!(CostType::Lanes.to_string(), "LANES");
+        assert_eq!(CostType::Width.to_string(), "WIDTH");
+    }
+
+    #[test]
+    fn cost_ordering_uniform_lanes_width() {
+        // For a multi-lane road: UNIFORM < LANES < WIDTH (car width is
+        // narrower than a lane) — the ordering the paper reports.
+        let net = toy();
+        let u = CostType::Uniform.compute(&net)[0];
+        let l = CostType::Lanes.compute(&net)[0];
+        let w = CostType::Width.compute(&net)[0];
+        assert!(u < l);
+        assert!(l < w);
+    }
+}

@@ -1,0 +1,282 @@
+//! The paper's experiment harness (§III-A "Experimental Methodology").
+//!
+//! One *experiment set* fixes a city and weight type, then runs every
+//! (hospital × random source) pair through every algorithm under every
+//! cost type. The paper uses 4 hospitals × 10 sources = 40 experiments
+//! per set; the harness makes those knobs configurable so tests and
+//! benches can run smaller sets.
+
+use crate::metrics::ExperimentRecord;
+use citygen::{CityPreset, Scale};
+use parking_lot::Mutex;
+use pathattack::{
+    all_algorithms, AttackProblem, CostType, ProblemError, WeightType,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use routing::Path;
+use serde::{Deserialize, Serialize};
+use traffic_graph::{NodeId, PoiKind, RoadNetwork};
+
+/// Configuration of one experiment set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentPlan {
+    /// City to attack.
+    pub city: CityPreset,
+    /// Generation scale (see [`Scale`]).
+    pub scale: Scale,
+    /// RNG seed for generation and source sampling.
+    pub seed: u64,
+    /// Victim weight model for this set.
+    pub weight: WeightType,
+    /// Alternative-route rank (the paper uses 100).
+    pub path_rank: usize,
+    /// Random sources per hospital (the paper uses 10).
+    pub sources_per_hospital: usize,
+    /// Cost models to sweep (the paper sweeps all three).
+    pub cost_types: Vec<CostType>,
+    /// Worker threads for the (hospital, source) fan-out.
+    pub threads: usize,
+}
+
+impl ExperimentPlan {
+    /// The paper's configuration for one (city, weight) set, at the
+    /// given scale.
+    pub fn paper(city: CityPreset, weight: WeightType, scale: Scale, seed: u64) -> Self {
+        ExperimentPlan {
+            city,
+            scale,
+            seed,
+            weight,
+            path_rank: 100,
+            sources_per_hospital: 10,
+            cost_types: CostType::ALL.to_vec(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+
+    /// A shrunk configuration for tests: tiny city, few sources, low
+    /// path rank.
+    pub fn smoke(city: CityPreset, weight: WeightType, seed: u64) -> Self {
+        ExperimentPlan {
+            city,
+            scale: Scale::Small,
+            seed,
+            weight,
+            path_rank: 10,
+            sources_per_hospital: 2,
+            cost_types: vec![CostType::Uniform],
+            threads: 2,
+        }
+    }
+}
+
+/// One sampled (source, hospital) pair with its alternative route.
+#[derive(Debug, Clone)]
+pub struct ExperimentInstance {
+    /// Source intersection.
+    pub source: NodeId,
+    /// Hospital POI node (destination).
+    pub target: NodeId,
+    /// Hospital display name.
+    pub hospital: String,
+    /// The chosen alternative route (rank `path_rank`).
+    pub pstar: Path,
+}
+
+/// Samples the plan's experiment instances on `net`.
+///
+/// For each hospital, draws random source intersections until
+/// `sources_per_hospital` of them admit a rank-`path_rank` alternative
+/// route (skipping sources too close to the hospital to have that many
+/// simple paths). Deterministic in the plan seed.
+pub fn sample_instances(net: &RoadNetwork, plan: &ExperimentPlan) -> Vec<ExperimentInstance> {
+    let mut rng = SmallRng::seed_from_u64(plan.seed.wrapping_mul(0x9e3779b97f4a7c15));
+    let hospitals: Vec<_> = net.pois_of_kind(PoiKind::Hospital).cloned().collect();
+    let mut out = Vec::new();
+    let n = net.num_nodes();
+
+    // Cheap pre-filter: reject doorstep trips before paying for Yen.
+    let weight = plan.weight.compute(net);
+    let view = traffic_graph::GraphView::new(net);
+    let mut dij = routing::Dijkstra::new(n);
+
+    for hospital in &hospitals {
+        let mut found = 0usize;
+        let mut attempts = 0usize;
+        while found < plan.sources_per_hospital && attempts < 200 * plan.sources_per_hospital {
+            attempts += 1;
+            let source = NodeId::new(rng.gen_range(0..n));
+            if source == hospital.node {
+                continue;
+            }
+            match dij.shortest_path(&view, |e| weight[e.index()], source, hospital.node) {
+                Some(p) if p.len() >= crate::MIN_TRIP_EDGES => {}
+                _ => continue,
+            }
+            match AttackProblem::with_path_rank(
+                net,
+                plan.weight,
+                CostType::Uniform,
+                source,
+                hospital.node,
+                plan.path_rank,
+            ) {
+                Ok(problem) => {
+                    out.push(ExperimentInstance {
+                        source,
+                        target: hospital.node,
+                        hospital: hospital.name.clone(),
+                        pstar: problem.pstar().clone(),
+                    });
+                    found += 1;
+                }
+                Err(ProblemError::RankUnavailable(_)) => continue,
+                Err(_) => continue,
+            }
+        }
+    }
+    out
+}
+
+/// Runs one experiment set: every sampled instance × every cost type ×
+/// every algorithm. Returns one record per attack run.
+///
+/// Instances are distributed over `plan.threads` workers; each worker
+/// owns its searches end to end, so results are deterministic regardless
+/// of thread count (records are sorted at the end).
+pub fn run_plan(plan: &ExperimentPlan) -> Vec<ExperimentRecord> {
+    let net = plan.city.build(plan.scale, plan.seed);
+    let instances = sample_instances(&net, plan);
+    run_instances(&net, plan, &instances)
+}
+
+/// Runs a pre-sampled instance list (lets callers reuse a built city).
+pub fn run_instances(
+    net: &RoadNetwork,
+    plan: &ExperimentPlan,
+    instances: &[ExperimentInstance],
+) -> Vec<ExperimentRecord> {
+    let records = Mutex::new(Vec::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = plan.threads.max(1).min(instances.len().max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let algorithms = all_algorithms();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(inst) = instances.get(i) else {
+                        break;
+                    };
+                    let mut local = Vec::new();
+                    for &cost in &plan.cost_types {
+                        let problem = match AttackProblem::new(
+                            traffic_graph::GraphView::new(net),
+                            plan.weight,
+                            cost,
+                            inst.source,
+                            inst.target,
+                            inst.pstar.clone(),
+                        ) {
+                            Ok(p) => p,
+                            Err(_) => continue,
+                        };
+                        for alg in &algorithms {
+                            let outcome = alg.attack(&problem);
+                            local.push(ExperimentRecord {
+                                city: net.name().to_string(),
+                                weight: plan.weight,
+                                cost,
+                                algorithm: outcome.algorithm.clone(),
+                                hospital: inst.hospital.clone(),
+                                source: inst.source.index(),
+                                runtime_s: outcome.runtime.as_secs_f64(),
+                                edges_removed: outcome.num_removed(),
+                                cost_removed: outcome.total_cost,
+                                status: outcome.status,
+                            });
+                        }
+                    }
+                    records.lock().extend(local);
+                }
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    let mut out = records.into_inner();
+    out.sort_by(|a, b| {
+        (&a.hospital, a.source, a.cost.name(), &a.algorithm).cmp(&(
+            &b.hospital,
+            b.source,
+            b.cost.name(),
+            &b.algorithm,
+        ))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathattack::AttackStatus;
+
+    #[test]
+    fn smoke_plan_runs_all_algorithms() {
+        let plan = ExperimentPlan::smoke(CityPreset::Chicago, WeightType::Time, 1);
+        let records = run_plan(&plan);
+        // 4 hospitals × 2 sources × 1 cost × 4 algorithms = 32 records
+        assert_eq!(records.len(), 32, "{}", records.len());
+        assert!(records
+            .iter()
+            .all(|r| r.status == AttackStatus::Success), "all smoke attacks succeed");
+        let algs: std::collections::HashSet<&str> =
+            records.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(algs.len(), 4);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let plan = ExperimentPlan::smoke(CityPreset::Boston, WeightType::Length, 5);
+        let net = plan.city.build(plan.scale, plan.seed);
+        let a = sample_instances(&net, &plan);
+        let b = sample_instances(&net, &plan);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.pstar.edges(), y.pstar.edges());
+        }
+    }
+
+    #[test]
+    fn pstar_has_requested_relationship() {
+        let plan = ExperimentPlan::smoke(CityPreset::Chicago, WeightType::Time, 2);
+        let net = plan.city.build(plan.scale, plan.seed);
+        let instances = sample_instances(&net, &plan);
+        assert!(!instances.is_empty());
+        for inst in &instances {
+            assert_eq!(inst.pstar.source(), inst.source);
+            assert_eq!(inst.pstar.target(), inst.target);
+            assert!(inst.pstar.is_simple());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut plan = ExperimentPlan::smoke(CityPreset::Chicago, WeightType::Time, 3);
+        plan.threads = 1;
+        let a = run_plan(&plan);
+        plan.threads = 4;
+        let b = run_plan(&plan);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.algorithm, y.algorithm);
+            assert_eq!(x.edges_removed, y.edges_removed);
+            assert!((x.cost_removed - y.cost_removed).abs() < 1e-9);
+        }
+    }
+}

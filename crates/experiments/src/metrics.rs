@@ -1,0 +1,244 @@
+//! Experiment records and the paper's aggregate metrics.
+//!
+//! The paper reports, per (city, weight type, cost type, algorithm):
+//! **Avg. Runtime** (seconds), **ANER** (average number of edges
+//! removed) and **ACRE** (average cost of removed edges), averaged over
+//! 40 experiments (4 hospitals × 10 random sources).
+
+use pathattack::{AttackStatus, CostType, WeightType};
+use serde::{Deserialize, Serialize};
+
+/// Result of one attack run in one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// City display name.
+    pub city: String,
+    /// Victim weight model.
+    pub weight: WeightType,
+    /// Attacker cost model.
+    pub cost: CostType,
+    /// Attack algorithm name.
+    pub algorithm: String,
+    /// Destination hospital name.
+    pub hospital: String,
+    /// Source intersection (dense node index).
+    pub source: usize,
+    /// Attack computation time in seconds.
+    pub runtime_s: f64,
+    /// Number of removed road segments (NER).
+    pub edges_removed: usize,
+    /// Total removal cost (CRE).
+    pub cost_removed: f64,
+    /// Terminal status.
+    pub status: AttackStatus,
+}
+
+/// Aggregated row: one (algorithm, cost type) cell group of Tables
+/// II–VIII.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateRow {
+    /// Attack algorithm name.
+    pub algorithm: String,
+    /// Attacker cost model.
+    pub cost: CostType,
+    /// Average runtime in seconds.
+    pub avg_runtime_s: f64,
+    /// Average number of edges removed.
+    pub aner: f64,
+    /// Average cost of removed edges.
+    pub acre: f64,
+    /// Number of experiments aggregated.
+    pub n: usize,
+    /// Number of experiments that ended in success.
+    pub successes: usize,
+}
+
+/// Canonical presentation rank of an algorithm (the paper's row order).
+fn algorithm_rank(name: &str) -> usize {
+    match name {
+        "LP-PathCover" => 0,
+        "GreedyPathCover" => 1,
+        "GreedyEdge" => 2,
+        "GreedyEig" => 3,
+        _ => 4,
+    }
+}
+
+/// Aggregates records into one row per (algorithm, cost type), in the
+/// paper's algorithm order.
+pub fn aggregate(records: &[ExperimentRecord]) -> Vec<AggregateRow> {
+    let mut keys: Vec<(String, CostType)> = Vec::new();
+    for r in records {
+        let key = (r.algorithm.clone(), r.cost);
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    keys.sort_by_key(|(alg, cost)| {
+        (
+            algorithm_rank(alg),
+            CostType::ALL.iter().position(|c| c == cost),
+        )
+    });
+    keys.iter()
+        .map(|(alg, cost)| {
+            let group: Vec<&ExperimentRecord> = records
+                .iter()
+                .filter(|r| &r.algorithm == alg && r.cost == *cost)
+                .collect();
+            let n = group.len().max(1);
+            AggregateRow {
+                algorithm: alg.clone(),
+                cost: *cost,
+                avg_runtime_s: group.iter().map(|r| r.runtime_s).sum::<f64>() / n as f64,
+                aner: group.iter().map(|r| r.edges_removed as f64).sum::<f64>() / n as f64,
+                acre: group.iter().map(|r| r.cost_removed).sum::<f64>() / n as f64,
+                n: group.len(),
+                successes: group
+                    .iter()
+                    .filter(|r| r.status == AttackStatus::Success)
+                    .count(),
+            }
+        })
+        .collect()
+}
+
+/// City-level ANER/ACRE averages across all algorithms and cost types
+/// for one weight type (Table IX cells).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityAverage {
+    /// City display name.
+    pub city: String,
+    /// Weight model the averages are under.
+    pub weight: WeightType,
+    /// Average edges removed across every experiment.
+    pub aner: f64,
+    /// Average removal cost across every experiment.
+    pub acre: f64,
+}
+
+/// Serializes records to CSV (header + one row per attack run), for
+/// offline analysis of raw experiment data.
+pub fn records_to_csv(records: &[ExperimentRecord]) -> String {
+    let mut s = String::from(
+        "city,weight,cost,algorithm,hospital,source,runtime_s,edges_removed,cost_removed,status\n",
+    );
+    for r in records {
+        let status = match r.status {
+            AttackStatus::Success => "success",
+            AttackStatus::BudgetExhausted => "budget_exhausted",
+            AttackStatus::Stuck => "stuck",
+        };
+        s.push_str(&format!(
+            "{},{},{},{},\"{}\",{},{:.6},{},{:.6},{}\n",
+            r.city,
+            r.weight.name(),
+            r.cost.name(),
+            r.algorithm,
+            r.hospital.replace('"', "\"\""),
+            r.source,
+            r.runtime_s,
+            r.edges_removed,
+            r.cost_removed,
+            status
+        ));
+    }
+    s
+}
+
+/// Computes the Table IX cell for one (city, weight) record set.
+pub fn city_average(records: &[ExperimentRecord]) -> Option<CityAverage> {
+    let first = records.first()?;
+    let n = records.len() as f64;
+    Some(CityAverage {
+        city: first.city.clone(),
+        weight: first.weight,
+        aner: records.iter().map(|r| r.edges_removed as f64).sum::<f64>() / n,
+        acre: records.iter().map(|r| r.cost_removed).sum::<f64>() / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(alg: &str, cost: CostType, removed: usize, cre: f64, rt: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            city: "Testville".into(),
+            weight: WeightType::Time,
+            cost,
+            algorithm: alg.into(),
+            hospital: "H".into(),
+            source: 0,
+            runtime_s: rt,
+            edges_removed: removed,
+            cost_removed: cre,
+            status: AttackStatus::Success,
+        }
+    }
+
+    #[test]
+    fn aggregate_averages_correctly() {
+        let records = vec![
+            rec("GreedyEdge", CostType::Uniform, 4, 4.0, 1.0),
+            rec("GreedyEdge", CostType::Uniform, 6, 6.0, 3.0),
+            rec("GreedyEdge", CostType::Lanes, 5, 8.0, 2.0),
+        ];
+        let rows = aggregate(&records);
+        assert_eq!(rows.len(), 2);
+        let uni = &rows[0];
+        assert_eq!(uni.cost, CostType::Uniform);
+        assert_eq!(uni.n, 2);
+        assert!((uni.aner - 5.0).abs() < 1e-12);
+        assert!((uni.acre - 5.0).abs() < 1e-12);
+        assert!((uni.avg_runtime_s - 2.0).abs() < 1e-12);
+        assert_eq!(uni.successes, 2);
+    }
+
+    #[test]
+    fn aggregate_preserves_first_seen_order() {
+        let records = vec![
+            rec("LP-PathCover", CostType::Uniform, 1, 1.0, 1.0),
+            rec("GreedyEdge", CostType::Uniform, 1, 1.0, 1.0),
+        ];
+        let rows = aggregate(&records);
+        assert_eq!(rows[0].algorithm, "LP-PathCover");
+        assert_eq!(rows[1].algorithm, "GreedyEdge");
+    }
+
+    #[test]
+    fn city_average_over_all() {
+        let records = vec![
+            rec("A", CostType::Uniform, 2, 2.0, 1.0),
+            rec("B", CostType::Width, 4, 8.0, 1.0),
+        ];
+        let avg = city_average(&records).unwrap();
+        assert!((avg.aner - 3.0).abs() < 1e-12);
+        assert!((avg.acre - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn city_average_empty_is_none() {
+        assert!(city_average(&[]).is_none());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let records = vec![rec("GreedyEdge", CostType::Uniform, 4, 4.0, 0.25)];
+        let csv = records_to_csv(&records);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("city,weight,cost"));
+        assert!(lines[1].contains("GreedyEdge"));
+        assert!(lines[1].contains("UNIFORM"));
+        assert!(lines[1].ends_with("success"));
+    }
+
+    #[test]
+    fn csv_escapes_hospital_quotes() {
+        let mut r = rec("A", CostType::Uniform, 1, 1.0, 0.1);
+        r.hospital = "St. \"Mary's\"".into();
+        let csv = records_to_csv(&[r]);
+        assert!(csv.contains("\"St. \"\"Mary's\"\"\""));
+    }
+}

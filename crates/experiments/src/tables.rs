@@ -1,0 +1,227 @@
+//! ASCII renderings of the paper's tables.
+
+use crate::metrics::{AggregateRow, CityAverage};
+use crate::threshold::ThresholdRow;
+use citygen::CitySummary;
+use pathattack::{CostType, WeightType};
+use std::fmt::Write as _;
+
+/// Renders Table I (city graph summaries).
+pub fn render_table1(rows: &[CitySummary]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "TABLE I — City graph summaries");
+    let _ = writeln!(s, "{:<15} {:>8} {:>9} {:>12}", "City", "Nodes", "Edges", "Avg. Degree");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>8} {:>9} {:>12.2}",
+            r.city, r.nodes, r.edges, r.avg_degree
+        );
+    }
+    s
+}
+
+/// Renders one of Tables II–VIII: a city × weight-type experiment set.
+///
+/// Rows are algorithms; column groups are cost types with Avg. Runtime /
+/// ANER / ACRE, matching the paper's layout.
+pub fn render_experiment_table(
+    title: &str,
+    city: &str,
+    weight: WeightType,
+    rows: &[AggregateRow],
+) -> String {
+    let algorithms: Vec<&str> = {
+        let mut seen = Vec::new();
+        for r in rows {
+            if !seen.contains(&r.algorithm.as_str()) {
+                seen.push(r.algorithm.as_str());
+            }
+        }
+        seen
+    };
+    let costs = [CostType::Uniform, CostType::Lanes, CostType::Width];
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{title} — {city}, weight type: {weight}");
+    let _ = write!(s, "{:<17}", "Algorithm");
+    for c in costs {
+        let _ = write!(s, " | {:^28}", c.name());
+    }
+    let _ = writeln!(s);
+    let _ = write!(s, "{:<17}", "");
+    for _ in costs {
+        let _ = write!(s, " | {:>9} {:>8} {:>9}", "Rt(ms)", "ANER", "ACRE");
+    }
+    let _ = writeln!(s);
+
+    for alg in algorithms {
+        let _ = write!(s, "{alg:<17}");
+        for c in costs {
+            match rows.iter().find(|r| r.algorithm == alg && r.cost == c) {
+                Some(r) => {
+                    let _ = write!(
+                        s,
+                        " | {:>9.3} {:>8.2} {:>9.2}",
+                        r.avg_runtime_s * 1e3,
+                        r.aner,
+                        r.acre
+                    );
+                }
+                None => {
+                    let _ = write!(s, " | {:>9} {:>8} {:>9}", "-", "-", "-");
+                }
+            }
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Renders Table IX (average ANER/ACRE across all city × weight
+/// combinations).
+pub fn render_table9(cells: &[CityAverage]) -> String {
+    let mut cities: Vec<&str> = Vec::new();
+    for c in cells {
+        if !cities.contains(&c.city.as_str()) {
+            cities.push(c.city.as_str());
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "TABLE IX — Average ANER and ACRE across all city and weight type combinations"
+    );
+    let _ = writeln!(
+        s,
+        "{:<15} | {:>8} {:>8} | {:>8} {:>8}",
+        "City", "LEN ANER", "LEN ACRE", "TIME ANER", "TIME ACRE"
+    );
+    for city in cities {
+        let len = cells
+            .iter()
+            .find(|c| c.city == city && c.weight == WeightType::Length);
+        let time = cells
+            .iter()
+            .find(|c| c.city == city && c.weight == WeightType::Time);
+        let fmt = |v: Option<&CityAverage>, f: fn(&CityAverage) -> f64| match v {
+            Some(c) => format!("{:>8.2}", f(c)),
+            None => format!("{:>8}", "-"),
+        };
+        let _ = writeln!(
+            s,
+            "{:<15} | {} {} | {} {}",
+            city,
+            fmt(len, |c| c.aner),
+            fmt(len, |c| c.acre),
+            fmt(time, |c| c.aner),
+            fmt(time, |c| c.acre),
+        );
+    }
+    s
+}
+
+/// Renders Table X (threshold table).
+pub fn render_table10(rows: &[ThresholdRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "TABLE X — Threshold table, weight type: TIME");
+    if let Some(first) = rows.first() {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>26} {:>26}",
+            "City",
+            format!("Avg. Incr. to {}th path", first.k1),
+            format!("Avg. Incr. to {}th path", first.k2),
+        );
+    }
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<15} {:>25.2}% {:>25.2}%",
+            r.city, r.avg_increase_k1_pct, r.avg_increase_k2_pct
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ExperimentRecord;
+    use pathattack::AttackStatus;
+
+    #[test]
+    fn table1_renders_rows() {
+        let rows = vec![CitySummary {
+            city: "Boston".into(),
+            nodes: 11_171,
+            edges: 25_715,
+            avg_degree: 4.6,
+        }];
+        let s = render_table1(&rows);
+        assert!(s.contains("Boston"));
+        assert!(s.contains("11171"));
+        assert!(s.contains("4.60"));
+    }
+
+    #[test]
+    fn experiment_table_has_all_cost_groups() {
+        let records: Vec<ExperimentRecord> = CostType::ALL
+            .iter()
+            .map(|&cost| ExperimentRecord {
+                city: "X".into(),
+                weight: WeightType::Time,
+                cost,
+                algorithm: "GreedyEdge".into(),
+                hospital: "H".into(),
+                source: 0,
+                runtime_s: 0.5,
+                edges_removed: 3,
+                cost_removed: 4.5,
+                status: AttackStatus::Success,
+            })
+            .collect();
+        let rows = crate::metrics::aggregate(&records);
+        let s = render_experiment_table("TABLE T", "X", WeightType::Time, &rows);
+        assert!(s.contains("UNIFORM"));
+        assert!(s.contains("LANES"));
+        assert!(s.contains("WIDTH"));
+        assert!(s.contains("GreedyEdge"));
+    }
+
+    #[test]
+    fn table9_renders_both_weights() {
+        let cells = vec![
+            CityAverage {
+                city: "Boston".into(),
+                weight: WeightType::Length,
+                aner: 4.27,
+                acre: 6.27,
+            },
+            CityAverage {
+                city: "Boston".into(),
+                weight: WeightType::Time,
+                aner: 4.17,
+                acre: 6.54,
+            },
+        ];
+        let s = render_table9(&cells);
+        assert!(s.contains("4.27"));
+        assert!(s.contains("6.54"));
+    }
+
+    #[test]
+    fn table10_renders_percentages() {
+        let rows = vec![ThresholdRow {
+            city: "Boston".into(),
+            avg_increase_k1_pct: 7.93,
+            avg_increase_k2_pct: 9.54,
+            k1: 100,
+            k2: 200,
+            pairs: 40,
+        }];
+        let s = render_table10(&rows);
+        assert!(s.contains("7.93%"));
+        assert!(s.contains("100th path"));
+    }
+}

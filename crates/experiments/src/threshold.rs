@@ -1,0 +1,151 @@
+//! Table X: path-rank thresholds.
+//!
+//! The paper explains the city-topology effect through the travel-time
+//! gap between the shortest and the 100th/200th shortest path: lattice
+//! cities (Chicago) have many near-equal alternatives (small gap), while
+//! organic cities (Boston) do not (large gap).
+
+use crate::harness::ExperimentPlan;
+use pathattack::WeightType;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use routing::k_shortest_paths;
+use serde::{Deserialize, Serialize};
+use traffic_graph::{GraphView, NodeId, PoiKind, RoadNetwork};
+
+/// One Table X row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdRow {
+    /// City display name.
+    pub city: String,
+    /// Average % increase from the shortest to the rank-`k1` path.
+    pub avg_increase_k1_pct: f64,
+    /// Average % increase from the shortest to the rank-`k2` path.
+    pub avg_increase_k2_pct: f64,
+    /// First rank (paper: 100).
+    pub k1: usize,
+    /// Second rank (paper: 200).
+    pub k2: usize,
+    /// Number of (source, hospital) pairs averaged.
+    pub pairs: usize,
+}
+
+/// Computes the Table X thresholds for one city.
+///
+/// For each hospital, samples `sources_per_hospital` random sources,
+/// enumerates the `k2` shortest paths under `weight`, and averages the
+/// percentage weight increase of the `k1`-th and `k2`-th path over the
+/// shortest. Pairs with fewer than `k2` simple paths are skipped.
+pub fn threshold_row(
+    net: &RoadNetwork,
+    weight: WeightType,
+    k1: usize,
+    k2: usize,
+    sources_per_hospital: usize,
+    seed: u64,
+) -> ThresholdRow {
+    assert!(k1 >= 1 && k2 >= k1, "ranks must satisfy 1 ≤ k1 ≤ k2");
+    let w = weight.compute(net);
+    let view = GraphView::new(net);
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xd1b54a32d192ed03));
+    let hospitals: Vec<_> = net.pois_of_kind(PoiKind::Hospital).cloned().collect();
+
+    let mut inc1 = Vec::new();
+    let mut inc2 = Vec::new();
+    for hospital in &hospitals {
+        let mut found = 0usize;
+        let mut attempts = 0usize;
+        while found < sources_per_hospital && attempts < 200 * sources_per_hospital {
+            attempts += 1;
+            let source = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            if source == hospital.node {
+                continue;
+            }
+            let paths = k_shortest_paths(&view, |e| w[e.index()], source, hospital.node, k2);
+            if paths.len() < k2 {
+                continue;
+            }
+            // Skip trivially short trips: at the paper's full city scale
+            // random trips are long; shrunk cities need this guard so
+            // path-rank statistics are not dominated by doorstep trips.
+            if paths[0].len() < crate::MIN_TRIP_EDGES {
+                continue;
+            }
+            let base = paths[0].total_weight();
+            if base <= 0.0 {
+                continue;
+            }
+            inc1.push((paths[k1 - 1].total_weight() - base) / base * 100.0);
+            inc2.push((paths[k2 - 1].total_weight() - base) / base * 100.0);
+            found += 1;
+        }
+    }
+
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    ThresholdRow {
+        city: net.name().to_string(),
+        avg_increase_k1_pct: avg(&inc1),
+        avg_increase_k2_pct: avg(&inc2),
+        k1,
+        k2,
+        pairs: inc1.len(),
+    }
+}
+
+/// Computes a threshold row using a plan's sampling parameters
+/// (`path_rank` as `k1`, `2·path_rank` as `k2`).
+pub fn threshold_for_plan(net: &RoadNetwork, plan: &ExperimentPlan) -> ThresholdRow {
+    threshold_row(
+        net,
+        plan.weight,
+        plan.path_rank,
+        plan.path_rank * 2,
+        plan.sources_per_hospital,
+        plan.seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citygen::{CityPreset, Scale};
+
+    #[test]
+    fn threshold_monotone_in_rank() {
+        let net = CityPreset::Chicago.build(Scale::Small, 3);
+        let row = threshold_row(&net, WeightType::Time, 5, 10, 3, 1);
+        assert!(row.pairs > 0);
+        assert!(row.avg_increase_k1_pct >= 0.0);
+        assert!(row.avg_increase_k2_pct >= row.avg_increase_k1_pct - 1e-9);
+    }
+
+    #[test]
+    fn organic_gap_exceeds_lattice_gap() {
+        // The paper's central topology claim (Table X): Boston's gap is
+        // larger than Chicago's. Verify on small instances.
+        let boston = CityPreset::Boston.build(Scale::Small, 7);
+        let chicago = CityPreset::Chicago.build(Scale::Small, 7);
+        let rb = threshold_row(&boston, WeightType::Time, 20, 40, 4, 2);
+        let rc = threshold_row(&chicago, WeightType::Time, 20, 40, 4, 2);
+        assert!(rb.pairs > 0 && rc.pairs > 0);
+        assert!(
+            rb.avg_increase_k1_pct > rc.avg_increase_k1_pct,
+            "Boston gap ({:.2}%) should exceed Chicago gap ({:.2}%)",
+            rb.avg_increase_k1_pct,
+            rc.avg_increase_k1_pct
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks must satisfy")]
+    fn rank_validation() {
+        let net = CityPreset::Chicago.build(Scale::Small, 3);
+        let _ = threshold_row(&net, WeightType::Time, 10, 5, 1, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! SVG rendering of attack experiments (the paper's Figures 1–4).
+//!
+//! Follows the paper's visual language: the street network in light
+//! gray, the chosen alternative route `p*` in blue, removed segments in
+//! red, the source as a blue circle and the destination (hospital) as a
+//! yellow circle.
+
+use routing::Path;
+use std::fmt::Write as _;
+use traffic_graph::{EdgeId, NodeId, RoadClass, RoadNetwork};
+
+/// What to draw on top of the base network.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// The chosen alternative route (blue).
+    pub pstar: Path,
+    /// Removed road segments (red).
+    pub removed: Vec<EdgeId>,
+    /// Source intersection (blue dot).
+    pub source: NodeId,
+    /// Destination intersection (yellow dot).
+    pub target: NodeId,
+    /// Figure caption (rendered as an SVG `<title>`).
+    pub title: String,
+}
+
+/// Canvas width in pixels (height follows the network aspect ratio).
+const CANVAS_W: f64 = 1000.0;
+const MARGIN: f64 = 20.0;
+
+/// Stroke width per road class, in pixels.
+fn stroke_width(class: RoadClass) -> f64 {
+    match class {
+        RoadClass::Motorway => 2.2,
+        RoadClass::Trunk => 1.9,
+        RoadClass::Primary => 1.6,
+        RoadClass::Secondary => 1.3,
+        RoadClass::Tertiary => 1.0,
+        RoadClass::Residential => 0.7,
+        RoadClass::Service => 0.5,
+        RoadClass::Artificial => 0.4,
+    }
+}
+
+/// Renders an experiment figure as a standalone SVG document.
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{CityPreset, Scale};
+/// use experiments::{FigureSpec, render_svg};
+/// use pathattack::{AttackProblem, AttackAlgorithm, GreedyPathCover, WeightType, CostType};
+/// use traffic_graph::{NodeId, PoiKind};
+///
+/// let city = CityPreset::Chicago.build(Scale::Small, 9);
+/// let hospital = city.pois_of_kind(PoiKind::Hospital).next().unwrap().node;
+/// let problem = AttackProblem::with_path_rank(
+///     &city, WeightType::Length, CostType::Uniform, NodeId::new(0), hospital, 10,
+/// ).unwrap();
+/// let outcome = GreedyPathCover::default().attack(&problem);
+/// let svg = render_svg(&city, &FigureSpec {
+///     pstar: problem.pstar().clone(),
+///     removed: outcome.removed.clone(),
+///     source: problem.source(),
+///     target: problem.target(),
+///     title: "example".into(),
+/// });
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("#d62728")); // removed edges drawn in red
+/// ```
+pub fn render_svg(net: &RoadNetwork, spec: &FigureSpec) -> String {
+    let bb = net.bounding_box();
+    let w = bb.width().max(1.0);
+    let h = bb.height().max(1.0);
+    let scale = (CANVAS_W - 2.0 * MARGIN) / w;
+    let canvas_h = h * scale + 2.0 * MARGIN;
+
+    // SVG y grows downward; flip northing.
+    let tx = |x: f64| (x - bb.min_x) * scale + MARGIN;
+    let ty = |y: f64| canvas_h - ((y - bb.min_y) * scale + MARGIN);
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{CANVAS_W:.0}" height="{canvas_h:.0}" viewBox="0 0 {CANVAS_W:.0} {canvas_h:.0}">"#
+    );
+    let _ = write!(s, "<title>{}</title>", xml_escape(&spec.title));
+    let _ = write!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    // Base network.
+    let _ = write!(s, r##"<g stroke="#c8c8c8" stroke-linecap="round">"##);
+    for e in net.edges() {
+        let a = net.edge_attrs(e);
+        if a.artificial {
+            continue;
+        }
+        let (u, v) = net.edge_endpoints(e);
+        let (pu, pv) = (net.node_point(u), net.node_point(v));
+        let _ = write!(
+            s,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke-width="{:.1}"/>"#,
+            tx(pu.x),
+            ty(pu.y),
+            tx(pv.x),
+            ty(pv.y),
+            stroke_width(a.class)
+        );
+    }
+    let _ = write!(s, "</g>");
+
+    // p* in blue.
+    let _ = write!(
+        s,
+        r##"<g stroke="#1f77b4" stroke-width="3" stroke-linecap="round">"##
+    );
+    for &e in spec.pstar.edges() {
+        let (u, v) = net.edge_endpoints(e);
+        let (pu, pv) = (net.node_point(u), net.node_point(v));
+        let _ = write!(
+            s,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+            tx(pu.x),
+            ty(pu.y),
+            tx(pv.x),
+            ty(pv.y)
+        );
+    }
+    let _ = write!(s, "</g>");
+
+    // Removed edges in red.
+    let _ = write!(
+        s,
+        r##"<g stroke="#d62728" stroke-width="4" stroke-linecap="round">"##
+    );
+    for &e in &spec.removed {
+        let (u, v) = net.edge_endpoints(e);
+        let (pu, pv) = (net.node_point(u), net.node_point(v));
+        let _ = write!(
+            s,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+            tx(pu.x),
+            ty(pu.y),
+            tx(pv.x),
+            ty(pv.y)
+        );
+    }
+    let _ = write!(s, "</g>");
+
+    // Endpoints.
+    let sp = net.node_point(spec.source);
+    let tp = net.node_point(spec.target);
+    let _ = write!(
+        s,
+        r##"<circle cx="{:.1}" cy="{:.1}" r="8" fill="#1f77b4" stroke="black"/>"##,
+        tx(sp.x),
+        ty(sp.y)
+    );
+    let _ = write!(
+        s,
+        r##"<circle cx="{:.1}" cy="{:.1}" r="8" fill="#ffd700" stroke="black"/>"##,
+        tx(tp.x),
+        ty(tp.y)
+    );
+    let _ = write!(s, "</svg>");
+    s
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citygen::{CityPreset, Scale};
+    use pathattack::{AttackAlgorithm, AttackProblem, CostType, GreedyEdge, WeightType};
+    use traffic_graph::PoiKind;
+
+    fn spec_on(city: &RoadNetwork) -> FigureSpec {
+        let hospital = city.pois_of_kind(PoiKind::Hospital).next().unwrap().node;
+        let problem = AttackProblem::with_path_rank(
+            city,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            hospital,
+            5,
+        )
+        .unwrap();
+        let outcome = GreedyEdge.attack(&problem);
+        FigureSpec {
+            pstar: problem.pstar().clone(),
+            removed: outcome.removed,
+            source: problem.source(),
+            target: problem.target(),
+            title: "test & <figure>".into(),
+        }
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let city = CityPreset::Chicago.build(Scale::Small, 11);
+        let svg = render_svg(&city, &spec_on(&city));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("#1f77b4"));
+        assert!(svg.contains("#ffd700"));
+        // escaped title
+        assert!(svg.contains("test &amp; &lt;figure&gt;"));
+    }
+
+    #[test]
+    fn line_count_scales_with_edges() {
+        let city = CityPreset::Chicago.build(Scale::Small, 11);
+        let svg = render_svg(&city, &spec_on(&city));
+        let lines = svg.matches("<line").count();
+        // at least one line per non-artificial undirected street (two
+        // directed edges render as two overlapping lines)
+        assert!(lines > city.num_edges() / 2);
+    }
+
+    #[test]
+    fn artificial_edges_not_drawn_in_base_layer() {
+        let city = CityPreset::Boston.build(Scale::Small, 11);
+        let artificial = city
+            .edges()
+            .filter(|&e| city.edge_attrs(e).artificial)
+            .count();
+        assert!(artificial > 0);
+        // rendering must not fail and artificial edges are skipped; just
+        // check it renders
+        let svg = render_svg(&city, &spec_on(&city));
+        assert!(svg.contains("</svg>"));
+    }
+}

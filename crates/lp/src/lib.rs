@@ -1,0 +1,40 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The `metro-attack` workspace needs an LP solver for the paper's
+//! `LP-PathCover` attack: the PATHATTACK formulation relaxes a weighted
+//! set-cover over "violating paths" into an LP with one `[0, 1]` variable
+//! per cuttable edge and one `≥ 1` row per discovered path. Those LPs
+//! are small (tens to a few hundred variables and rows, thanks to
+//! constraint generation), which is comfortably inside dense two-phase
+//! primal simplex territory — so that is exactly what this crate
+//! implements. No external solver exists in the approved offline crate
+//! set; see `DESIGN.md` for the substitution note.
+//!
+//! # Examples
+//!
+//! Minimize `x + 2y` subject to `x + y ≥ 1`, `y ≥ 0.25`, `x, y ∈ [0, 1]`:
+//!
+//! ```
+//! use lp::{Problem, ConstraintOp, Outcome};
+//!
+//! let mut p = Problem::minimize(vec![1.0, 2.0]);
+//! p.bound_var(0, 1.0);
+//! p.bound_var(1, 1.0);
+//! p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0);
+//! p.add_constraint(vec![(1, 1.0)], ConstraintOp::Ge, 0.25);
+//! match p.solve() {
+//!     Outcome::Optimal(sol) => {
+//!         assert!((sol.objective - 1.25).abs() < 1e-7);
+//!         assert!((sol.x[0] - 0.75).abs() < 1e-7);
+//!         assert!((sol.x[1] - 0.25).abs() < 1e-7);
+//!     }
+//!     other => panic!("expected optimum, got {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod simplex;
+
+pub use simplex::{ConstraintOp, Outcome, Problem, Solution};

@@ -1,0 +1,594 @@
+//! Two-phase dense primal simplex.
+//!
+//! Standard-form conversion: all variables get a lower bound of zero,
+//! optional upper bounds become extra `≤` rows, `≤` rows get slacks,
+//! `≥` rows get a surplus plus an artificial, `=` rows get an artificial.
+//! Phase 1 minimizes the artificial sum to find a basic feasible start;
+//! phase 2 optimizes the real objective. Dantzig pricing with a Bland's-
+//! rule fallback guards against cycling on degenerate tableaus.
+
+use std::fmt;
+
+/// Numerical tolerance for pivoting and feasibility checks.
+const EPS: f64 = 1e-9;
+
+/// Relational operator of one constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal objective value (of the minimization).
+    pub objective: f64,
+    /// Optimal assignment for the original variables.
+    pub x: Vec<f64>,
+}
+
+/// Result of [`Problem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// An optimal basic feasible solution was found.
+    Optimal(Solution),
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The pivot-iteration cap was hit before convergence; the program's
+    /// status is unknown. Callers must not treat this as an optimum (or,
+    /// for phase-1 stalls, as infeasibility).
+    IterationLimit,
+}
+
+impl Outcome {
+    /// Unwraps the optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`Outcome::Optimal`].
+    pub fn expect_optimal(self) -> Solution {
+        match self {
+            Outcome::Optimal(s) => s,
+            other => panic!("expected optimal LP outcome, got {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Optimal(s) => write!(f, "optimal (objective {:.6})", s.objective),
+            Outcome::Infeasible => f.write_str("infeasible"),
+            Outcome::Unbounded => f.write_str("unbounded"),
+            Outcome::IterationLimit => f.write_str("iteration limit reached"),
+        }
+    }
+}
+
+/// Sparse constraint row kept until standard-form conversion.
+#[derive(Debug, Clone)]
+struct Row {
+    terms: Vec<(usize, f64)>,
+    op: ConstraintOp,
+    rhs: f64,
+}
+
+/// A linear program `min c·x` over `x ≥ 0` with optional per-variable
+/// upper bounds and arbitrary `≤ / ≥ / =` rows.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    objective: Vec<f64>,
+    rows: Vec<Row>,
+    upper: Vec<Option<f64>>,
+}
+
+impl Problem {
+    /// Creates a minimization problem with one cost per variable.
+    /// All variables are constrained to `x ≥ 0`.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        let n = objective.len();
+        Problem {
+            objective,
+            rows: Vec::new(),
+            upper: vec![None; n],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows added so far (upper bounds excluded).
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds an upper bound `x[var] ≤ ub`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range or `ub` is negative/non-finite.
+    pub fn bound_var(&mut self, var: usize, ub: f64) {
+        assert!(var < self.objective.len(), "variable out of range");
+        assert!(ub >= 0.0 && ub.is_finite(), "bad upper bound {ub}");
+        self.upper[var] = Some(ub);
+    }
+
+    /// Adds a constraint `Σ terms op rhs`. Duplicate variable indices in
+    /// `terms` are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable is out of range or a coefficient
+    /// is non-finite.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
+        for &(v, c) in &terms {
+            assert!(v < self.objective.len(), "variable {v} out of range");
+            assert!(c.is_finite(), "non-finite coefficient");
+        }
+        assert!(rhs.is_finite(), "non-finite rhs");
+        self.rows.push(Row { terms, op, rhs });
+    }
+
+    /// Solves the program with two-phase primal simplex.
+    pub fn solve(&self) -> Outcome {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Dense simplex tableau.
+struct Tableau {
+    /// `m × n` coefficient matrix, row-major.
+    a: Vec<f64>,
+    /// Right-hand sides (kept non-negative).
+    b: Vec<f64>,
+    /// Phase-2 costs per column (original objective; zero for slack /
+    /// surplus; zero for artificial, which phase 2 never re-enters).
+    cost: Vec<f64>,
+    m: usize,
+    n: usize,
+    /// Basis variable per row.
+    basis: Vec<usize>,
+    /// First artificial column (columns ≥ this are artificial).
+    art_start: usize,
+    /// Number of original variables.
+    orig_n: usize,
+}
+
+impl Tableau {
+    fn build(p: &Problem) -> Tableau {
+        // Materialize rows: user rows + upper-bound rows.
+        let mut rows: Vec<Row> = p.rows.clone();
+        for (v, ub) in p.upper.iter().enumerate() {
+            if let Some(ub) = ub {
+                rows.push(Row {
+                    terms: vec![(v, 1.0)],
+                    op: ConstraintOp::Le,
+                    rhs: *ub,
+                });
+            }
+        }
+
+        // Normalize signs so every rhs ≥ 0 (flip the op when negating).
+        for r in rows.iter_mut() {
+            if r.rhs < 0.0 {
+                r.rhs = -r.rhs;
+                for t in r.terms.iter_mut() {
+                    t.1 = -t.1;
+                }
+                r.op = match r.op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+            }
+        }
+
+        let m = rows.len();
+        let orig_n = p.num_vars();
+        // Count slack/surplus and artificial columns.
+        let mut num_slack = 0;
+        let mut num_art = 0;
+        for r in &rows {
+            match r.op {
+                ConstraintOp::Le => num_slack += 1,
+                ConstraintOp::Ge => {
+                    num_slack += 1;
+                    num_art += 1;
+                }
+                ConstraintOp::Eq => num_art += 1,
+            }
+        }
+        let n = orig_n + num_slack + num_art;
+        let art_start = orig_n + num_slack;
+
+        let mut a = vec![0.0; m * n];
+        let mut b = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = orig_n;
+        let mut next_art = art_start;
+
+        for (i, r) in rows.iter().enumerate() {
+            for &(v, c) in &r.terms {
+                a[i * n + v] += c;
+            }
+            b[i] = r.rhs;
+            match r.op {
+                ConstraintOp::Le => {
+                    a[i * n + next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[i * n + next_slack] = -1.0; // surplus
+                    next_slack += 1;
+                    a[i * n + next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                ConstraintOp::Eq => {
+                    a[i * n + next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        let mut cost = vec![0.0; n];
+        cost[..orig_n].copy_from_slice(&p.objective);
+
+        Tableau {
+            a,
+            b,
+            cost,
+            m,
+            n,
+            basis,
+            art_start,
+            orig_n,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    /// Gaussian pivot on (`row`, `col`).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let n = self.n;
+        let p = self.at(row, col);
+        debug_assert!(p.abs() > EPS, "pivot on ~zero element");
+        let inv = 1.0 / p;
+        for j in 0..n {
+            self.a[row * n + j] *= inv;
+        }
+        self.b[row] *= inv;
+        // Round the pivot column to exactly 1 to limit drift.
+        self.a[row * n + col] = 1.0;
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let f = self.at(i, col);
+            if f.abs() <= EPS {
+                continue;
+            }
+            for j in 0..n {
+                self.a[i * n + j] -= f * self.a[row * n + j];
+            }
+            self.a[i * n + col] = 0.0;
+            self.b[i] -= f * self.b[row];
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex with the given column costs (restricted to columns
+    /// `< limit`).
+    fn optimize(&mut self, costs: &[f64], limit: usize) -> OptResult {
+        // reduced cost of column j: c_j - c_B · B⁻¹A_j
+        // With a dense tableau, reduced costs are recomputed per
+        // iteration (LPs here are small, clarity wins).
+        let max_iters = 1000 + 80 * (self.m + self.n);
+        let bland_after = 100 + 20 * (self.m + self.n);
+
+        for iter in 0..max_iters {
+            // price basis
+            let cb: Vec<f64> = self.basis.iter().map(|&j| costs[j]).collect();
+            // entering column
+            let mut enter: Option<(usize, f64)> = None;
+            #[allow(clippy::needless_range_loop)] // j indexes both costs and tableau columns
+            for j in 0..limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut red = costs[j];
+                for (i, &cbi) in cb.iter().enumerate() {
+                    let aij = self.at(i, j);
+                    if aij != 0.0 {
+                        red -= cbi * aij;
+                    }
+                }
+                if red < -EPS {
+                    if iter >= bland_after {
+                        // Bland: first improving index
+                        enter = Some((j, red));
+                        break;
+                    }
+                    match enter {
+                        Some((_, best)) if red >= best => {}
+                        _ => enter = Some((j, red)),
+                    }
+                }
+            }
+            let Some((col, _)) = enter else {
+                // optimal
+                let obj = self
+                    .basis
+                    .iter()
+                    .zip(&self.b)
+                    .map(|(&j, &bi)| costs[j] * bi)
+                    .sum();
+                return OptResult::Optimal(obj);
+            };
+
+            // ratio test
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let aij = self.at(i, col);
+                if aij > EPS {
+                    let ratio = self.b[i] / aij;
+                    match leave {
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || ((ratio - lr).abs() <= EPS && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                        None => leave = Some((i, ratio)),
+                    }
+                }
+            }
+            match leave {
+                Some((row, _)) => self.pivot(row, col),
+                None => return OptResult::Unbounded, // unbounded in this column
+            }
+        }
+        // Iteration cap hit before convergence: report it honestly
+        // rather than passing the current basis off as an optimum.
+        OptResult::IterationLimit
+    }
+
+    fn solve(mut self) -> Outcome {
+        // Phase 1: minimize artificial sum (only if artificials exist).
+        if self.art_start < self.n {
+            let mut phase1 = vec![0.0; self.n];
+            for c in phase1.iter_mut().skip(self.art_start) {
+                *c = 1.0;
+            }
+            let obj = match self.optimize(&phase1, self.n) {
+                OptResult::Optimal(obj) => obj,
+                // phase-1 objective is bounded below by 0, so Unbounded
+                // cannot occur; a stall must not masquerade as
+                // infeasibility.
+                OptResult::Unbounded | OptResult::IterationLimit => {
+                    return Outcome::IterationLimit
+                }
+            };
+            if obj > 1e-6 {
+                return Outcome::Infeasible;
+            }
+            // Drive any remaining artificial basics out where possible.
+            for row in 0..self.m {
+                if self.basis[row] >= self.art_start && self.b[row].abs() <= EPS {
+                    if let Some(col) =
+                        (0..self.art_start).find(|&j| self.at(row, j).abs() > 1e-7)
+                    {
+                        self.pivot(row, col);
+                    }
+                }
+            }
+        }
+
+        // Phase 2 over non-artificial columns.
+        let costs = self.cost.clone();
+        let limit = self.art_start;
+        match self.optimize(&costs, limit) {
+            OptResult::Unbounded => Outcome::Unbounded,
+            OptResult::IterationLimit => Outcome::IterationLimit,
+            OptResult::Optimal(objective) => {
+                let mut x = vec![0.0; self.orig_n];
+                for (row, &bv) in self.basis.iter().enumerate() {
+                    if bv < self.orig_n {
+                        x[bv] = self.b[row];
+                    }
+                }
+                Outcome::Optimal(Solution { objective, x })
+            }
+        }
+    }
+}
+
+/// Internal result of one simplex run.
+enum OptResult {
+    Optimal(f64),
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn unconstrained_minimum_is_zero() {
+        // min x + y over x,y >= 0
+        let p = Problem::minimize(vec![1.0, 1.0]);
+        let s = p.solve().expect_optimal();
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn simple_ge_row() {
+        // min 2x + 3y s.t. x + y >= 4
+        let mut p = Problem::minimize(vec![2.0, 3.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+        let s = p.solve().expect_optimal();
+        assert_close(s.objective, 8.0);
+        assert_close(s.x[0], 4.0);
+        assert_close(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn textbook_maximization_as_minimization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Dantzig)
+        // → min -3x - 5y; optimum x=2, y=6, obj=-36.
+        let mut p = Problem::minimize(vec![-3.0, -5.0]);
+        p.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 4.0);
+        p.add_constraint(vec![(1, 2.0)], ConstraintOp::Le, 12.0);
+        p.add_constraint(vec![(0, 3.0), (1, 2.0)], ConstraintOp::Le, 18.0);
+        let s = p.solve().expect_optimal();
+        assert_close(s.objective, -36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_row() {
+        // min x + y s.t. x + 2y = 3
+        let mut p = Problem::minimize(vec![1.0, 1.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 2.0)], ConstraintOp::Eq, 3.0);
+        let s = p.solve().expect_optimal();
+        assert_close(s.objective, 1.5);
+        assert_close(s.x[1], 1.5);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 2 and x <= 1
+        let mut p = Problem::minimize(vec![1.0]);
+        p.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 2.0);
+        p.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        assert_eq!(p.solve(), Outcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x >= 1 (x can grow forever)
+        let mut p = Problem::minimize(vec![-1.0]);
+        p.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(p.solve(), Outcome::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // min -x - y, x,y in [0,1] → both at 1
+        let mut p = Problem::minimize(vec![-1.0, -1.0]);
+        p.bound_var(0, 1.0);
+        p.bound_var(1, 1.0);
+        let s = p.solve().expect_optimal();
+        assert_close(s.objective, -2.0);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // -x <= -2  ⇔  x >= 2
+        let mut p = Problem::minimize(vec![1.0]);
+        p.add_constraint(vec![(0, -1.0)], ConstraintOp::Le, -2.0);
+        let s = p.solve().expect_optimal();
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn duplicate_terms_summed() {
+        // (x + x) >= 4 ⇔ 2x >= 4
+        let mut p = Problem::minimize(vec![1.0]);
+        p.add_constraint(vec![(0, 1.0), (0, 1.0)], ConstraintOp::Ge, 4.0);
+        let s = p.solve().expect_optimal();
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn fractional_set_cover_relaxation() {
+        // Odd cycle cover: 3 elements, 3 sets {1,2},{2,3},{1,3}, unit
+        // costs. LP optimum is 1.5 (x = 0.5 each) — the classic integral
+        // gap example, and exactly the structure LP-PathCover relaxes.
+        let mut p = Problem::minimize(vec![1.0, 1.0, 1.0]);
+        for &(a, b) in &[(0usize, 1usize), (1, 2), (0, 2)] {
+            p.add_constraint(vec![(a, 1.0), (b, 1.0)], ConstraintOp::Ge, 1.0);
+        }
+        for v in 0..3 {
+            p.bound_var(v, 1.0);
+        }
+        let s = p.solve().expect_optimal();
+        assert_close(s.objective, 1.5);
+        for v in 0..3 {
+            assert_close(s.x[v], 0.5);
+        }
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Beale's cycling example (classic) — must terminate.
+        let mut p = Problem::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        p.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.add_constraint(vec![(2, 1.0)], ConstraintOp::Le, 1.0);
+        let s = p.solve().expect_optimal();
+        assert_close(s.objective, -0.05);
+    }
+
+    #[test]
+    fn solution_vector_length_matches_vars() {
+        let mut p = Problem::minimize(vec![1.0; 7]);
+        p.add_constraint(vec![(3, 1.0)], ConstraintOp::Ge, 1.0);
+        let s = p.solve().expect_optimal();
+        assert_eq!(s.x.len(), 7);
+        assert_close(s.x[3], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable out of range")]
+    fn bound_var_validates_index() {
+        let mut p = Problem::minimize(vec![1.0]);
+        p.bound_var(3, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_constraint_validates_index() {
+        let mut p = Problem::minimize(vec![1.0]);
+        p.add_constraint(vec![(5, 1.0)], ConstraintOp::Ge, 1.0);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Infeasible.to_string(), "infeasible");
+        assert_eq!(Outcome::Unbounded.to_string(), "unbounded");
+    }
+}

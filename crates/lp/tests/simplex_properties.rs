@@ -1,0 +1,119 @@
+//! Property-based tests for the simplex solver on random set-cover LPs —
+//! the exact problem family LP-PathCover emits.
+
+use lp::{ConstraintOp, Outcome, Problem};
+use proptest::prelude::*;
+
+/// Builds a random covering LP: `vars` variables in [0, 1] with positive
+/// costs, `rows` cover rows each naming a non-empty variable subset.
+fn covering_lp(costs: &[f64], rows: &[Vec<usize>]) -> Problem {
+    let mut p = Problem::minimize(costs.to_vec());
+    for v in 0..costs.len() {
+        p.bound_var(v, 1.0);
+    }
+    for row in rows {
+        let terms: Vec<(usize, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(terms, ConstraintOp::Ge, 1.0);
+    }
+    p
+}
+
+/// Greedy integral cover cost: a feasible (0/1) solution, hence an upper
+/// bound the LP optimum must not exceed.
+fn greedy_cover_cost(costs: &[f64], rows: &[Vec<usize>]) -> f64 {
+    let mut uncovered: Vec<&Vec<usize>> = rows.iter().collect();
+    let mut total = 0.0;
+    while !uncovered.is_empty() {
+        // pick the variable covering most rows per cost
+        let best = (0..costs.len())
+            .max_by(|&a, &b| {
+                let ca = uncovered.iter().filter(|r| r.contains(&a)).count() as f64 / costs[a];
+                let cb = uncovered.iter().filter(|r| r.contains(&b)).count() as f64 / costs[b];
+                ca.total_cmp(&cb)
+            })
+            .expect("non-empty");
+        let covered_before = uncovered.len();
+        uncovered.retain(|r| !r.contains(&best));
+        assert!(uncovered.len() < covered_before, "greedy stuck");
+        total += costs[best];
+    }
+    total
+}
+
+/// Strategy: 3..12 vars with costs in [0.5, 5], 1..8 rows of 1..4 vars.
+fn instances() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+    (3usize..12).prop_flat_map(|nvars| {
+        let costs = prop::collection::vec(0.5f64..5.0, nvars);
+        let rows = prop::collection::vec(
+            prop::collection::btree_set(0..nvars, 1..4)
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+            1..8,
+        );
+        (costs, rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_solution_is_feasible_and_bounded((costs, rows) in instances()) {
+        let p = covering_lp(&costs, &rows);
+        let sol = match p.solve() {
+            Outcome::Optimal(s) => s,
+            other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+        };
+        // feasibility: bounds
+        for (v, &x) in sol.x.iter().enumerate() {
+            prop_assert!(x >= -1e-7, "x[{v}] = {x} < 0");
+            prop_assert!(x <= 1.0 + 1e-7, "x[{v}] = {x} > 1");
+        }
+        // feasibility: cover rows
+        for row in &rows {
+            let lhs: f64 = row.iter().map(|&v| sol.x[v]).sum();
+            prop_assert!(lhs >= 1.0 - 1e-6, "row {row:?} sums to {lhs}");
+        }
+        // objective consistency
+        let recomputed: f64 = sol.x.iter().zip(&costs).map(|(x, c)| x * c).sum();
+        prop_assert!((recomputed - sol.objective).abs() < 1e-6);
+        // relaxation bound: LP optimum ≤ greedy integral cover
+        let greedy = greedy_cover_cost(&costs, &rows);
+        prop_assert!(
+            sol.objective <= greedy + 1e-6,
+            "LP {:.4} exceeds integral cover {:.4}",
+            sol.objective,
+            greedy
+        );
+        // non-trivial lower bound: at least the cheapest variable of the
+        // most expensive row's cheapest cover … simpler: optimum ≥
+        // min-cost single variable of any row (each row needs ≥ 1 total
+        // mass over its ≤ 3 variables)
+        let weakest: f64 = rows
+            .iter()
+            .map(|row| {
+                row.iter().map(|&v| costs[v]).fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max);
+        prop_assert!(sol.objective >= weakest - 1e-6 || rows.is_empty());
+    }
+
+    /// Scaling all costs scales the optimum linearly.
+    #[test]
+    fn lp_objective_scales_with_costs((costs, rows) in instances(), k in 1.5f64..4.0) {
+        let a = covering_lp(&costs, &rows).solve().expect_optimal();
+        let scaled: Vec<f64> = costs.iter().map(|c| c * k).collect();
+        let b = covering_lp(&scaled, &rows).solve().expect_optimal();
+        prop_assert!((b.objective - k * a.objective).abs() < 1e-5 * (1.0 + b.objective.abs()));
+    }
+
+    /// Adding a row never decreases the optimum.
+    #[test]
+    fn lp_monotone_in_constraints((costs, rows) in instances()) {
+        if rows.len() < 2 {
+            return Ok(());
+        }
+        let full = covering_lp(&costs, &rows).solve().expect_optimal();
+        let fewer = covering_lp(&costs, &rows[..rows.len() - 1]).solve().expect_optimal();
+        prop_assert!(fewer.objective <= full.objective + 1e-6);
+    }
+}

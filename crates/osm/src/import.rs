@@ -1,0 +1,327 @@
+//! Conversion from parsed OSM documents to routable road networks.
+//!
+//! Mirrors the paper's dataset pipeline (§III-A): drivable ways become
+//! directed edges (one per direction unless one-way), speed limits /
+//! lanes / widths come from tags with per-class defaults, and hospitals
+//! (`amenity=hospital`) are snapped onto the nearest segment through an
+//! artificial node and connector, exactly as the paper describes for
+//! points of interest lying off the road graph.
+
+use crate::model::OsmDocument;
+use std::collections::HashMap;
+use traffic_graph::{
+    EdgeAttrs, NodeId, PoiKind, Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
+    DEFAULT_LANE_WIDTH_M,
+};
+
+/// Mean Earth radius in meters (for the local projection).
+const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// Projects geographic coordinates to a local equirectangular frame
+/// centered at (`lat0`, `lon0`), in meters.
+pub fn project(lat: f64, lon: f64, lat0: f64, lon0: f64) -> Point {
+    let x = (lon - lon0).to_radians() * EARTH_RADIUS_M * lat0.to_radians().cos();
+    let y = (lat - lat0).to_radians() * EARTH_RADIUS_M;
+    Point::new(x, y)
+}
+
+/// Parses an OSM `maxspeed` value into meters/second.
+///
+/// Accepts `"50"` (km/h), `"30 mph"`, `"30mph"`; returns `None` for
+/// anything else (`"signals"`, `"none"`, …).
+pub fn parse_maxspeed(v: &str) -> Option<f64> {
+    let v = v.trim().to_ascii_lowercase();
+    if let Some(num) = v.strip_suffix("mph") {
+        let mph: f64 = num.trim().parse().ok()?;
+        return Some(mph * 0.44704);
+    }
+    let kmh: f64 = v.parse().ok()?;
+    Some(kmh / 3.6)
+}
+
+/// Parses an OSM `width` tag (meters, possibly with a trailing unit).
+pub fn parse_width(v: &str) -> Option<f64> {
+    let v = v.trim().to_ascii_lowercase();
+    let v = v.strip_suffix('m').map(str::trim).unwrap_or(&v);
+    v.parse().ok()
+}
+
+/// Options for [`import_document`].
+#[derive(Debug, Clone)]
+pub struct ImportOptions {
+    /// Name for the resulting network.
+    pub name: String,
+    /// Whether to snap `amenity=hospital` nodes onto the network.
+    pub attach_hospitals: bool,
+}
+
+impl Default for ImportOptions {
+    fn default() -> Self {
+        ImportOptions {
+            name: "osm".to_string(),
+            attach_hospitals: true,
+        }
+    }
+}
+
+/// Builds a [`RoadNetwork`] from a parsed OSM document.
+///
+/// Only ways whose `highway` tag maps to a drivable [`RoadClass`] are
+/// imported. Intermediate way nodes become intersections (simplifying
+/// degree-2 chains is deliberately *not* done: the paper's NetworkX
+/// pipeline keeps them as well, and edge counts in Table I reflect that).
+///
+/// # Examples
+///
+/// ```
+/// use osm::{OsmDocument, import_document, ImportOptions};
+/// let doc = OsmDocument::parse(r#"<osm>
+///   <node id="1" lat="42.0" lon="-71.0"/>
+///   <node id="2" lat="42.001" lon="-71.0"/>
+///   <way id="7"><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way>
+/// </osm>"#).unwrap();
+/// let net = import_document(&doc, &ImportOptions::default());
+/// assert_eq!(net.num_nodes(), 2);
+/// assert_eq!(net.num_edges(), 2); // two-way
+/// ```
+pub fn import_document(doc: &OsmDocument, opts: &ImportOptions) -> RoadNetwork {
+    // Projection origin: mean coordinate.
+    let (mut lat0, mut lon0) = (0.0, 0.0);
+    if !doc.nodes.is_empty() {
+        for n in doc.nodes.values() {
+            lat0 += n.lat;
+            lon0 += n.lon;
+        }
+        lat0 /= doc.nodes.len() as f64;
+        lon0 /= doc.nodes.len() as f64;
+    }
+
+    let mut b = RoadNetworkBuilder::new(opts.name.clone());
+    let mut node_map: HashMap<i64, NodeId> = HashMap::new();
+
+    let ensure_node = |b: &mut RoadNetworkBuilder,
+                           node_map: &mut HashMap<i64, NodeId>,
+                           osm_id: i64|
+     -> Option<NodeId> {
+        if let Some(&id) = node_map.get(&osm_id) {
+            return Some(id);
+        }
+        let n = doc.nodes.get(&osm_id)?;
+        let id = b.add_node(project(n.lat, n.lon, lat0, lon0));
+        node_map.insert(osm_id, id);
+        Some(id)
+    };
+
+    for way in &doc.ways {
+        let Some(class) = way
+            .tags
+            .get("highway")
+            .and_then(|t| RoadClass::from_osm_tag(t))
+        else {
+            continue;
+        };
+        let oneway = match way.tags.get("oneway").map(String::as_str) {
+            Some("yes" | "true" | "1") => Some(false), // forward only
+            Some("-1" | "reverse") => Some(true),      // backward only
+            _ => None,                                 // two-way
+        };
+        let speed = way
+            .tags
+            .get("maxspeed")
+            .and_then(|v| parse_maxspeed(v))
+            .unwrap_or_else(|| class.default_speed_mps());
+        let lanes = way
+            .tags
+            .get("lanes")
+            .and_then(|v| v.trim().parse::<u8>().ok())
+            .unwrap_or_else(|| class.default_lanes());
+        let width = way
+            .tags
+            .get("width")
+            .and_then(|v| parse_width(v))
+            .unwrap_or(f64::from(lanes) * DEFAULT_LANE_WIDTH_M);
+
+        for pair in way.nodes.windows(2) {
+            // Check both endpoints exist before materializing either, so
+            // a way referencing a missing node cannot leave an orphan
+            // degree-0 node behind.
+            if !doc.nodes.contains_key(&pair[0]) || !doc.nodes.contains_key(&pair[1]) {
+                continue; // way references a node outside the extract
+            }
+            let (Some(u), Some(v)) = (
+                ensure_node(&mut b, &mut node_map, pair[0]),
+                ensure_node(&mut b, &mut node_map, pair[1]),
+            ) else {
+                continue;
+            };
+            let len = b.node_point(u).distance(b.node_point(v)).max(1.0);
+            let attrs = EdgeAttrs {
+                length_m: len,
+                speed_limit_mps: speed,
+                lanes,
+                width_m: width,
+                class,
+                artificial: false,
+            };
+            match oneway {
+                None => b.add_two_way(u, v, attrs),
+                Some(false) => b.add_edge(u, v, attrs),
+                Some(true) => b.add_edge(v, u, attrs),
+            }
+        }
+    }
+
+    if opts.attach_hospitals {
+        let mut hospitals: Vec<(&str, Point)> = doc
+            .nodes
+            .values()
+            .filter(|n| n.tags.get("amenity").map(String::as_str) == Some("hospital"))
+            .map(|n| {
+                (
+                    n.tags
+                        .get("name")
+                        .map(String::as_str)
+                        .unwrap_or("unnamed hospital"),
+                    project(n.lat, n.lon, lat0, lon0),
+                )
+            })
+            .collect();
+        hospitals.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, p) in hospitals {
+            b.attach_poi(name, PoiKind::Hospital, p);
+        }
+    }
+
+    b.build()
+}
+
+/// Parses OSM XML and imports it in one step.
+///
+/// # Errors
+///
+/// Returns the parse error when the document is malformed.
+pub fn import_xml(
+    xml: &str,
+    opts: &ImportOptions,
+) -> Result<RoadNetwork, crate::model::OsmError> {
+    Ok(import_document(&OsmDocument::parse(xml)?, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<osm>
+  <node id="1" lat="42.360" lon="-71.060"/>
+  <node id="2" lat="42.361" lon="-71.060"/>
+  <node id="3" lat="42.362" lon="-71.060"/>
+  <node id="4" lat="42.3605" lon="-71.0595">
+    <tag k="amenity" v="hospital"/>
+    <tag k="name" v="General"/>
+  </node>
+  <way id="10">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="primary"/>
+    <tag k="maxspeed" v="30 mph"/>
+    <tag k="lanes" v="3"/>
+  </way>
+  <way id="11">
+    <nd ref="3"/><nd ref="1"/>
+    <tag k="highway" v="residential"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="12">
+    <nd ref="1"/><nd ref="2"/>
+    <tag k="highway" v="footway"/>
+  </way>
+</osm>"#;
+
+    #[test]
+    fn imports_drivable_ways_only() {
+        let doc = OsmDocument::parse(SAMPLE).unwrap();
+        let net = import_document(
+            &doc,
+            &ImportOptions {
+                attach_hospitals: false,
+                ..Default::default()
+            },
+        );
+        // way 10: 2 segments two-way = 4 edges; way 11: 1 one-way = 1;
+        // footway skipped.
+        assert_eq!(net.num_edges(), 5);
+        assert_eq!(net.num_nodes(), 3);
+    }
+
+    #[test]
+    fn maxspeed_and_lanes_applied() {
+        let doc = OsmDocument::parse(SAMPLE).unwrap();
+        let net = import_document(
+            &doc,
+            &ImportOptions {
+                attach_hospitals: false,
+                ..Default::default()
+            },
+        );
+        let primary = net
+            .edges()
+            .find(|&e| net.edge_attrs(e).class == RoadClass::Primary)
+            .unwrap();
+        let a = net.edge_attrs(primary);
+        assert!((a.speed_limit_mps - 30.0 * 0.44704).abs() < 1e-9);
+        assert_eq!(a.lanes, 3);
+    }
+
+    #[test]
+    fn hospital_snapped() {
+        let doc = OsmDocument::parse(SAMPLE).unwrap();
+        let net = import_document(&doc, &ImportOptions::default());
+        assert_eq!(net.pois().len(), 1);
+        assert_eq!(net.pois()[0].name, "General");
+        // artificial connector edges exist
+        assert!(net.edges().any(|e| net.edge_attrs(e).artificial));
+    }
+
+    #[test]
+    fn projection_roundtrip_scale() {
+        // one degree of latitude ≈ 111 km
+        let p = project(43.0, -71.0, 42.0, -71.0);
+        assert!((p.y - 111_194.9).abs() < 100.0, "{p:?}");
+        assert!(p.x.abs() < 1e-6);
+    }
+
+    #[test]
+    fn maxspeed_parsing_variants() {
+        assert!((parse_maxspeed("50").unwrap() - 50.0 / 3.6).abs() < 1e-9);
+        assert!((parse_maxspeed("30 mph").unwrap() - 13.4112).abs() < 1e-9);
+        assert!((parse_maxspeed("30mph").unwrap() - 13.4112).abs() < 1e-9);
+        assert_eq!(parse_maxspeed("signals"), None);
+    }
+
+    #[test]
+    fn width_parsing_variants() {
+        assert_eq!(parse_width("7.5"), Some(7.5));
+        assert_eq!(parse_width("7.5 m"), Some(7.5));
+        assert_eq!(parse_width("wide"), None);
+    }
+
+    #[test]
+    fn missing_node_refs_skipped() {
+        let doc = OsmDocument::parse(
+            r#"<osm>
+  <node id="1" lat="42.0" lon="-71.0"/>
+  <way id="10"><nd ref="1"/><nd ref="999"/><tag k="highway" v="primary"/></way>
+</osm>"#,
+        )
+        .unwrap();
+        let net = import_document(
+            &doc,
+            &ImportOptions {
+                attach_hospitals: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(net.num_edges(), 0);
+        // and no orphan nodes either
+        assert_eq!(net.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! OpenStreetMap import for the `metro-attack` workspace.
+//!
+//! The DSN 2022 paper this workspace reproduces builds its city graphs
+//! from OpenStreetMap extracts. This crate keeps that real-data path
+//! alive in an offline environment: a from-scratch XML pull parser
+//! ([`XmlParser`]), an OSM document model ([`OsmDocument`]), and an
+//! importer ([`import_document`]) that turns drivable ways into a
+//! [`traffic_graph::RoadNetwork`] — including the paper's §III-A
+//! hospital-snapping procedure (artificial node on the nearest segment,
+//! joined by an artificial connector). When no extract is available, the
+//! `citygen` crate generates topological stand-ins instead.
+//!
+//! # Examples
+//!
+//! ```
+//! use osm::{import_xml, ImportOptions};
+//!
+//! let net = import_xml(r#"<osm>
+//!   <node id="1" lat="42.0" lon="-71.0"/>
+//!   <node id="2" lat="42.001" lon="-71.0"/>
+//!   <way id="7"><nd ref="1"/><nd ref="2"/><tag k="highway" v="primary"/></way>
+//! </osm>"#, &ImportOptions::default()).unwrap();
+//! assert_eq!(net.num_nodes(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod import;
+mod model;
+mod xml;
+
+pub use import::{import_document, import_xml, parse_maxspeed, parse_width, project, ImportOptions};
+pub use model::{OsmDocument, OsmError, OsmNode, OsmWay};
+pub use xml::{XmlError, XmlEvent, XmlParser};

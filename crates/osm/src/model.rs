@@ -1,0 +1,322 @@
+//! Parsed OpenStreetMap document model (the subset the import needs).
+
+use crate::xml::{XmlError, XmlEvent, XmlParser};
+use std::collections::HashMap;
+
+/// An OSM node: a point with optional tags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OsmNode {
+    /// OSM node id.
+    pub id: i64,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// `k → v` tags.
+    pub tags: HashMap<String, String>,
+}
+
+/// An OSM way: an ordered node sequence with tags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OsmWay {
+    /// OSM way id.
+    pub id: i64,
+    /// Ordered references into the node set.
+    pub nodes: Vec<i64>,
+    /// `k → v` tags.
+    pub tags: HashMap<String, String>,
+}
+
+/// A parsed OSM document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OsmDocument {
+    /// All nodes by id.
+    pub nodes: HashMap<i64, OsmNode>,
+    /// All ways, in document order.
+    pub ways: Vec<OsmWay>,
+}
+
+/// Parse error for OSM documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsmError {
+    /// Underlying XML was malformed.
+    Xml(XmlError),
+    /// A required attribute was missing or unparsable.
+    BadAttribute {
+        /// Element the attribute belongs to.
+        element: &'static str,
+        /// Attribute name.
+        attr: &'static str,
+    },
+}
+
+impl std::fmt::Display for OsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsmError::Xml(e) => write!(f, "{e}"),
+            OsmError::BadAttribute { element, attr } => {
+                write!(f, "missing or invalid attribute {attr:?} on <{element}>")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OsmError {}
+
+impl From<XmlError> for OsmError {
+    fn from(e: XmlError) -> Self {
+        OsmError::Xml(e)
+    }
+}
+
+fn get_attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+impl OsmDocument {
+    /// Parses an OSM XML document.
+    ///
+    /// Relations and metadata attributes (versions, changesets, users)
+    /// are ignored; only nodes, ways and their tags are retained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsmError`] on malformed XML or missing `id`/`lat`/`lon`
+    /// attributes.
+    pub fn parse(input: &str) -> Result<OsmDocument, OsmError> {
+        let mut parser = XmlParser::new(input);
+        let mut doc = OsmDocument::default();
+
+        // Current open node/way collecting child tags.
+        let mut cur_node: Option<OsmNode> = None;
+        let mut cur_way: Option<OsmWay> = None;
+
+        while let Some(event) = parser.next()? {
+            match event {
+                XmlEvent::Start { name, attrs, .. } => match name.as_str() {
+                    "node" => {
+                        let id = get_attr(&attrs, "id")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or(OsmError::BadAttribute {
+                                element: "node",
+                                attr: "id",
+                            })?;
+                        let lat = get_attr(&attrs, "lat")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or(OsmError::BadAttribute {
+                                element: "node",
+                                attr: "lat",
+                            })?;
+                        let lon = get_attr(&attrs, "lon")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or(OsmError::BadAttribute {
+                                element: "node",
+                                attr: "lon",
+                            })?;
+                        cur_node = Some(OsmNode {
+                            id,
+                            lat,
+                            lon,
+                            tags: HashMap::new(),
+                        });
+                    }
+                    "way" => {
+                        let id = get_attr(&attrs, "id")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or(OsmError::BadAttribute {
+                                element: "way",
+                                attr: "id",
+                            })?;
+                        cur_way = Some(OsmWay {
+                            id,
+                            nodes: Vec::new(),
+                            tags: HashMap::new(),
+                        });
+                    }
+                    "nd" => {
+                        if let Some(way) = cur_way.as_mut() {
+                            let r = get_attr(&attrs, "ref")
+                                .and_then(|v| v.parse().ok())
+                                .ok_or(OsmError::BadAttribute {
+                                    element: "nd",
+                                    attr: "ref",
+                                })?;
+                            way.nodes.push(r);
+                        }
+                    }
+                    "tag" => {
+                        let (Some(k), Some(v)) =
+                            (get_attr(&attrs, "k"), get_attr(&attrs, "v"))
+                        else {
+                            return Err(OsmError::BadAttribute {
+                                element: "tag",
+                                attr: "k/v",
+                            });
+                        };
+                        if let Some(n) = cur_node.as_mut() {
+                            n.tags.insert(k.to_string(), v.to_string());
+                        } else if let Some(w) = cur_way.as_mut() {
+                            w.tags.insert(k.to_string(), v.to_string());
+                        }
+                    }
+                    _ => {}
+                },
+                XmlEvent::End { name } => match name.as_str() {
+                    "node" => {
+                        if let Some(n) = cur_node.take() {
+                            doc.nodes.insert(n.id, n);
+                        }
+                    }
+                    "way" => {
+                        if let Some(w) = cur_way.take() {
+                            doc.ways.push(w);
+                        }
+                    }
+                    _ => {}
+                },
+                XmlEvent::Text(_) => {}
+            }
+        }
+        Ok(doc)
+    }
+}
+
+impl OsmDocument {
+    /// Serializes the document back to OSM XML (nodes sorted by id, then
+    /// ways in document order). Together with [`OsmDocument::parse`]
+    /// this forms a lossless round trip for the retained subset.
+    pub fn to_xml(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('&', "&amp;")
+                .replace('<', "&lt;")
+                .replace('>', "&gt;")
+                .replace('"', "&quot;")
+        }
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<osm version=\"0.6\">\n");
+        let mut node_ids: Vec<&i64> = self.nodes.keys().collect();
+        node_ids.sort_unstable();
+        for id in node_ids {
+            let n = &self.nodes[id];
+            if n.tags.is_empty() {
+                out.push_str(&format!(
+                    "  <node id=\"{}\" lat=\"{}\" lon=\"{}\"/>\n",
+                    n.id, n.lat, n.lon
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  <node id=\"{}\" lat=\"{}\" lon=\"{}\">\n",
+                    n.id, n.lat, n.lon
+                ));
+                let mut keys: Vec<&String> = n.tags.keys().collect();
+                keys.sort_unstable();
+                for k in keys {
+                    out.push_str(&format!(
+                        "    <tag k=\"{}\" v=\"{}\"/>\n",
+                        esc(k),
+                        esc(&n.tags[k])
+                    ));
+                }
+                out.push_str("  </node>\n");
+            }
+        }
+        for w in &self.ways {
+            out.push_str(&format!("  <way id=\"{}\">\n", w.id));
+            for r in &w.nodes {
+                out.push_str(&format!("    <nd ref=\"{r}\"/>\n"));
+            }
+            let mut keys: Vec<&String> = w.tags.keys().collect();
+            keys.sort_unstable();
+            for k in keys {
+                out.push_str(&format!(
+                    "    <tag k=\"{}\" v=\"{}\"/>\n",
+                    esc(k),
+                    esc(&w.tags[k])
+                ));
+            }
+            out.push_str("  </way>\n");
+        }
+        out.push_str("</osm>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <node id="1" lat="42.36" lon="-71.06"/>
+  <node id="2" lat="42.37" lon="-71.05">
+    <tag k="amenity" v="hospital"/>
+    <tag k="name" v="General Hospital"/>
+  </node>
+  <node id="3" lat="42.38" lon="-71.04"/>
+  <way id="10">
+    <nd ref="1"/>
+    <nd ref="3"/>
+    <tag k="highway" v="primary"/>
+    <tag k="lanes" v="3"/>
+    <tag k="maxspeed" v="30 mph"/>
+  </way>
+  <way id="11">
+    <nd ref="3"/>
+    <nd ref="1"/>
+    <tag k="highway" v="residential"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+</osm>"#;
+
+    #[test]
+    fn parses_nodes_and_ways() {
+        let doc = OsmDocument::parse(SAMPLE).unwrap();
+        assert_eq!(doc.nodes.len(), 3);
+        assert_eq!(doc.ways.len(), 2);
+        assert_eq!(doc.ways[0].nodes, vec![1, 3]);
+        assert_eq!(doc.ways[0].tags["highway"], "primary");
+        assert_eq!(doc.ways[1].tags["oneway"], "yes");
+    }
+
+    #[test]
+    fn node_tags_parsed() {
+        let doc = OsmDocument::parse(SAMPLE).unwrap();
+        let h = &doc.nodes[&2];
+        assert_eq!(h.tags["amenity"], "hospital");
+        assert_eq!(h.tags["name"], "General Hospital");
+    }
+
+    #[test]
+    fn missing_attrs_error() {
+        assert!(OsmDocument::parse(r#"<node lat="1" lon="2"/>"#).is_err());
+        assert!(OsmDocument::parse(r#"<node id="x" lat="1" lon="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn empty_doc_ok() {
+        let doc = OsmDocument::parse("<osm></osm>").unwrap();
+        assert!(doc.nodes.is_empty());
+        assert!(doc.ways.is_empty());
+    }
+
+    #[test]
+    fn to_xml_roundtrip() {
+        let doc = OsmDocument::parse(SAMPLE).unwrap();
+        let xml = doc.to_xml();
+        let reparsed = OsmDocument::parse(&xml).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn to_xml_escapes_tag_values() {
+        let doc = OsmDocument::parse(
+            r#"<osm><node id="1" lat="0" lon="0"><tag k="name" v="A &amp; B &lt;x&gt;"/></node></osm>"#,
+        )
+        .unwrap();
+        let xml = doc.to_xml();
+        let reparsed = OsmDocument::parse(&xml).unwrap();
+        assert_eq!(reparsed.nodes[&1].tags["name"], "A & B <x>");
+    }
+}

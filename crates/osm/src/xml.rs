@@ -1,0 +1,386 @@
+//! A minimal XML pull parser, sufficient for OpenStreetMap exports.
+//!
+//! OSM XML is machine-generated and regular: elements, attributes with
+//! quoted values, self-closing tags, comments and an XML declaration.
+//! This parser covers exactly that subset — no namespaces, DTDs, CDATA
+//! or processing instructions — and decodes the five predefined
+//! entities. Implemented from scratch because the approved offline crate
+//! set contains no XML parser (see `DESIGN.md`).
+
+use std::fmt;
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" …>` (or the opening half of a self-closing tag).
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag was self-closing (`<x/>`); a matching
+        /// [`XmlEvent::End`] is still emitted right after.
+        self_closing: bool,
+    },
+    /// `</name>` (also synthesized for self-closing tags).
+    End {
+        /// Element name.
+        name: String,
+    },
+    /// Text content between tags (whitespace-only text is skipped).
+    Text(String),
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Pull parser over an in-memory document.
+#[derive(Debug)]
+pub struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    /// Synthesized end event for a self-closing tag.
+    pending_end: Option<String>,
+}
+
+impl<'a> XmlParser<'a> {
+    /// Creates a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        XmlParser {
+            input: input.as_bytes(),
+            pos: 0,
+            pending_end: None,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, s: &str) -> Result<(), XmlError> {
+        match self.input[self.pos..]
+            .windows(s.len())
+            .position(|w| w == s.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + s.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct (expected {s:?})"))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = self.peek().ok_or_else(|| self.err("eof in attribute"))?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(self.err("attribute value must be quoted"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(decode_entities(&raw));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    /// Next event, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError`] on malformed input.
+    #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+    pub fn next(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(XmlEvent::End { name }));
+        }
+        loop {
+            self.skip_ws();
+            let Some(c) = self.peek() else {
+                return Ok(None);
+            };
+            if c != b'<' {
+                // text node
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text =
+                    String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                return Ok(Some(XmlEvent::Text(decode_entities(trimmed))));
+            }
+            // '<' …
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+                continue;
+            }
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<!") {
+                // DOCTYPE etc. — skip to '>'
+                self.skip_until(">")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let name = self.read_name()?;
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' after end tag"));
+                }
+                self.pos += 1;
+                return Ok(Some(XmlEvent::End { name }));
+            }
+            // start tag
+            self.pos += 1;
+            let name = self.read_name()?;
+            let mut attrs = Vec::new();
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.pos += 1;
+                        return Ok(Some(XmlEvent::Start {
+                            name,
+                            attrs,
+                            self_closing: false,
+                        }));
+                    }
+                    Some(b'/') => {
+                        self.pos += 1;
+                        if self.peek() != Some(b'>') {
+                            return Err(self.err("expected '/>'"));
+                        }
+                        self.pos += 1;
+                        self.pending_end = Some(name.clone());
+                        return Ok(Some(XmlEvent::Start {
+                            name,
+                            attrs,
+                            self_closing: true,
+                        }));
+                    }
+                    Some(_) => {
+                        let key = self.read_name()?;
+                        self.skip_ws();
+                        if self.peek() != Some(b'=') {
+                            return Err(self.err("expected '=' in attribute"));
+                        }
+                        self.pos += 1;
+                        self.skip_ws();
+                        let value = self.read_attr_value()?;
+                        attrs.push((key, value));
+                    }
+                    None => return Err(self.err("eof inside tag")),
+                }
+            }
+        }
+    }
+}
+
+/// Decodes the five predefined XML entities plus decimal/hex character
+/// references.
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        if let Some(end) = rest.find(';') {
+            let ent = &rest[1..end];
+            let decoded = match ent {
+                "amp" => Some('&'),
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    u32::from_str_radix(&ent[2..], 16).ok().and_then(char::from_u32)
+                }
+                _ if ent.starts_with('#') => {
+                    ent[1..].parse::<u32>().ok().and_then(char::from_u32)
+                }
+                _ => None,
+            };
+            match decoded {
+                Some(c) => {
+                    out.push(c);
+                    rest = &rest[end + 1..];
+                }
+                None => {
+                    out.push('&');
+                    rest = &rest[1..];
+                }
+            }
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(doc: &str) -> Vec<XmlEvent> {
+        let mut p = XmlParser::new(doc);
+        let mut out = Vec::new();
+        while let Some(e) = p.next().unwrap() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn parses_simple_element() {
+        let ev = collect(r#"<osm version="0.6"></osm>"#);
+        assert_eq!(ev.len(), 2);
+        match &ev[0] {
+            XmlEvent::Start { name, attrs, .. } => {
+                assert_eq!(name, "osm");
+                assert_eq!(attrs[0], ("version".to_string(), "0.6".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ev[1], XmlEvent::End { name: "osm".into() });
+    }
+
+    #[test]
+    fn self_closing_emits_end() {
+        let ev = collect(r#"<node id="1" lat="42.0" lon="-71.0"/>"#);
+        assert_eq!(ev.len(), 2);
+        assert!(matches!(&ev[0], XmlEvent::Start { self_closing: true, .. }));
+        assert_eq!(ev[1], XmlEvent::End { name: "node".into() });
+    }
+
+    #[test]
+    fn skips_declaration_and_comments() {
+        let ev = collect("<?xml version=\"1.0\"?><!-- hi --><a/>");
+        assert_eq!(ev.len(), 2);
+    }
+
+    #[test]
+    fn nested_elements() {
+        let ev = collect(r#"<way id="2"><nd ref="1"/><tag k="highway" v="primary"/></way>"#);
+        let names: Vec<String> = ev
+            .iter()
+            .filter_map(|e| match e {
+                XmlEvent::Start { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["way", "nd", "tag"]);
+    }
+
+    #[test]
+    fn text_content() {
+        let ev = collect("<a>hello world</a>");
+        assert_eq!(ev[1], XmlEvent::Text("hello world".into()));
+    }
+
+    #[test]
+    fn entity_decoding() {
+        let ev = collect(r#"<tag v="Caf&#233; &amp; Bar &lt;3"/>"#);
+        match &ev[0] {
+            XmlEvent::Start { attrs, .. } => {
+                assert_eq!(attrs[0].1, "Café & Bar <3");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_quoted_attrs() {
+        let ev = collect("<a k='v'/>");
+        match &ev[0] {
+            XmlEvent::Start { attrs, .. } => assert_eq!(attrs[0].1, "v"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_on_malformed() {
+        let mut p = XmlParser::new("<a b=>");
+        assert!(p.next().is_err());
+        let mut p = XmlParser::new("<a b=\"unterminated");
+        assert!(p.next().is_err());
+        let mut p = XmlParser::new("<!-- never closed");
+        assert!(p.next().is_err());
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        let mut p = XmlParser::new("   \n  ");
+        assert_eq!(p.next().unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_entity_passes_through() {
+        assert_eq!(decode_entities("a&nbsp;b"), "a&nbsp;b");
+        assert_eq!(decode_entities("tail&"), "tail&");
+    }
+}

@@ -1,0 +1,84 @@
+//! Robustness: the XML and OSM parsers must never panic — only return
+//! errors — no matter how malformed the input is.
+
+use osm::{import_xml, ImportOptions, OsmDocument, XmlParser};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary byte-soup strings: parser returns events or errors but
+    /// never panics or loops forever.
+    #[test]
+    fn xml_parser_never_panics(input in "[\\x00-\\x7f]{0,256}") {
+        let mut p = XmlParser::new(&input);
+        let mut steps = 0usize;
+        loop {
+            match p.next() {
+                Ok(Some(_)) => {
+                    steps += 1;
+                    prop_assert!(steps < 10_000, "parser made no progress");
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// XML-ish strings biased toward tag syntax.
+    #[test]
+    fn xml_parser_never_panics_tagged(input in "(<[a-z/!?]{0,4}[a-z \"'=&;#x0-9-]{0,24}>?){0,16}") {
+        let mut p = XmlParser::new(&input);
+        for _ in 0..10_000 {
+            match p.next() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// OSM document parser on arbitrary input.
+    #[test]
+    fn osm_parse_never_panics(input in "[\\x20-\\x7f]{0,256}") {
+        let _ = OsmDocument::parse(&input);
+    }
+
+    /// Full import pipeline on OSM-shaped noise: ids, refs and tags with
+    /// random values, including missing/invalid coordinates.
+    #[test]
+    fn import_never_panics(
+        ids in prop::collection::vec(0i64..50, 1..8),
+        lats in prop::collection::vec(-1e6f64..1e6, 1..8),
+        bad_ref in 0i64..100,
+        tag in "[a-z_]{0,12}",
+    ) {
+        let mut xml = String::from("<osm>");
+        for (i, &id) in ids.iter().enumerate() {
+            let lat = lats[i % lats.len()];
+            xml.push_str(&format!(r#"<node id="{id}" lat="{lat}" lon="{}"/>"#, -lat / 2.0));
+        }
+        xml.push_str(&format!(
+            r#"<way id="1"><nd ref="{}"/><nd ref="{bad_ref}"/><tag k="highway" v="{tag}"/></way>"#,
+            ids[0]
+        ));
+        xml.push_str("</osm>");
+        let _ = import_xml(&xml, &ImportOptions::default());
+    }
+}
+
+#[test]
+fn deeply_nested_tags_do_not_recurse() {
+    // the pull parser is iterative; deep nesting must be fine
+    let mut xml = String::new();
+    for _ in 0..10_000 {
+        xml.push_str("<a>");
+    }
+    for _ in 0..10_000 {
+        xml.push_str("</a>");
+    }
+    let mut p = XmlParser::new(&xml);
+    let mut count = 0;
+    while let Ok(Some(_)) = p.next() {
+        count += 1;
+    }
+    assert_eq!(count, 20_000);
+}

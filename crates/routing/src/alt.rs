@@ -1,0 +1,278 @@
+//! ALT (A*, Landmarks, Triangle inequality) acceleration.
+//!
+//! Goldberg & Harrelson's classic road-network speedup: precompute exact
+//! distances to/from a few well-spread *landmarks*; the triangle
+//! inequality then yields an admissible lower bound
+//! `h(v) = max_L max( d(v, L) − d(t, L), d(L, t) − d(L, v) )`
+//! for any query target `t`, usable by A\* without per-target
+//! preprocessing. The attack loops in this workspace mostly use exact
+//! reverse distances (stronger, but per-target); ALT is the right tool
+//! when many *different* targets are queried on one network, e.g. the
+//! experiment harness sampling dozens of (source, hospital) pairs.
+
+use crate::{AStar, Dijkstra, Direction, Path};
+use traffic_graph::{EdgeId, GraphView, NodeId};
+
+/// Precomputed landmark distance tables for one network + weight.
+///
+/// Landmarks are chosen with farthest-point selection, which spreads
+/// them to the network periphery — the placement that makes triangle
+/// bounds tight for long trips.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, GraphView, Point, RoadClass};
+/// use routing::{Landmarks, Dijkstra};
+///
+/// let mut b = RoadNetworkBuilder::new("line");
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(100.0, 0.0));
+/// let n2 = b.add_node(Point::new(200.0, 0.0));
+/// b.add_street(n0, n1, RoadClass::Residential);
+/// b.add_street(n1, n2, RoadClass::Residential);
+/// let net = b.build();
+/// let view = GraphView::new(&net);
+/// let weight = |e| net.edge_attrs(e).length_m;
+///
+/// let lm = Landmarks::build(&view, weight, 2);
+/// let p = lm.shortest_path(&view, weight, n0, n2).unwrap();
+/// assert_eq!(p.total_weight(), 200.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Landmarks {
+    /// Chosen landmark nodes.
+    landmarks: Vec<NodeId>,
+    /// `dist_from[l][v]` = d(L_l → v) on the preprocessing view.
+    dist_from: Vec<Vec<f64>>,
+    /// `dist_to[l][v]` = d(v → L_l) on the preprocessing view.
+    dist_to: Vec<Vec<f64>>,
+}
+
+impl Landmarks {
+    /// Selects `count` landmarks (farthest-point) and computes their
+    /// distance tables with `2·count` Dijkstra sweeps.
+    ///
+    /// Bounds computed from these tables remain admissible on any view
+    /// derived from `view` by *removing* edges (removal only increases
+    /// distances), which is exactly how the attack algorithms mutate
+    /// views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty or `count == 0`.
+    pub fn build<F>(view: &GraphView<'_>, weight: F, count: usize) -> Self
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let net = view.network();
+        let n = net.num_nodes();
+        assert!(n > 0, "empty network");
+        assert!(count > 0, "need at least one landmark");
+
+        let mut dij = Dijkstra::new(n);
+        let mut landmarks: Vec<NodeId> = Vec::with_capacity(count);
+        let mut dist_from: Vec<Vec<f64>> = Vec::with_capacity(count);
+        let mut dist_to: Vec<Vec<f64>> = Vec::with_capacity(count);
+
+        // Farthest-point selection seeded at node 0: next landmark
+        // maximizes the minimum forward distance from current landmarks
+        // (unreachable nodes are skipped as landmark candidates).
+        let mut min_dist = vec![f64::INFINITY; n];
+        let mut current = NodeId::new(0);
+        for _ in 0..count {
+            landmarks.push(current);
+            let from = dij.distances(view, &weight, current, Direction::Forward);
+            let to = dij.distances(view, &weight, current, Direction::Backward);
+            for v in 0..n {
+                let d = from[v];
+                if d.is_finite() {
+                    min_dist[v] = min_dist[v].min(d);
+                }
+            }
+            dist_from.push(from);
+            dist_to.push(to);
+
+            // next: reachable node with maximal min-distance
+            let next = (0..n)
+                .filter(|&v| min_dist[v].is_finite())
+                .max_by(|&a, &b| min_dist[a].total_cmp(&min_dist[b]))
+                .map(NodeId::new)
+                .unwrap_or(current);
+            current = next;
+        }
+
+        Landmarks {
+            landmarks,
+            dist_from,
+            dist_to,
+        }
+    }
+
+    /// The selected landmark nodes.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Admissible lower bound on d(v → t) from the triangle inequality
+    /// over all landmarks. Returns 0 when no landmark gives a usable
+    /// bound.
+    #[inline]
+    pub fn lower_bound(&self, v: NodeId, t: NodeId) -> f64 {
+        let (vi, ti) = (v.index(), t.index());
+        let mut best = 0.0f64;
+        for l in 0..self.landmarks.len() {
+            // d(v→t) ≥ d(v→L) − d(t→L)
+            let a = self.dist_to[l][vi] - self.dist_to[l][ti];
+            // d(v→t) ≥ d(L→t) − d(L→v)
+            let b = self.dist_from[l][ti] - self.dist_from[l][vi];
+            for cand in [a, b] {
+                if cand.is_finite() && cand > best {
+                    best = cand;
+                }
+            }
+        }
+        best
+    }
+
+    /// Point-to-point A\* query guided by the landmark bounds.
+    ///
+    /// Valid on `view`s with at most as many live edges as the
+    /// preprocessing view (edge removals only).
+    pub fn shortest_path<F>(
+        &self,
+        view: &GraphView<'_>,
+        weight: F,
+        source: NodeId,
+        target: NodeId,
+    ) -> Option<Path>
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let mut astar = AStar::new(view.network().num_nodes());
+        astar.shortest_path(view, weight, |v| self.lower_bound(v, target), source, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use traffic_graph::{Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("grid");
+        let mut nodes = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                nodes.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_street(nodes[i], nodes[i + 1], RoadClass::Residential);
+                }
+                if y + 1 < n {
+                    b.add_street(nodes[i], nodes[i + n], RoadClass::Residential);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bounds_are_admissible_and_queries_exact() {
+        let net = grid(7);
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let lm = Landmarks::build(&view, weight, 4);
+        let mut dij = Dijkstra::new(net.num_nodes());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let s = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            let t = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            let exact = dij.shortest_path(&view, weight, s, t);
+            // admissibility
+            if let Some(p) = &exact {
+                assert!(
+                    lm.lower_bound(s, t) <= p.total_weight() + 1e-9,
+                    "bound {} exceeds true {}",
+                    lm.lower_bound(s, t),
+                    p.total_weight()
+                );
+            }
+            // query correctness
+            let alt = lm.shortest_path(&view, weight, s, t);
+            match (exact, alt) {
+                (Some(a), Some(b)) => {
+                    assert!((a.total_weight() - b.total_weight()).abs() < 1e-9)
+                }
+                (None, None) => {}
+                other => panic!("reachability mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_stay_admissible_after_removals() {
+        let net = grid(6);
+        let mut view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let lm = Landmarks::build(&view, weight, 3);
+        // remove some edges — distances grow, bounds must stay valid
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10 {
+            view.remove_edge(traffic_graph::EdgeId::new(
+                rng.gen_range(0..net.num_edges()),
+            ));
+        }
+        let mut dij = Dijkstra::new(net.num_nodes());
+        for _ in 0..20 {
+            let s = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            let t = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            let exact = dij.shortest_path(&view, weight, s, t);
+            let alt = lm.shortest_path(&view, weight, s, t);
+            match (exact, alt) {
+                (Some(a), Some(b)) => {
+                    assert!((a.total_weight() - b.total_weight()).abs() < 1e-9)
+                }
+                (None, None) => {}
+                other => panic!("mismatch after removals: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn landmarks_are_spread_out() {
+        let net = grid(8);
+        let view = GraphView::new(&net);
+        let lm = Landmarks::build(&view, |e| net.edge_attrs(e).length_m, 3);
+        assert_eq!(lm.landmarks().len(), 3);
+        // farthest-point selection should not pick duplicates on a grid
+        let mut uniq: Vec<_> = lm.landmarks().to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn bound_to_self_is_zero() {
+        let net = grid(4);
+        let view = GraphView::new(&net);
+        let lm = Landmarks::build(&view, |e| net.edge_attrs(e).length_m, 2);
+        for v in net.nodes() {
+            assert!(lm.lower_bound(v, v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one landmark")]
+    fn zero_landmarks_panics() {
+        let net = grid(3);
+        let view = GraphView::new(&net);
+        let _ = Landmarks::build(&view, |e| net.edge_attrs(e).length_m, 0);
+    }
+}

@@ -1,0 +1,669 @@
+//! Contraction Hierarchies (Geisberger et al. 2008).
+//!
+//! The heavyweight preprocessing technique for static road networks:
+//! contract nodes in importance order, inserting *shortcuts* that
+//! preserve shortest-path distances, then answer point-to-point queries
+//! with a bidirectional Dijkstra that only ever goes "upward" in the
+//! hierarchy — typically settling a few hundred nodes on city-scale
+//! graphs.
+//!
+//! Scope note: a CH is valid for the exact edge set it was built on.
+//! Attack loops mutate the view per iteration, so the attack algorithms
+//! use plain Dijkstra/A\* instead; the CH serves the *harness* — Table X
+//! threshold sampling, circuity statistics, demand assignment warm
+//! starts — where thousands of queries run on the unmodified network.
+
+use crate::dijkstra::HeapEntry;
+use crate::Path;
+use std::collections::BinaryHeap;
+use traffic_graph::{EdgeId, GraphView, NodeId};
+
+/// One directed edge in the upward/downward search graphs.
+#[derive(Debug, Clone, Copy)]
+struct ChEdge {
+    /// Target node.
+    to: u32,
+    /// Weight (sum of underlying edge weights).
+    weight: f64,
+    /// Provenance: original graph edge or a shortcut over two CH arcs.
+    kind: ChEdgeKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ChEdgeKind {
+    /// A real road segment.
+    Original(EdgeId),
+    /// Shortcut replacing `first` then `second` (indices into `arcs`).
+    Shortcut { first: u32, second: u32 },
+}
+
+/// A built contraction hierarchy for one network + weight function.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, GraphView, Point, RoadClass};
+/// use routing::ContractionHierarchy;
+///
+/// let mut b = RoadNetworkBuilder::new("line");
+/// let n0 = b.add_node(Point::new(0.0, 0.0));
+/// let n1 = b.add_node(Point::new(100.0, 0.0));
+/// let n2 = b.add_node(Point::new(200.0, 0.0));
+/// b.add_street(n0, n1, RoadClass::Residential);
+/// b.add_street(n1, n2, RoadClass::Residential);
+/// let net = b.build();
+/// let view = GraphView::new(&net);
+///
+/// let weight = |e| net.edge_attrs(e).length_m;
+/// let ch = ContractionHierarchy::build(&view, weight);
+/// assert_eq!(ch.distance(n0, n2), Some(200.0));
+/// let p = ch.shortest_path(&view, weight, n0, n2).unwrap();
+/// assert_eq!(p.len(), 2); // unpacked to original segments
+/// ```
+#[derive(Debug)]
+pub struct ContractionHierarchy {
+    /// Node rank (contraction order); higher = more important.
+    rank: Vec<u32>,
+    /// All CH arcs (both directions' pools share this arena).
+    arcs: Vec<ChEdge>,
+    /// Upward adjacency (arcs to higher-ranked nodes), CSR-ish.
+    up_start: Vec<u32>,
+    up_arcs: Vec<u32>,
+    /// Downward-reverse adjacency: for backward search from `t`, arcs
+    /// `v → u` where rank(u) > rank(v) stored at `v` (i.e. upward in the
+    /// reverse graph).
+    down_start: Vec<u32>,
+    down_arcs: Vec<u32>,
+}
+
+/// Working graph during preprocessing: adjacency with removable nodes.
+struct WorkGraph {
+    /// Forward: out[u] = (v, weight, arc provenance)
+    out: Vec<Vec<(u32, f64, ChEdgeKind)>>,
+    /// Backward: inn[v] = (u, weight, provenance)
+    inn: Vec<Vec<(u32, f64, ChEdgeKind)>>,
+    contracted: Vec<bool>,
+}
+
+impl WorkGraph {
+    /// Limited witness Dijkstra: is there a path `u → … → v` avoiding
+    /// `via` with weight ≤ `limit`? Settles at most `max_settled` nodes.
+    fn witness_exists(
+        &self,
+        u: u32,
+        v: u32,
+        via: u32,
+        limit: f64,
+        max_settled: usize,
+    ) -> bool {
+        let mut dist: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(u, 0.0);
+        heap.push(HeapEntry { dist: 0.0, node: u });
+        let mut settled = 0usize;
+        while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+            if d > *dist.get(&node).unwrap_or(&f64::INFINITY) + 1e-12 {
+                continue;
+            }
+            if node == v {
+                return d <= limit + 1e-12;
+            }
+            settled += 1;
+            if settled > max_settled || d > limit {
+                return false;
+            }
+            for &(w, we, _) in &self.out[node as usize] {
+                if w == via || self.contracted[w as usize] {
+                    continue;
+                }
+                let nd = d + we;
+                if nd < *dist.get(&w).unwrap_or(&f64::INFINITY) - 1e-15 {
+                    dist.insert(w, nd);
+                    heap.push(HeapEntry { dist: nd, node: w });
+                }
+            }
+        }
+        false
+    }
+
+    /// Shortcuts needed if `node` were contracted now:
+    /// for each in-neighbor u and out-neighbor v (u ≠ v, both live),
+    /// a shortcut u→v unless a witness path exists.
+    fn required_shortcuts(&self, node: u32) -> Vec<(u32, u32, f64, ChEdgeKind, ChEdgeKind)> {
+        let mut out = Vec::new();
+        for &(u, wu, ku) in &self.inn[node as usize] {
+            if self.contracted[u as usize] {
+                continue;
+            }
+            for &(v, wv, kv) in &self.out[node as usize] {
+                if self.contracted[v as usize] || u == v {
+                    continue;
+                }
+                let through = wu + wv;
+                if !self.witness_exists(u, v, node, through, 50) {
+                    out.push((u, v, through, ku, kv));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ContractionHierarchy {
+    /// Builds the hierarchy with a lazy-update importance queue (edge
+    /// difference + deleted-neighbor count).
+    ///
+    /// Preprocessing is O(n log n · local searches) in practice; on the
+    /// workspace's medium cities it takes a few seconds.
+    pub fn build<F>(view: &GraphView<'_>, weight: F) -> Self
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let net = view.network();
+        let n = net.num_nodes();
+
+        // Working adjacency from the live view.
+        let mut work = WorkGraph {
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            contracted: vec![false; n],
+        };
+        for v in net.nodes() {
+            for e in view.out_edges(v) {
+                let t = net.edge_target(e);
+                let w = weight(e);
+                work.out[v.index()].push((t.index() as u32, w, ChEdgeKind::Original(e)));
+                work.inn[t.index()].push((v.index() as u32, w, ChEdgeKind::Original(e)));
+            }
+        }
+
+        // CH arc arena + per-node upward/downward lists (filled as nodes
+        // contract; an arc u→v is "upward at u" if rank(v) > rank(u)).
+        let mut arcs: Vec<ChEdge> = Vec::new();
+        // (node, arc index) pairs; sorted into CSR at the end.
+        let mut up_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut down_pairs: Vec<(u32, u32)> = Vec::new();
+
+        // Materialize original arcs into the arena once; remember index
+        // per (node, position) lazily — simplest: push arcs as we emit
+        // final upward/downward lists after ordering. Instead we emit
+        // arcs at contraction time (standard approach): when a node is
+        // contracted, all its remaining arcs to live neighbors become
+        // upward arcs of the contracted node.
+        let mut rank = vec![0u32; n];
+        let mut next_rank = 0u32;
+
+        // Importance queue (min-heap by priority), lazy updates.
+        let mut deleted_neighbors = vec![0u32; n];
+        let priority = |work: &WorkGraph, deleted: &[u32], v: u32| -> f64 {
+            let shortcuts = work.required_shortcuts(v).len() as f64;
+            let degree = (work.out[v as usize]
+                .iter()
+                .filter(|&&(t, _, _)| !work.contracted[t as usize])
+                .count()
+                + work.inn[v as usize]
+                    .iter()
+                    .filter(|&&(t, _, _)| !work.contracted[t as usize])
+                    .count()) as f64;
+            shortcuts - degree + 0.7 * f64::from(deleted[v as usize])
+        };
+
+        let mut queue: BinaryHeap<HeapEntry> = (0..n as u32)
+            .map(|v| HeapEntry {
+                dist: priority(&work, &deleted_neighbors, v),
+                node: v,
+            })
+            .collect();
+
+        while let Some(HeapEntry { dist: prio, node: v }) = queue.pop() {
+            if work.contracted[v as usize] {
+                continue;
+            }
+            // Lazy re-evaluation: if priority got stale, re-queue.
+            let fresh = priority(&work, &deleted_neighbors, v);
+            if fresh > prio + 1e-9 {
+                queue.push(HeapEntry { dist: fresh, node: v });
+                continue;
+            }
+
+            // Contract v.
+            let shortcuts = work.required_shortcuts(v);
+            // Emit v's arcs to still-live neighbors as its hierarchy arcs.
+            for &(t, w, kind) in &work.out[v as usize] {
+                if !work.contracted[t as usize] {
+                    let idx = arcs.len() as u32;
+                    arcs.push(ChEdge { to: t, weight: w, kind });
+                    up_pairs.push((v, idx));
+                }
+            }
+            for &(u, w, kind) in &work.inn[v as usize] {
+                if !work.contracted[u as usize] {
+                    let idx = arcs.len() as u32;
+                    arcs.push(ChEdge { to: u, weight: w, kind });
+                    down_pairs.push((v, idx));
+                }
+            }
+
+            work.contracted[v as usize] = true;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+
+            for (u, t, w, ku, kv) in shortcuts {
+                // The shortcut stands for (u→v arc ku) then (v→t arc kv);
+                // store the two halves in the arena for unpacking.
+                let first = arcs.len() as u32;
+                arcs.push(ChEdge {
+                    to: v,
+                    weight: 0.0, // halves only used for unpacking
+                    kind: ku,
+                });
+                let second = arcs.len() as u32;
+                arcs.push(ChEdge {
+                    to: t,
+                    weight: 0.0,
+                    kind: kv,
+                });
+                work.out[u as usize].push((
+                    t,
+                    w,
+                    ChEdgeKind::Shortcut { first, second },
+                ));
+                work.inn[t as usize].push((
+                    u,
+                    w,
+                    ChEdgeKind::Shortcut { first, second },
+                ));
+            }
+            for &(u, _, _) in &work.inn[v as usize] {
+                if !work.contracted[u as usize] {
+                    deleted_neighbors[u as usize] += 1;
+                }
+            }
+            for &(t, _, _) in &work.out[v as usize] {
+                if !work.contracted[t as usize] {
+                    deleted_neighbors[t as usize] += 1;
+                }
+            }
+        }
+
+        // CSR assembly.
+        let csr = |pairs: &mut Vec<(u32, u32)>| {
+            pairs.sort_unstable();
+            let mut start = vec![0u32; n + 1];
+            for &(v, _) in pairs.iter() {
+                start[v as usize + 1] += 1;
+            }
+            for i in 0..n {
+                start[i + 1] += start[i];
+            }
+            let list: Vec<u32> = pairs.iter().map(|&(_, a)| a).collect();
+            (start, list)
+        };
+        let (up_start, up_arcs) = csr(&mut up_pairs);
+        let (down_start, down_arcs) = csr(&mut down_pairs);
+
+        ContractionHierarchy {
+            rank,
+            arcs,
+            up_start,
+            up_arcs,
+            down_start,
+            down_arcs,
+        }
+    }
+
+    /// Contraction rank of a node (0 = contracted first).
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v.index()]
+    }
+
+    /// Number of arcs in the hierarchy (original + shortcut halves).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Shortest-path *distance* from `s` to `t`; `None` if unreachable.
+    pub fn distance(&self, s: NodeId, t: NodeId) -> Option<f64> {
+        self.query(s, t).map(|q| q.dist)
+    }
+
+    /// Bidirectional upward search.
+    fn query(&self, s: NodeId, t: NodeId) -> Option<QueryResult> {
+        use std::collections::HashMap;
+        let (si, ti) = (s.index() as u32, t.index() as u32);
+        if si == ti {
+            let mut fwd = HashMap::new();
+            fwd.insert(si, (0.0, None));
+            return Some(QueryResult {
+                dist: 0.0,
+                meet: si,
+                fwd: fwd.clone(),
+                bwd: fwd,
+            });
+        }
+        // node -> (dist, Some((arc index, predecessor node)))
+        let mut fwd: Parents = HashMap::new();
+        let mut bwd: Parents = HashMap::new();
+        let mut hf = BinaryHeap::new();
+        let mut hb = BinaryHeap::new();
+        fwd.insert(si, (0.0, None));
+        bwd.insert(ti, (0.0, None));
+        hf.push(HeapEntry { dist: 0.0, node: si });
+        hb.push(HeapEntry { dist: 0.0, node: ti });
+        let mut best = f64::INFINITY;
+        let mut meet = u32::MAX;
+
+        loop {
+            let tf = hf.peek().map(|e| e.dist).unwrap_or(f64::INFINITY);
+            let tb = hb.peek().map(|e| e.dist).unwrap_or(f64::INFINITY);
+            if tf.min(tb) >= best || (tf.is_infinite() && tb.is_infinite()) {
+                break;
+            }
+            if tf <= tb {
+                let HeapEntry { dist: d, node: v } = hf.pop().expect("peeked");
+                if d > fwd[&v].0 + 1e-12 {
+                    continue;
+                }
+                if let Some(&(db, _)) = bwd.get(&v) {
+                    if d + db < best {
+                        best = d + db;
+                        meet = v;
+                    }
+                }
+                self.relax(&mut hf, &mut fwd, &self.up_start, &self.up_arcs, d, v);
+            } else {
+                let HeapEntry { dist: d, node: v } = hb.pop().expect("peeked");
+                if d > bwd[&v].0 + 1e-12 {
+                    continue;
+                }
+                if let Some(&(df, _)) = fwd.get(&v) {
+                    if d + df < best {
+                        best = d + df;
+                        meet = v;
+                    }
+                }
+                self.relax(&mut hb, &mut bwd, &self.down_start, &self.down_arcs, d, v);
+            }
+        }
+        (meet != u32::MAX).then_some(QueryResult {
+            dist: best,
+            meet,
+            fwd,
+            bwd,
+        })
+    }
+
+    fn relax(
+        &self,
+        heap: &mut BinaryHeap<HeapEntry>,
+        dist: &mut Parents,
+        start: &[u32],
+        arc_list: &[u32],
+        d: f64,
+        v: u32,
+    ) {
+        let s0 = start[v as usize] as usize;
+        let s1 = start[v as usize + 1] as usize;
+        for &ai in &arc_list[s0..s1] {
+            let arc = self.arcs[ai as usize];
+            let nd = d + arc.weight;
+            let cur = dist.get(&arc.to).map(|&(d, _)| d).unwrap_or(f64::INFINITY);
+            if nd < cur - 1e-15 {
+                dist.insert(arc.to, (nd, Some((ai, v))));
+                heap.push(HeapEntry { dist: nd, node: arc.to });
+            }
+        }
+    }
+
+    /// Recursively unpacks a CH arc into original edge ids, in forward
+    /// travel order.
+    fn unpack_arc(&self, arc_idx: u32, out: &mut Vec<EdgeId>) {
+        match self.arcs[arc_idx as usize].kind {
+            ChEdgeKind::Original(e) => out.push(e),
+            ChEdgeKind::Shortcut { first, second } => {
+                self.unpack_arc(first, out);
+                self.unpack_arc(second, out);
+            }
+        }
+    }
+
+    /// Like [`Self::unpack_arc`] but for arcs of the reverse (downward)
+    /// search, whose underlying travel direction is target-bound.
+    fn unpack_reverse_arc(&self, arc_idx: u32, out: &mut Vec<EdgeId>) {
+        match self.arcs[arc_idx as usize].kind {
+            ChEdgeKind::Original(e) => out.push(e),
+            ChEdgeKind::Shortcut { first, second } => {
+                self.unpack_reverse_arc(first, out);
+                self.unpack_reverse_arc(second, out);
+            }
+        }
+    }
+
+    /// Shortest path from `s` to `t`, unpacked to original road
+    /// segments.
+    ///
+    /// `view`/`weight` must be the ones the hierarchy was built on (the
+    /// path is validated and re-weighted against them).
+    pub fn shortest_path<F>(
+        &self,
+        view: &GraphView<'_>,
+        weight: F,
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<Path>
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        if s == t {
+            return Some(Path::trivial(s));
+        }
+        let q = self.query(s, t)?;
+
+        // Forward side: walk meet → s collecting arcs, then unpack in
+        // reverse (s → meet).
+        let mut fwd_arcs: Vec<u32> = Vec::new();
+        let mut v = q.meet;
+        while let Some(&(_, Some((ai, parent)))) = q.fwd.get(&v) {
+            fwd_arcs.push(ai);
+            v = parent;
+        }
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for &ai in fwd_arcs.iter().rev() {
+            self.unpack_arc(ai, &mut edges);
+        }
+        // Backward side: walk meet → t; each backward arc v→u stands for
+        // travel u-side → v-side, i.e. appending in walk order continues
+        // the journey toward t.
+        let mut v = q.meet;
+        while let Some(&(_, Some((ai, parent)))) = q.bwd.get(&v) {
+            self.unpack_reverse_arc(ai, &mut edges);
+            v = parent;
+        }
+
+        Path::from_edges(view.network(), edges, weight).ok()
+    }
+}
+
+/// Parent map used by the bidirectional query.
+type Parents = std::collections::HashMap<u32, (f64, Option<(u32, u32)>)>;
+
+/// Internal result of the bidirectional upward search.
+struct QueryResult {
+    dist: f64,
+    meet: u32,
+    fwd: Parents,
+    bwd: Parents,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dijkstra;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use traffic_graph::{EdgeAttrs, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    fn grid(n: usize, seed: u64) -> RoadNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = RoadNetworkBuilder::new("grid");
+        let mut nodes = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                nodes.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                let mut jittered = |a: traffic_graph::NodeId, c: traffic_graph::NodeId| {
+                    let len = 100.0 * (1.0 + rng.gen_range(0.0..0.3));
+                    b.add_two_way(a, c, EdgeAttrs::from_class(RoadClass::Residential, len));
+                };
+                if x + 1 < n {
+                    jittered(nodes[i], nodes[i + 1]);
+                }
+                if y + 1 < n {
+                    jittered(nodes[i], nodes[i + n]);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distances_match_dijkstra_on_random_grid() {
+        let net = grid(7, 3);
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let ch = ContractionHierarchy::build(&view, weight);
+        let mut dij = Dijkstra::new(net.num_nodes());
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..60 {
+            let s = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            let t = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            let exact = dij
+                .shortest_path(&view, weight, s, t)
+                .map(|p| p.total_weight());
+            let got = ch.distance(s, t);
+            match (exact, got) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-6, "{s}->{t}: {a} vs {b}")
+                }
+                (None, None) => {}
+                other => panic!("reachability mismatch {s}->{t}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unpacked_paths_are_valid_and_optimal() {
+        let net = grid(6, 9);
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let ch = ContractionHierarchy::build(&view, weight);
+        let mut dij = Dijkstra::new(net.num_nodes());
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let s = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            let t = NodeId::new(rng.gen_range(0..net.num_nodes()));
+            let got = ch.shortest_path(&view, weight, s, t);
+            let exact = dij.shortest_path(&view, weight, s, t);
+            match (got, exact) {
+                (Some(p), Some(q)) => {
+                    assert_eq!(p.source(), s);
+                    assert_eq!(p.target(), t);
+                    assert!(
+                        (p.total_weight() - q.total_weight()).abs() < 1e-6,
+                        "{s}->{t}: {} vs {}",
+                        p.total_weight(),
+                        q.total_weight()
+                    );
+                    // contiguity is enforced by Path::from_edges already
+                }
+                (None, None) => {}
+                other => panic!("mismatch {s}->{t}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_ring_roundtrip() {
+        // directed cycle: CH must respect asymmetry
+        let mut b = RoadNetworkBuilder::new("ring");
+        let nodes: Vec<_> = (0..8)
+            .map(|i| {
+                let a = i as f64 / 8.0 * std::f64::consts::TAU;
+                b.add_node(Point::new(100.0 * a.cos(), 100.0 * a.sin()))
+            })
+            .collect();
+        for i in 0..8 {
+            b.add_edge(
+                nodes[i],
+                nodes[(i + 1) % 8],
+                EdgeAttrs::from_class(RoadClass::Residential, 10.0),
+            );
+        }
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let ch = ContractionHierarchy::build(&view, weight);
+        // forward 3 hops vs backward 5 hops
+        let d = ch.distance(nodes[0], nodes[3]).unwrap();
+        assert!((d - 30.0).abs() < 1e-9);
+        let d = ch.distance(nodes[3], nodes[0]).unwrap();
+        assert!((d - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_and_unreachable() {
+        let mut b = RoadNetworkBuilder::new("pair");
+        let x = b.add_node(Point::new(0.0, 0.0));
+        let y = b.add_node(Point::new(1.0, 0.0));
+        let z = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(x, y, EdgeAttrs::from_class(RoadClass::Residential, 1.0));
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let ch = ContractionHierarchy::build(&view, weight);
+        assert_eq!(ch.distance(x, x), Some(0.0));
+        assert!(ch.shortest_path(&view, weight, x, x).unwrap().is_empty());
+        assert_eq!(ch.distance(x, z), None);
+        assert!(ch.shortest_path(&view, weight, x, z).is_none());
+        assert_eq!(ch.distance(y, x), None);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let net = grid(5, 1);
+        let view = GraphView::new(&net);
+        let ch = ContractionHierarchy::build(&view, |e| net.edge_attrs(e).length_m);
+        let mut ranks: Vec<u32> = net.nodes().map(|v| ch.rank(v)).collect();
+        ranks.sort_unstable();
+        for (i, r) in ranks.iter().enumerate() {
+            assert_eq!(*r as usize, i);
+        }
+    }
+
+    #[test]
+    fn works_on_city_preset() {
+        let city = citygen::CityPreset::Chicago.build(citygen::Scale::Custom(0.02), 4);
+        let view = GraphView::new(&city);
+        let weight = |e: EdgeId| city.edge_attrs(e).travel_time_s();
+        let ch = ContractionHierarchy::build(&view, weight);
+        let mut dij = Dijkstra::new(city.num_nodes());
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let s = NodeId::new(rng.gen_range(0..city.num_nodes()));
+            let t = NodeId::new(rng.gen_range(0..city.num_nodes()));
+            let exact = dij
+                .shortest_path(&view, weight, s, t)
+                .map(|p| p.total_weight());
+            let got = ch.distance(s, t);
+            match (exact, got) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "{a} vs {b}"),
+                (None, None) => {}
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Dijkstra shortest paths with reusable search buffers.
+//!
+//! Attack loops run thousands of shortest-path queries over the same
+//! network with slightly different removal masks, so the searcher keeps
+//! its distance/parent arrays alive between runs and clears them lazily
+//! with generation stamps — a query touches only the nodes it actually
+//! visits.
+
+use crate::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use traffic_graph::{EdgeId, GraphView, NodeId};
+
+/// Min-heap entry (BinaryHeap is a max-heap, so ordering is reversed).
+#[derive(Debug, PartialEq)]
+pub(crate) struct HeapEntry {
+    pub dist: f64,
+    pub node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// Direction of a Dijkstra sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges forward (distances *from* the source).
+    Forward,
+    /// Follow edges backward (distances *to* the source node of the
+    /// sweep, i.e. run on the reverse graph).
+    Backward,
+}
+
+/// Reusable single-source Dijkstra searcher.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, GraphView, Point, RoadClass};
+/// use routing::Dijkstra;
+///
+/// let mut b = RoadNetworkBuilder::new("toy");
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// let d = b.add_node(Point::new(200.0, 0.0));
+/// b.add_street(a, c, RoadClass::Residential);
+/// b.add_street(c, d, RoadClass::Residential);
+/// let net = b.build();
+/// let view = GraphView::new(&net);
+///
+/// let mut dij = Dijkstra::new(net.num_nodes());
+/// let p = dij
+///     .shortest_path(&view, |e| net.edge_attrs(e).length_m, a, d)
+///     .expect("reachable");
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.total_weight(), 200.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dijkstra {
+    dist: Vec<f64>,
+    parent_edge: Vec<u32>,
+    stamp: Vec<u32>,
+    settled: Vec<u32>,
+    generation: u32,
+}
+
+const NO_EDGE: u32 = u32::MAX;
+
+impl Dijkstra {
+    /// Creates a searcher for networks with up to `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Dijkstra {
+            dist: vec![f64::INFINITY; num_nodes],
+            parent_edge: vec![NO_EDGE; num_nodes],
+            stamp: vec![0; num_nodes],
+            settled: vec![0; num_nodes],
+            generation: 0,
+        }
+    }
+
+    /// Grows internal buffers if the network is larger than at
+    /// construction.
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent_edge.resize(n, NO_EDGE);
+            self.stamp.resize(n, 0);
+            self.settled.resize(n, 0);
+        }
+    }
+
+    #[inline]
+    fn fresh(&mut self, n: usize) {
+        self.ensure_capacity(n);
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // wrapped: hard reset
+            self.stamp.fill(0);
+            self.settled.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, v: usize) {
+        if self.stamp[v] != self.generation {
+            self.stamp[v] = self.generation;
+            self.dist[v] = f64::INFINITY;
+            self.parent_edge[v] = NO_EDGE;
+            self.settled[v] = 0;
+        }
+    }
+
+    #[inline]
+    fn is_settled(&self, v: usize) -> bool {
+        self.stamp[v] == self.generation && self.settled[v] == 1
+    }
+
+    /// Distance of `node` after a sweep; `None` if unreached.
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        let v = node.index();
+        (self.stamp.get(v) == Some(&self.generation) && self.dist[v].is_finite())
+            .then(|| self.dist[v])
+    }
+
+    /// Runs a sweep from `source`, settling every reachable node (or
+    /// stopping early once `stop_at` settles).
+    ///
+    /// `weight` must be non-negative for live edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on negative weights.
+    pub fn sweep<F>(
+        &mut self,
+        view: &GraphView<'_>,
+        weight: F,
+        source: NodeId,
+        stop_at: Option<NodeId>,
+        direction: Direction,
+    ) where
+        F: Fn(EdgeId) -> f64,
+    {
+        let n = view.network().num_nodes();
+        self.fresh(n);
+        self.touch(source.index());
+        self.dist[source.index()] = 0.0;
+
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source.index() as u32,
+        });
+
+        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+            let vi = v as usize;
+            if self.is_settled(vi) {
+                continue;
+            }
+            self.settled[vi] = 1;
+            if stop_at == Some(NodeId::new(vi)) {
+                return;
+            }
+            let node = NodeId::new(vi);
+            let relax = |this: &mut Self, heap: &mut BinaryHeap<HeapEntry>, e: EdgeId, w: NodeId| {
+                let we = weight(e);
+                debug_assert!(we >= 0.0, "negative edge weight");
+                let wi = w.index();
+                this.touch(wi);
+                let nd = d + we;
+                if nd < this.dist[wi] {
+                    this.dist[wi] = nd;
+                    this.parent_edge[wi] = e.index() as u32;
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: wi as u32,
+                    });
+                }
+            };
+            match direction {
+                Direction::Forward => {
+                    for (e, w) in view.out_neighbors(node) {
+                        relax(self, &mut heap, e, w);
+                    }
+                }
+                Direction::Backward => {
+                    for (e, w) in view.in_neighbors(node) {
+                        relax(self, &mut heap, e, w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shortest path from `source` to `target`, or `None` if unreachable
+    /// (or `source == target`, which yields a trivial path).
+    pub fn shortest_path<F>(
+        &mut self,
+        view: &GraphView<'_>,
+        weight: F,
+        source: NodeId,
+        target: NodeId,
+    ) -> Option<Path>
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        if source == target {
+            return Some(Path::trivial(source));
+        }
+        self.sweep(view, weight, source, Some(target), Direction::Forward);
+        self.extract_path(view, source, target)
+    }
+
+    /// Reconstructs the path to `target` after a forward sweep.
+    pub fn extract_path(
+        &self,
+        view: &GraphView<'_>,
+        source: NodeId,
+        target: NodeId,
+    ) -> Option<Path> {
+        let net = view.network();
+        let ti = target.index();
+        if self.stamp[ti] != self.generation || !self.dist[ti].is_finite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut v = ti;
+        while v != source.index() {
+            let pe = self.parent_edge[v];
+            if pe == NO_EDGE {
+                return None;
+            }
+            let e = EdgeId::new(pe as usize);
+            edges.push(e);
+            v = net.edge_source(e).index();
+        }
+        edges.reverse();
+        let mut nodes = Vec::with_capacity(edges.len() + 1);
+        nodes.push(source);
+        for &e in &edges {
+            nodes.push(net.edge_target(e));
+        }
+        Some(Path::from_parts(nodes, edges, self.dist[ti]))
+    }
+
+    /// All-reachable distances from `source` (forward).
+    ///
+    /// Returns a dense vector with `f64::INFINITY` for unreached nodes.
+    pub fn distances<F>(
+        &mut self,
+        view: &GraphView<'_>,
+        weight: F,
+        source: NodeId,
+        direction: Direction,
+    ) -> Vec<f64>
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        self.sweep(view, weight, source, None, direction);
+        let n = view.network().num_nodes();
+        (0..n)
+            .map(|v| {
+                if self.stamp[v] == self.generation {
+                    self.dist[v]
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::{EdgeAttrs, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    fn weighted_square() -> RoadNetwork {
+        // a → b → d  (1 + 1 = 2)
+        // a → c → d  (1 + 5 = 6)
+        let mut b = RoadNetworkBuilder::new("square");
+        let na = b.add_node(Point::new(0.0, 0.0));
+        let nb = b.add_node(Point::new(1.0, 1.0));
+        let nc = b.add_node(Point::new(1.0, -1.0));
+        let nd = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(na, nb, EdgeAttrs::from_class(RoadClass::Primary, 1.0));
+        b.add_edge(nb, nd, EdgeAttrs::from_class(RoadClass::Primary, 1.0));
+        b.add_edge(na, nc, EdgeAttrs::from_class(RoadClass::Primary, 1.0));
+        b.add_edge(nc, nd, EdgeAttrs::from_class(RoadClass::Primary, 5.0));
+        b.build()
+    }
+
+    fn len(net: &RoadNetwork) -> impl Fn(EdgeId) -> f64 + '_ {
+        move |e| net.edge_attrs(e).length_m
+    }
+
+    #[test]
+    fn picks_cheaper_route() {
+        let net = weighted_square();
+        let view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        let p = d
+            .shortest_path(&view, len(&net), NodeId::new(0), NodeId::new(3))
+            .unwrap();
+        assert_eq!(p.total_weight(), 2.0);
+        assert_eq!(p.nodes()[1], NodeId::new(1));
+    }
+
+    #[test]
+    fn reroutes_after_removal() {
+        let net = weighted_square();
+        let mut view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        let ab = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        view.remove_edge(ab);
+        let p = d
+            .shortest_path(&view, len(&net), NodeId::new(0), NodeId::new(3))
+            .unwrap();
+        assert_eq!(p.total_weight(), 6.0);
+        assert_eq!(p.nodes()[1], NodeId::new(2));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let net = weighted_square();
+        let mut view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        for e in net.edges() {
+            view.remove_edge(e);
+        }
+        assert!(d
+            .shortest_path(&view, len(&net), NodeId::new(0), NodeId::new(3))
+            .is_none());
+    }
+
+    #[test]
+    fn source_equals_target_is_trivial() {
+        let net = weighted_square();
+        let view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        let p = d
+            .shortest_path(&view, len(&net), NodeId::new(2), NodeId::new(2))
+            .unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn backward_distances_match_forward() {
+        let net = weighted_square();
+        let view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        let fwd = d.distances(&view, len(&net), NodeId::new(0), Direction::Forward);
+        let bwd = d.distances(&view, len(&net), NodeId::new(3), Direction::Backward);
+        // dist(a→d) via forward from a == via backward from d
+        assert_eq!(fwd[3], bwd[0]);
+        assert_eq!(fwd[3], 2.0);
+    }
+
+    #[test]
+    fn searcher_reuse_is_clean() {
+        let net = weighted_square();
+        let view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        for _ in 0..100 {
+            let p = d
+                .shortest_path(&view, len(&net), NodeId::new(0), NodeId::new(3))
+                .unwrap();
+            assert_eq!(p.total_weight(), 2.0);
+        }
+    }
+
+    #[test]
+    fn generation_wraparound_resets() {
+        let net = weighted_square();
+        let view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        d.generation = u32::MAX - 1;
+        for _ in 0..4 {
+            let p = d.shortest_path(&view, len(&net), NodeId::new(0), NodeId::new(3));
+            assert!(p.is_some());
+        }
+    }
+
+    #[test]
+    fn distances_vector_full_sweep() {
+        let net = weighted_square();
+        let view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        let dist = d.distances(&view, len(&net), NodeId::new(0), Direction::Forward);
+        assert_eq!(dist, vec![0.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn grows_for_larger_networks() {
+        let net = weighted_square();
+        let view = GraphView::new(&net);
+        let mut d = Dijkstra::new(1); // deliberately undersized
+        let p = d.shortest_path(&view, len(&net), NodeId::new(0), NodeId::new(3));
+        assert!(p.is_some());
+    }
+}

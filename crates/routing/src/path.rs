@@ -1,0 +1,344 @@
+//! Path representation and utilities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use traffic_graph::{EdgeId, NodeId, RoadNetwork};
+
+/// A simple directed path through a road network.
+///
+/// Stores the edge sequence, the implied node sequence, and the total
+/// weight under the metric it was found with. Paths are immutable once
+/// constructed and always contain at least one node; a single-node path
+/// has no edges and zero weight.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, Point, RoadClass};
+/// use routing::Path;
+///
+/// let mut b = RoadNetworkBuilder::new("toy");
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// b.add_street(a, c, RoadClass::Residential);
+/// let net = b.build();
+///
+/// let e = net.find_edge(a, c).unwrap();
+/// let p = Path::from_edges(&net, vec![e], |e| net.edge_attrs(e).length_m).unwrap();
+/// assert_eq!(p.source(), a);
+/// assert_eq!(p.target(), c);
+/// assert_eq!(p.total_weight(), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+    total: f64,
+}
+
+/// Error returned when an edge sequence does not form a contiguous path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokenPathError {
+    /// Index of the first edge whose source does not match the previous
+    /// edge's target.
+    pub at_edge: usize,
+}
+
+impl fmt::Display for BrokenPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge sequence breaks at edge index {}", self.at_edge)
+    }
+}
+
+impl std::error::Error for BrokenPathError {}
+
+impl Path {
+    /// A path consisting of a single node and no edges.
+    pub fn trivial(node: NodeId) -> Self {
+        Path {
+            nodes: vec![node],
+            edges: Vec::new(),
+            total: 0.0,
+        }
+    }
+
+    /// Builds a path from a contiguous edge sequence, computing the node
+    /// sequence and total weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokenPathError`] if consecutive edges do not share a
+    /// node, or the sequence is empty (use [`Path::trivial`] for
+    /// zero-length paths).
+    pub fn from_edges<F>(
+        net: &RoadNetwork,
+        edges: Vec<EdgeId>,
+        weight: F,
+    ) -> Result<Self, BrokenPathError>
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        if edges.is_empty() {
+            return Err(BrokenPathError { at_edge: 0 });
+        }
+        let mut nodes = Vec::with_capacity(edges.len() + 1);
+        nodes.push(net.edge_source(edges[0]));
+        let mut total = 0.0;
+        for (i, &e) in edges.iter().enumerate() {
+            if net.edge_source(e) != *nodes.last().expect("nonempty") {
+                return Err(BrokenPathError { at_edge: i });
+            }
+            nodes.push(net.edge_target(e));
+            total += weight(e);
+        }
+        Ok(Path {
+            nodes,
+            edges,
+            total,
+        })
+    }
+
+    /// Builds a path from parts already known to be consistent (used by
+    /// the search algorithms, which construct node/edge sequences
+    /// together).
+    pub(crate) fn from_parts(nodes: Vec<NodeId>, edges: Vec<EdgeId>, total: f64) -> Self {
+        debug_assert_eq!(nodes.len(), edges.len() + 1);
+        Path {
+            nodes,
+            edges,
+            total,
+        }
+    }
+
+    /// First node of the path.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the path.
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Node sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Edge sequence.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Total weight under the metric the path was constructed with.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether the path uses `edge`.
+    pub fn contains_edge(&self, edge: EdgeId) -> bool {
+        self.edges.contains(&edge)
+    }
+
+    /// Whether the path visits `node`.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Whether no node repeats (the path is simple).
+    pub fn is_simple(&self) -> bool {
+        let mut seen: Vec<NodeId> = self.nodes.clone();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Recomputes the total under a different metric (e.g. the paper
+    /// reports TIME increases even for LENGTH-weighted attacks).
+    pub fn weight_under<F>(&self, weight: F) -> f64
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        self.edges.iter().map(|&e| weight(e)).sum()
+    }
+
+    /// Prefix of the path covering the first `k` edges (`k + 1` nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.len()`.
+    pub fn prefix(&self, k: usize, weight_of_prefix: f64) -> Path {
+        assert!(k <= self.edges.len());
+        Path {
+            nodes: self.nodes[..=k].to_vec(),
+            edges: self.edges[..k].to_vec(),
+            total: weight_of_prefix,
+        }
+    }
+
+    /// Concatenates `self` with `tail`, which must start at `self`'s
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail.source() != self.target()`.
+    pub fn concat(&self, tail: &Path) -> Path {
+        assert_eq!(
+            self.target(),
+            tail.source(),
+            "concat requires matching endpoints"
+        );
+        let mut nodes = self.nodes.clone();
+        nodes.extend_from_slice(&tail.nodes[1..]);
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(&tail.edges);
+        Path {
+            nodes,
+            edges,
+            total: self.total + tail.total,
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "path[{} → {}, {} edges, w={:.2}]",
+            self.source(),
+            self.target(),
+            self.len(),
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::{Point, RoadClass, RoadNetworkBuilder};
+
+    fn line(n: usize) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("line");
+        let nodes: Vec<_> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64 * 100.0, 0.0)))
+            .collect();
+        for w in nodes.windows(2) {
+            b.add_street(w[0], w[1], RoadClass::Residential);
+        }
+        b.build()
+    }
+
+    fn length(net: &RoadNetwork) -> impl Fn(EdgeId) -> f64 + '_ {
+        move |e| net.edge_attrs(e).length_m
+    }
+
+    #[test]
+    fn from_edges_builds_node_sequence() {
+        let net = line(3);
+        let e0 = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let e1 = net.find_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        let p = Path::from_edges(&net, vec![e0, e1], length(&net)).unwrap();
+        assert_eq!(
+            p.nodes(),
+            &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(p.total_weight(), 200.0);
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn from_edges_rejects_broken_sequence() {
+        let net = line(4);
+        let e0 = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let e2 = net.find_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let err = Path::from_edges(&net, vec![e0, e2], length(&net)).unwrap_err();
+        assert_eq!(err.at_edge, 1);
+    }
+
+    #[test]
+    fn from_edges_rejects_empty() {
+        let net = line(2);
+        assert!(Path::from_edges(&net, vec![], length(&net)).is_err());
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId::new(5));
+        assert_eq!(p.source(), p.target());
+        assert!(p.is_empty());
+        assert_eq!(p.total_weight(), 0.0);
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn concat_joins() {
+        let net = line(3);
+        let e0 = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let e1 = net.find_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        let a = Path::from_edges(&net, vec![e0], length(&net)).unwrap();
+        let b = Path::from_edges(&net, vec![e1], length(&net)).unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_weight(), 200.0);
+        assert_eq!(c.target(), NodeId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matching endpoints")]
+    fn concat_validates_endpoints() {
+        let net = line(4);
+        let e0 = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let e2 = net.find_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let a = Path::from_edges(&net, vec![e0], length(&net)).unwrap();
+        let b = Path::from_edges(&net, vec![e2], length(&net)).unwrap();
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn weight_under_other_metric() {
+        let net = line(3);
+        let e0 = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let p = Path::from_edges(&net, vec![e0], length(&net)).unwrap();
+        let t = p.weight_under(|e| net.edge_attrs(e).travel_time_s());
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn prefix_takes_first_edges() {
+        let net = line(4);
+        let edges: Vec<_> = (0..3)
+            .map(|i| net.find_edge(NodeId::new(i), NodeId::new(i + 1)).unwrap())
+            .collect();
+        let p = Path::from_edges(&net, edges, length(&net)).unwrap();
+        let pre = p.prefix(2, 200.0);
+        assert_eq!(pre.len(), 2);
+        assert_eq!(pre.target(), NodeId::new(2));
+        assert_eq!(pre.total_weight(), 200.0);
+        let zero = p.prefix(0, 0.0);
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn non_simple_path_detected() {
+        // build a loop a→b→a
+        let mut b = RoadNetworkBuilder::new("loop");
+        let na = b.add_node(Point::new(0.0, 0.0));
+        let nb = b.add_node(Point::new(1.0, 0.0));
+        b.add_street(na, nb, RoadClass::Residential);
+        let net = b.build();
+        let ab = net.find_edge(na, nb).unwrap();
+        let ba = net.find_edge(nb, na).unwrap();
+        let p = Path::from_edges(&net, vec![ab, ba], |_| 1.0).unwrap();
+        assert!(!p.is_simple());
+    }
+}

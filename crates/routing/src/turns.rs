@@ -1,0 +1,333 @@
+//! Turn-aware shortest paths.
+//!
+//! Node-based shortest paths treat every intersection movement as free;
+//! real driving (and real attack modeling) cares about turns: U-turns
+//! are usually impossible, left turns across traffic cost time, and
+//! forbidden movements exist. This module runs Dijkstra over *edge
+//! states* — "arrived at node v via edge e" — so a per-movement penalty
+//! function can price or forbid any (incoming, outgoing) pair.
+
+use crate::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use traffic_graph::{EdgeId, GraphView, NodeId, Point};
+
+/// Per-movement cost: extra weight for continuing from `incoming` onto
+/// `outgoing` at their shared node. Return `f64::INFINITY` to forbid the
+/// movement entirely. `incoming == None` at the trip origin.
+pub type TurnPenalty<'a> = dyn Fn(Option<EdgeId>, EdgeId) -> f64 + 'a;
+
+/// A ready-made penalty model: forbids U-turns (immediately traversing
+/// the reverse of the edge just driven) and charges `left_turn_s` for
+/// turns sharper than ~45° to the left, using edge geometry.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, GraphView, Point, RoadClass};
+/// use routing::{standard_turn_model, turn_aware_shortest_path};
+///
+/// let mut b = RoadNetworkBuilder::new("corner");
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// let d = b.add_node(Point::new(100.0, 100.0));
+/// b.add_street(a, c, RoadClass::Residential);
+/// b.add_street(c, d, RoadClass::Residential);
+/// let net = b.build();
+/// let view = GraphView::new(&net);
+/// let penalty = standard_turn_model(&net, 5.0);
+/// let p = turn_aware_shortest_path(
+///     &view, |e| net.edge_attrs(e).travel_time_s(), &penalty, a, d,
+/// ).unwrap();
+/// assert_eq!(p.nodes().len(), 3);
+/// ```
+pub fn standard_turn_model(
+    net: &traffic_graph::RoadNetwork,
+    left_turn_s: f64,
+) -> impl Fn(Option<EdgeId>, EdgeId) -> f64 + '_ {
+    move |incoming, outgoing| {
+        let Some(inc) = incoming else {
+            return 0.0;
+        };
+        let (iu, iv) = net.edge_endpoints(inc);
+        let (ou, ov) = net.edge_endpoints(outgoing);
+        debug_assert_eq!(iv, ou, "edges must be consecutive");
+        // U-turn: going straight back where we came from.
+        if ov == iu {
+            return f64::INFINITY;
+        }
+        // Signed turn angle from the incoming to the outgoing bearing.
+        let bearing = |a: Point, b: Point| (b.y - a.y).atan2(b.x - a.x);
+        let bin = bearing(net.node_point(iu), net.node_point(iv));
+        let bout = bearing(net.node_point(ou), net.node_point(ov));
+        let mut delta = bout - bin;
+        while delta > std::f64::consts::PI {
+            delta -= 2.0 * std::f64::consts::PI;
+        }
+        while delta < -std::f64::consts::PI {
+            delta += 2.0 * std::f64::consts::PI;
+        }
+        // left turns are positive deltas (counter-clockwise, y-north)
+        if delta > std::f64::consts::FRAC_PI_4 {
+            left_turn_s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct State {
+    dist: f64,
+    edge: u32,
+}
+
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// Shortest path under edge weights plus per-movement turn penalties.
+///
+/// Runs Dijkstra on the edge-state graph (one state per directed edge);
+/// complexity O(m·Δ·log m) where Δ is the max out-degree. Returns the
+/// turn-optimal [`Path`] (its `total_weight` includes turn penalties),
+/// or `None` if every route is forbidden.
+pub fn turn_aware_shortest_path<F>(
+    view: &GraphView<'_>,
+    weight: F,
+    penalty: &TurnPenalty<'_>,
+    source: NodeId,
+    target: NodeId,
+) -> Option<Path>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    if source == target {
+        return Some(Path::trivial(source));
+    }
+    let net = view.network();
+    let m = net.num_edges();
+    const NO_EDGE: u32 = u32::MAX;
+
+    // dist/parent per edge-state ("just traversed edge e").
+    let mut dist = vec![f64::INFINITY; m];
+    let mut parent = vec![NO_EDGE; m];
+    let mut heap = BinaryHeap::new();
+
+    for (e, _) in view.out_neighbors(source) {
+        let p0 = penalty(None, e);
+        if !p0.is_finite() {
+            continue;
+        }
+        let d = p0 + weight(e);
+        if d < dist[e.index()] {
+            dist[e.index()] = d;
+            heap.push(State {
+                dist: d,
+                edge: e.index() as u32,
+            });
+        }
+    }
+
+    let mut best_final: Option<EdgeId> = None;
+    let mut best_dist = f64::INFINITY;
+    while let Some(State { dist: d, edge }) = heap.pop() {
+        let e = EdgeId::new(edge as usize);
+        if d > dist[edge as usize] + 1e-12 {
+            continue;
+        }
+        if d >= best_dist {
+            break; // every remaining state is at least as far
+        }
+        let head = net.edge_target(e);
+        if head == target {
+            best_dist = d;
+            best_final = Some(e);
+            continue;
+        }
+        for (f, _) in view.out_neighbors(head) {
+            let p = penalty(Some(e), f);
+            if !p.is_finite() {
+                continue;
+            }
+            let nd = d + p + weight(f);
+            if nd < dist[f.index()] - 1e-15 {
+                dist[f.index()] = nd;
+                parent[f.index()] = edge;
+                heap.push(State {
+                    dist: nd,
+                    edge: f.index() as u32,
+                });
+            }
+        }
+    }
+
+    let last = best_final?;
+    let mut edges = vec![last];
+    let mut cur = last.index();
+    while parent[cur] != NO_EDGE {
+        cur = parent[cur] as usize;
+        edges.push(EdgeId::new(cur));
+    }
+    edges.reverse();
+    // Total includes penalties: use the accumulated state distance.
+    let nodes: Vec<NodeId> = std::iter::once(source)
+        .chain(edges.iter().map(|&e| net.edge_target(e)))
+        .collect();
+    Some(Path::from_parts(nodes, edges, best_dist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dijkstra;
+    use traffic_graph::{EdgeAttrs, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    fn grid3() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("g3");
+        let mut nodes = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                nodes.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..3 {
+            for x in 0..3 {
+                let i = y * 3 + x;
+                if x + 1 < 3 {
+                    b.add_street(nodes[i], nodes[i + 1], RoadClass::Residential);
+                }
+                if y + 1 < 3 {
+                    b.add_street(nodes[i], nodes[i + 3], RoadClass::Residential);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn zero_penalty_matches_plain_dijkstra() {
+        let net = grid3();
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let no_penalty = |_: Option<EdgeId>, _: EdgeId| 0.0;
+        let mut dij = Dijkstra::new(net.num_nodes());
+        for t in 1..9 {
+            let t = NodeId::new(t);
+            let a = turn_aware_shortest_path(&view, weight, &no_penalty, NodeId::new(0), t);
+            let b = dij.shortest_path(&view, weight, NodeId::new(0), t);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert!((x.total_weight() - y.total_weight()).abs() < 1e-9)
+                }
+                (None, None) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn u_turns_forbidden_by_standard_model() {
+        // Dead-end spur: 0 → spur → 0 → … requires a U-turn at the spur
+        // tip, so a trip that would benefit from it must avoid it.
+        let mut b = RoadNetworkBuilder::new("spur");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let tip = b.add_node(Point::new(50.0, 50.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        b.add_street(a, tip, RoadClass::Residential);
+        b.add_street(tip, c, RoadClass::Residential);
+        b.add_street(a, c, RoadClass::Residential);
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let penalty = standard_turn_model(&net, 0.0);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        // a → c direct (100) vs via tip (~141): direct wins anyway; but
+        // force the question: remove the direct edge and go a→tip→c; no
+        // U-turn needed, must still succeed.
+        let mut v2 = GraphView::new(&net);
+        v2.remove_edge(net.find_edge(a, c).unwrap());
+        v2.remove_edge(net.find_edge(c, a).unwrap());
+        let p = turn_aware_shortest_path(&v2, weight, &penalty, a, c).unwrap();
+        assert_eq!(p.nodes(), &[a, tip, c]);
+        let _ = view;
+    }
+
+    #[test]
+    fn left_turn_penalty_changes_route() {
+        // Two routes of equal length from 0 to 8 on the grid: one with a
+        // left turn, one with a right turn (in this geometry, going
+        // east-then-north is a left turn; north-then-east is a right
+        // turn). A left-turn penalty must pick the right-turning route.
+        let net = grid3();
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let penalty = standard_turn_model(&net, 50.0);
+        let p = turn_aware_shortest_path(&view, weight, &penalty, NodeId::new(0), NodeId::new(4))
+            .unwrap();
+        // 0 → 4 is reached via 1 (east, then left/north) or 3 (north,
+        // then right/east). With a 50 m-equivalent left penalty the
+        // north-first route must win.
+        assert_eq!(
+            p.nodes()[1],
+            NodeId::new(3),
+            "expected the right-turn route, got {:?}",
+            p.nodes()
+        );
+        // cost includes no penalty
+        assert!((p.total_weight() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forbidden_everything_returns_none() {
+        let net = grid3();
+        let view = GraphView::new(&net);
+        let block = |_: Option<EdgeId>, _: EdgeId| f64::INFINITY;
+        assert!(
+            turn_aware_shortest_path(&view, |_| 1.0, &block, NodeId::new(0), NodeId::new(8))
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn trivial_source_target() {
+        let net = grid3();
+        let view = GraphView::new(&net);
+        let no_penalty = |_: Option<EdgeId>, _: EdgeId| 0.0;
+        let p =
+            turn_aware_shortest_path(&view, |_| 1.0, &no_penalty, NodeId::new(4), NodeId::new(4))
+                .unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn penalties_added_to_total() {
+        // straight line 0-1-2: no turns → total equals plain weight even
+        // with a huge left penalty.
+        let mut b = RoadNetworkBuilder::new("line");
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let n2 = b.add_node(Point::new(200.0, 0.0));
+        b.add_edge(n0, n1, EdgeAttrs::from_class(RoadClass::Residential, 100.0));
+        b.add_edge(n1, n2, EdgeAttrs::from_class(RoadClass::Residential, 100.0));
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let penalty = standard_turn_model(&net, 1000.0);
+        let p = turn_aware_shortest_path(
+            &view,
+            |e| net.edge_attrs(e).length_m,
+            &penalty,
+            n0,
+            n2,
+        )
+        .unwrap();
+        assert!((p.total_weight() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,468 @@
+//! Yen's k-shortest simple paths (with Lawler's optimization).
+//!
+//! The paper sets the attacker's chosen alternative route `p*` to the
+//! *100th* shortest path between source and destination ("path rank"),
+//! and Table X reports the travel-time gap between the 1st and the
+//! 100th/200th shortest paths. Both need an efficient k-shortest-simple-
+//! paths enumerator on city-scale graphs.
+//!
+//! Two implementation notes that matter at this scale:
+//!
+//! - **Lawler's optimization**: spur paths are only computed from the
+//!   deviation index of the parent path onward, avoiding re-deriving
+//!   candidates that are already in the heap.
+//! - **Reverse-distance A\***: every spur search runs on a view with a
+//!   handful of extra edges removed. Removal only increases distances,
+//!   so exact distances-to-target on the *caller's* view (computed once
+//!   by a backward Dijkstra) stay admissible, and each spur search
+//!   explores a thin corridor instead of the whole city.
+
+use crate::{AStar, Dijkstra, Direction, Path};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use traffic_graph::{EdgeId, GraphView, NodeId};
+
+/// Candidate entry in Yen's B-heap, ordered cheapest-first.
+#[derive(Debug)]
+struct Candidate {
+    path: Path,
+    /// Index at which this candidate deviates from its parent (Lawler).
+    deviation: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap; ties broken by edge count then edge ids
+        // so results are deterministic.
+        other
+            .path
+            .total_weight()
+            .total_cmp(&self.path.total_weight())
+            .then_with(|| other.path.len().cmp(&self.path.len()))
+            .then_with(|| other.path.edges().cmp(self.path.edges()))
+    }
+}
+
+/// Computes up to `k` shortest *simple* paths from `source` to `target`,
+/// cheapest first.
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// distinct simple paths, and an empty vector when `target` is
+/// unreachable. Edges already removed from `view` are respected (and
+/// never enumerated).
+///
+/// `weight` must be non-negative on live edges.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, GraphView, Point, RoadClass};
+/// use routing::k_shortest_paths;
+///
+/// // a 2×2 block: two equally plausible routes around it
+/// let mut b = RoadNetworkBuilder::new("block");
+/// let p00 = b.add_node(Point::new(0.0, 0.0));
+/// let p10 = b.add_node(Point::new(100.0, 0.0));
+/// let p01 = b.add_node(Point::new(0.0, 100.0));
+/// let p11 = b.add_node(Point::new(100.0, 100.0));
+/// b.add_street(p00, p10, RoadClass::Residential);
+/// b.add_street(p00, p01, RoadClass::Residential);
+/// b.add_street(p10, p11, RoadClass::Residential);
+/// b.add_street(p01, p11, RoadClass::Residential);
+/// let net = b.build();
+/// let view = GraphView::new(&net);
+///
+/// let paths = k_shortest_paths(&view, |e| net.edge_attrs(e).length_m, p00, p11, 5);
+/// assert_eq!(paths.len(), 2); // the two ways around the block
+/// assert_eq!(paths[0].total_weight(), 200.0);
+/// ```
+pub fn k_shortest_paths<F>(
+    view: &GraphView<'_>,
+    weight: F,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+) -> Vec<Path>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    k_shortest_paths_with(view, weight, source, target, k, &YenConfig::default())
+}
+
+/// Tuning knobs for [`k_shortest_paths_with`].
+///
+/// The default enables the reverse-distance A\* heuristic for spur
+/// searches; disabling it (plain Dijkstra spurs, the textbook variant)
+/// exists for the workspace's ablation benches.
+#[derive(Debug, Clone)]
+pub struct YenConfig {
+    /// Guide spur searches with exact distances-to-target computed once
+    /// on the caller's view.
+    pub reverse_heuristic: bool,
+}
+
+impl Default for YenConfig {
+    fn default() -> Self {
+        YenConfig {
+            reverse_heuristic: true,
+        }
+    }
+}
+
+/// [`k_shortest_paths`] with explicit [`YenConfig`].
+pub fn k_shortest_paths_with<F>(
+    view: &GraphView<'_>,
+    weight: F,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    config: &YenConfig,
+) -> Vec<Path>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let net = view.network();
+    let n = net.num_nodes();
+
+    let mut dij = Dijkstra::new(n);
+    let Some(first) = dij.shortest_path(view, &weight, source, target) else {
+        return Vec::new();
+    };
+    if source == target {
+        return vec![first];
+    }
+
+    // Admissible heuristic: exact distances to target on the caller's
+    // view (or the trivial zero heuristic, degrading A* to Dijkstra).
+    let rev = if config.reverse_heuristic {
+        dij.distances(view, &weight, target, Direction::Backward)
+    } else {
+        vec![0.0; n]
+    };
+    let mut astar = AStar::new(n);
+
+    // Working view: caller's removals plus temporary spur removals.
+    let mut work = view.clone();
+
+    let mut accepted: Vec<(Path, usize)> = vec![(first, 0)];
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
+    seen.insert(accepted[0].0.edges().to_vec());
+
+    while accepted.len() < k {
+        let (prev, dev_start) = {
+            let last = accepted.last().expect("accepted non-empty");
+            (last.0.clone(), last.1)
+        };
+
+        // Longest common prefix (in edges) of each accepted path with
+        // `prev`, so the per-spur prefix test is O(1).
+        let lcp: Vec<usize> = accepted
+            .iter()
+            .map(|(p, _)| {
+                p.edges()
+                    .iter()
+                    .zip(prev.edges())
+                    .take_while(|(a, b)| a == b)
+                    .count()
+            })
+            .collect();
+
+        // Cumulative prefix weights of `prev`.
+        let mut prefix_w = Vec::with_capacity(prev.len() + 1);
+        prefix_w.push(0.0);
+        for &e in prev.edges() {
+            prefix_w.push(prefix_w.last().unwrap() + weight(e));
+        }
+
+        #[allow(clippy::needless_range_loop)] // i indexes nodes, edges and prefix weights together
+        for i in dev_start..prev.len() {
+            let spur_node = prev.nodes()[i];
+
+            let mut removed: Vec<EdgeId> = Vec::new();
+            // Block the next edge of every accepted path sharing the
+            // first `i` edges with prev.
+            for ((p, _), &l) in accepted.iter().zip(&lcp) {
+                if l >= i && p.len() > i {
+                    let e = p.edges()[i];
+                    if work.remove_edge(e) {
+                        removed.push(e);
+                    }
+                }
+            }
+            // Remove the root-path nodes (all their out-edges) so spur
+            // paths cannot re-enter the prefix and stay simple.
+            for &v in &prev.nodes()[..i] {
+                for e in net.out_edges(v) {
+                    if work.remove_edge(e) {
+                        removed.push(e);
+                    }
+                }
+            }
+
+            if let Some(spur) =
+                astar.shortest_path(&work, &weight, |v| rev[v.index()], spur_node, target)
+            {
+                let mut edges = prev.edges()[..i].to_vec();
+                edges.extend_from_slice(spur.edges());
+                if seen.insert(edges.clone()) {
+                    let mut nodes = prev.nodes()[..=i].to_vec();
+                    nodes.extend_from_slice(&spur.nodes()[1..]);
+                    let total = prefix_w[i] + spur.total_weight();
+                    heap.push(Candidate {
+                        path: Path::from_parts(nodes, edges, total),
+                        deviation: i,
+                    });
+                }
+            }
+
+            for e in removed {
+                work.restore_edge(e);
+            }
+        }
+
+        match heap.pop() {
+            Some(c) => accepted.push((c.path, c.deviation)),
+            None => break,
+        }
+    }
+
+    accepted.into_iter().map(|(p, _)| p).collect()
+}
+
+/// Convenience wrapper returning only the `rank`-th shortest path
+/// (1-based: `rank == 1` is the shortest). The paper's experiments use
+/// `rank == 100` as the attacker's chosen alternative route `p*`.
+///
+/// Returns `None` if fewer than `rank` simple paths exist.
+pub fn kth_shortest_path<F>(
+    view: &GraphView<'_>,
+    weight: F,
+    source: NodeId,
+    target: NodeId,
+    rank: usize,
+) -> Option<Path>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    if rank == 0 {
+        return None;
+    }
+    let mut paths = k_shortest_paths(view, weight, source, target, rank);
+    if paths.len() < rank {
+        return None;
+    }
+    Some(paths.swap_remove(rank - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::{EdgeAttrs, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    fn len(net: &RoadNetwork) -> impl Fn(EdgeId) -> f64 + '_ {
+        move |e| net.edge_attrs(e).length_m
+    }
+
+    /// Classic Yen example graph (directed, from the original paper).
+    fn yen_example() -> (RoadNetwork, Vec<NodeId>) {
+        // c → d → f → h with extra arcs; known 3 shortest paths:
+        // c-e-f-h (5), c-e-g-h (7), c-d-f-h (8)
+        let mut b = RoadNetworkBuilder::new("yen");
+        let c = b.add_node(Point::new(0.0, 0.0));
+        let d = b.add_node(Point::new(1.0, 1.0));
+        let e = b.add_node(Point::new(1.0, -1.0));
+        let f = b.add_node(Point::new(2.0, 1.0));
+        let g = b.add_node(Point::new(2.0, -1.0));
+        let h = b.add_node(Point::new(3.0, 0.0));
+        let mut arc = |from, to, w: f64| {
+            let mut a = EdgeAttrs::from_class(RoadClass::Primary, w);
+            a.length_m = w;
+            b.add_edge(from, to, a);
+        };
+        arc(c, d, 3.0);
+        arc(c, e, 2.0);
+        arc(d, f, 4.0);
+        arc(e, d, 1.0);
+        arc(e, f, 2.0);
+        arc(e, g, 3.0);
+        arc(f, g, 2.0);
+        arc(f, h, 1.0);
+        arc(g, h, 2.0);
+        (b.build(), vec![c, d, e, f, g, h])
+    }
+
+    #[test]
+    fn yen_classic_example() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        let paths = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 3);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].total_weight(), 5.0);
+        assert_eq!(paths[1].total_weight(), 7.0);
+        assert_eq!(paths[2].total_weight(), 8.0);
+    }
+
+    #[test]
+    fn paths_are_sorted_simple_and_distinct() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        let paths = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 10);
+        for w in paths.windows(2) {
+            assert!(w[0].total_weight() <= w[1].total_weight() + 1e-12);
+            assert_ne!(w[0].edges(), w[1].edges());
+        }
+        for p in &paths {
+            assert!(p.is_simple(), "{p}");
+            assert_eq!(p.source(), nodes[0]);
+            assert_eq!(p.target(), nodes[5]);
+        }
+    }
+
+    #[test]
+    fn exhausts_finite_path_count() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        let paths = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 1000);
+        // The graph has a small finite number of simple c→h paths.
+        assert!(paths.len() < 20);
+        assert!(paths.len() >= 3);
+        // Asking for more must not change the set.
+        let again = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 2000);
+        assert_eq!(paths.len(), again.len());
+    }
+
+    #[test]
+    fn grid_path_counts() {
+        // 3×3 grid: simple monotone paths 0→8 include all 6 lattice
+        // paths of length 400; more with detours.
+        let mut b = RoadNetworkBuilder::new("grid3");
+        let mut nodes = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                nodes.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..3 {
+            for x in 0..3 {
+                let i = y * 3 + x;
+                if x + 1 < 3 {
+                    b.add_street(nodes[i], nodes[i + 1], RoadClass::Residential);
+                }
+                if y + 1 < 3 {
+                    b.add_street(nodes[i], nodes[i + 3], RoadClass::Residential);
+                }
+            }
+        }
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let paths = k_shortest_paths(&view, len(&net), nodes[0], nodes[8], 6);
+        assert_eq!(paths.len(), 6);
+        for p in &paths {
+            assert_eq!(p.total_weight(), 400.0, "first six are monotone");
+        }
+    }
+
+    #[test]
+    fn respects_caller_removals() {
+        let (net, nodes) = yen_example();
+        let mut view = GraphView::new(&net);
+        // remove e→f (the spine of the shortest path)
+        let ef = net.find_edge(nodes[2], nodes[3]).unwrap();
+        view.remove_edge(ef);
+        let paths = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 5);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert!(!p.contains_edge(ef));
+        }
+        assert_eq!(paths[0].total_weight(), 7.0); // c-e-g-h
+    }
+
+    #[test]
+    fn unreachable_gives_empty() {
+        let (net, nodes) = yen_example();
+        let mut view = GraphView::new(&net);
+        for e in net.edges() {
+            view.remove_edge(e);
+        }
+        assert!(k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 3).is_empty());
+    }
+
+    #[test]
+    fn k_zero_gives_empty() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        assert!(k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 0).is_empty());
+    }
+
+    #[test]
+    fn kth_shortest_path_rank() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        let p1 = kth_shortest_path(&view, len(&net), nodes[0], nodes[5], 1).unwrap();
+        assert_eq!(p1.total_weight(), 5.0);
+        let p3 = kth_shortest_path(&view, len(&net), nodes[0], nodes[5], 3).unwrap();
+        assert_eq!(p3.total_weight(), 8.0);
+        assert!(kth_shortest_path(&view, len(&net), nodes[0], nodes[5], 9999).is_none());
+        assert!(kth_shortest_path(&view, len(&net), nodes[0], nodes[5], 0).is_none());
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        let paths = k_shortest_paths(&view, len(&net), nodes[0], nodes[0], 5);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].is_empty());
+    }
+
+    #[test]
+    fn heuristic_and_plain_variants_agree() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        let fast = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 8);
+        let plain = k_shortest_paths_with(
+            &view,
+            len(&net),
+            nodes[0],
+            nodes[5],
+            8,
+            &YenConfig {
+                reverse_heuristic: false,
+            },
+        );
+        assert_eq!(fast.len(), plain.len());
+        for (a, b) in fast.iter().zip(&plain) {
+            assert!((a.total_weight() - b.total_weight()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn working_view_restored_between_calls() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        let a = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 4);
+        let b = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.edges(), y.edges());
+        }
+        assert_eq!(view.removed_count(), 0);
+    }
+}

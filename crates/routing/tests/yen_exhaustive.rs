@@ -1,0 +1,91 @@
+//! Ground-truth validation of Yen's algorithm: on small random graphs,
+//! enumerate *every* simple path by DFS and check that `k_shortest_paths`
+//! returns exactly the cheapest k of them.
+
+use proptest::prelude::*;
+use routing::k_shortest_paths;
+use traffic_graph::{EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+fn network_from(n_nodes: usize, arcs: &[(usize, usize, f64)]) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new("tiny");
+    let nodes: Vec<NodeId> = (0..n_nodes)
+        .map(|i| b.add_node(Point::new(i as f64, (i * i % 7) as f64)))
+        .collect();
+    for &(u, v, w) in arcs {
+        let (u, v) = (u % n_nodes, v % n_nodes);
+        if u == v {
+            continue; // skip self loops: not simple-path material
+        }
+        let mut attrs = EdgeAttrs::from_class(RoadClass::Residential, 1.0 + w);
+        attrs.length_m = 1.0 + w;
+        b.add_edge(nodes[u], nodes[v], attrs);
+    }
+    b.build()
+}
+
+/// Enumerates the total weight of every simple s→t path by DFS.
+fn all_simple_path_weights(net: &RoadNetwork, s: NodeId, t: NodeId) -> Vec<f64> {
+    fn dfs(
+        net: &RoadNetwork,
+        v: NodeId,
+        t: NodeId,
+        visited: &mut Vec<bool>,
+        acc: f64,
+        out: &mut Vec<f64>,
+    ) {
+        if v == t {
+            out.push(acc);
+            return;
+        }
+        visited[v.index()] = true;
+        for e in net.out_edges(v) {
+            let w = net.edge_target(e);
+            if !visited[w.index()] {
+                dfs(net, w, t, visited, acc + net.edge_attrs(e).length_m, out);
+            }
+        }
+        visited[v.index()] = false;
+    }
+    let mut out = Vec::new();
+    let mut visited = vec![false; net.num_nodes()];
+    if s == t {
+        return vec![0.0];
+    }
+    dfs(net, s, t, &mut visited, 0.0, &mut out);
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn yen_matches_exhaustive_enumeration(
+        n in 3usize..7,
+        arcs in prop::collection::vec((0usize..7, 0usize..7, 0.0f64..50.0), 3..18),
+        k in 1usize..12,
+    ) {
+        let net = network_from(n, &arcs);
+        let view = GraphView::new(&net);
+        let s = NodeId::new(0);
+        let t = NodeId::new(n - 1);
+        let truth = all_simple_path_weights(&net, s, t);
+        let yen = k_shortest_paths(&view, |e| net.edge_attrs(e).length_m, s, t, k);
+
+        // Yen must return min(k, #paths) paths…
+        prop_assert_eq!(yen.len(), truth.len().min(k),
+            "expected {} paths, got {} (truth has {})", truth.len().min(k), yen.len(), truth.len());
+        // …whose weights equal the cheapest k ground-truth weights.
+        for (i, p) in yen.iter().enumerate() {
+            prop_assert!(
+                (p.total_weight() - truth[i]).abs() < 1e-9,
+                "path {} weight {} vs ground truth {} (all: yen {:?} truth {:?})",
+                i,
+                p.total_weight(),
+                truth[i],
+                yen.iter().map(|p| p.total_weight()).collect::<Vec<_>>(),
+                &truth[..truth.len().min(k)]
+            );
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Road-segment and intersection attributes.
+//!
+//! Every directed edge of a [`crate::RoadNetwork`] carries an
+//! [`EdgeAttrs`] record with the physical properties the DSN 2022 paper
+//! derives its weights and removal costs from: segment length, speed
+//! limit, lane count and carriageway width. The paper's two weight types
+//! (`LENGTH`, `TIME`) and three cost types (`UNIFORM`, `LANES`, `WIDTH`)
+//! are all computed from these fields (the `pathattack` crate owns those
+//! enums; this crate only stores raw attributes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Width of an average car in the USA, in meters.
+///
+/// The paper's `WIDTH` removal-cost model divides road width by the width
+/// of an average American car (citing The Zebra's 2022 study, which puts
+/// the average at just under 1.8 m / 5.8 ft).
+pub const AVERAGE_CAR_WIDTH_M: f64 = 1.77;
+
+/// Default lane width used when deriving carriageway width from lane
+/// count, in meters (US standard lane: 3.7 m / 12 ft).
+pub const DEFAULT_LANE_WIDTH_M: f64 = 3.7;
+
+/// Functional class of a road segment, modeled after the OSM `highway=*`
+/// hierarchy that the paper's datasets use.
+///
+/// The class determines default speed limits, lane counts and widths when
+/// the source data does not specify them explicitly.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum RoadClass {
+    /// Controlled-access freeway (OSM `motorway`).
+    Motorway,
+    /// Major arterial linking freeways and city centers (OSM `trunk`).
+    Trunk,
+    /// Primary arterial (OSM `primary`).
+    Primary,
+    /// Secondary arterial (OSM `secondary`).
+    Secondary,
+    /// Collector road (OSM `tertiary`).
+    Tertiary,
+    /// Ordinary neighborhood street (OSM `residential`).
+    #[default]
+    Residential,
+    /// Service/alley/access road (OSM `service`).
+    Service,
+    /// Synthetic connector inserted when snapping a point of interest onto
+    /// the network (paper §III-A marks these as artificial).
+    Artificial,
+}
+
+impl RoadClass {
+    /// All concrete (non-artificial) classes, from fastest to slowest.
+    pub const DRIVABLE: [RoadClass; 7] = [
+        RoadClass::Motorway,
+        RoadClass::Trunk,
+        RoadClass::Primary,
+        RoadClass::Secondary,
+        RoadClass::Tertiary,
+        RoadClass::Residential,
+        RoadClass::Service,
+    ];
+
+    /// Default speed limit for the class, in meters/second.
+    ///
+    /// Values follow common US urban defaults: 65 mph motorways down to
+    /// 15 mph service roads.
+    pub fn default_speed_mps(self) -> f64 {
+        const MPH: f64 = 0.44704;
+        match self {
+            RoadClass::Motorway => 65.0 * MPH,
+            RoadClass::Trunk => 55.0 * MPH,
+            RoadClass::Primary => 40.0 * MPH,
+            RoadClass::Secondary => 35.0 * MPH,
+            RoadClass::Tertiary => 30.0 * MPH,
+            RoadClass::Residential => 25.0 * MPH,
+            RoadClass::Service => 15.0 * MPH,
+            RoadClass::Artificial => 5.0 * MPH,
+        }
+    }
+
+    /// Default number of lanes per direction for the class.
+    pub fn default_lanes(self) -> u8 {
+        match self {
+            RoadClass::Motorway => 4,
+            RoadClass::Trunk => 3,
+            RoadClass::Primary => 2,
+            RoadClass::Secondary => 2,
+            RoadClass::Tertiary => 1,
+            RoadClass::Residential => 1,
+            RoadClass::Service => 1,
+            RoadClass::Artificial => 1,
+        }
+    }
+
+    /// Default carriageway width for the class, in meters
+    /// (lanes × standard lane width).
+    pub fn default_width_m(self) -> f64 {
+        f64::from(self.default_lanes()) * DEFAULT_LANE_WIDTH_M
+    }
+
+    /// OSM `highway=*` tag value corresponding to this class.
+    pub fn osm_tag(self) -> &'static str {
+        match self {
+            RoadClass::Motorway => "motorway",
+            RoadClass::Trunk => "trunk",
+            RoadClass::Primary => "primary",
+            RoadClass::Secondary => "secondary",
+            RoadClass::Tertiary => "tertiary",
+            RoadClass::Residential => "residential",
+            RoadClass::Service => "service",
+            RoadClass::Artificial => "artificial",
+        }
+    }
+
+    /// Parses an OSM `highway=*` tag value.
+    ///
+    /// Unknown drivable-looking tags (`unclassified`, `*_link`) map to the
+    /// closest class; returns `None` for non-drivable ways (footways,
+    /// cycleways, …).
+    pub fn from_osm_tag(tag: &str) -> Option<RoadClass> {
+        Some(match tag {
+            "motorway" | "motorway_link" => RoadClass::Motorway,
+            "trunk" | "trunk_link" => RoadClass::Trunk,
+            "primary" | "primary_link" => RoadClass::Primary,
+            "secondary" | "secondary_link" => RoadClass::Secondary,
+            "tertiary" | "tertiary_link" => RoadClass::Tertiary,
+            "residential" | "unclassified" | "living_street" => RoadClass::Residential,
+            "service" => RoadClass::Service,
+            "artificial" => RoadClass::Artificial,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RoadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.osm_tag())
+    }
+}
+
+/// Physical attributes of one directed road segment.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{EdgeAttrs, RoadClass};
+/// let e = EdgeAttrs::from_class(RoadClass::Primary, 500.0);
+/// assert_eq!(e.length_m, 500.0);
+/// // 500 m at 40 mph ≈ 28 s
+/// assert!((e.travel_time_s() - 27.96).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeAttrs {
+    /// Length of the segment in meters.
+    pub length_m: f64,
+    /// Posted speed limit in meters/second.
+    pub speed_limit_mps: f64,
+    /// Number of lanes in this direction of travel.
+    pub lanes: u8,
+    /// Carriageway width in meters.
+    pub width_m: f64,
+    /// Functional road class.
+    pub class: RoadClass,
+    /// Whether this segment was synthetically inserted while snapping a
+    /// point of interest onto the network (paper §III-A).
+    pub artificial: bool,
+}
+
+impl EdgeAttrs {
+    /// Creates attributes with class defaults for speed, lanes and width.
+    pub fn from_class(class: RoadClass, length_m: f64) -> Self {
+        EdgeAttrs {
+            length_m,
+            speed_limit_mps: class.default_speed_mps(),
+            lanes: class.default_lanes(),
+            width_m: class.default_width_m(),
+            class,
+            artificial: class == RoadClass::Artificial,
+        }
+    }
+
+    /// Time in seconds to traverse the segment at the speed limit
+    /// (paper Eq. 1: `TIME = roadLength / speedLimit`).
+    ///
+    /// # Panics
+    ///
+    /// Does not panic: a non-positive speed limit yields `f64::INFINITY`.
+    pub fn travel_time_s(&self) -> f64 {
+        if self.speed_limit_mps > 0.0 {
+            self.length_m / self.speed_limit_mps
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The paper's `WIDTH` removal cost: carriageway width divided by the
+    /// width of an average American car (paper Eq. 2).
+    pub fn width_cost(&self) -> f64 {
+        self.width_m / AVERAGE_CAR_WIDTH_M
+    }
+
+    /// Sets the lane count and derives the width from it; returns `self`
+    /// for chaining.
+    pub fn with_lanes(mut self, lanes: u8) -> Self {
+        self.lanes = lanes;
+        self.width_m = f64::from(lanes) * DEFAULT_LANE_WIDTH_M;
+        self
+    }
+
+    /// Overrides the speed limit (m/s); returns `self` for chaining.
+    pub fn with_speed_mps(mut self, speed: f64) -> Self {
+        self.speed_limit_mps = speed;
+        self
+    }
+}
+
+impl Default for EdgeAttrs {
+    fn default() -> Self {
+        EdgeAttrs::from_class(RoadClass::Residential, 100.0)
+    }
+}
+
+/// Kind of a point of interest attached to a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoiKind {
+    /// Hospital (the paper's attack destinations).
+    Hospital,
+    /// Police station.
+    Police,
+    /// Fire station.
+    FireStation,
+    /// Generic/other amenity.
+    Other,
+}
+
+impl fmt::Display for PoiKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PoiKind::Hospital => "hospital",
+            PoiKind::Police => "police",
+            PoiKind::FireStation => "fire_station",
+            PoiKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named point of interest that has been attached to the network via an
+/// artificial node (paper §III-A "Source and Target selection").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Human-readable name (e.g. `"Brigham and Women's Hospital"`).
+    pub name: String,
+    /// Category of the amenity.
+    pub kind: PoiKind,
+    /// The network node the POI is reachable from (an artificial node on
+    /// the nearest road segment, joined by an artificial edge).
+    pub node: crate::NodeId,
+    /// Geographic location of the POI itself.
+    pub point: crate::Point,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_defaults_monotone_speed() {
+        let speeds: Vec<f64> = RoadClass::DRIVABLE
+            .iter()
+            .map(|c| c.default_speed_mps())
+            .collect();
+        for w in speeds.windows(2) {
+            assert!(w[0] >= w[1], "speeds should be non-increasing: {speeds:?}");
+        }
+    }
+
+    #[test]
+    fn travel_time_matches_eq1() {
+        let e = EdgeAttrs {
+            length_m: 200.0,
+            speed_limit_mps: 10.0,
+            ..EdgeAttrs::default()
+        };
+        assert_eq!(e.travel_time_s(), 20.0);
+    }
+
+    #[test]
+    fn travel_time_zero_speed_is_infinite() {
+        let e = EdgeAttrs {
+            speed_limit_mps: 0.0,
+            ..EdgeAttrs::default()
+        };
+        assert!(e.travel_time_s().is_infinite());
+    }
+
+    #[test]
+    fn width_cost_matches_eq2() {
+        let e = EdgeAttrs {
+            width_m: AVERAGE_CAR_WIDTH_M * 3.0,
+            ..EdgeAttrs::default()
+        };
+        assert!((e.width_cost() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_lanes_updates_width() {
+        let e = EdgeAttrs::default().with_lanes(4);
+        assert_eq!(e.lanes, 4);
+        assert!((e.width_m - 4.0 * DEFAULT_LANE_WIDTH_M).abs() < 1e-12);
+    }
+
+    #[test]
+    fn osm_tag_roundtrip() {
+        for class in RoadClass::DRIVABLE {
+            assert_eq!(RoadClass::from_osm_tag(class.osm_tag()), Some(class));
+        }
+        assert_eq!(RoadClass::from_osm_tag("footway"), None);
+        assert_eq!(
+            RoadClass::from_osm_tag("motorway_link"),
+            Some(RoadClass::Motorway)
+        );
+    }
+
+    #[test]
+    fn artificial_class_is_flagged() {
+        let e = EdgeAttrs::from_class(RoadClass::Artificial, 10.0);
+        assert!(e.artificial);
+        let r = EdgeAttrs::from_class(RoadClass::Residential, 10.0);
+        assert!(!r.artificial);
+    }
+}

@@ -1,0 +1,326 @@
+//! Incremental construction of [`RoadNetwork`]s.
+//!
+//! The builder owns a mutable node/edge soup; [`RoadNetworkBuilder::build`]
+//! freezes it into compressed-sparse-row storage. Point-of-interest
+//! snapping (paper §III-A) happens here because it must split edges, which
+//! is cheap before the CSR indices are assigned.
+
+use crate::{
+    project_onto_segment, EdgeAttrs, NodeId, Point, Poi, PoiKind, RoadClass, RoadNetwork,
+};
+
+/// Pending edge inside a [`RoadNetworkBuilder`].
+#[derive(Debug, Clone)]
+struct PendingEdge {
+    from: u32,
+    to: u32,
+    attrs: EdgeAttrs,
+    /// Tombstoned edges are skipped at build time (used by edge splitting).
+    dead: bool,
+}
+
+/// Builder for [`RoadNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, Point, EdgeAttrs, RoadClass};
+/// let mut b = RoadNetworkBuilder::new("toy");
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// b.add_edge(a, c, EdgeAttrs::from_class(RoadClass::Residential, 100.0));
+/// let net = b.build();
+/// assert_eq!(net.num_nodes(), 2);
+/// assert_eq!(net.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoadNetworkBuilder {
+    name: String,
+    points: Vec<Point>,
+    edges: Vec<PendingEdge>,
+    pois: Vec<Poi>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder for a network with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RoadNetworkBuilder {
+            name: name.into(),
+            points: Vec::new(),
+            edges: Vec::new(),
+            pois: Vec::new(),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of live (non-tombstoned) edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().filter(|e| !e.dead).count()
+    }
+
+    /// Adds an intersection at `p` and returns its id.
+    pub fn add_node(&mut self, p: Point) -> NodeId {
+        self.points.push(p);
+        NodeId::new(self.points.len() - 1)
+    }
+
+    /// Position of a node previously added with [`Self::add_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not created by this builder.
+    pub fn node_point(&self, node: NodeId) -> Point {
+        self.points[node.index()]
+    }
+
+    /// Adds a directed road segment `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint was not created by this builder.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, attrs: EdgeAttrs) {
+        assert!(from.index() < self.points.len(), "unknown from-node");
+        assert!(to.index() < self.points.len(), "unknown to-node");
+        self.edges.push(PendingEdge {
+            from: from.index() as u32,
+            to: to.index() as u32,
+            attrs,
+            dead: false,
+        });
+    }
+
+    /// Adds a two-way street: one directed segment per direction, sharing
+    /// the same attributes.
+    pub fn add_two_way(&mut self, a: NodeId, b: NodeId, attrs: EdgeAttrs) {
+        self.add_edge(a, b, attrs.clone());
+        self.add_edge(b, a, attrs);
+    }
+
+    /// Convenience: adds a two-way street whose length is the Euclidean
+    /// distance between the endpoints, with class defaults.
+    pub fn add_street(&mut self, a: NodeId, b: NodeId, class: RoadClass) {
+        let len = self.points[a.index()].distance(self.points[b.index()]);
+        self.add_two_way(a, b, EdgeAttrs::from_class(class, len));
+    }
+
+    /// Attaches a point of interest to the network (paper §III-A).
+    ///
+    /// Finds the closest point on any existing road segment, creates an
+    /// artificial node there (splitting every parallel/antiparallel edge
+    /// between the segment's endpoints so the node is routable from both
+    /// directions), adds a node at the POI location, and joins the two
+    /// with a two-way artificial road segment flagged as artificial.
+    ///
+    /// Returns the id of the POI node, or `None` if the network has no
+    /// edges to snap onto.
+    pub fn attach_poi(&mut self, name: impl Into<String>, kind: PoiKind, p: Point) -> Option<NodeId> {
+        let (best_edge, t, q) = self.nearest_edge(p)?;
+        let (u, v) = (self.edges[best_edge].from, self.edges[best_edge].to);
+
+        // If the projection lands on an endpoint, reuse it instead of
+        // splitting (avoids zero-length segments).
+        let split_node = if t <= 1e-9 {
+            NodeId::new(u as usize)
+        } else if t >= 1.0 - 1e-9 {
+            NodeId::new(v as usize)
+        } else {
+            let m = self.add_node(q);
+            self.split_edges_between(u, v, m, t);
+            m
+        };
+
+        let poi_node = self.add_node(p);
+        let dist = q.distance(p).max(1.0);
+        let attrs = EdgeAttrs::from_class(RoadClass::Artificial, dist);
+        self.add_two_way(split_node, poi_node, attrs);
+
+        self.pois.push(Poi {
+            name: name.into(),
+            kind,
+            node: poi_node,
+            point: p,
+        });
+        Some(poi_node)
+    }
+
+    /// Finds the live edge whose segment is closest to `p`.
+    ///
+    /// Returns `(edge_index, t, closest_point)`; `t` is the normalized
+    /// position along the edge's `from → to` direction.
+    fn nearest_edge(&self, p: Point) -> Option<(usize, f64, Point)> {
+        let mut best: Option<(usize, f64, Point, f64)> = None;
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.dead || e.attrs.artificial {
+                continue;
+            }
+            let a = self.points[e.from as usize];
+            let b = self.points[e.to as usize];
+            let (t, q) = project_onto_segment(p, a, b);
+            let d = q.distance_sq(p);
+            if best.is_none_or(|(_, _, _, bd)| d < bd) {
+                best = Some((i, t, q, d));
+            }
+        }
+        best.map(|(i, t, q, _)| (i, t, q))
+    }
+
+    /// Splits every live edge running between nodes `u` and `v` (either
+    /// direction) at the new node `m`, located at fraction `t` of the
+    /// `u → v` direction. Original edges are tombstoned.
+    fn split_edges_between(&mut self, u: u32, v: u32, m: NodeId, t: f64) {
+        let m_idx = m.index() as u32;
+        let n = self.edges.len();
+        for i in 0..n {
+            let e = &self.edges[i];
+            if e.dead {
+                continue;
+            }
+            let (frac_first, from, to) = if e.from == u && e.to == v {
+                (t, u, v)
+            } else if e.from == v && e.to == u {
+                (1.0 - t, v, u)
+            } else {
+                continue;
+            };
+            let attrs = self.edges[i].attrs.clone();
+            self.edges[i].dead = true;
+            let mut first = attrs.clone();
+            first.length_m = attrs.length_m * frac_first;
+            let mut second = attrs.clone();
+            second.length_m = attrs.length_m * (1.0 - frac_first);
+            self.edges.push(PendingEdge {
+                from,
+                to: m_idx,
+                attrs: first,
+                dead: false,
+            });
+            self.edges.push(PendingEdge {
+                from: m_idx,
+                to,
+                attrs: second,
+                dead: false,
+            });
+        }
+    }
+
+    /// Freezes the builder into CSR storage.
+    pub fn build(self) -> RoadNetwork {
+        let live: Vec<&PendingEdge> = self.edges.iter().filter(|e| !e.dead).collect();
+        let mut edge_from = Vec::with_capacity(live.len());
+        let mut edge_to = Vec::with_capacity(live.len());
+        let mut attrs = Vec::with_capacity(live.len());
+        for e in &live {
+            edge_from.push(e.from);
+            edge_to.push(e.to);
+            attrs.push(e.attrs.clone());
+        }
+        RoadNetwork::from_raw(self.name, self.points, edge_from, edge_to, attrs, self.pois)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> RoadNetworkBuilder {
+        let mut b = RoadNetworkBuilder::new("toy");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        let d = b.add_node(Point::new(100.0, 100.0));
+        b.add_street(a, c, RoadClass::Residential);
+        b.add_street(c, d, RoadClass::Primary);
+        b
+    }
+
+    #[test]
+    fn counts_track_insertions() {
+        let b = toy();
+        assert_eq!(b.num_nodes(), 3);
+        assert_eq!(b.num_edges(), 4); // two two-way streets
+    }
+
+    #[test]
+    fn build_preserves_counts() {
+        let net = toy().build();
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 4);
+    }
+
+    #[test]
+    fn street_length_is_euclidean() {
+        let net = toy().build();
+        let lengths: Vec<f64> = (0..net.num_edges())
+            .map(|i| net.edge_attrs(crate::EdgeId::new(i)).length_m)
+            .collect();
+        assert!(lengths.iter().filter(|&&l| (l - 100.0).abs() < 1e-9).count() == 4);
+    }
+
+    #[test]
+    fn attach_poi_splits_edge() {
+        let mut b = toy();
+        // POI below the middle of the a–c street.
+        let poi = b.attach_poi("General Hospital", PoiKind::Hospital, Point::new(50.0, -30.0));
+        assert!(poi.is_some());
+        let net = b.build();
+        // 3 original nodes + split node + poi node
+        assert_eq!(net.num_nodes(), 5);
+        // a–c split into 4 directed halves, c–d unchanged (2),
+        // plus 2 artificial edges
+        assert_eq!(net.num_edges(), 8);
+        assert_eq!(net.pois().len(), 1);
+        let poi = &net.pois()[0];
+        assert_eq!(poi.kind, PoiKind::Hospital);
+        // artificial edges exist and are flagged
+        let artificial = (0..net.num_edges())
+            .filter(|&i| net.edge_attrs(crate::EdgeId::new(i)).artificial)
+            .count();
+        assert_eq!(artificial, 2);
+    }
+
+    #[test]
+    fn attach_poi_at_endpoint_reuses_node() {
+        let mut b = toy();
+        // POI right next to node a: projection t == 0, no split.
+        b.attach_poi("Clinic", PoiKind::Hospital, Point::new(-10.0, 0.0));
+        let net = b.build();
+        // only the POI node is added
+        assert_eq!(net.num_nodes(), 4);
+        // 4 original directed edges + 2 artificial
+        assert_eq!(net.num_edges(), 6);
+    }
+
+    #[test]
+    fn attach_poi_empty_network_returns_none() {
+        let mut b = RoadNetworkBuilder::new("empty");
+        assert!(b
+            .attach_poi("x", PoiKind::Other, Point::new(0.0, 0.0))
+            .is_none());
+    }
+
+    #[test]
+    fn split_preserves_total_length() {
+        let mut b = toy();
+        b.attach_poi("H", PoiKind::Hospital, Point::new(30.0, -5.0));
+        let net = b.build();
+        // Sum of non-artificial lengths must equal the original 400 m
+        // (two 100 m two-way streets).
+        let total: f64 = (0..net.num_edges())
+            .map(crate::EdgeId::new)
+            .filter(|&e| !net.edge_attrs(e).artificial)
+            .map(|e| net.edge_attrs(e).length_m)
+            .sum();
+        assert!((total - 400.0).abs() < 1e-9, "total was {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn add_edge_validates_nodes() {
+        let mut b = RoadNetworkBuilder::new("bad");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        b.add_edge(a, NodeId::new(99), EdgeAttrs::default());
+    }
+}

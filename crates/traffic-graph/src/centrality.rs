@@ -1,0 +1,550 @@
+//! Centrality measures used for attacker-side topological analysis.
+//!
+//! The paper (§II-A) notes an attacker can find critical roads via *edge
+//! betweenness centrality*, and the `GreedyEig` attack ranks candidate
+//! edges by an eigenvector-centrality score. Both are implemented here:
+//! Brandes' algorithm (weighted, directed, optionally source-sampled for
+//! large networks) and power iteration on the symmetrized adjacency
+//! matrix.
+
+use crate::{EdgeId, GraphView, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry ordered by smallest distance first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want min-dist first
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// Weighted edge betweenness centrality (Brandes 2001, directed variant).
+///
+/// `weight(e)` must return a non-negative finite weight for every live
+/// edge. When `sources` is `Some`, betweenness is estimated from that
+/// subset of source nodes and scaled by `n / |sources|`, the standard
+/// sampling estimator — exact computation on a 50 k-node city is
+/// O(n·m·log n) and rarely needed by the attacker.
+///
+/// Returns one centrality value per edge id (removed edges get 0).
+///
+/// # Panics
+///
+/// Panics if `weight` returns a negative value for a live edge.
+pub fn edge_betweenness<F>(
+    view: &GraphView<'_>,
+    weight: F,
+    sources: Option<&[NodeId]>,
+) -> Vec<f64>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    let net = view.network();
+    let n = net.num_nodes();
+    let m = net.num_edges();
+    let mut centrality = vec![0.0f64; m];
+    if n == 0 {
+        return centrality;
+    }
+
+    let all_sources: Vec<NodeId>;
+    let source_list: &[NodeId] = match sources {
+        Some(s) => s,
+        None => {
+            all_sources = net.nodes().collect();
+            &all_sources
+        }
+    };
+    if source_list.is_empty() {
+        return centrality;
+    }
+    let scale = n as f64 / source_list.len() as f64;
+
+    // Per-source state, reused across sources.
+    let mut dist = vec![f64::INFINITY; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    // Predecessor edges on shortest paths into each node.
+    let mut preds: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    let mut settled_order: Vec<u32> = Vec::with_capacity(n);
+
+    for &s in source_list {
+        dist.fill(f64::INFINITY);
+        sigma.fill(0.0);
+        delta.fill(0.0);
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        settled_order.clear();
+
+        dist[s.index()] = 0.0;
+        sigma[s.index()] = 1.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: s.index() as u32,
+        });
+        let mut settled = vec![false; n];
+
+        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+            let vi = v as usize;
+            if settled[vi] {
+                continue;
+            }
+            settled[vi] = true;
+            settled_order.push(v);
+
+            for (e, w) in view.out_neighbors(NodeId::new(vi)) {
+                let we = weight(e);
+                assert!(we >= 0.0, "negative edge weight in betweenness");
+                let nd = d + we;
+                let wi = w.index();
+                // Relative tie tolerance: absolute 1e-12 is below f64 ULP
+                // at city-scale distances (1e4-1e5 m), which would make
+                // genuinely equal-length paths miss the tie branch.
+                let tie = 1e-9 * nd.abs().max(1.0);
+                if nd < dist[wi] - tie {
+                    dist[wi] = nd;
+                    sigma[wi] = sigma[vi];
+                    preds[wi].clear();
+                    preds[wi].push(e);
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: wi as u32,
+                    });
+                } else if (nd - dist[wi]).abs() <= tie && !settled[wi] {
+                    sigma[wi] += sigma[vi];
+                    preds[wi].push(e);
+                }
+            }
+        }
+
+        // Accumulate dependencies in reverse settle order.
+        for &v in settled_order.iter().rev() {
+            let vi = v as usize;
+            for &e in &preds[vi] {
+                let u = net.edge_source(e).index();
+                if sigma[vi] > 0.0 {
+                    let c = sigma[u] / sigma[vi] * (1.0 + delta[vi]);
+                    centrality[e.index()] += c * scale;
+                    delta[u] += c;
+                }
+            }
+        }
+    }
+    centrality
+}
+
+/// Eigenvector centrality of nodes via power iteration on the
+/// symmetrized adjacency matrix (an edge in either direction links its
+/// endpoints), as used by the paper's `GreedyEig` baseline.
+///
+/// Returns the (L2-normalized, non-negative) principal eigenvector, one
+/// entry per node. Converges when successive iterates differ by less than
+/// `tol` in L2 norm or after `max_iter` iterations.
+pub fn eigenvector_centrality(view: &GraphView<'_>, max_iter: usize, tol: f64) -> Vec<f64> {
+    let net = view.network();
+    let n = net.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut next = vec![0.0f64; n];
+
+    for _ in 0..max_iter {
+        next.fill(0.0);
+        for v in net.nodes() {
+            let xv = x[v.index()];
+            if xv == 0.0 {
+                continue;
+            }
+            // Identity shift keeps power iteration convergent on
+            // bipartite (sub)graphs, where the spectrum is symmetric.
+            next[v.index()] += xv;
+            for (_, w) in view.out_neighbors(v) {
+                // symmetrize: contribute both directions
+                next[w.index()] += xv;
+            }
+            for (_, u) in view.in_neighbors(v) {
+                next[u.index()] += xv;
+            }
+        }
+        let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            // graph has no edges; centrality is uniform
+            return vec![1.0 / (n as f64).sqrt(); n];
+        }
+        for v in next.iter_mut() {
+            *v /= norm;
+        }
+        let diff = x
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        std::mem::swap(&mut x, &mut next);
+        if diff < tol {
+            break;
+        }
+    }
+    x
+}
+
+/// Edge eigenscore: the product of the eigenvector-centrality values of
+/// the edge's endpoints. `GreedyEig` cuts the candidate edge with the
+/// highest eigenscore-to-cost ratio.
+pub fn edge_eigenscore(view: &GraphView<'_>, node_centrality: &[f64], edge: EdgeId) -> f64 {
+    let net = view.network();
+    let (u, v) = net.edge_endpoints(edge);
+    node_centrality[u.index()] * node_centrality[v.index()]
+}
+
+/// Node betweenness centrality (Brandes): the fraction-weighted count of
+/// shortest paths passing *through* each node, endpoints excluded.
+/// `sources` enables the same sampling estimator as
+/// [`edge_betweenness`].
+pub fn node_betweenness<F>(view: &GraphView<'_>, weight: F, sources: Option<&[NodeId]>) -> Vec<f64>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    let net = view.network();
+    let n = net.num_nodes();
+    let all_sources: Vec<NodeId>;
+    let source_list: &[NodeId] = match sources {
+        Some(s) => s,
+        None => {
+            all_sources = net.nodes().collect();
+            &all_sources
+        }
+    };
+    let mut centrality = vec![0.0f64; n];
+    if source_list.is_empty() || n == 0 {
+        return centrality;
+    }
+    let scale = n as f64 / source_list.len() as f64;
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+
+    for &s in source_list {
+        dist.fill(f64::INFINITY);
+        sigma.fill(0.0);
+        delta.fill(0.0);
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        order.clear();
+        dist[s.index()] = 0.0;
+        sigma[s.index()] = 1.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: s.index() as u32,
+        });
+        let mut settled = vec![false; n];
+        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+            let vi = v as usize;
+            if settled[vi] {
+                continue;
+            }
+            settled[vi] = true;
+            order.push(v);
+            for (e, w) in view.out_neighbors(NodeId::new(vi)) {
+                let nd = d + weight(e);
+                let wi = w.index();
+                let tie = 1e-9 * nd.abs().max(1.0);
+                if nd < dist[wi] - tie {
+                    dist[wi] = nd;
+                    sigma[wi] = sigma[vi];
+                    preds[wi].clear();
+                    preds[wi].push(vi);
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: wi as u32,
+                    });
+                } else if (nd - dist[wi]).abs() <= tie && !settled[wi] {
+                    sigma[wi] += sigma[vi];
+                    preds[wi].push(vi);
+                }
+            }
+        }
+        for &v in order.iter().rev() {
+            let vi = v as usize;
+            for &u in &preds[vi] {
+                if sigma[vi] > 0.0 {
+                    delta[u] += sigma[u] / sigma[vi] * (1.0 + delta[vi]);
+                }
+            }
+            if vi != s.index() {
+                centrality[vi] += delta[vi] * scale;
+            }
+        }
+    }
+    centrality
+}
+
+/// Closeness centrality: `(reachable − 1) / Σ distances` per node
+/// (Wasserman–Faust normalization for disconnected graphs), under the
+/// given weight. Unreachable-everything nodes get 0.
+pub fn closeness_centrality<F>(view: &GraphView<'_>, weight: F) -> Vec<f64>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    let net = view.network();
+    let n = net.num_nodes();
+    let mut out = vec![0.0f64; n];
+    let mut dist = vec![f64::INFINITY; n];
+    for s in net.nodes() {
+        dist.fill(f64::INFINITY);
+        dist[s.index()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: s.index() as u32,
+        });
+        let mut settled = vec![false; n];
+        let mut total = 0.0;
+        let mut reached = 0usize;
+        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+            let vi = v as usize;
+            if settled[vi] {
+                continue;
+            }
+            settled[vi] = true;
+            total += d;
+            reached += 1;
+            for (e, w) in view.out_neighbors(NodeId::new(vi)) {
+                let nd = d + weight(e);
+                if nd < dist[w.index()] - 1e-12 {
+                    dist[w.index()] = nd;
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: w.index() as u32,
+                    });
+                }
+            }
+        }
+        if reached > 1 && total > 0.0 {
+            let r = (reached - 1) as f64;
+            out[s.index()] = r / total * (r / (n as f64 - 1.0).max(1.0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeAttrs, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    fn attrs(len: f64) -> EdgeAttrs {
+        EdgeAttrs::from_class(RoadClass::Residential, len)
+    }
+
+    /// Path a → b → c (directed line). The middle edges carry all
+    /// shortest paths between the ends.
+    fn line3() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("line3");
+        let na = b.add_node(Point::new(0.0, 0.0));
+        let nb = b.add_node(Point::new(1.0, 0.0));
+        let nc = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(na, nb, attrs(1.0));
+        b.add_edge(nb, nc, attrs(1.0));
+        b.build()
+    }
+
+    #[test]
+    fn betweenness_line() {
+        let net = line3();
+        let view = GraphView::new(&net);
+        let c = edge_betweenness(&view, |e| net.edge_attrs(e).length_m, None);
+        // paths: a→b (uses e0), a→c (e0,e1), b→c (e1)
+        assert!((c[0] - 2.0).abs() < 1e-9, "{c:?}");
+        assert!((c[1] - 2.0).abs() < 1e-9, "{c:?}");
+    }
+
+    /// Diamond with equal weights: two shortest paths a→d, each edge
+    /// carries half of that pair plus its own endpoints' paths.
+    #[test]
+    fn betweenness_splits_ties() {
+        let mut b = RoadNetworkBuilder::new("diamond");
+        let na = b.add_node(Point::new(0.0, 0.0));
+        let nb = b.add_node(Point::new(1.0, 1.0));
+        let nc = b.add_node(Point::new(1.0, -1.0));
+        let nd = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(na, nb, attrs(1.0));
+        b.add_edge(nb, nd, attrs(1.0));
+        b.add_edge(na, nc, attrs(1.0));
+        b.add_edge(nc, nd, attrs(1.0));
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let c = edge_betweenness(&view, |e| net.edge_attrs(e).length_m, None);
+        // a→d contributes 0.5 to each edge; a→b contributes 1 to e0;
+        // b→d contributes 1 to e1; symmetric for c.
+        for (i, v) in c.iter().enumerate() {
+            assert!((v - 1.5).abs() < 1e-9, "edge {i}: {v} (all: {c:?})");
+        }
+    }
+
+    #[test]
+    fn betweenness_sampled_scales() {
+        let net = line3();
+        let view = GraphView::new(&net);
+        let full = edge_betweenness(&view, |e| net.edge_attrs(e).length_m, None);
+        let sampled = edge_betweenness(
+            &view,
+            |e| net.edge_attrs(e).length_m,
+            Some(&[NodeId::new(0), NodeId::new(1), NodeId::new(2)]),
+        );
+        for (f, s) in full.iter().zip(sampled.iter()) {
+            assert!((f - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn betweenness_respects_removal() {
+        let net = line3();
+        let mut view = GraphView::new(&net);
+        view.remove_edge(EdgeId::new(0));
+        let c = edge_betweenness(&view, |e| net.edge_attrs(e).length_m, None);
+        assert_eq!(c[0], 0.0);
+        assert!((c[1] - 1.0).abs() < 1e-9); // only b→c remains
+    }
+
+    #[test]
+    fn eigenvector_star_center_dominates() {
+        // star: center 0 connected two-way to 4 leaves
+        let mut b = RoadNetworkBuilder::new("star");
+        let center = b.add_node(Point::new(0.0, 0.0));
+        for i in 0..4 {
+            let leaf = b.add_node(Point::new(i as f64 + 1.0, 0.0));
+            b.add_two_way(center, leaf, attrs(1.0));
+        }
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let x = eigenvector_centrality(&view, 200, 1e-12);
+        for leaf in 1..5 {
+            assert!(
+                x[0] > x[leaf],
+                "center should dominate leaves: {x:?}"
+            );
+        }
+        // leaves are symmetric
+        for leaf in 2..5 {
+            assert!((x[1] - x[leaf]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eigenvector_is_normalized() {
+        let net = line3();
+        let view = GraphView::new(&net);
+        let x = eigenvector_centrality(&view, 100, 1e-10);
+        let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvector_empty_graph_uniform() {
+        let mut b = RoadNetworkBuilder::new("nodes-only");
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let x = eigenvector_centrality(&view, 10, 1e-10);
+        assert!((x[0] - x[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenscore_is_endpoint_product() {
+        let net = line3();
+        let view = GraphView::new(&net);
+        let x = vec![2.0, 3.0, 4.0];
+        assert_eq!(edge_eigenscore(&view, &x, EdgeId::new(0)), 6.0);
+        assert_eq!(edge_eigenscore(&view, &x, EdgeId::new(1)), 12.0);
+    }
+
+    #[test]
+    fn node_betweenness_line_middle_dominates() {
+        let net = line3();
+        let view = GraphView::new(&net);
+        let bc = node_betweenness(&view, |e| net.edge_attrs(e).length_m, None);
+        // only a→c passes through b: bc(b) = 1, endpoints 0
+        assert!((bc[1] - 1.0).abs() < 1e-9, "{bc:?}");
+        assert!(bc[0].abs() < 1e-9);
+        assert!(bc[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_betweenness_splits_ties() {
+        // diamond: a→{b,c}→d, equal weights; b and c each carry half of
+        // the a→d pair.
+        let mut builder = RoadNetworkBuilder::new("diamond");
+        let a = builder.add_node(Point::new(0.0, 0.0));
+        let b = builder.add_node(Point::new(1.0, 1.0));
+        let c = builder.add_node(Point::new(1.0, -1.0));
+        let d = builder.add_node(Point::new(2.0, 0.0));
+        for (u, v) in [(a, b), (b, d), (a, c), (c, d)] {
+            builder.add_edge(u, v, attrs(1.0));
+        }
+        let net = builder.build();
+        let view = GraphView::new(&net);
+        let bc = node_betweenness(&view, |e| net.edge_attrs(e).length_m, None);
+        assert!((bc[b.index()] - 0.5).abs() < 1e-9, "{bc:?}");
+        assert!((bc[c.index()] - 0.5).abs() < 1e-9, "{bc:?}");
+    }
+
+    #[test]
+    fn closeness_center_of_line_highest() {
+        let mut builder = RoadNetworkBuilder::new("line5");
+        let nodes: Vec<_> = (0..5)
+            .map(|i| builder.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        for w in nodes.windows(2) {
+            builder.add_two_way(w[0], w[1], attrs(1.0));
+        }
+        let net = builder.build();
+        let view = GraphView::new(&net);
+        let cc = closeness_centrality(&view, |e| net.edge_attrs(e).length_m);
+        let center = nodes[2].index();
+        for (i, &v) in cc.iter().enumerate() {
+            if i != center {
+                assert!(cc[center] >= v, "center must maximize closeness: {cc:?}");
+            }
+        }
+        assert!(cc.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn closeness_isolated_node_is_zero() {
+        let mut builder = RoadNetworkBuilder::new("iso");
+        builder.add_node(Point::new(0.0, 0.0));
+        let a = builder.add_node(Point::new(1.0, 0.0));
+        let b = builder.add_node(Point::new(2.0, 0.0));
+        builder.add_two_way(a, b, attrs(1.0));
+        let net = builder.build();
+        let view = GraphView::new(&net);
+        let cc = closeness_centrality(&view, |e| net.edge_attrs(e).length_m);
+        assert_eq!(cc[0], 0.0);
+        assert!(cc[1] > 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Max-flow / min-cut (Dinic's algorithm).
+//!
+//! The paper's attacker model (§II-A) includes the objective of
+//! *partitioning a target area* — making a set of intersections (say, the
+//! blocks around a hospital) unreachable from the rest of the city. The
+//! cheapest such blockade is exactly a minimum s–t cut where edge
+//! capacities are the attacker's removal costs. This module provides a
+//! from-scratch Dinic implementation plus a helper that isolates a node
+//! set on a [`crate::GraphView`].
+
+use crate::{EdgeId, GraphView, NodeId};
+use std::collections::VecDeque;
+
+/// A directed flow network under construction.
+///
+/// Nodes are dense `usize` indices; arcs are added in pairs (forward +
+/// residual). Capacities are `f64` and must be non-negative and finite.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::FlowNetwork;
+/// let mut f = FlowNetwork::new(4);
+/// f.add_arc(0, 1, 3.0);
+/// f.add_arc(0, 2, 2.0);
+/// f.add_arc(1, 3, 2.0);
+/// f.add_arc(2, 3, 3.0);
+/// let flow = f.max_flow(0, 3);
+/// assert_eq!(flow, 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// Arc heads; arc `i^1` is the residual of arc `i`.
+    head: Vec<u32>,
+    /// Remaining capacity per arc.
+    cap: Vec<f64>,
+    /// Adjacency: arcs leaving each node.
+    adj: Vec<Vec<u32>>,
+    /// Original capacity per arc (for cut reporting).
+    orig_cap: Vec<f64>,
+}
+
+impl FlowNetwork {
+    /// Creates a flow network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            head: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            orig_cap: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed arc `from → to` with the given capacity and returns
+    /// its arc index (even; the odd sibling is the residual arc).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the capacity is negative
+    /// or non-finite.
+    pub fn add_arc(&mut self, from: usize, to: usize, capacity: f64) -> usize {
+        assert!(from < self.adj.len() && to < self.adj.len(), "arc endpoint out of range");
+        assert!(capacity >= 0.0 && capacity.is_finite(), "bad capacity {capacity}");
+        let id = self.head.len();
+        self.head.push(to as u32);
+        self.cap.push(capacity);
+        self.orig_cap.push(capacity);
+        self.adj[from].push(id as u32);
+        self.head.push(from as u32);
+        self.cap.push(0.0);
+        self.orig_cap.push(0.0);
+        self.adj[to].push(id as u32 + 1);
+        id
+    }
+
+    /// BFS level graph for Dinic. Returns `None` if `t` is unreachable.
+    fn levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.adj.len()];
+        level[s] = 0;
+        let mut q = VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            for &a in &self.adj[v] {
+                let a = a as usize;
+                let w = self.head[a] as usize;
+                if self.cap[a] > 1e-12 && level[w] < 0 {
+                    level[w] = level[v] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        (level[t] >= 0).then_some(level)
+    }
+
+    /// DFS blocking-flow augmentation.
+    fn augment(
+        &mut self,
+        v: usize,
+        t: usize,
+        pushed: f64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> f64 {
+        if v == t {
+            return pushed;
+        }
+        while iter[v] < self.adj[v].len() {
+            let a = self.adj[v][iter[v]] as usize;
+            let w = self.head[a] as usize;
+            if self.cap[a] > 1e-12 && level[w] == level[v] + 1 {
+                let d = self.augment(w, t, pushed.min(self.cap[a]), level, iter);
+                if d > 1e-12 {
+                    self.cap[a] -= d;
+                    self.cap[a ^ 1] += d;
+                    return d;
+                }
+            }
+            iter[v] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t`, mutating residual
+    /// capacities in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert!(s < self.adj.len() && t < self.adj.len(), "terminal out of range");
+        assert_ne!(s, t, "source equals sink");
+        let mut flow = 0.0;
+        while let Some(level) = self.levels(s, t) {
+            let mut iter = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.augment(s, t, f64::INFINITY, &level, &mut iter);
+                if pushed <= 1e-12 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// After [`Self::max_flow`], returns the source-side node set of a
+    /// minimum cut (nodes reachable from `s` in the residual graph).
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        seen[s] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &a in &self.adj[v] {
+                let a = a as usize;
+                let w = self.head[a] as usize;
+                if self.cap[a] > 1e-12 && !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Arcs crossing the minimum cut (source side → sink side), with their
+    /// original capacities.
+    pub fn min_cut_arcs(&self, s: usize) -> Vec<(usize, f64)> {
+        let side = self.min_cut_source_side(s);
+        let mut out = Vec::new();
+        for v in 0..self.adj.len() {
+            if !side[v] {
+                continue;
+            }
+            for &a in &self.adj[v] {
+                let a = a as usize;
+                if a % 2 == 1 {
+                    continue; // residual arc
+                }
+                let w = self.head[a] as usize;
+                if !side[w] && self.orig_cap[a] > 0.0 {
+                    out.push((a, self.orig_cap[a]));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Result of isolating a target area on a road network.
+#[derive(Debug, Clone)]
+pub struct IsolationCut {
+    /// Road segments to remove, with their removal costs.
+    pub edges: Vec<(EdgeId, f64)>,
+    /// Total removal cost (equals the max-flow value).
+    pub total_cost: f64,
+}
+
+/// Computes the cheapest set of road segments whose removal makes every
+/// node in `area` unreachable from every node outside it (following
+/// directed edges into the area).
+///
+/// `cost(e)` is the attacker's removal cost for edge `e` (must be
+/// non-negative and finite). Edges strictly inside or strictly outside
+/// the area are never cut. Returns `None` when the area is empty or
+/// covers the whole network.
+pub fn isolate_area<F>(view: &GraphView<'_>, area: &[NodeId], cost: F) -> Option<IsolationCut>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    let net = view.network();
+    let n = net.num_nodes();
+    let mut in_area = vec![false; n];
+    for &v in area {
+        in_area[v.index()] = true;
+    }
+    let area_size = in_area.iter().filter(|&&b| b).count();
+    if area_size == 0 || area_size == n {
+        return None;
+    }
+
+    // Flow network: city nodes + super-source (outside) + super-sink (area).
+    let s = n;
+    let t = n + 1;
+    let mut flow = FlowNetwork::new(n + 2);
+    let mut arc_for_edge: Vec<(usize, EdgeId)> = Vec::new();
+    for e in net.edges() {
+        if view.is_removed(e) {
+            continue;
+        }
+        let (u, v) = net.edge_endpoints(e);
+        // Only boundary-crossing capacity matters, but interior edges
+        // still carry flow toward the boundary, so include all edges with
+        // their cost as capacity.
+        let arc = flow.add_arc(u.index(), v.index(), cost(e).max(0.0));
+        arc_for_edge.push((arc, e));
+    }
+    const BIG: f64 = 1e15;
+    for (v, &inside) in in_area.iter().enumerate() {
+        if inside {
+            flow.add_arc(v, t, BIG);
+        } else {
+            flow.add_arc(s, v, BIG);
+        }
+    }
+
+    let total = flow.max_flow(s, t);
+    if total >= BIG / 2.0 {
+        // Un-cuttable (shouldn't happen with finite costs).
+        return None;
+    }
+    let cut = flow.min_cut_source_side(s);
+    let mut edges = Vec::new();
+    let mut total_cost = 0.0;
+    for &(arc, e) in &arc_for_edge {
+        let (u, v) = net.edge_endpoints(e);
+        let _ = arc;
+        if cut[u.index()] && !cut[v.index()] {
+            let c = cost(e);
+            edges.push((e, c));
+            total_cost += c;
+        }
+    }
+    Some(IsolationCut { edges, total_cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeAttrs, Point, RoadClass, RoadNetworkBuilder};
+
+    #[test]
+    fn classic_max_flow() {
+        // CLRS-style example
+        let mut f = FlowNetwork::new(6);
+        f.add_arc(0, 1, 16.0);
+        f.add_arc(0, 2, 13.0);
+        f.add_arc(1, 2, 10.0);
+        f.add_arc(2, 1, 4.0);
+        f.add_arc(1, 3, 12.0);
+        f.add_arc(3, 2, 9.0);
+        f.add_arc(2, 4, 14.0);
+        f.add_arc(4, 3, 7.0);
+        f.add_arc(3, 5, 20.0);
+        f.add_arc(4, 5, 4.0);
+        assert!((f.max_flow(0, 5) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_matches_flow() {
+        let mut f = FlowNetwork::new(4);
+        f.add_arc(0, 1, 3.0);
+        f.add_arc(0, 2, 2.0);
+        f.add_arc(1, 3, 2.0);
+        f.add_arc(2, 3, 3.0);
+        let flow = f.max_flow(0, 3);
+        let cut = f.min_cut_arcs(0);
+        let cut_cap: f64 = cut.iter().map(|&(_, c)| c).sum();
+        assert!((flow - cut_cap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_flow_is_zero() {
+        let mut f = FlowNetwork::new(3);
+        f.add_arc(0, 1, 5.0);
+        assert_eq!(f.max_flow(0, 2), 0.0);
+    }
+
+    #[test]
+    fn isolate_area_on_line() {
+        // a ↔ b ↔ c; isolate {c}. Cut must contain exactly the b→c edge.
+        let mut b = RoadNetworkBuilder::new("line");
+        let na = b.add_node(Point::new(0.0, 0.0));
+        let nb = b.add_node(Point::new(1.0, 0.0));
+        let nc = b.add_node(Point::new(2.0, 0.0));
+        b.add_two_way(na, nb, EdgeAttrs::from_class(RoadClass::Primary, 1.0));
+        b.add_two_way(nb, nc, EdgeAttrs::from_class(RoadClass::Primary, 1.0));
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let cut = isolate_area(&view, &[nc], |_| 1.0).expect("cuttable");
+        assert_eq!(cut.edges.len(), 1);
+        let (e, _) = cut.edges[0];
+        assert_eq!(net.edge_endpoints(e), (nb, nc));
+        assert!((cut.total_cost - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolate_area_respects_costs() {
+        // two parallel routes into the area; cheap one should still be cut
+        // but the expensive one defines nothing — min cut picks both
+        // in-edges, total = sum of the two entry costs.
+        let mut b = RoadNetworkBuilder::new("fork");
+        let s1 = b.add_node(Point::new(0.0, 1.0));
+        let s2 = b.add_node(Point::new(0.0, -1.0));
+        let t = b.add_node(Point::new(1.0, 0.0));
+        b.add_edge(s1, t, EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(1));
+        b.add_edge(s2, t, EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(4));
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let cut = isolate_area(&view, &[t], |e| f64::from(net.edge_attrs(e).lanes)).unwrap();
+        assert_eq!(cut.edges.len(), 2);
+        assert!((cut.total_cost - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolate_empty_or_full_area_is_none() {
+        let mut b = RoadNetworkBuilder::new("pair");
+        let na = b.add_node(Point::new(0.0, 0.0));
+        let nb = b.add_node(Point::new(1.0, 0.0));
+        b.add_two_way(na, nb, EdgeAttrs::default());
+        let net = b.build();
+        let view = GraphView::new(&net);
+        assert!(isolate_area(&view, &[], |_| 1.0).is_none());
+        assert!(isolate_area(&view, &[na, nb], |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn isolation_cut_disconnects() {
+        use crate::connectivity::is_reachable;
+        // 3x1 grid two-way, isolate the last node, then verify
+        // unreachability after removing the cut edges.
+        let mut b = RoadNetworkBuilder::new("line3");
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(2.0, 0.0));
+        b.add_two_way(n0, n1, EdgeAttrs::default());
+        b.add_two_way(n1, n2, EdgeAttrs::default());
+        let net = b.build();
+        let view = GraphView::new(&net);
+        let cut = isolate_area(&view, &[n2], |_| 1.0).unwrap();
+        let mut attacked = GraphView::new(&net);
+        for (e, _) in &cut.edges {
+            attacked.remove_edge(*e);
+        }
+        assert!(!is_reachable(&attacked, n0, n2));
+    }
+}

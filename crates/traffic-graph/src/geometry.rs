@@ -1,0 +1,241 @@
+//! Planar geometry primitives for road networks.
+//!
+//! All coordinates are in a local projected frame measured in **meters**
+//! (e.g. a transverse-Mercator projection centered on the city). The
+//! [`Point`] type intentionally does not carry latitude/longitude; import
+//! layers (see the `osm` crate) project geographic coordinates into this
+//! frame before constructing a network.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the local projected frame, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from easting/northing meters.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// Projects `p` onto the segment `a`–`b`.
+///
+/// Returns `(t, q)` where `t ∈ [0, 1]` is the normalized position along
+/// the segment and `q` is the closest point on the segment to `p`.
+/// Degenerate segments (`a == b`) return `(0.0, a)`.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{Point, project_onto_segment};
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(10.0, 0.0);
+/// let (t, q) = project_onto_segment(Point::new(4.0, 3.0), a, b);
+/// assert_eq!(t, 0.4);
+/// assert_eq!(q, Point::new(4.0, 0.0));
+/// ```
+pub fn project_onto_segment(p: Point, a: Point, b: Point) -> (f64, Point) {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len_sq = abx * abx + aby * aby;
+    if len_sq == 0.0 {
+        return (0.0, a);
+    }
+    let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq).clamp(0.0, 1.0);
+    (t, a.lerp(b, t))
+}
+
+/// Axis-aligned bounding box over a set of points.
+///
+/// Used by the figure renderer to fit a network into an SVG viewport and
+/// by the generators to validate extents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Minimum easting.
+    pub min_x: f64,
+    /// Minimum northing.
+    pub min_y: f64,
+    /// Maximum easting.
+    pub max_x: f64,
+    /// Maximum northing.
+    pub max_y: f64,
+}
+
+impl BoundingBox {
+    /// An "empty" box that expands to fit the first point added.
+    pub fn empty() -> Self {
+        BoundingBox {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds the bounding box of an iterator of points.
+    ///
+    /// Returns [`BoundingBox::empty`] when the iterator is empty.
+    pub fn of_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut bb = BoundingBox::empty();
+        for p in points {
+            bb.include(p);
+        }
+        bb
+    }
+
+    /// Expands the box to contain `p`.
+    pub fn include(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Width of the box in meters (zero for empty boxes).
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Height of the box in meters (zero for empty boxes).
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Whether `p` lies inside the box (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.5);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance_sq(b) - a.distance(b).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(5.0, -1.0));
+    }
+
+    #[test]
+    fn projection_clamps_to_segment() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let (t0, q0) = project_onto_segment(Point::new(-5.0, 1.0), a, b);
+        assert_eq!(t0, 0.0);
+        assert_eq!(q0, a);
+        let (t1, q1) = project_onto_segment(Point::new(50.0, 1.0), a, b);
+        assert_eq!(t1, 1.0);
+        assert_eq!(q1, b);
+    }
+
+    #[test]
+    fn projection_degenerate_segment() {
+        let a = Point::new(2.0, 2.0);
+        let (t, q) = project_onto_segment(Point::new(5.0, 5.0), a, a);
+        assert_eq!(t, 0.0);
+        assert_eq!(q, a);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let bb = BoundingBox::of_points([
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ]);
+        assert_eq!(bb.min_x, -2.0);
+        assert_eq!(bb.max_x, 4.0);
+        assert_eq!(bb.min_y, -1.0);
+        assert_eq!(bb.max_y, 5.0);
+        assert_eq!(bb.width(), 6.0);
+        assert_eq!(bb.height(), 6.0);
+        assert!(bb.contains(Point::new(0.0, 0.0)));
+        assert!(!bb.contains(Point::new(10.0, 0.0)));
+    }
+
+    #[test]
+    fn empty_bounding_box_has_zero_extent() {
+        let bb = BoundingBox::empty();
+        assert_eq!(bb.width(), 0.0);
+        assert_eq!(bb.height(), 0.0);
+    }
+}

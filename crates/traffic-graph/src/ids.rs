@@ -1,0 +1,136 @@
+//! Strongly-typed identifiers for nodes and edges.
+//!
+//! Road networks in this workspace use dense `u32` indices internally
+//! (compressed sparse row storage), but expose them as newtypes so that a
+//! node index can never be confused with an edge index at a call site.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an intersection (graph vertex).
+///
+/// `NodeId`s are dense indices assigned by [`crate::RoadNetworkBuilder`] in
+/// insertion order; they are stable for the lifetime of the built
+/// [`crate::RoadNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::NodeId;
+/// let n = NodeId::new(7);
+/// assert_eq!(n.index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a directed road segment (graph edge).
+///
+/// Like [`NodeId`], edge ids are dense indices in insertion order. A
+/// two-way street is represented by *two* edges with distinct ids, one per
+/// direction.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::EdgeId;
+/// let e = EdgeId::new(3);
+/// assert_eq!(e.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        for i in [0usize, 1, 42, 1_000_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        for i in [0usize, 1, 42, 1_000_000] {
+            assert_eq!(EdgeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(10) > EdgeId::new(9));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId::new(5).to_string(), "n5");
+        assert_eq!(EdgeId::new(5).to_string(), "e5");
+    }
+
+    #[test]
+    fn ids_hash_distinctly() {
+        let set: HashSet<NodeId> = (0..100).map(NodeId::new).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn ids_from_u32() {
+        assert_eq!(NodeId::from(3u32), NodeId::new(3));
+        assert_eq!(EdgeId::from(3u32), EdgeId::new(3));
+    }
+}

@@ -1,0 +1,400 @@
+//! Compact binary serialization for road networks.
+//!
+//! Generating a paper-scale city takes seconds and experiment suites
+//! rebuild the same networks many times; this module provides a small
+//! versioned binary format (magic `TGRF`) so cities can be cached on
+//! disk and memory-mapped-read back in milliseconds. Implemented by hand
+//! (little-endian primitives) because the approved offline crate set has
+//! no serde *format* crate.
+
+use crate::{EdgeAttrs, NodeId, Poi, PoiKind, Point, RoadClass, RoadNetwork};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"TGRF";
+const VERSION: u32 = 1;
+
+/// Errors reading the binary format.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Input is not a `TGRF` file.
+    BadMagic,
+    /// File version is newer than this library understands.
+    UnsupportedVersion(u32),
+    /// Structural inconsistency (truncated arrays, bad enum tag, …).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::BadMagic => f.write_str("not a TGRF road-network file"),
+            FormatError::UnsupportedVersion(v) => write!(f, "unsupported TGRF version {v}"),
+            FormatError::Corrupt(what) => write!(f, "corrupt TGRF file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn put_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+fn put_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn put_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    put_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> Result<u32, FormatError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn get_u8<R: Read>(r: &mut R) -> Result<u8, FormatError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+fn get_f64<R: Read>(r: &mut R) -> Result<f64, FormatError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+fn get_str<R: Read>(r: &mut R) -> Result<String, FormatError> {
+    let len = get_u32(r)? as usize;
+    if len > 1 << 24 {
+        return Err(FormatError::Corrupt("string too long"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| FormatError::Corrupt("invalid utf-8"))
+}
+
+fn class_tag(c: RoadClass) -> u8 {
+    match c {
+        RoadClass::Motorway => 0,
+        RoadClass::Trunk => 1,
+        RoadClass::Primary => 2,
+        RoadClass::Secondary => 3,
+        RoadClass::Tertiary => 4,
+        RoadClass::Residential => 5,
+        RoadClass::Service => 6,
+        RoadClass::Artificial => 7,
+    }
+}
+
+fn class_from_tag(t: u8) -> Result<RoadClass, FormatError> {
+    Ok(match t {
+        0 => RoadClass::Motorway,
+        1 => RoadClass::Trunk,
+        2 => RoadClass::Primary,
+        3 => RoadClass::Secondary,
+        4 => RoadClass::Tertiary,
+        5 => RoadClass::Residential,
+        6 => RoadClass::Service,
+        7 => RoadClass::Artificial,
+        _ => return Err(FormatError::Corrupt("bad road class tag")),
+    })
+}
+
+fn kind_tag(k: PoiKind) -> u8 {
+    match k {
+        PoiKind::Hospital => 0,
+        PoiKind::Police => 1,
+        PoiKind::FireStation => 2,
+        PoiKind::Other => 3,
+    }
+}
+
+fn kind_from_tag(t: u8) -> Result<PoiKind, FormatError> {
+    Ok(match t {
+        0 => PoiKind::Hospital,
+        1 => PoiKind::Police,
+        2 => PoiKind::FireStation,
+        3 => PoiKind::Other,
+        _ => return Err(FormatError::Corrupt("bad poi kind tag")),
+    })
+}
+
+/// Writes a network in TGRF binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_network<W: Write>(net: &RoadNetwork, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    put_u32(w, VERSION)?;
+    put_str(w, net.name())?;
+    put_u32(w, net.num_nodes() as u32)?;
+    for v in net.nodes() {
+        let p = net.node_point(v);
+        put_f64(w, p.x)?;
+        put_f64(w, p.y)?;
+    }
+    put_u32(w, net.num_edges() as u32)?;
+    for e in net.edges() {
+        let (u, v) = net.edge_endpoints(e);
+        let a = net.edge_attrs(e);
+        put_u32(w, u.index() as u32)?;
+        put_u32(w, v.index() as u32)?;
+        put_f64(w, a.length_m)?;
+        put_f64(w, a.speed_limit_mps)?;
+        put_u8(w, a.lanes)?;
+        put_f64(w, a.width_m)?;
+        put_u8(w, class_tag(a.class))?;
+        put_u8(w, u8::from(a.artificial))?;
+    }
+    put_u32(w, net.pois().len() as u32)?;
+    for p in net.pois() {
+        put_str(w, &p.name)?;
+        put_u8(w, kind_tag(p.kind))?;
+        put_u32(w, p.node.index() as u32)?;
+        put_f64(w, p.point.x)?;
+        put_f64(w, p.point.y)?;
+    }
+    Ok(())
+}
+
+/// Reads a network from TGRF binary format.
+///
+/// # Errors
+///
+/// Returns [`FormatError`] on malformed input or I/O failure.
+pub fn read_network<R: Read>(r: &mut R) -> Result<RoadNetwork, FormatError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let version = get_u32(r)?;
+    if version != VERSION {
+        return Err(FormatError::UnsupportedVersion(version));
+    }
+    let name = get_str(r)?;
+    let n = get_u32(r)? as usize;
+    if n > 1 << 28 {
+        return Err(FormatError::Corrupt("implausible node count"));
+    }
+    // Cap the preallocation: header counts are still unvalidated here,
+    // and a corrupt count must produce FormatError (on truncated reads),
+    // not a multi-GiB allocation.
+    let mut points = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        points.push(Point::new(get_f64(r)?, get_f64(r)?));
+    }
+    let m = get_u32(r)? as usize;
+    if m > 1 << 29 {
+        return Err(FormatError::Corrupt("implausible edge count"));
+    }
+    let cap = m.min(1 << 20);
+    let mut edge_from = Vec::with_capacity(cap);
+    let mut edge_to = Vec::with_capacity(cap);
+    let mut attrs = Vec::with_capacity(cap);
+    for _ in 0..m {
+        let u = get_u32(r)?;
+        let v = get_u32(r)?;
+        if u as usize >= n || v as usize >= n {
+            return Err(FormatError::Corrupt("edge endpoint out of range"));
+        }
+        edge_from.push(u);
+        edge_to.push(v);
+        attrs.push(EdgeAttrs {
+            length_m: get_f64(r)?,
+            speed_limit_mps: get_f64(r)?,
+            lanes: get_u8(r)?,
+            width_m: get_f64(r)?,
+            class: class_from_tag(get_u8(r)?)?,
+            artificial: get_u8(r)? != 0,
+        });
+    }
+    let np = get_u32(r)? as usize;
+    if np > n {
+        return Err(FormatError::Corrupt("more POIs than nodes"));
+    }
+    let mut pois = Vec::with_capacity(np.min(1 << 16));
+    for _ in 0..np {
+        let name = get_str(r)?;
+        let kind = kind_from_tag(get_u8(r)?)?;
+        let node = get_u32(r)? as usize;
+        if node >= n {
+            return Err(FormatError::Corrupt("poi node out of range"));
+        }
+        pois.push(Poi {
+            name,
+            kind,
+            node: NodeId::new(node),
+            point: Point::new(get_f64(r)?, get_f64(r)?),
+        });
+    }
+    Ok(RoadNetwork::from_raw(
+        name, points, edge_from, edge_to, attrs, pois,
+    ))
+}
+
+/// Saves a network to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_network(net: &RoadNetwork, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_network(net, &mut f)
+}
+
+/// Loads a network from a file.
+///
+/// # Errors
+///
+/// Returns [`FormatError`] on malformed input or I/O failure.
+pub fn load_network(path: impl AsRef<std::path::Path>) -> Result<RoadNetwork, FormatError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_network(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoadNetworkBuilder;
+
+    fn sample() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("sample-city");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(120.5, -3.25));
+        let d = b.add_node(Point::new(240.0, 10.0));
+        b.add_two_way(a, c, EdgeAttrs::from_class(RoadClass::Primary, 121.0).with_lanes(3));
+        b.add_edge(c, d, EdgeAttrs::from_class(RoadClass::Motorway, 119.5));
+        b.attach_poi("General Hospital", PoiKind::Hospital, Point::new(60.0, 40.0));
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let net = sample();
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let back = read_network(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(back.name(), net.name());
+        assert_eq!(back.num_nodes(), net.num_nodes());
+        assert_eq!(back.num_edges(), net.num_edges());
+        for v in net.nodes() {
+            assert_eq!(back.node_point(v), net.node_point(v));
+        }
+        for e in net.edges() {
+            assert_eq!(back.edge_endpoints(e), net.edge_endpoints(e));
+            assert_eq!(back.edge_attrs(e), net.edge_attrs(e));
+        }
+        assert_eq!(back.pois(), net.pois());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut data = b"NOPE".to_vec();
+        data.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            read_network(&mut data.as_slice()),
+            Err(FormatError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_network(&mut buf.as_slice()),
+            Err(FormatError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let net = sample();
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        // Truncate at a sweep of byte offsets — every prefix must error,
+        // never panic.
+        for cut in (0..buf.len()).step_by(7) {
+            let res = read_network(&mut buf[..cut].to_vec().as_slice());
+            assert!(res.is_err(), "prefix of {cut} bytes parsed successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_endpoints() {
+        let net = sample();
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        // node count is right after magic+version+name; corrupt an edge
+        // endpoint instead: find the edge section offset and bump a
+        // from-node to a huge value. Simpler: flip the node count down.
+        // name = "sample-city" (11 bytes) → count at 4+4+4+11
+        let off = 4 + 4 + 4 + net.name().len();
+        buf[off] = 1; // claim 1 node; edges now reference out-of-range ids
+        buf[off + 1] = 0;
+        buf[off + 2] = 0;
+        buf[off + 3] = 0;
+        assert!(read_network(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let net = sample();
+        let dir = std::env::temp_dir().join(format!("tgrf-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("city.tgrf");
+        save_network(&net, &path).unwrap();
+        let back = load_network(&path).unwrap();
+        assert_eq!(back.num_edges(), net.num_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn roundtrip_generated_city_is_identical_for_routing() {
+        // A larger structured network: build, save, load, and verify the
+        // CSR behaves identically.
+        let mut b = RoadNetworkBuilder::new("grid");
+        let mut nodes = Vec::new();
+        for y in 0..6 {
+            for x in 0..6 {
+                nodes.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..6 {
+            for x in 0..6 {
+                let i = y * 6 + x;
+                if x + 1 < 6 {
+                    b.add_street(nodes[i], nodes[i + 1], RoadClass::Residential);
+                }
+                if y + 1 < 6 {
+                    b.add_street(nodes[i], nodes[i + 6], RoadClass::Residential);
+                }
+            }
+        }
+        let net = b.build();
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let back = read_network(&mut buf.as_slice()).unwrap();
+        for v in net.nodes() {
+            let a: Vec<_> = net.out_edges(v).map(|e| net.edge_target(e)).collect();
+            let c: Vec<_> = back.out_edges(v).map(|e| back.edge_target(e)).collect();
+            assert_eq!(a, c);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Quantifying how "lattice" a street network is.
+//!
+//! The paper's topology analysis (Tables II–X) hinges on an informal
+//! notion of cities being "more lattice" (Chicago) or "less lattice"
+//! (Boston). This module makes that measurable with two standard
+//! urban-network statistics:
+//!
+//! - [`orientation_order`] — Boeing-style street-orientation order φ:
+//!   1.0 for a perfect two-bearing grid, → 0 for uniformly distributed
+//!   bearings.
+//! - [`average_circuity`] — mean ratio of network distance to
+//!   straight-line distance over sampled reachable pairs; grids sit near
+//!   √2-ish for diagonal trips, organic networks higher.
+
+use crate::{GraphView, NodeId, Point, RoadNetwork};
+
+/// Number of orientation histogram bins over [0°, 180°).
+const ORIENTATION_BINS: usize = 36;
+
+/// Histogram of street bearings folded to [0°, 180°), weighted by
+/// segment length. Artificial connectors are skipped.
+pub fn orientation_histogram(net: &RoadNetwork) -> [f64; ORIENTATION_BINS] {
+    let mut hist = [0.0f64; ORIENTATION_BINS];
+    for e in net.edges() {
+        let attrs = net.edge_attrs(e);
+        if attrs.artificial {
+            continue;
+        }
+        let (u, v) = net.edge_endpoints(e);
+        let (pu, pv): (Point, Point) = (net.node_point(u), net.node_point(v));
+        let dx = pv.x - pu.x;
+        let dy = pv.y - pu.y;
+        if dx == 0.0 && dy == 0.0 {
+            continue;
+        }
+        let mut bearing = dy.atan2(dx).to_degrees();
+        if bearing < 0.0 {
+            bearing += 180.0;
+        }
+        if bearing >= 180.0 {
+            bearing -= 180.0;
+        }
+        let bin = ((bearing / 180.0) * ORIENTATION_BINS as f64) as usize;
+        hist[bin.min(ORIENTATION_BINS - 1)] += attrs.length_m;
+    }
+    hist
+}
+
+/// Street-orientation order φ ∈ [0, 1].
+///
+/// Computed from the Shannon entropy `H` of the length-weighted bearing
+/// histogram: `φ = 1 − ((H − H_grid) / (H_max − H_grid))²`, where
+/// `H_grid = ln 2` (an ideal grid fills two bins) and `H_max = ln 36`
+/// (uniform bearings). φ ≈ 1 means strongly gridded.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{orientation_order, Point, RoadClass, RoadNetworkBuilder};
+/// let mut b = RoadNetworkBuilder::new("block");
+/// let n00 = b.add_node(Point::new(0.0, 0.0));
+/// let n10 = b.add_node(Point::new(100.0, 0.0));
+/// let n01 = b.add_node(Point::new(0.0, 100.0));
+/// b.add_street(n00, n10, RoadClass::Residential);
+/// b.add_street(n00, n01, RoadClass::Residential);
+/// let net = b.build();
+/// assert!(orientation_order(&net) > 0.99); // two orthogonal bearings: a grid
+/// ```
+pub fn orientation_order(net: &RoadNetwork) -> f64 {
+    let hist = orientation_histogram(net);
+    let total: f64 = hist.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let entropy: f64 = hist
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            -p * p.ln()
+        })
+        .sum();
+    let h_grid = 2.0f64.ln();
+    let h_max = (ORIENTATION_BINS as f64).ln();
+    let normalized = ((entropy - h_grid) / (h_max - h_grid)).clamp(0.0, 1.0);
+    1.0 - normalized * normalized
+}
+
+/// Average circuity: mean of (shortest network length / straight-line
+/// distance) over up to `samples` deterministic node pairs (skipping
+/// unreachable or co-located pairs).
+///
+/// Returns `None` when no usable pair exists.
+pub fn average_circuity(net: &RoadNetwork, samples: usize) -> Option<f64> {
+    let n = net.num_nodes();
+    if n < 2 || samples == 0 {
+        return None;
+    }
+    let view = GraphView::new(net);
+    // Deterministic pair selection: stride through node ids.
+    let mut ratios = Vec::new();
+    let mut dij = DijkstraShim::new(n);
+    for i in 0..samples {
+        let a = NodeId::new((i * 7919) % n);
+        let b = NodeId::new((i * 104729 + n / 2) % n);
+        if a == b {
+            continue;
+        }
+        let straight = net.node_point(a).distance(net.node_point(b));
+        if straight < 1.0 {
+            continue;
+        }
+        if let Some(d) = dij.network_distance(&view, net, a, b) {
+            ratios.push(d / straight);
+        }
+    }
+    if ratios.is_empty() {
+        None
+    } else {
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+}
+
+/// Minimal internal Dijkstra over lengths (this crate cannot depend on
+/// the `routing` crate, which depends on it).
+struct DijkstraShim {
+    dist: Vec<f64>,
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl DijkstraShim {
+    fn new(n: usize) -> Self {
+        DijkstraShim {
+            dist: vec![f64::INFINITY; n],
+            stamp: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    fn network_distance(
+        &mut self,
+        view: &GraphView<'_>,
+        net: &RoadNetwork,
+        source: NodeId,
+        target: NodeId,
+    ) -> Option<f64> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        let gen = self.generation;
+        let touch = |dist: &mut Vec<f64>, stamp: &mut Vec<u32>, v: usize| {
+            if stamp[v] != gen {
+                stamp[v] = gen;
+                dist[v] = f64::INFINITY;
+            }
+        };
+        touch(&mut self.dist, &mut self.stamp, source.index());
+        self.dist[source.index()] = 0.0;
+        let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
+        heap.push((Reverse(0), source.index() as u32));
+        while let Some((Reverse(dbits), v)) = heap.pop() {
+            let vi = v as usize;
+            let d = f64::from_bits(dbits);
+            if self.stamp[vi] != gen || d > self.dist[vi] + 1e-12 {
+                continue;
+            }
+            if vi == target.index() {
+                return Some(d);
+            }
+            for (e, w) in view.out_neighbors(NodeId::new(vi)) {
+                let nd = d + net.edge_attrs(e).length_m;
+                let wi = w.index();
+                touch(&mut self.dist, &mut self.stamp, wi);
+                if nd < self.dist[wi] {
+                    self.dist[wi] = nd;
+                    heap.push((Reverse(nd.to_bits()), wi as u32));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RoadClass, RoadNetworkBuilder};
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("grid");
+        let mut nodes = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                nodes.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_street(nodes[i], nodes[i + 1], RoadClass::Residential);
+                }
+                if y + 1 < n {
+                    b.add_street(nodes[i], nodes[i + n], RoadClass::Residential);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn star_burst(spokes: usize) -> RoadNetwork {
+        // spokes at many angles: high orientation entropy
+        let mut b = RoadNetworkBuilder::new("star");
+        let center = b.add_node(Point::new(0.0, 0.0));
+        for k in 0..spokes {
+            let a = std::f64::consts::PI * 2.0 * k as f64 / spokes as f64;
+            let leaf = b.add_node(Point::new(500.0 * a.cos(), 500.0 * a.sin()));
+            b.add_street(center, leaf, RoadClass::Residential);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn perfect_grid_has_high_order() {
+        let phi = orientation_order(&grid(6));
+        assert!(phi > 0.99, "grid φ = {phi}");
+    }
+
+    #[test]
+    fn starburst_has_low_order() {
+        let phi = orientation_order(&star_burst(36));
+        assert!(phi < 0.3, "starburst φ = {phi}");
+    }
+
+    #[test]
+    fn order_between_zero_and_one() {
+        for net in [grid(4), star_burst(12)] {
+            let phi = orientation_order(&net);
+            assert!((0.0..=1.0).contains(&phi));
+        }
+    }
+
+    #[test]
+    fn empty_network_order_is_zero() {
+        let net = RoadNetworkBuilder::new("empty").build();
+        assert_eq!(orientation_order(&net), 0.0);
+    }
+
+    #[test]
+    fn histogram_weights_by_length() {
+        let mut b = RoadNetworkBuilder::new("two");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1000.0, 0.0)); // east, long
+        let d = b.add_node(Point::new(0.0, 10.0)); // north, short
+        b.add_street(a, c, RoadClass::Residential);
+        b.add_street(a, d, RoadClass::Residential);
+        let net = b.build();
+        let hist = orientation_histogram(&net);
+        let east_bin = 0;
+        let north_bin = (90.0 / 180.0 * 36.0) as usize;
+        assert!(hist[east_bin] > hist[north_bin] * 10.0);
+    }
+
+    #[test]
+    fn grid_circuity_reasonable() {
+        let c = average_circuity(&grid(6), 40).unwrap();
+        // grid circuity for random pairs lies between 1 (straight) and
+        // √2 + slack (pure L-shaped detours)
+        assert!((1.0..1.6).contains(&c), "circuity {c}");
+    }
+
+    #[test]
+    fn circuity_none_for_tiny_inputs() {
+        let net = RoadNetworkBuilder::new("empty").build();
+        assert!(average_circuity(&net, 10).is_none());
+        let one = {
+            let mut b = RoadNetworkBuilder::new("one");
+            b.add_node(Point::new(0.0, 0.0));
+            b.build()
+        };
+        assert!(average_circuity(&one, 10).is_none());
+    }
+
+    #[test]
+    fn circuity_at_least_one() {
+        let c = average_circuity(&grid(5), 25).unwrap();
+        assert!(c >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Directed road-network graph substrate for metropolitan traffic
+//! systems.
+//!
+//! This crate is the foundation of the `metro-attack` workspace, a
+//! reproduction of *"Alternative Route-Based Attacks in Metropolitan
+//! Traffic Systems"* (DSN 2022). It models a city street network as a
+//! directed multigraph whose vertices are intersections and whose edges
+//! are one-way road segments carrying physical attributes (length, speed
+//! limit, lanes, width) — exactly the data the paper extracts from
+//! OpenStreetMap.
+//!
+//! Key pieces:
+//!
+//! - [`RoadNetworkBuilder`] / [`RoadNetwork`] — construction and frozen
+//!   compressed-sparse-row storage, with point-of-interest snapping via
+//!   artificial nodes/segments (paper §III-A).
+//! - [`GraphView`] — O(1) edge-removal masks, the attack primitive.
+//! - [`edge_betweenness`] / [`eigenvector_centrality`] — the attacker's
+//!   topological-analysis toolbox (paper §II-A).
+//! - [`isolate_area`] — minimum-cut blockade of a target area.
+//! - connectivity helpers ([`strongly_connected_components`],
+//!   [`is_reachable`], …) used to validate generated cities.
+//!
+//! # Examples
+//!
+//! ```
+//! use traffic_graph::{RoadNetworkBuilder, GraphView, Point, RoadClass, is_reachable};
+//!
+//! let mut b = RoadNetworkBuilder::new("two-blocks");
+//! let a = b.add_node(Point::new(0.0, 0.0));
+//! let x = b.add_node(Point::new(100.0, 0.0));
+//! let y = b.add_node(Point::new(200.0, 0.0));
+//! b.add_street(a, x, RoadClass::Residential);
+//! b.add_street(x, y, RoadClass::Primary);
+//! let net = b.build();
+//!
+//! let mut view = GraphView::new(&net);
+//! assert!(is_reachable(&view, a, y));
+//! let e = net.find_edge(x, y).unwrap();
+//! view.remove_edge(e);
+//! assert!(!is_reachable(&view, a, y));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod attrs;
+mod builder;
+mod centrality;
+mod connectivity;
+mod flow;
+mod geometry;
+mod ids;
+pub mod io;
+mod latticeness;
+mod network;
+mod view;
+
+pub use attrs::{
+    EdgeAttrs, Poi, PoiKind, RoadClass, AVERAGE_CAR_WIDTH_M, DEFAULT_LANE_WIDTH_M,
+};
+pub use builder::RoadNetworkBuilder;
+pub use centrality::{
+    closeness_centrality, edge_betweenness, edge_eigenscore, eigenvector_centrality,
+    node_betweenness,
+};
+pub use connectivity::{
+    is_reachable, is_strongly_connected, largest_scc, reachable_from, reaching_to,
+    strongly_connected_components,
+};
+pub use flow::{isolate_area, FlowNetwork, IsolationCut};
+pub use geometry::{project_onto_segment, BoundingBox, Point};
+pub use latticeness::{average_circuity, orientation_histogram, orientation_order};
+pub use ids::{EdgeId, NodeId};
+pub use network::RoadNetwork;
+pub use view::GraphView;

@@ -1,0 +1,353 @@
+//! Frozen road-network storage.
+//!
+//! [`RoadNetwork`] stores a directed multigraph in compressed-sparse-row
+//! (CSR) form, forward and reverse, so that both out- and in-neighbor
+//! scans are cache-friendly. Networks are immutable once built; dynamic
+//! edge removal (the attack primitive) happens through
+//! [`crate::GraphView`] masks without touching this structure.
+
+use crate::{BoundingBox, EdgeAttrs, EdgeId, NodeId, Point, Poi, PoiKind};
+use serde::{Deserialize, Serialize};
+
+/// An immutable directed road network.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, Point, RoadClass};
+/// let mut b = RoadNetworkBuilder::new("toy");
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// b.add_street(a, c, RoadClass::Residential);
+/// let net = b.build();
+/// let out: Vec<_> = net.out_edges(a).collect();
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(net.edge_target(out[0]), c);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    name: String,
+    points: Vec<Point>,
+    edge_from: Vec<u32>,
+    edge_to: Vec<u32>,
+    attrs: Vec<EdgeAttrs>,
+    /// CSR forward index: `out_start[v]..out_start[v+1]` slices `out_edges`.
+    out_start: Vec<u32>,
+    out_edges: Vec<u32>,
+    /// CSR reverse index.
+    in_start: Vec<u32>,
+    in_edges: Vec<u32>,
+    pois: Vec<Poi>,
+}
+
+impl RoadNetwork {
+    /// Assembles a network from raw parallel arrays (used by the builder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge arrays disagree in length or reference nodes out
+    /// of range.
+    pub(crate) fn from_raw(
+        name: String,
+        points: Vec<Point>,
+        edge_from: Vec<u32>,
+        edge_to: Vec<u32>,
+        attrs: Vec<EdgeAttrs>,
+        pois: Vec<Poi>,
+    ) -> Self {
+        let n = points.len();
+        let m = edge_from.len();
+        assert_eq!(edge_to.len(), m);
+        assert_eq!(attrs.len(), m);
+        assert!(
+            edge_from.iter().chain(edge_to.iter()).all(|&v| (v as usize) < n),
+            "edge endpoint out of range"
+        );
+
+        let (out_start, out_edges) = Self::csr(n, m, &edge_from);
+        let (in_start, in_edges) = Self::csr(n, m, &edge_to);
+
+        RoadNetwork {
+            name,
+            points,
+            edge_from,
+            edge_to,
+            attrs,
+            out_start,
+            out_edges,
+            in_start,
+            in_edges,
+            pois,
+        }
+    }
+
+    /// Builds one CSR index: bucket edge ids by `key[edge]`.
+    fn csr(n: usize, m: usize, key: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let mut start = vec![0u32; n + 1];
+        for &k in key {
+            start[k as usize + 1] += 1;
+        }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        let mut edges = vec![0u32; m];
+        let mut cursor = start.clone();
+        for (e, &k) in key.iter().enumerate() {
+            edges[cursor[k as usize] as usize] = e as u32;
+            cursor[k as usize] += 1;
+        }
+        (start, edges)
+    }
+
+    /// Name given to the network at construction (e.g. the city name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of intersections.
+    pub fn num_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of directed road segments.
+    pub fn num_edges(&self) -> usize {
+        self.edge_from.len()
+    }
+
+    /// Average total (in + out) node degree — the statistic reported in
+    /// the paper's Table I.
+    pub fn average_degree(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.num_nodes() as f64
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn node_point(&self, node: NodeId) -> Point {
+        self.points[node.index()]
+    }
+
+    /// Source node of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[inline]
+    pub fn edge_source(&self, edge: EdgeId) -> NodeId {
+        NodeId::new(self.edge_from[edge.index()] as usize)
+    }
+
+    /// Target node of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[inline]
+    pub fn edge_target(&self, edge: EdgeId) -> NodeId {
+        NodeId::new(self.edge_to[edge.index()] as usize)
+    }
+
+    /// `(source, target)` of an edge.
+    #[inline]
+    pub fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        (self.edge_source(edge), self.edge_target(edge))
+    }
+
+    /// Attributes of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[inline]
+    pub fn edge_attrs(&self, edge: EdgeId) -> &EdgeAttrs {
+        &self.attrs[edge.index()]
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.points.len()).map(NodeId::new)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edge_from.len()).map(EdgeId::new)
+    }
+
+    /// Edges leaving `node`.
+    #[inline]
+    pub fn out_edges(&self, node: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        let s = self.out_start[node.index()] as usize;
+        let e = self.out_start[node.index() + 1] as usize;
+        self.out_edges[s..e].iter().map(|&i| EdgeId::new(i as usize))
+    }
+
+    /// Edges entering `node`.
+    #[inline]
+    pub fn in_edges(&self, node: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        let s = self.in_start[node.index()] as usize;
+        let e = self.in_start[node.index() + 1] as usize;
+        self.in_edges[s..e].iter().map(|&i| EdgeId::new(i as usize))
+    }
+
+    /// Out-degree of `node`.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        (self.out_start[node.index() + 1] - self.out_start[node.index()]) as usize
+    }
+
+    /// In-degree of `node`.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        (self.in_start[node.index() + 1] - self.in_start[node.index()]) as usize
+    }
+
+    /// Points of interest attached during construction.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Points of interest of one kind (e.g. hospitals, the paper's attack
+    /// destinations).
+    pub fn pois_of_kind(&self, kind: PoiKind) -> impl Iterator<Item = &Poi> {
+        self.pois.iter().filter(move |p| p.kind == kind)
+    }
+
+    /// Bounding box of all node positions.
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::of_points(self.points.iter().copied())
+    }
+
+    /// Finds the node closest to `p` (brute force).
+    ///
+    /// Returns `None` for an empty network.
+    pub fn nearest_node(&self, p: Point) -> Option<NodeId> {
+        self.nodes()
+            .min_by(|&a, &b| {
+                self.node_point(a)
+                    .distance_sq(p)
+                    .total_cmp(&self.node_point(b).distance_sq(p))
+            })
+    }
+
+    /// Looks up a directed edge by endpoints; returns the first match if
+    /// parallel edges exist.
+    pub fn find_edge(&self, from: NodeId, to: NodeId) -> Option<EdgeId> {
+        self.out_edges(from).find(|&e| self.edge_target(e) == to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RoadClass, RoadNetworkBuilder};
+
+    /// Diamond: a → b → d, a → c → d plus reverse of one side.
+    fn diamond() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("diamond");
+        let na = b.add_node(Point::new(0.0, 0.0));
+        let nb = b.add_node(Point::new(100.0, 100.0));
+        let nc = b.add_node(Point::new(100.0, -100.0));
+        let nd = b.add_node(Point::new(200.0, 0.0));
+        b.add_edge(na, nb, EdgeAttrs::from_class(RoadClass::Primary, 141.0));
+        b.add_edge(nb, nd, EdgeAttrs::from_class(RoadClass::Primary, 141.0));
+        b.add_edge(na, nc, EdgeAttrs::from_class(RoadClass::Residential, 141.0));
+        b.add_edge(nc, nd, EdgeAttrs::from_class(RoadClass::Residential, 141.0));
+        b.add_edge(nd, na, EdgeAttrs::from_class(RoadClass::Motorway, 200.0));
+        b.build()
+    }
+
+    #[test]
+    fn csr_out_edges() {
+        let net = diamond();
+        let a = NodeId::new(0);
+        let targets: Vec<usize> = net
+            .out_edges(a)
+            .map(|e| net.edge_target(e).index())
+            .collect();
+        assert_eq!(targets.len(), 2);
+        assert!(targets.contains(&1) && targets.contains(&2));
+    }
+
+    #[test]
+    fn csr_in_edges() {
+        let net = diamond();
+        let d = NodeId::new(3);
+        let sources: Vec<usize> = net
+            .in_edges(d)
+            .map(|e| net.edge_source(e).index())
+            .collect();
+        assert_eq!(sources.len(), 2);
+        assert!(sources.contains(&1) && sources.contains(&2));
+    }
+
+    #[test]
+    fn degrees() {
+        let net = diamond();
+        assert_eq!(net.out_degree(NodeId::new(0)), 2);
+        assert_eq!(net.in_degree(NodeId::new(0)), 1);
+        assert_eq!(net.out_degree(NodeId::new(3)), 1);
+        assert_eq!(net.in_degree(NodeId::new(3)), 2);
+    }
+
+    #[test]
+    fn average_degree_matches_formula() {
+        let net = diamond();
+        assert!((net.average_degree() - 2.0 * 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoints_consistent_with_csr() {
+        let net = diamond();
+        for v in net.nodes() {
+            for e in net.out_edges(v) {
+                assert_eq!(net.edge_source(e), v);
+            }
+            for e in net.in_edges(v) {
+                assert_eq!(net.edge_target(e), v);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_node_picks_closest() {
+        let net = diamond();
+        assert_eq!(
+            net.nearest_node(Point::new(190.0, 5.0)),
+            Some(NodeId::new(3))
+        );
+    }
+
+    #[test]
+    fn find_edge_by_endpoints() {
+        let net = diamond();
+        let e = net.find_edge(NodeId::new(0), NodeId::new(1));
+        assert!(e.is_some());
+        assert_eq!(net.edge_endpoints(e.unwrap()), (NodeId::new(0), NodeId::new(1)));
+        assert!(net.find_edge(NodeId::new(1), NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_nodes() {
+        let net = diamond();
+        let bb = net.bounding_box();
+        for v in net.nodes() {
+            assert!(bb.contains(net.node_point(v)));
+        }
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let net = diamond();
+        let c = net.clone();
+        assert_eq!(c.num_nodes(), net.num_nodes());
+        assert_eq!(c.num_edges(), net.num_edges());
+        assert_eq!(
+            c.out_edges(NodeId::new(0)).count(),
+            net.out_edges(NodeId::new(0)).count()
+        );
+    }
+}

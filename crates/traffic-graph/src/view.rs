@@ -1,0 +1,222 @@
+//! Dynamic edge-removal masks over an immutable [`RoadNetwork`].
+//!
+//! The attack algorithms in the `pathattack` crate remove one road
+//! segment per iteration and re-run shortest-path queries. Rebuilding CSR
+//! storage every iteration would dominate the runtime, so removal is a
+//! boolean mask: O(1) to remove or restore an edge, zero cost to the
+//! underlying network, and cheap to reset between experiments.
+
+use crate::{EdgeId, NodeId, RoadNetwork};
+
+/// A filtered view of a road network with some edges removed.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, GraphView, Point, RoadClass};
+/// let mut b = RoadNetworkBuilder::new("toy");
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// b.add_street(a, c, RoadClass::Residential);
+/// let net = b.build();
+///
+/// let mut view = GraphView::new(&net);
+/// assert_eq!(view.out_edges(a).count(), 1);
+/// let e = net.out_edges(a).next().unwrap();
+/// view.remove_edge(e);
+/// assert_eq!(view.out_edges(a).count(), 0);
+/// view.restore_edge(e);
+/// assert_eq!(view.out_edges(a).count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphView<'g> {
+    net: &'g RoadNetwork,
+    removed: Vec<bool>,
+    removed_count: usize,
+}
+
+impl<'g> GraphView<'g> {
+    /// Creates a view with every edge present.
+    pub fn new(net: &'g RoadNetwork) -> Self {
+        GraphView {
+            removed: vec![false; net.num_edges()],
+            removed_count: 0,
+            net,
+        }
+    }
+
+    /// The underlying network.
+    #[inline]
+    pub fn network(&self) -> &'g RoadNetwork {
+        self.net
+    }
+
+    /// Number of edges currently removed.
+    pub fn removed_count(&self) -> usize {
+        self.removed_count
+    }
+
+    /// Whether `edge` is currently removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range for the underlying network.
+    #[inline]
+    pub fn is_removed(&self, edge: EdgeId) -> bool {
+        self.removed[edge.index()]
+    }
+
+    /// Removes `edge` from the view. Removing an already-removed edge is
+    /// a no-op. Returns whether the edge was newly removed.
+    pub fn remove_edge(&mut self, edge: EdgeId) -> bool {
+        let slot = &mut self.removed[edge.index()];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.removed_count += 1;
+            true
+        }
+    }
+
+    /// Restores a previously removed edge. Restoring a present edge is a
+    /// no-op. Returns whether the edge was newly restored.
+    pub fn restore_edge(&mut self, edge: EdgeId) -> bool {
+        let slot = &mut self.removed[edge.index()];
+        if *slot {
+            *slot = false;
+            self.removed_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Restores every removed edge.
+    pub fn reset(&mut self) {
+        if self.removed_count > 0 {
+            self.removed.fill(false);
+            self.removed_count = 0;
+        }
+    }
+
+    /// Iterator over the currently removed edges.
+    pub fn removed_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.removed
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(i, _)| EdgeId::new(i))
+    }
+
+    /// Edges leaving `node` that are not removed.
+    #[inline]
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.net
+            .out_edges(node)
+            .filter(move |e| !self.removed[e.index()])
+    }
+
+    /// Edges entering `node` that are not removed.
+    #[inline]
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.net
+            .in_edges(node)
+            .filter(move |e| !self.removed[e.index()])
+    }
+
+    /// `(edge, neighbor)` pairs for live out-edges of `node`.
+    #[inline]
+    pub fn out_neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.out_edges(node).map(move |e| (e, self.net.edge_target(e)))
+    }
+
+    /// `(edge, neighbor)` pairs for live in-edges of `node`.
+    #[inline]
+    pub fn in_neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.in_edges(node).map(move |e| (e, self.net.edge_source(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeAttrs, Point, RoadClass, RoadNetworkBuilder};
+
+    fn line(n: usize) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("line");
+        let nodes: Vec<_> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64 * 100.0, 0.0)))
+            .collect();
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], w[1], EdgeAttrs::from_class(RoadClass::Primary, 100.0));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn remove_and_restore() {
+        let net = line(3);
+        let mut v = GraphView::new(&net);
+        let e = EdgeId::new(0);
+        assert!(!v.is_removed(e));
+        assert!(v.remove_edge(e));
+        assert!(v.is_removed(e));
+        assert!(!v.remove_edge(e), "double remove is a no-op");
+        assert_eq!(v.removed_count(), 1);
+        assert!(v.restore_edge(e));
+        assert!(!v.restore_edge(e), "double restore is a no-op");
+        assert_eq!(v.removed_count(), 0);
+    }
+
+    #[test]
+    fn out_edges_filtered() {
+        let net = line(3);
+        let mut v = GraphView::new(&net);
+        let n0 = NodeId::new(0);
+        assert_eq!(v.out_edges(n0).count(), 1);
+        v.remove_edge(EdgeId::new(0));
+        assert_eq!(v.out_edges(n0).count(), 0);
+    }
+
+    #[test]
+    fn in_edges_filtered() {
+        let net = line(3);
+        let mut v = GraphView::new(&net);
+        let n1 = NodeId::new(1);
+        assert_eq!(v.in_edges(n1).count(), 1);
+        v.remove_edge(EdgeId::new(0));
+        assert_eq!(v.in_edges(n1).count(), 0);
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let net = line(5);
+        let mut v = GraphView::new(&net);
+        for e in net.edges() {
+            v.remove_edge(e);
+        }
+        assert_eq!(v.removed_count(), net.num_edges());
+        v.reset();
+        assert_eq!(v.removed_count(), 0);
+        assert_eq!(v.removed_edges().count(), 0);
+    }
+
+    #[test]
+    fn removed_edges_lists_exactly_removed() {
+        let net = line(5);
+        let mut v = GraphView::new(&net);
+        v.remove_edge(EdgeId::new(1));
+        v.remove_edge(EdgeId::new(3));
+        let removed: Vec<_> = v.removed_edges().collect();
+        assert_eq!(removed, vec![EdgeId::new(1), EdgeId::new(3)]);
+    }
+
+    #[test]
+    fn out_neighbors_pairs() {
+        let net = line(3);
+        let v = GraphView::new(&net);
+        let pairs: Vec<_> = v.out_neighbors(NodeId::new(0)).collect();
+        assert_eq!(pairs, vec![(EdgeId::new(0), NodeId::new(1))]);
+    }
+}

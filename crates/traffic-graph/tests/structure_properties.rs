@@ -1,0 +1,122 @@
+//! Property-based structural invariants of the CSR road-network storage
+//! and the connectivity algorithms.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use traffic_graph::{
+    is_reachable, reachable_from, strongly_connected_components, EdgeAttrs, GraphView, NodeId,
+    Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
+};
+
+/// Builds a random directed network from an explicit arc list.
+fn network_from(n_nodes: usize, arcs: &[(usize, usize)]) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new("prop");
+    let nodes: Vec<NodeId> = (0..n_nodes)
+        .map(|i| b.add_node(Point::new((i % 10) as f64 * 50.0, (i / 10) as f64 * 50.0)))
+        .collect();
+    for &(u, v) in arcs {
+        b.add_edge(
+            nodes[u % n_nodes],
+            nodes[v % n_nodes],
+            EdgeAttrs::from_class(RoadClass::Residential, 50.0),
+        );
+    }
+    b.build()
+}
+
+fn arcs_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..14).prop_flat_map(|n| {
+        let arcs = prop::collection::vec((0..n, 0..n), 0..40);
+        (Just(n), arcs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR adjacency agrees with the raw endpoint arrays in both
+    /// directions, and degrees sum correctly.
+    #[test]
+    fn csr_consistency((n, arcs) in arcs_strategy()) {
+        let net = network_from(n, &arcs);
+        prop_assert_eq!(net.num_edges(), arcs.len());
+
+        let mut out_total = 0;
+        let mut in_total = 0;
+        for v in net.nodes() {
+            for e in net.out_edges(v) {
+                prop_assert_eq!(net.edge_source(e), v);
+            }
+            for e in net.in_edges(v) {
+                prop_assert_eq!(net.edge_target(e), v);
+            }
+            out_total += net.out_degree(v);
+            in_total += net.in_degree(v);
+        }
+        prop_assert_eq!(out_total, net.num_edges());
+        prop_assert_eq!(in_total, net.num_edges());
+
+        // every edge appears exactly once in its source's out-list
+        for e in net.edges() {
+            let s = net.edge_source(e);
+            let count = net.out_edges(s).filter(|&x| x == e).count();
+            prop_assert_eq!(count, 1);
+        }
+    }
+
+    /// Two nodes share an SCC iff they reach each other.
+    #[test]
+    fn scc_matches_mutual_reachability((n, arcs) in arcs_strategy()) {
+        let net = network_from(n, &arcs);
+        let (comp, _) = strongly_connected_components(&net);
+        let view = GraphView::new(&net);
+        // sample a handful of pairs deterministically
+        let mut rng = SmallRng::seed_from_u64(arcs.len() as u64);
+        for _ in 0..8 {
+            let a = NodeId::new(rng.gen_range(0..n));
+            let b = NodeId::new(rng.gen_range(0..n));
+            let same = comp[a.index()] == comp[b.index()];
+            let mutual = is_reachable(&view, a, b) && is_reachable(&view, b, a);
+            prop_assert_eq!(
+                same, mutual,
+                "nodes {} and {}: same-scc={} mutual={}",
+                a, b, same, mutual
+            );
+        }
+    }
+
+    /// Removing edges never grows the reachable set.
+    #[test]
+    fn removal_monotonicity((n, arcs) in arcs_strategy()) {
+        let net = network_from(n, &arcs);
+        if net.num_edges() == 0 {
+            return Ok(());
+        }
+        let mut view = GraphView::new(&net);
+        let before = reachable_from(&view, NodeId::new(0));
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        for _ in 0..net.num_edges().min(5) {
+            let e = traffic_graph::EdgeId::new(rng.gen_range(0..net.num_edges()));
+            view.remove_edge(e);
+        }
+        let after = reachable_from(&view, NodeId::new(0));
+        for v in 0..n {
+            prop_assert!(!after[v] || before[v], "node {v} became reachable after removals");
+        }
+    }
+
+    /// Restoring everything returns the view to its initial behavior.
+    #[test]
+    fn reset_restores_reachability((n, arcs) in arcs_strategy()) {
+        let net = network_from(n, &arcs);
+        let mut view = GraphView::new(&net);
+        let before = reachable_from(&view, NodeId::new(0));
+        for e in net.edges() {
+            view.remove_edge(e);
+        }
+        view.reset();
+        let after = reachable_from(&view, NodeId::new(0));
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,321 @@
+//! Static user-equilibrium traffic assignment via the Method of
+//! Successive Averages (MSA).
+//!
+//! Drivers pick shortest routes under current travel times; loading
+//! those routes changes the times. MSA iterates all-or-nothing loading
+//! and averages flows with a 1/k step until the relative gap between
+//! total travel time and the shortest-path lower bound is small — the
+//! textbook fixed point where "no driver can improve by switching
+//! routes", which is exactly the behavioral model the paper assumes of
+//! routing-app users.
+
+use crate::{Latency, OdMatrix};
+use routing::{Dijkstra, Direction};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use traffic_graph::{GraphView, NodeId};
+
+/// Assignment iteration knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AssignmentConfig {
+    /// Maximum MSA iterations.
+    pub max_iterations: usize,
+    /// Stop when the relative gap drops below this.
+    pub gap_tolerance: f64,
+}
+
+impl Default for AssignmentConfig {
+    fn default() -> Self {
+        AssignmentConfig {
+            max_iterations: 60,
+            gap_tolerance: 5e-3,
+        }
+    }
+}
+
+/// Result of one equilibrium assignment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssignmentResult {
+    /// Flow per edge, vehicles/hour.
+    pub flows: Vec<f64>,
+    /// Travel time per edge at the final flows, seconds.
+    pub times: Vec<f64>,
+    /// Total system travel time: `Σ_e flow_e · time_e` (vehicle-seconds
+    /// per hour of demand).
+    pub total_time_veh_s: f64,
+    /// Demand-weighted mean trip time, seconds.
+    pub mean_trip_time_s: f64,
+    /// Demand that has no route at all, vehicles/hour.
+    pub unserved_vph: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative gap (`(TSTT − SPTT) / SPTT`).
+    pub relative_gap: f64,
+}
+
+/// Computes an approximate user equilibrium for `demand` on `view`.
+///
+/// `latencies` must have one entry per edge of the underlying network
+/// (removed edges are simply never used).
+///
+/// # Panics
+///
+/// Panics if `latencies.len()` does not match the network's edge count.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{RoadNetworkBuilder, GraphView, Point, RoadClass};
+/// use traffic_sim::{assign, AssignmentConfig, Latency, OdMatrix};
+///
+/// let mut b = RoadNetworkBuilder::new("pair");
+/// let s = b.add_node(Point::new(0.0, 0.0));
+/// let t = b.add_node(Point::new(1000.0, 0.0));
+/// b.add_street(s, t, RoadClass::Primary);
+/// let net = b.build();
+/// let view = GraphView::new(&net);
+/// let latencies: Vec<Latency> =
+///     net.edges().map(|e| Latency::from_attrs(net.edge_attrs(e))).collect();
+///
+/// let mut demand = OdMatrix::new();
+/// demand.add(s, t, 600.0);
+/// let result = assign(&view, &latencies, &demand, &AssignmentConfig::default());
+/// assert!(result.mean_trip_time_s > 0.0);
+/// assert_eq!(result.unserved_vph, 0.0);
+/// ```
+pub fn assign(
+    view: &GraphView<'_>,
+    latencies: &[Latency],
+    demand: &OdMatrix,
+    cfg: &AssignmentConfig,
+) -> AssignmentResult {
+    let net = view.network();
+    let m = net.num_edges();
+    assert_eq!(latencies.len(), m, "one latency per edge required");
+
+    let mut flows = vec![0.0f64; m];
+    let mut times: Vec<f64> = latencies.iter().map(|l| l.free_flow()).collect();
+    let mut dij = Dijkstra::new(net.num_nodes());
+
+    // Group demand by origin so each iteration runs one Dijkstra per
+    // distinct origin.
+    let mut by_origin: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+    for p in demand.pairs() {
+        by_origin
+            .entry(p.origin)
+            .or_default()
+            .push((p.destination, p.demand_vph));
+    }
+    let mut origins: Vec<NodeId> = by_origin.keys().copied().collect();
+    origins.sort_unstable();
+
+    let mut unserved_vph = 0.0;
+    let mut relative_gap = f64::INFINITY;
+    let mut iterations = 0;
+
+    for k in 1..=cfg.max_iterations.max(1) {
+        iterations = k;
+        // All-or-nothing loading under current times.
+        let mut aon = vec![0.0f64; m];
+        let mut sptt = 0.0; // shortest-path total time (veh·s)
+        unserved_vph = 0.0;
+        for &origin in &origins {
+            dij.sweep(view, |e| times[e.index()], origin, None, Direction::Forward);
+            for &(dest, vph) in &by_origin[&origin] {
+                match dij.extract_path(view, origin, dest) {
+                    Some(path) => {
+                        sptt += vph * path.total_weight();
+                        for &e in path.edges() {
+                            aon[e.index()] += vph;
+                        }
+                    }
+                    None => unserved_vph += vph,
+                }
+            }
+        }
+
+        // MSA step.
+        let step = 1.0 / k as f64;
+        for e in 0..m {
+            flows[e] += step * (aon[e] - flows[e]);
+        }
+        for e in 0..m {
+            times[e] = latencies[e].time(flows[e]);
+        }
+
+        // Relative gap under the *updated* times.
+        let tstt: f64 = (0..m).map(|e| flows[e] * times[e]).sum();
+        relative_gap = if sptt > 0.0 {
+            ((tstt - sptt) / sptt).max(0.0)
+        } else {
+            0.0
+        };
+        if relative_gap < cfg.gap_tolerance && k > 1 {
+            break;
+        }
+    }
+
+    let total_time_veh_s: f64 = (0..m).map(|e| flows[e] * times[e]).sum();
+    let served = demand.total_vph() - unserved_vph;
+    let mean_trip_time_s = if served > 0.0 {
+        total_time_veh_s / served
+    } else {
+        0.0
+    };
+    AssignmentResult {
+        flows,
+        times,
+        total_time_veh_s,
+        mean_trip_time_s,
+        unserved_vph,
+        iterations,
+        relative_gap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::{EdgeAttrs, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    /// Braess network: s→a (v/100), a→t (45), s→b (45), b→t (v/100) and
+    /// the paradoxical bypass a→b (0).
+    fn braess() -> (RoadNetwork, Vec<Latency>, NodeId, NodeId, traffic_graph::EdgeId) {
+        let mut b = RoadNetworkBuilder::new("braess");
+        let s = b.add_node(Point::new(0.0, 0.0));
+        let a = b.add_node(Point::new(1.0, 1.0));
+        let bb = b.add_node(Point::new(1.0, -1.0));
+        let t = b.add_node(Point::new(2.0, 0.0));
+        let mut arc = |from, to| {
+            b.add_edge(from, to, EdgeAttrs::from_class(RoadClass::Primary, 100.0));
+        };
+        arc(s, a); // e0
+        arc(a, t); // e1
+        arc(s, bb); // e2
+        arc(bb, t); // e3
+        arc(a, bb); // e4 — the bypass
+        let net = b.build();
+        let latencies = vec![
+            Latency::Linear { a: 0.0, b: 0.01 },
+            Latency::Linear { a: 45.0, b: 0.0 },
+            Latency::Linear { a: 45.0, b: 0.0 },
+            Latency::Linear { a: 0.0, b: 0.01 },
+            Latency::Linear { a: 0.0, b: 0.0 },
+        ];
+        let bypass = traffic_graph::EdgeId::new(4);
+        (net, latencies, s, t, bypass)
+    }
+
+    fn braess_demand(s: NodeId, t: NodeId) -> OdMatrix {
+        let mut d = OdMatrix::new();
+        d.add(s, t, 4000.0);
+        d
+    }
+
+    #[test]
+    fn braess_paradox_reproduced() {
+        let (net, lat, s, t, bypass) = braess();
+        let cfg = AssignmentConfig {
+            max_iterations: 400,
+            gap_tolerance: 1e-4,
+        };
+        // With the bypass: everyone routes s→a→b→t, mean time → 80.
+        let with = assign(&GraphView::new(&net), &lat, &braess_demand(s, t), &cfg);
+        assert!(
+            (with.mean_trip_time_s - 80.0).abs() < 2.0,
+            "with bypass: {}",
+            with.mean_trip_time_s
+        );
+        // Without: demand splits 50/50, mean time → 65.
+        let mut view = GraphView::new(&net);
+        view.remove_edge(bypass);
+        let without = assign(&view, &lat, &braess_demand(s, t), &cfg);
+        assert!(
+            (without.mean_trip_time_s - 65.0).abs() < 2.0,
+            "without bypass: {}",
+            without.mean_trip_time_s
+        );
+        // the paradox: removing a road IMPROVES travel time
+        assert!(without.mean_trip_time_s < with.mean_trip_time_s);
+    }
+
+    #[test]
+    fn two_route_equilibrium_equalizes_times() {
+        // two parallel linear links: t1 = 10 + 0.01 v, t2 = 20 + 0.01 v;
+        // UE for 2000 vph: v1 - v2 solves 10 + .01v1 = 20 + .01v2,
+        // v1+v2=2000 → v1=1500, v2=500, time 25.
+        let mut b = RoadNetworkBuilder::new("two");
+        let s = b.add_node(Point::new(0.0, 0.0));
+        let t = b.add_node(Point::new(1.0, 0.0));
+        b.add_edge(s, t, EdgeAttrs::from_class(RoadClass::Primary, 100.0));
+        b.add_edge(s, t, EdgeAttrs::from_class(RoadClass::Primary, 100.0));
+        let net = b.build();
+        let lat = vec![
+            Latency::Linear { a: 10.0, b: 0.01 },
+            Latency::Linear { a: 20.0, b: 0.01 },
+        ];
+        let mut d = OdMatrix::new();
+        d.add(s, t, 2000.0);
+        let cfg = AssignmentConfig {
+            max_iterations: 500,
+            gap_tolerance: 1e-5,
+        };
+        let r = assign(&GraphView::new(&net), &lat, &d, &cfg);
+        assert!((r.flows[0] - 1500.0).abs() < 60.0, "v1 = {}", r.flows[0]);
+        assert!((r.flows[1] - 500.0).abs() < 60.0, "v2 = {}", r.flows[1]);
+        assert!((r.times[0] - r.times[1]).abs() < 1.5, "{:?}", r.times);
+        assert!((r.mean_trip_time_s - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn unserved_demand_counted() {
+        let mut b = RoadNetworkBuilder::new("gap");
+        let s = b.add_node(Point::new(0.0, 0.0));
+        let t = b.add_node(Point::new(1.0, 0.0));
+        let iso = b.add_node(Point::new(5.0, 5.0));
+        b.add_edge(s, t, EdgeAttrs::from_class(RoadClass::Primary, 100.0));
+        let net = b.build();
+        let lat: Vec<Latency> = net
+            .edges()
+            .map(|e| Latency::from_attrs(net.edge_attrs(e)))
+            .collect();
+        let mut d = OdMatrix::new();
+        d.add(s, t, 100.0);
+        d.add(s, iso, 50.0); // unreachable
+        let r = assign(
+            &GraphView::new(&net),
+            &lat,
+            &d,
+            &AssignmentConfig::default(),
+        );
+        assert_eq!(r.unserved_vph, 50.0);
+        assert!(r.mean_trip_time_s > 0.0);
+    }
+
+    #[test]
+    fn more_demand_more_delay() {
+        let (net, lat, s, t, _) = braess();
+        let cfg = AssignmentConfig::default();
+        let mut low = OdMatrix::new();
+        low.add(s, t, 500.0);
+        let mut high = OdMatrix::new();
+        high.add(s, t, 6000.0);
+        let rl = assign(&GraphView::new(&net), &lat, &low, &cfg);
+        let rh = assign(&GraphView::new(&net), &lat, &high, &cfg);
+        assert!(rh.mean_trip_time_s > rl.mean_trip_time_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "one latency per edge")]
+    fn latency_length_validated() {
+        let (net, _, s, t, _) = braess();
+        let mut d = OdMatrix::new();
+        d.add(s, t, 1.0);
+        let _ = assign(
+            &GraphView::new(&net),
+            &[Latency::Linear { a: 1.0, b: 0.0 }],
+            &d,
+            &AssignmentConfig::default(),
+        );
+    }
+}

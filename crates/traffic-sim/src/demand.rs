@@ -1,0 +1,165 @@
+//! Travel demand: origin–destination flows.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use traffic_graph::{NodeId, PoiKind, RoadNetwork};
+
+/// One origin–destination demand entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OdPair {
+    /// Trip origin.
+    pub origin: NodeId,
+    /// Trip destination.
+    pub destination: NodeId,
+    /// Demand in vehicles per hour.
+    pub demand_vph: f64,
+}
+
+/// A travel-demand matrix (sparse list of OD pairs).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OdMatrix {
+    pairs: Vec<OdPair>,
+}
+
+impl OdMatrix {
+    /// Creates an empty demand matrix.
+    pub fn new() -> Self {
+        OdMatrix::default()
+    }
+
+    /// Adds one OD pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demand is negative or non-finite.
+    pub fn add(&mut self, origin: NodeId, destination: NodeId, demand_vph: f64) {
+        assert!(
+            demand_vph >= 0.0 && demand_vph.is_finite(),
+            "bad demand {demand_vph}"
+        );
+        self.pairs.push(OdPair {
+            origin,
+            destination,
+            demand_vph,
+        });
+    }
+
+    /// The OD pairs.
+    pub fn pairs(&self) -> &[OdPair] {
+        &self.pairs
+    }
+
+    /// Total demand in vehicles per hour.
+    pub fn total_vph(&self) -> f64 {
+        self.pairs.iter().map(|p| p.demand_vph).sum()
+    }
+
+    /// Whether no demand has been added.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Synthesizes hospital-bound demand: `trips` random origins each
+    /// sending `demand_vph` vehicles/hour to a random hospital, plus
+    /// `trips` random background origin–destination pairs with half that
+    /// demand. Deterministic in `seed`.
+    ///
+    /// Returns an empty matrix when the network has no hospitals or too
+    /// few nodes.
+    pub fn synthetic_hospital_demand(
+        net: &RoadNetwork,
+        trips: usize,
+        demand_vph: f64,
+        seed: u64,
+    ) -> OdMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let hospitals: Vec<NodeId> = net.pois_of_kind(PoiKind::Hospital).map(|p| p.node).collect();
+        let n = net.num_nodes();
+        let mut m = OdMatrix::new();
+        if hospitals.is_empty() || n < 2 {
+            return m;
+        }
+        for _ in 0..trips {
+            let origin = NodeId::new(rng.gen_range(0..n));
+            let hospital = hospitals[rng.gen_range(0..hospitals.len())];
+            if origin != hospital {
+                m.add(origin, hospital, demand_vph);
+            }
+            let a = NodeId::new(rng.gen_range(0..n));
+            let b = NodeId::new(rng.gen_range(0..n));
+            if a != b {
+                m.add(a, b, demand_vph / 2.0);
+            }
+        }
+        m
+    }
+}
+
+impl FromIterator<OdPair> for OdMatrix {
+    fn from_iter<I: IntoIterator<Item = OdPair>>(iter: I) -> Self {
+        OdMatrix {
+            pairs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citygen::{CityPreset, Scale};
+
+    #[test]
+    fn add_and_total() {
+        let mut m = OdMatrix::new();
+        m.add(NodeId::new(0), NodeId::new(1), 100.0);
+        m.add(NodeId::new(2), NodeId::new(3), 50.0);
+        assert_eq!(m.pairs().len(), 2);
+        assert_eq!(m.total_vph(), 150.0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad demand")]
+    fn rejects_negative_demand() {
+        let mut m = OdMatrix::new();
+        m.add(NodeId::new(0), NodeId::new(1), -1.0);
+    }
+
+    #[test]
+    fn synthetic_demand_targets_hospitals() {
+        let city = CityPreset::Chicago.build(Scale::Small, 3);
+        let m = OdMatrix::synthetic_hospital_demand(&city, 20, 300.0, 1);
+        assert!(!m.is_empty());
+        let hospitals: Vec<NodeId> = city
+            .pois_of_kind(traffic_graph::PoiKind::Hospital)
+            .map(|p| p.node)
+            .collect();
+        let hospital_trips = m
+            .pairs()
+            .iter()
+            .filter(|p| hospitals.contains(&p.destination))
+            .count();
+        assert!(hospital_trips >= 20 / 2, "got {hospital_trips}");
+    }
+
+    #[test]
+    fn synthetic_demand_deterministic() {
+        let city = CityPreset::Boston.build(Scale::Small, 3);
+        let a = OdMatrix::synthetic_hospital_demand(&city, 10, 100.0, 7);
+        let b = OdMatrix::synthetic_hospital_demand(&city, 10, 100.0, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: OdMatrix = [OdPair {
+            origin: NodeId::new(0),
+            destination: NodeId::new(1),
+            demand_vph: 10.0,
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(m.total_vph(), 10.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Volume-delay (latency) functions.
+
+use serde::{Deserialize, Serialize};
+use traffic_graph::{EdgeAttrs, RoadClass};
+
+/// Practical capacity of one lane, vehicles per hour (HCM-style urban
+/// default).
+pub const LANE_CAPACITY_VPH: f64 = 1800.0;
+
+/// How long an edge takes to traverse at a given flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Latency {
+    /// Bureau of Public Roads curve:
+    /// `t(v) = t0 · (1 + α · (v / capacity)^β)`.
+    Bpr {
+        /// Free-flow traversal time, seconds.
+        t0: f64,
+        /// Capacity, vehicles/hour.
+        capacity: f64,
+        /// Congestion coefficient (standard 0.15).
+        alpha: f64,
+        /// Congestion exponent (standard 4.0).
+        beta: f64,
+    },
+    /// Affine latency `t(v) = a + b·v` — used by textbook examples such
+    /// as Braess's paradox and handy in tests.
+    Linear {
+        /// Fixed time, seconds.
+        a: f64,
+        /// Per-vehicle-per-hour slope, seconds.
+        b: f64,
+    },
+}
+
+impl Latency {
+    /// Standard BPR latency derived from road attributes.
+    pub fn from_attrs(attrs: &EdgeAttrs) -> Latency {
+        let lane_capacity = match attrs.class {
+            RoadClass::Motorway => 2000.0,
+            RoadClass::Trunk => 1900.0,
+            _ => LANE_CAPACITY_VPH,
+        };
+        Latency::Bpr {
+            t0: attrs.travel_time_s(),
+            capacity: (f64::from(attrs.lanes) * lane_capacity).max(1.0),
+            alpha: 0.15,
+            beta: 4.0,
+        }
+    }
+
+    /// Traversal time (seconds) at flow `v` vehicles/hour.
+    ///
+    /// Monotone non-decreasing in `v`; negative flows are clamped to 0.
+    #[inline]
+    pub fn time(&self, v: f64) -> f64 {
+        let v = v.max(0.0);
+        match *self {
+            Latency::Bpr {
+                t0,
+                capacity,
+                alpha,
+                beta,
+            } => t0 * (1.0 + alpha * (v / capacity).powf(beta)),
+            Latency::Linear { a, b } => a + b * v,
+        }
+    }
+
+    /// Free-flow time (zero flow).
+    pub fn free_flow(&self) -> f64 {
+        self.time(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::EdgeAttrs;
+
+    #[test]
+    fn bpr_free_flow_matches_t0() {
+        let l = Latency::Bpr {
+            t0: 30.0,
+            capacity: 1800.0,
+            alpha: 0.15,
+            beta: 4.0,
+        };
+        assert_eq!(l.free_flow(), 30.0);
+    }
+
+    #[test]
+    fn bpr_at_capacity_grows_by_alpha() {
+        let l = Latency::Bpr {
+            t0: 30.0,
+            capacity: 1800.0,
+            alpha: 0.15,
+            beta: 4.0,
+        };
+        assert!((l.time(1800.0) - 30.0 * 1.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_flow() {
+        let l = Latency::from_attrs(&EdgeAttrs::default());
+        let mut prev = 0.0;
+        for v in [0.0, 500.0, 1500.0, 3000.0, 9000.0] {
+            let t = l.time(v);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn linear_latency() {
+        let l = Latency::Linear { a: 45.0, b: 0.01 };
+        assert_eq!(l.time(0.0), 45.0);
+        assert_eq!(l.time(1000.0), 55.0);
+    }
+
+    #[test]
+    fn negative_flow_clamped() {
+        let l = Latency::Linear { a: 10.0, b: 1.0 };
+        assert_eq!(l.time(-5.0), 10.0);
+    }
+
+    #[test]
+    fn from_attrs_uses_lanes() {
+        let narrow = Latency::from_attrs(&EdgeAttrs::default().with_lanes(1));
+        let wide = Latency::from_attrs(&EdgeAttrs::default().with_lanes(4));
+        // same flow congests the narrow road more
+        assert!(narrow.time(2000.0) > wide.time(2000.0));
+    }
+}

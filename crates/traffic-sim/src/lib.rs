@@ -1,0 +1,42 @@
+//! Static traffic assignment for attack impact assessment.
+//!
+//! The DSN 2022 paper this workspace reproduces argues that alternative
+//! route-based attacks matter because routing-app users re-route
+//! *en masse*: blocking segments shifts whole traffic streams, causing
+//! congestion and denial of movement. This crate provides the substrate
+//! to quantify that claim:
+//!
+//! - [`Latency`] — BPR and linear volume-delay functions, with defaults
+//!   derived from road attributes (lanes → capacity).
+//! - [`OdMatrix`] — origin–destination demand, with a synthetic
+//!   hospital-bound generator matching the paper's scenarios.
+//! - [`assign`] — Method-of-Successive-Averages user equilibrium (the
+//!   fixed point where no driver gains by switching routes; validated on
+//!   Braess's paradox).
+//! - [`attack_impact`] — before/after equilibrium comparison for a set
+//!   of removed segments: extra travel time, slowdown, stranded demand.
+//!
+//! # Examples
+//!
+//! ```
+//! use citygen::{CityPreset, Scale};
+//! use traffic_sim::{attack_impact, AssignmentConfig, OdMatrix};
+//!
+//! let city = CityPreset::Chicago.build(Scale::Small, 3);
+//! let demand = OdMatrix::synthetic_hospital_demand(&city, 10, 300.0, 1);
+//! let report = attack_impact(&city, &demand, &[], &AssignmentConfig::default());
+//! assert_eq!(report.newly_unserved_vph, 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assignment;
+mod demand;
+mod impact;
+mod latency;
+
+pub use assignment::{assign, AssignmentConfig, AssignmentResult};
+pub use demand::{OdMatrix, OdPair};
+pub use impact::{attack_impact, ImpactReport};
+pub use latency::{Latency, LANE_CAPACITY_VPH};

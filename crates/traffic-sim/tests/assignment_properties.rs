@@ -1,0 +1,138 @@
+//! Property tests for the traffic assignment: conservation, bounds and
+//! monotonicity on random grids.
+
+use proptest::prelude::*;
+use traffic_graph::{EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+use traffic_sim::{assign, AssignmentConfig, Latency, OdMatrix};
+
+fn grid(n: usize, lens: &[f64]) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new("grid");
+    let mut nodes = Vec::new();
+    for y in 0..n {
+        for x in 0..n {
+            nodes.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+        }
+    }
+    let mut i = 0usize;
+    let mut next = |i: &mut usize| {
+        let l = 80.0 + lens[*i % lens.len()];
+        *i += 1;
+        l
+    };
+    for y in 0..n {
+        for x in 0..n {
+            let idx = y * n + x;
+            if x + 1 < n {
+                let l = next(&mut i);
+                b.add_two_way(
+                    nodes[idx],
+                    nodes[idx + 1],
+                    EdgeAttrs::from_class(RoadClass::Residential, l),
+                );
+            }
+            if y + 1 < n {
+                let l = next(&mut i);
+                b.add_two_way(
+                    nodes[idx],
+                    nodes[idx + n],
+                    EdgeAttrs::from_class(RoadClass::Residential, l),
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flow is conserved at every node: inflow + originations = outflow
+    /// + terminations.
+    #[test]
+    fn flow_conservation(
+        lens in prop::collection::vec(0.0f64..80.0, 12..30),
+        n in 3usize..5,
+        demands in prop::collection::vec((0usize..25, 0usize..25, 50.0f64..500.0), 1..5),
+    ) {
+        let net = grid(n, &lens);
+        let latencies: Vec<Latency> = net
+            .edges()
+            .map(|e| Latency::from_attrs(net.edge_attrs(e)))
+            .collect();
+        let mut demand = OdMatrix::new();
+        let nn = net.num_nodes();
+        for &(o, d, v) in &demands {
+            let (o, d) = (o % nn, d % nn);
+            if o != d {
+                demand.add(NodeId::new(o), NodeId::new(d), v);
+            }
+        }
+        if demand.is_empty() {
+            return Ok(());
+        }
+        let r = assign(&GraphView::new(&net), &latencies, &demand, &AssignmentConfig {
+            max_iterations: 30,
+            gap_tolerance: 1e-9, // force fixed iteration count… (never met)
+        });
+
+        // net balance per node
+        let mut balance = vec![0.0f64; nn];
+        for e in net.edges() {
+            let (u, v) = net.edge_endpoints(e);
+            balance[u.index()] -= r.flows[e.index()];
+            balance[v.index()] += r.flows[e.index()];
+        }
+        // add originations/terminations for *served* demand
+        for p in demand.pairs() {
+            // served iff a route exists (static topology)
+            let mut dij = routing::Dijkstra::new(nn);
+            if dij
+                .shortest_path(&GraphView::new(&net), |e| net.edge_attrs(e).length_m, p.origin, p.destination)
+                .is_some()
+            {
+                balance[p.origin.index()] += p.demand_vph;
+                balance[p.destination.index()] -= p.demand_vph;
+            }
+        }
+        for (v, &b) in balance.iter().enumerate() {
+            prop_assert!(b.abs() < 1e-6, "node {v} imbalance {b}");
+        }
+    }
+
+    /// Total travel time is bounded below by free-flow shortest paths.
+    #[test]
+    fn total_time_at_least_free_flow(
+        lens in prop::collection::vec(0.0f64..80.0, 12..30),
+        n in 3usize..5,
+        vph in 100.0f64..2000.0,
+    ) {
+        let net = grid(n, &lens);
+        let latencies: Vec<Latency> = net
+            .edges()
+            .map(|e| Latency::from_attrs(net.edge_attrs(e)))
+            .collect();
+        let mut demand = OdMatrix::new();
+        let s = NodeId::new(0);
+        let t = NodeId::new(net.num_nodes() - 1);
+        demand.add(s, t, vph);
+        let r = assign(&GraphView::new(&net), &latencies, &demand, &AssignmentConfig::default());
+
+        let mut dij = routing::Dijkstra::new(net.num_nodes());
+        let ff = dij
+            .shortest_path(
+                &GraphView::new(&net),
+                |e| latencies[e.index()].free_flow(),
+                s,
+                t,
+            )
+            .unwrap()
+            .total_weight();
+        prop_assert!(
+            r.total_time_veh_s >= vph * ff - 1e-6,
+            "TSTT {} below free-flow bound {}",
+            r.total_time_veh_s,
+            vph * ff
+        );
+        prop_assert!(r.mean_trip_time_s >= ff - 1e-9);
+    }
+}

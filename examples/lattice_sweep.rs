@@ -1,0 +1,28 @@
+//! Controlled test of the paper's topology claim.
+//!
+//! The paper argues that the *latticeness* of a street network governs
+//! the gap between naive and optimization-based attacks (§III-B,
+//! Tables II–X). This example isolates the claim: one disorder knob
+//! sweeps a grid from a perfect lattice to an organic tangle, and for
+//! each level we measure the orientation order φ, the path-rank
+//! threshold (the paper's Table X statistic), and the
+//! GreedyEdge-vs-LP-PathCover cost ratio.
+//!
+//! Run with: `cargo run --release --example lattice_sweep`
+
+use metro_attack::prelude::*;
+use metro_attack::experiments::{lattice_sweep, render_lattice_sweep};
+
+fn main() {
+    let levels = [0.0, 0.25, 0.5, 0.75, 1.0];
+    println!(
+        "sweeping disorder ∈ {levels:?} on a 30×30 grid, rank-20 alternatives, 6 instances per level\n"
+    );
+    let points = lattice_sweep(&levels, 30, 20, 6, 7);
+    println!("{}", render_lattice_sweep(&points));
+    println!(
+        "Expected shape (paper §III-B): φ falls and the path-rank gap widens as\n\
+         disorder grows — the organic end behaves like Boston, the lattice end\n\
+         like Chicago."
+    );
+}

@@ -1,0 +1,458 @@
+//! `metro-attack` — command-line front end for the library.
+//!
+//! ```text
+//! metro-attack generate --city chicago [--scale small] [--seed 42]
+//! metro-attack attack   --city boston  [--rank 50] [--algorithm greedy-pathcover]
+//!                       [--weight time] [--cost uniform] [--source N] [--svg out.svg]
+//! metro-attack recon    --city chicago [--top 10]
+//! metro-attack harden   --city sf      [--rank 30]
+//! metro-attack isolate  --city sf      [--radius 400]
+//! metro-attack impact   --city chicago [--trips 40] [--rank 20]
+//! ```
+//!
+//! Every subcommand prints a human-readable report; `attack --svg` also
+//! writes a Figs 1–4-style map.
+
+use metro_attack::attack::{coordinated_attack, minimal_hardening};
+use metro_attack::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate> \
+         [--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
+         [--rank K] [--weight length|time] [--cost uniform|lanes|width] \
+         [--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness] \
+         [--source N] [--hospital IDX] [--top K] [--radius M] [--trips N] [--svg FILE]"
+    );
+    std::process::exit(2)
+}
+
+/// Minimal `--key value` parser; flags may appear in any order.
+struct Args {
+    values: HashMap<String, String>,
+}
+
+const KNOWN_FLAGS: [&str; 15] = [
+    "city", "scale", "seed", "rank", "weight", "cost", "algorithm", "source", "hospital",
+    "top", "radius", "trips", "svg", "victims", "max-hardened",
+];
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut values = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                eprintln!("unexpected argument {a:?}");
+                usage();
+            };
+            if !KNOWN_FLAGS.contains(&key) {
+                eprintln!("unknown flag --{key}");
+                usage();
+            }
+            let Some(v) = it.next() else {
+                eprintln!("missing value for --{key}");
+                usage();
+            };
+            values.insert(key.to_string(), v.clone());
+        }
+        Args { values }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{key}: {v:?}");
+                usage()
+            }),
+            None => default,
+        }
+    }
+}
+
+fn parse_city(args: &Args) -> CityPreset {
+    match args.get("city").unwrap_or("chicago") {
+        "boston" => CityPreset::Boston,
+        "sf" | "san-francisco" | "sanfrancisco" => CityPreset::SanFrancisco,
+        "chicago" => CityPreset::Chicago,
+        "la" | "los-angeles" | "losangeles" => CityPreset::LosAngeles,
+        other => {
+            eprintln!("unknown city {other:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_scale(args: &Args) -> Scale {
+    match args.get("scale").unwrap_or("small") {
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "paper" => Scale::Paper,
+        other => Scale::Custom(other.parse().unwrap_or_else(|_| {
+            eprintln!("bad scale {other:?}");
+            usage()
+        })),
+    }
+}
+
+fn parse_weight(args: &Args) -> WeightType {
+    match args.get("weight").unwrap_or("time") {
+        "length" => WeightType::Length,
+        "time" => WeightType::Time,
+        other => {
+            eprintln!("unknown weight {other:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_cost(args: &Args) -> CostType {
+    match args.get("cost").unwrap_or("uniform") {
+        "uniform" => CostType::Uniform,
+        "lanes" => CostType::Lanes,
+        "width" => CostType::Width,
+        other => {
+            eprintln!("unknown cost {other:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_algorithm(args: &Args) -> Box<dyn AttackAlgorithm> {
+    match args.get("algorithm").unwrap_or("greedy-pathcover") {
+        "lp" | "lp-pathcover" => Box::new(LpPathCover::default()),
+        "greedy-pathcover" | "pathcover" => Box::new(GreedyPathCover),
+        "greedy-edge" | "edge" => Box::new(GreedyEdge),
+        "greedy-eig" | "eig" => Box::new(GreedyEig::default()),
+        "greedy-betweenness" | "betweenness" => Box::new(GreedyBetweenness::default()),
+        other => {
+            eprintln!("unknown algorithm {other:?}");
+            usage()
+        }
+    }
+}
+
+/// Builds the city and picks the hospital/source for attack-style
+/// subcommands.
+fn setup(args: &Args) -> (RoadNetwork, NodeId, String, NodeId) {
+    let preset = parse_city(args);
+    let city = preset.build(parse_scale(args), args.num("seed", 42u64));
+    let hospitals: Vec<_> = city.pois_of_kind(PoiKind::Hospital).cloned().collect();
+    let hidx: usize = args.num("hospital", 0usize);
+    if hospitals.is_empty() {
+        eprintln!("city has no hospitals");
+        std::process::exit(1);
+    }
+    if hidx >= hospitals.len() {
+        eprintln!(
+            "--hospital {hidx} out of range: city has {} hospitals (0-{})",
+            hospitals.len(),
+            hospitals.len() - 1
+        );
+        std::process::exit(1);
+    }
+    let hospital = hospitals[hidx].clone();
+    let source = match args.get("source") {
+        Some(v) => {
+            let idx = v.parse::<usize>().unwrap_or_else(|_| usage());
+            if idx >= city.num_nodes() {
+                eprintln!(
+                    "--source {idx} out of range: city has {} intersections",
+                    city.num_nodes()
+                );
+                std::process::exit(1);
+            }
+            NodeId::new(idx)
+        }
+        None => {
+            // deterministic far source
+            let w = parse_weight(args).compute(&city);
+            let view = GraphView::new(&city);
+            let mut dij = Dijkstra::new(city.num_nodes());
+            let dist = dij.distances(&view, |e| w[e.index()], hospital.node, Direction::Backward);
+            (0..city.num_nodes())
+                .filter(|&v| dist[v].is_finite() && v != hospital.node.index())
+                .max_by(|&a, &b| dist[a].total_cmp(&dist[b]))
+                .map(NodeId::new)
+                .unwrap_or(NodeId::new(0))
+        }
+    };
+    let name = hospital.name.clone();
+    (city, source, name, hospital.node)
+}
+
+fn cmd_generate(args: &Args) -> ExitCode {
+    let preset = parse_city(args);
+    let city = preset.build(parse_scale(args), args.num("seed", 42u64));
+    let s = summarize(&city);
+    println!("{}: {} intersections, {} road segments, avg degree {:.2}", s.city, s.nodes, s.edges, s.avg_degree);
+    println!(
+        "orientation order φ = {:.3}, circuity = {:.3}",
+        orientation_order(&city),
+        average_circuity(&city, 60).unwrap_or(f64::NAN)
+    );
+    for p in city.pois() {
+        println!("  {} ({}) at node {}", p.name, p.kind, p.node);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_attack(args: &Args) -> ExitCode {
+    let (city, source, hospital_name, hospital) = setup(args);
+    let weight = parse_weight(args);
+    let cost = parse_cost(args);
+    let rank = args.num("rank", 50usize);
+    let problem =
+        match AttackProblem::with_path_rank(&city, weight, cost, source, hospital, rank) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot set up instance: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let alg = parse_algorithm(args);
+    let out = alg.attack(&problem);
+    println!(
+        "{} forcing {} → {} onto the rank-{rank} route ({} segments, {:.1} {} vs optimal {:.1})",
+        out.algorithm,
+        source,
+        hospital_name,
+        problem.pstar().len(),
+        problem.pstar_weight(),
+        if weight == WeightType::Time { "s" } else { "m" },
+        {
+            let w = weight.compute(&city);
+            let mut dij = Dijkstra::new(city.num_nodes());
+            dij.shortest_path(&GraphView::new(&city), |e| w[e.index()], source, hospital)
+                .map(|p| p.total_weight())
+                .unwrap_or(f64::NAN)
+        },
+    );
+    println!(
+        "status {:?}: removed {} segments, total cost {:.2}, {:.2} ms",
+        out.status,
+        out.num_removed(),
+        out.total_cost,
+        out.runtime.as_secs_f64() * 1e3
+    );
+    for &e in &out.removed {
+        let (u, v) = city.edge_endpoints(e);
+        let a = city.edge_attrs(e);
+        println!("  cut {e}: {u} → {v} ({}, {:.0} m, {} lanes)", a.class, a.length_m, a.lanes);
+    }
+    if out.is_success() {
+        out.verify(&problem).expect("verification");
+        println!("verified: p* is the exclusive shortest path");
+    }
+    if let Some(path) = args.get("svg") {
+        let svg = render_svg(
+            &city,
+            &FigureSpec {
+                pstar: problem.pstar().clone(),
+                removed: out.removed.clone(),
+                source,
+                target: hospital,
+                title: format!("{} attack on {}", out.algorithm, city.name()),
+            },
+        );
+        if let Err(e) = std::fs::write(path, svg) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_recon(args: &Args) -> ExitCode {
+    let preset = parse_city(args);
+    let city = preset.build(parse_scale(args), args.num("seed", 42u64));
+    let top = critical_segments(&city, parse_weight(args), Some(64), args.num("top", 10usize));
+    println!("most critical segments of {} (sampled betweenness):", city.name());
+    for (i, seg) in top.iter().enumerate() {
+        let (u, v) = city.edge_endpoints(seg.edge);
+        println!(
+            "{:>3}. {} → {} ({}, {:.0} m) betweenness {:.0}",
+            i + 1,
+            u,
+            v,
+            seg.class,
+            seg.length_m,
+            seg.betweenness
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_harden(args: &Args) -> ExitCode {
+    let (city, source, hospital_name, hospital) = setup(args);
+    let rank = args.num("rank", 30usize);
+    let problem = match AttackProblem::with_path_rank(
+        &city,
+        parse_weight(args),
+        parse_cost(args),
+        source,
+        hospital,
+        rank,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot set up instance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match minimal_hardening(&problem, args.num("max-hardened", 64usize)) {
+        Some(plan) if plan.edges.is_empty() => {
+            println!("{source} → {hospital_name}: already defensible (an unblockable route is fast enough)");
+        }
+        Some(plan) => {
+            println!(
+                "{source} → {hospital_name}: harden {} segments (witness route weight {:.1}):",
+                plan.num_edges(),
+                plan.witness_weight
+            );
+            for &e in &plan.edges {
+                let (u, v) = city.edge_endpoints(e);
+                println!("  protect {e}: {u} → {v}");
+            }
+            let hardened = problem.clone().with_protected_edges(plan.edges.clone());
+            let after = GreedyPathCover.attack(&hardened);
+            println!("attack after hardening: {:?}", after.status);
+        }
+        None => println!("no witness route within the hardening cap"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_isolate(args: &Args) -> ExitCode {
+    let (city, _, hospital_name, hospital) = setup(args);
+    let radius: f64 = args.num("radius", 400.0f64);
+    let center = city.node_point(hospital);
+    let area: Vec<NodeId> = city
+        .nodes()
+        .filter(|&v| city.node_point(v).distance(center) < radius)
+        .collect();
+    let costs = parse_cost(args).compute(&city);
+    match isolate_area(&GraphView::new(&city), &area, |e| costs[e.index()]) {
+        Some(cut) => {
+            println!(
+                "blockade isolating {} intersections around {}: {} segments, cost {:.1}",
+                area.len(),
+                hospital_name,
+                cut.edges.len(),
+                cut.total_cost
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("area is empty or covers the whole city");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_impact(args: &Args) -> ExitCode {
+    let (city, source, hospital_name, hospital) = setup(args);
+    let problem = match AttackProblem::with_path_rank(
+        &city,
+        parse_weight(args),
+        parse_cost(args),
+        source,
+        hospital,
+        args.num("rank", 20usize),
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot set up instance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = GreedyPathCover.attack(&problem);
+    let demand = OdMatrix::synthetic_hospital_demand(
+        &city,
+        args.num("trips", 40usize),
+        350.0,
+        args.num("seed", 42u64),
+    );
+    let report = attack_impact(&city, &demand, &out.removed, &AssignmentConfig::default());
+    println!(
+        "attack on {source} → {hospital_name}: {} cuts; city-wide impact on {:.0} veh/h:",
+        out.num_removed(),
+        demand.total_vph()
+    );
+    println!(
+        "  mean trip {:.1} s → {:.1} s ({:+.2} %), {:+.0} veh·s/h system time, {:.0} veh/h stranded",
+        report.before.mean_trip_time_s,
+        report.after.mean_trip_time_s,
+        report.relative_slowdown() * 100.0,
+        report.extra_time_veh_s,
+        report.newly_unserved_vph
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_coordinate(args: &Args) -> ExitCode {
+    let preset = parse_city(args);
+    let city = preset.build(parse_scale(args), args.num("seed", 42u64));
+    let hospital = city
+        .pois_of_kind(PoiKind::Hospital)
+        .next()
+        .expect("hospital")
+        .clone();
+    let victims: usize = args.num("victims", 3usize);
+    let n = city.num_nodes();
+    let problems: Vec<AttackProblem<'_>> = (0..victims)
+        .filter_map(|i| {
+            AttackProblem::with_path_rank(
+                &city,
+                parse_weight(args),
+                parse_cost(args),
+                NodeId::new((97 + i * (n / victims.max(1) + 13)) % n),
+                hospital.node,
+                args.num("rank", 10usize),
+            )
+            .ok()
+        })
+        .collect();
+    println!("{} victim trips to {}", problems.len(), hospital.name);
+    match coordinated_attack(&problems) {
+        Ok(out) => {
+            println!(
+                "joint cut: {:?}, {} segments, cost {:.1} ({} constraint paths)",
+                out.status,
+                out.num_removed(),
+                out.total_cost,
+                out.constraints_discovered
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        usage();
+    };
+    let args = Args::parse(rest);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "attack" => cmd_attack(&args),
+        "recon" => cmd_recon(&args),
+        "harden" => cmd_harden(&args),
+        "isolate" => cmd_isolate(&args),
+        "impact" => cmd_impact(&args),
+        "coordinate" => cmd_coordinate(&args),
+        _ => usage(),
+    }
+}

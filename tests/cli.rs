@@ -1,0 +1,111 @@
+//! End-to-end tests of the `metro-attack` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_metro-attack"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn generate_prints_summary() {
+    let (ok, stdout, _) = run(&["generate", "--city", "chicago", "--scale", "0.05"]);
+    assert!(ok);
+    assert!(stdout.contains("Chicago"));
+    assert!(stdout.contains("intersections"));
+    assert!(stdout.contains("orientation order"));
+    assert!(stdout.contains("Northwestern Memorial Hospital"));
+}
+
+#[test]
+fn attack_succeeds_and_verifies() {
+    let (ok, stdout, _) = run(&[
+        "attack", "--city", "boston", "--scale", "0.05", "--rank", "10",
+        "--algorithm", "greedy-pathcover",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("status Success"));
+    assert!(stdout.contains("verified: p* is the exclusive shortest path"));
+}
+
+#[test]
+fn attack_writes_svg() {
+    let dir = std::env::temp_dir().join(format!("ma-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let svg = dir.join("attack.svg");
+    let (ok, _, _) = run(&[
+        "attack", "--city", "chicago", "--scale", "0.05", "--rank", "8",
+        "--svg", svg.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let content = std::fs::read_to_string(&svg).unwrap();
+    assert!(content.starts_with("<svg"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recon_lists_top_segments() {
+    let (ok, stdout, _) = run(&["recon", "--city", "sf", "--scale", "0.05", "--top", "5"]);
+    assert!(ok);
+    assert!(stdout.contains("most critical segments"));
+    let rows = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with(char::is_numeric) && l.contains("betweenness"))
+        .count();
+    assert_eq!(rows, 5, "{stdout}");
+}
+
+#[test]
+fn harden_reports_plan_or_defensible() {
+    let (ok, stdout, _) = run(&["harden", "--city", "chicago", "--scale", "0.05", "--rank", "8"]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("harden") || stdout.contains("already defensible"),
+        "{stdout}"
+    );
+    if stdout.contains("attack after hardening") {
+        assert!(stdout.contains("Stuck"), "{stdout}");
+    }
+}
+
+#[test]
+fn isolate_reports_blockade() {
+    let (ok, stdout, _) = run(&["isolate", "--city", "sf", "--scale", "0.05", "--radius", "300"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("blockade isolating"));
+}
+
+#[test]
+fn impact_reports_slowdown() {
+    let (ok, stdout, _) = run(&[
+        "impact", "--city", "chicago", "--scale", "0.05", "--trips", "10", "--rank", "8",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("city-wide impact"));
+    assert!(stdout.contains("mean trip"));
+}
+
+#[test]
+fn coordinate_runs() {
+    let (ok, stdout, _) = run(&[
+        "coordinate", "--city", "chicago", "--scale", "0.05", "--victims", "2", "--rank", "6",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("joint cut"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (ok, _, _) = run(&["attack", "--city", "atlantis"]);
+    assert!(!ok);
+}

@@ -1,0 +1,185 @@
+//! Tests for the paper's headline experimental findings (§III-B), at
+//! reduced scale: the *shape* of every claim should reproduce even on
+//! small synthetic cities.
+
+use metro_attack::prelude::*;
+
+/// Runs a small experiment set and returns the aggregate rows.
+fn small_set(
+    preset: CityPreset,
+    weight: WeightType,
+    seed: u64,
+) -> Vec<experiments::AggregateRow> {
+    let mut plan = ExperimentPlan::smoke(preset, weight, seed);
+    plan.cost_types = vec![CostType::Uniform, CostType::Lanes, CostType::Width];
+    plan.path_rank = 15;
+    plan.sources_per_hospital = 2;
+    let records = run_plan(&plan);
+    aggregate(&records)
+}
+
+#[test]
+fn cost_type_ordering_uniform_lanes_width() {
+    // Paper: "a clear increase in the average cost of removed edges
+    // across the different edge removal cost options".
+    let rows = small_set(CityPreset::SanFrancisco, WeightType::Time, 1);
+    for alg in ["LP-PathCover", "GreedyPathCover"] {
+        let acre = |cost: CostType| {
+            rows.iter()
+                .find(|r| r.algorithm == alg && r.cost == cost)
+                .map(|r| r.acre)
+                .unwrap_or_else(|| panic!("missing row {alg}/{cost:?}"))
+        };
+        let u = acre(CostType::Uniform);
+        let w = acre(CostType::Width);
+        assert!(
+            u < w,
+            "{alg}: ACRE must grow from UNIFORM ({u:.2}) to WIDTH ({w:.2})"
+        );
+    }
+}
+
+#[test]
+fn pathcover_cheaper_or_equal_to_naive_in_aggregate() {
+    // Paper: "the more intelligent algorithms often found solutions half
+    // the cost of the naive algorithm's solutions".
+    let rows = small_set(CityPreset::Boston, WeightType::Time, 2);
+    for cost in [CostType::Lanes, CostType::Width] {
+        let acre = |alg: &str| {
+            rows.iter()
+                .find(|r| r.algorithm == alg && r.cost == cost)
+                .map(|r| r.acre)
+                .unwrap()
+        };
+        assert!(
+            acre("GreedyPathCover") <= acre("GreedyEdge") + 1e-9,
+            "{cost:?}: GreedyPathCover ACRE {} vs GreedyEdge {}",
+            acre("GreedyPathCover"),
+            acre("GreedyEdge")
+        );
+        assert!(
+            acre("LP-PathCover") <= acre("GreedyEdge") + 1e-9,
+            "{cost:?}: LP-PathCover ACRE {} vs GreedyEdge {}",
+            acre("LP-PathCover"),
+            acre("GreedyEdge")
+        );
+    }
+}
+
+#[test]
+fn all_experiments_succeed() {
+    // Paper: "all the algorithms were effective enough to come up with
+    // viable solutions".
+    for preset in [CityPreset::Chicago, CityPreset::Boston] {
+        let rows = small_set(preset, WeightType::Length, 3);
+        for r in &rows {
+            assert_eq!(
+                r.successes, r.n,
+                "{}/{:?} on {}: {}/{} succeeded",
+                r.algorithm,
+                r.cost,
+                preset.name(),
+                r.successes,
+                r.n
+            );
+        }
+    }
+}
+
+#[test]
+fn weight_type_does_not_drastically_change_aner() {
+    // Paper Table IX: LENGTH vs TIME changes ANER by well under 2×.
+    let len_rows = small_set(CityPreset::Chicago, WeightType::Length, 4);
+    let time_rows = small_set(CityPreset::Chicago, WeightType::Time, 4);
+    let avg = |rows: &[experiments::AggregateRow]| {
+        rows.iter().map(|r| r.aner).sum::<f64>() / rows.len() as f64
+    };
+    let (l, t) = (avg(&len_rows), avg(&time_rows));
+    assert!(l > 0.0 && t > 0.0);
+    let ratio = if l > t { l / t } else { t / l };
+    assert!(
+        ratio < 2.5,
+        "ANER should be comparable across weight types: LENGTH {l:.2} vs TIME {t:.2}"
+    );
+}
+
+#[test]
+fn threshold_ordering_matches_table10() {
+    // Paper Table X: Boston (7.93 %) > San Francisco (4.23 %) >
+    // Chicago (1.58 %) for the 100th-path increase. At small scale a
+    // single seed is noisy, so we average three generated cities per
+    // preset (rank 20, TIME weight) and require the same ordering of the
+    // means, mirroring how the paper averages 40 experiments.
+    let k1 = 20;
+    let k2 = 30;
+    let mean_gap = |preset: CityPreset| {
+        let mut total = 0.0;
+        for seed in [1u64, 2, 3] {
+            let city = preset.build(Scale::Small, seed);
+            let row = threshold_row(&city, WeightType::Time, k1, k2, 3, seed);
+            assert!(row.pairs > 0, "{preset}: no usable pairs at seed {seed}");
+            total += row.avg_increase_k1_pct;
+        }
+        total / 3.0
+    };
+    let boston = mean_gap(CityPreset::Boston);
+    let sf = mean_gap(CityPreset::SanFrancisco);
+    let chicago = mean_gap(CityPreset::Chicago);
+    assert!(
+        boston > sf,
+        "Boston ({boston:.2}%) must exceed San Francisco ({sf:.2}%)"
+    );
+    assert!(
+        sf > chicago,
+        "San Francisco ({sf:.2}%) must exceed Chicago ({chicago:.2}%)"
+    );
+}
+
+#[test]
+fn runtime_feasibility_and_stable_ordering() {
+    // Paper: attack strategies are found "in a matter of seconds"; our
+    // Rust implementation must stay far under that. Exact orderings
+    // among the sub-millisecond algorithms are timing noise at tiny
+    // scale, so only the robust signals are asserted: every attack is
+    // fast, and GreedyEig (dominated by its power-iteration
+    // precomputation) is the slowest of the four.
+    let rows = small_set(CityPreset::Chicago, WeightType::Time, 7);
+    let rt = |alg: &str| {
+        let r: Vec<&experiments::AggregateRow> =
+            rows.iter().filter(|r| r.algorithm == alg).collect();
+        r.iter().map(|x| x.avg_runtime_s).sum::<f64>() / r.len() as f64
+    };
+    for alg in ["LP-PathCover", "GreedyPathCover", "GreedyEdge", "GreedyEig"] {
+        assert!(
+            rt(alg) < 1.0,
+            "{alg} took {:.3}s on a small city — far beyond 'a matter of seconds' scaled down",
+            rt(alg)
+        );
+    }
+    assert!(
+        rt("GreedyEig") > rt("GreedyEdge"),
+        "GreedyEig ({:.6}s) should dominate GreedyEdge ({:.6}s) via its eigencentrality precompute",
+        rt("GreedyEig"),
+        rt("GreedyEdge")
+    );
+}
+
+#[test]
+fn table_one_summaries_scale_with_preset() {
+    // Table I ordering: LA > Chicago > Boston ≈ SF in node count.
+    let seed = 12;
+    let la = summarize(&CityPreset::LosAngeles.build(Scale::Small, seed));
+    let chi = summarize(&CityPreset::Chicago.build(Scale::Small, seed));
+    let bos = summarize(&CityPreset::Boston.build(Scale::Small, seed));
+    assert!(la.nodes > chi.nodes, "LA {} vs Chicago {}", la.nodes, chi.nodes);
+    assert!(chi.nodes > bos.nodes, "Chicago {} vs Boston {}", chi.nodes, bos.nodes);
+    // avg degree in a plausible street-network range
+    for s in [&la, &chi, &bos] {
+        assert!(
+            s.avg_degree > 2.0 && s.avg_degree < 8.0,
+            "{}: degree {:.2}",
+            s.city,
+            s.avg_degree
+        );
+    }
+}
