@@ -13,9 +13,7 @@
 use citygen::{CityPreset, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};
 use lp::{ConstraintOp, Problem as LpProblem};
-use pathattack::{
-    AttackAlgorithm, AttackProblem, CostType, GreedyEig, Oracle, WeightType,
-};
+use pathattack::{AttackAlgorithm, AttackProblem, CostType, GreedyEig, Oracle, WeightType};
 use routing::{k_shortest_paths, k_shortest_paths_with, Dijkstra, YenConfig};
 use std::time::Duration;
 use traffic_graph::{

@@ -9,8 +9,7 @@ use pathattack::WeightType;
 use routing::{bidirectional_shortest_path, k_shortest_paths, AStar, Dijkstra};
 use std::time::Duration;
 use traffic_graph::{
-    edge_betweenness, eigenvector_centrality, isolate_area, GraphView, NodeId, PoiKind,
-    RoadNetwork,
+    edge_betweenness, eigenvector_centrality, isolate_area, GraphView, NodeId, PoiKind, RoadNetwork,
 };
 
 fn city() -> RoadNetwork {
@@ -111,7 +110,9 @@ fn centrality_and_flow(c: &mut Criterion) {
     g.bench_function("eigenvector_centrality", |b| {
         b.iter(|| eigenvector_centrality(&view, 100, 1e-8))
     });
-    let sample: Vec<NodeId> = (0..16).map(|i| NodeId::new(i * 37 % net.num_nodes())).collect();
+    let sample: Vec<NodeId> = (0..16)
+        .map(|i| NodeId::new(i * 37 % net.num_nodes()))
+        .collect();
     g.bench_function("edge_betweenness_16_sources", |b| {
         b.iter(|| edge_betweenness(&view, |e| weight[e.index()], Some(&sample)))
     });

@@ -47,7 +47,12 @@ fn table1_city_graphs(c: &mut Criterion) {
 }
 
 /// Benchmarks the four algorithms for one (city, weight) table.
-fn bench_experiment_table(c: &mut Criterion, number: usize, preset: CityPreset, weight: WeightType) {
+fn bench_experiment_table(
+    c: &mut Criterion,
+    number: usize,
+    preset: CityPreset,
+    weight: WeightType,
+) {
     let cfg = RunConfig {
         scale: bench_scale(),
         seed: 42,
@@ -80,10 +85,9 @@ fn bench_experiment_table(c: &mut Criterion, number: usize, preset: CityPreset, 
             continue;
         };
         for alg in all_algorithms() {
-            g.bench_function(
-                BenchmarkId::new(alg.name(), cost.name()),
-                |b| b.iter(|| alg.attack(&problem)),
-            );
+            g.bench_function(BenchmarkId::new(alg.name(), cost.name()), |b| {
+                b.iter(|| alg.attack(&problem))
+            });
         }
     }
     g.finish();
@@ -103,13 +107,18 @@ fn table9_aggregation(c: &mut Criterion) {
     let records: Vec<ExperimentRecord> = (0..480)
         .map(|i| ExperimentRecord {
             city: "Chicago".into(),
-            weight: if i % 2 == 0 { WeightType::Length } else { WeightType::Time },
+            weight: if i % 2 == 0 {
+                WeightType::Length
+            } else {
+                WeightType::Time
+            },
             cost: CostType::ALL[i % 3],
             algorithm: ["LP-PathCover", "GreedyPathCover", "GreedyEdge", "GreedyEig"][i % 4]
                 .to_string(),
             hospital: format!("H{}", i % 4),
             source: i,
             runtime_s: 0.01 * (i % 7) as f64,
+            iterations: 3 + i % 5,
             edges_removed: 3 + i % 5,
             cost_removed: 4.0 + (i % 9) as f64,
             status: AttackStatus::Success,

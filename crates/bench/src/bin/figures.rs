@@ -33,9 +33,7 @@ fn main() {
                 };
             }
             "--seed" => cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
-            "--rank" => {
-                cfg.path_rank = args.next().and_then(|v| v.parse().ok()).expect("--rank K")
-            }
+            "--rank" => cfg.path_rank = args.next().and_then(|v| v.parse().ok()).expect("--rank K"),
             "--out" => out = args.next().expect("--out DIR"),
             other => panic!("unknown argument {other:?}"),
         }
@@ -55,6 +53,9 @@ fn main() {
         let slug = preset.name().to_lowercase().replace(' ', "_");
         let path = format!("{out}/fig{n}_{slug}.svg");
         std::fs::write(&path, &svg).expect("write SVG");
-        println!("wrote {path} ({} KiB, {removed} removed segments)", svg.len() / 1024);
+        println!(
+            "wrote {path} ({} KiB, {removed} removed segments)",
+            svg.len() / 1024
+        );
     }
 }

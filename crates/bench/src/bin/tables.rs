@@ -29,13 +29,7 @@ fn parse_args() -> (Option<usize>, RunConfig, Option<String>, Option<String>) {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--table" => {
-                table = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--table N"),
-                )
-            }
+            "--table" => table = Some(args.next().and_then(|v| v.parse().ok()).expect("--table N")),
             "--scale" => {
                 let v = args.next().expect("--scale value");
                 cfg.scale = match v.as_str() {
@@ -47,12 +41,12 @@ fn parse_args() -> (Option<usize>, RunConfig, Option<String>, Option<String>) {
             }
             "--seed" => cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
             "--sources" => {
-                cfg.sources_per_hospital =
-                    args.next().and_then(|v| v.parse().ok()).expect("--sources N")
+                cfg.sources_per_hospital = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sources N")
             }
-            "--rank" => {
-                cfg.path_rank = args.next().and_then(|v| v.parse().ok()).expect("--rank K")
-            }
+            "--rank" => cfg.path_rank = args.next().and_then(|v| v.parse().ok()).expect("--rank K"),
             "--out" => out = Some(args.next().expect("--out DIR")),
             "--csv" => csv = Some(args.next().expect("--csv DIR")),
             other => panic!("unknown argument {other:?}"),

@@ -8,8 +8,8 @@
 use citygen::{summarize, CityPreset, CitySummary, Scale};
 use experiments::{
     aggregate, city_average, render_experiment_table, render_svg, render_table1, render_table10,
-    render_table9, run_plan, threshold_row, AggregateRow, CityAverage,
-    ExperimentPlan, FigureSpec, ThresholdRow,
+    render_table9, run_plan, threshold_row, AggregateRow, CityAverage, ExperimentPlan, FigureSpec,
+    ThresholdRow,
 };
 use pathattack::{AttackAlgorithm, AttackProblem, CostType, GreedyPathCover, WeightType};
 use traffic_graph::{GraphView, NodeId, PoiKind, RoadNetwork};
@@ -181,7 +181,13 @@ pub fn table10(cfg: &RunConfig) -> String {
 
 /// The (city, hospital substring, weight, cost) behind Figures 1–4.
 pub const FIGURES: [(usize, CityPreset, &str, WeightType, CostType); 4] = [
-    (1, CityPreset::Boston, "Brigham", WeightType::Length, CostType::Width),
+    (
+        1,
+        CityPreset::Boston,
+        "Brigham",
+        WeightType::Length,
+        CostType::Width,
+    ),
     (
         2,
         CityPreset::SanFrancisco,
@@ -270,13 +276,20 @@ pub fn pick_far_source(
     let w = weight.compute(city);
     let view = GraphView::new(city);
     let mut dij = routing::Dijkstra::new(city.num_nodes());
-    let dist = dij.distances(&view, |e| w[e.index()], target, routing::Direction::Backward);
+    let dist = dij.distances(
+        &view,
+        |e| w[e.index()],
+        target,
+        routing::Direction::Backward,
+    );
     // take a high-but-not-extreme percentile, rotated by seed for variety
     let mut nodes: Vec<usize> = (0..city.num_nodes())
         .filter(|&v| dist[v].is_finite() && v != target.index())
         .collect();
     nodes.sort_by(|&a, &b| dist[a].total_cmp(&dist[b]));
-    let idx = nodes.len().saturating_sub(1 + (seed as usize % (nodes.len() / 10 + 1)));
+    let idx = nodes
+        .len()
+        .saturating_sub(1 + (seed as usize % (nodes.len() / 10 + 1)));
     NodeId::new(nodes[idx])
 }
 

@@ -160,10 +160,10 @@ pub fn generate_coastal(name: &str, cfg: &CoastalConfig, seed: u64) -> RoadNetwo
     };
 
     let add_segment = |b: &mut RoadNetworkBuilder,
-                           rng: &mut SmallRng,
-                           from: NodeId,
-                           to: NodeId,
-                           class: RoadClass| {
+                       rng: &mut SmallRng,
+                       from: NodeId,
+                       to: NodeId,
+                       class: RoadClass| {
         if rng.gen_bool(cfg.block_removal_prob.clamp(0.0, 1.0)) {
             return;
         }
@@ -171,8 +171,8 @@ pub fn generate_coastal(name: &str, cfg: &CoastalConfig, seed: u64) -> RoadNetwo
         let pb = b.node_point(to);
         let base = pa.distance(pb);
         // slope between endpoints scales both crookedness and speed
-        let slope = (terrain.elevation(pa) - terrain.elevation(pb)).abs()
-            / (base / cfg.block_m).max(1e-9);
+        let slope =
+            (terrain.elevation(pa) - terrain.elevation(pb)).abs() / (base / cfg.block_m).max(1e-9);
         let steep = slope.min(1.0);
         let noise = 1.0 + rng.gen_range(0.0..=cfg.length_noise.max(1e-9)) + steep * 0.15;
         let mut attrs = EdgeAttrs::from_class(class, base * noise);
@@ -239,8 +239,7 @@ mod tests {
             .edges()
             .filter(|&e| {
                 let a = net.edge_attrs(e);
-                a.class == RoadClass::Residential
-                    && a.speed_limit_mps < residential_default * 0.95
+                a.class == RoadClass::Residential && a.speed_limit_mps < residential_default * 0.95
             })
             .count();
         assert!(slowed > 0, "expected hill-slowed streets");

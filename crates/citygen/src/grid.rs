@@ -123,11 +123,11 @@ pub fn generate_grid(name: &str, cfg: &GridConfig, seed: u64) -> RoadNetwork {
         .collect();
 
     let add_segment = |b: &mut RoadNetworkBuilder,
-                           rng: &mut SmallRng,
-                           from: NodeId,
-                           to: NodeId,
-                           class: RoadClass,
-                           oneway_forward: Option<bool>| {
+                       rng: &mut SmallRng,
+                       from: NodeId,
+                       to: NodeId,
+                       class: RoadClass,
+                       oneway_forward: Option<bool>| {
         if rng.gen_bool(cfg.block_removal_prob.clamp(0.0, 1.0)) {
             return;
         }

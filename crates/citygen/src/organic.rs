@@ -94,8 +94,7 @@ pub fn generate_organic(name: &str, cfg: &OrganicConfig, seed: u64) -> RoadNetwo
         let mut ring = Vec::with_capacity(count);
         for j in 0..count {
             let base_angle = 2.0 * std::f64::consts::PI * j as f64 / count as f64;
-            let angle = base_angle
-                + rng.gen_range(-cfg.jitter..=cfg.jitter) / i as f64; // tighter jitter outside
+            let angle = base_angle + rng.gen_range(-cfg.jitter..=cfg.jitter) / i as f64; // tighter jitter outside
             let r = radius * (1.0 + rng.gen_range(-cfg.jitter..=cfg.jitter) * 0.3);
             ring.push(b.add_node(Point::new(r * angle.cos(), r * angle.sin())));
         }
@@ -120,7 +119,11 @@ pub fn generate_organic(name: &str, cfg: &OrganicConfig, seed: u64) -> RoadNetwo
             let a = ring[j];
             let c = ring[(j + 1) % ring.len()];
             let base = b.node_point(a).distance(b.node_point(c));
-            b.add_two_way(a, c, EdgeAttrs::from_class(class, crooked(&mut rng, base, cfg.length_noise)));
+            b.add_two_way(
+                a,
+                c,
+                EdgeAttrs::from_class(class, crooked(&mut rng, base, cfg.length_noise)),
+            );
         }
     }
 
@@ -174,7 +177,8 @@ pub fn generate_organic(name: &str, cfg: &OrganicConfig, seed: u64) -> RoadNetwo
                 .iter()
                 .copied()
                 .min_by(|&x, &y| {
-                    angle_dist(b.node_point(x), bearing).total_cmp(&angle_dist(b.node_point(y), bearing))
+                    angle_dist(b.node_point(x), bearing)
+                        .total_cmp(&angle_dist(b.node_point(y), bearing))
                 })
                 .expect("ring non-empty");
             let base = b.node_point(prev).distance(b.node_point(best));

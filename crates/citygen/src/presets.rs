@@ -148,10 +148,7 @@ impl CityPreset {
             .map(|(name, fx, fy)| {
                 (
                     (*name).to_string(),
-                    Point::new(
-                        bb.min_x + fx * bb.width(),
-                        bb.min_y + fy * bb.height(),
-                    ),
+                    Point::new(bb.min_x + fx * bb.width(), bb.min_y + fy * bb.height()),
                 )
             })
             .collect();

@@ -82,9 +82,9 @@ pub fn generate_sprawl(name: &str, cfg: &SprawlConfig, seed: u64) -> RoadNetwork
     // Lay one freeway as a chain of dedicated nodes, with two-way
     // motorway segments and ramps down to the nearest surface node.
     let lay_freeway = |b: &mut traffic_graph::RoadNetworkBuilder,
-                           rng: &mut SmallRng,
-                           horizontal: bool,
-                           frac: f64| {
+                       rng: &mut SmallRng,
+                       horizontal: bool,
+                       frac: f64| {
         let (start, end, fixed) = if horizontal {
             (bb.min_x, bb.max_x, bb.min_y + frac * bb.height())
         } else {
@@ -103,14 +103,20 @@ pub fn generate_sprawl(name: &str, cfg: &SprawlConfig, seed: u64) -> RoadNetwork
             let fw_node = b.add_node(p);
             if let Some(prev) = prev {
                 let len = b.node_point(prev).distance(p);
-                b.add_two_way(prev, fw_node, EdgeAttrs::from_class(RoadClass::Motorway, len));
+                b.add_two_way(
+                    prev,
+                    fw_node,
+                    EdgeAttrs::from_class(RoadClass::Motorway, len),
+                );
             }
             // Ramp to the nearest surface node (surface nodes are the
             // first `surface.num_nodes()` ids in the builder).
             let mut best = None;
             let mut best_d = f64::INFINITY;
             for v in 0..surface.num_nodes() {
-                let d = surface.node_point(traffic_graph::NodeId::new(v)).distance_sq(p);
+                let d = surface
+                    .node_point(traffic_graph::NodeId::new(v))
+                    .distance_sq(p);
                 if d < best_d {
                     best_d = d;
                     best = Some(traffic_graph::NodeId::new(v));

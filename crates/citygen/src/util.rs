@@ -39,11 +39,7 @@ pub fn restrict_to_largest_scc(net: &RoadNetwork) -> RoadNetwork {
         let (u, v) = net.edge_endpoints(e);
         let (ru, rv) = (remap[u.index()], remap[v.index()]);
         if ru != usize::MAX && rv != usize::MAX {
-            b.add_edge(
-                NodeId::new(ru),
-                NodeId::new(rv),
-                net.edge_attrs(e).clone(),
-            );
+            b.add_edge(NodeId::new(ru), NodeId::new(rv), net.edge_attrs(e).clone());
         }
     }
     b.build()
@@ -115,10 +111,7 @@ mod tests {
         let c = b.add_node(Point::new(100.0, 0.0));
         b.add_two_way(a, c, attrs());
         let net = b.build();
-        let with = attach_hospitals(
-            &net,
-            &[("General".to_string(), Point::new(50.0, 20.0))],
-        );
+        let with = attach_hospitals(&net, &[("General".to_string(), Point::new(50.0, 20.0))]);
         assert_eq!(with.pois().len(), 1);
         assert_eq!(with.pois()[0].kind, PoiKind::Hospital);
         assert!(is_strongly_connected(&with));

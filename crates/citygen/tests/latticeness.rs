@@ -36,7 +36,10 @@ fn san_francisco_sits_between() {
             between += 1;
         }
     }
-    assert!(between >= 2, "SF should usually sit between Boston and Chicago");
+    assert!(
+        between >= 2,
+        "SF should usually sit between Boston and Chicago"
+    );
 }
 
 #[test]

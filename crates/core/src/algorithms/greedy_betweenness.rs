@@ -54,8 +54,7 @@ impl AttackAlgorithm for GreedyBetweenness {
 
         let net = problem.network();
         let n = net.num_nodes().max(1);
-        let sample: Option<Vec<NodeId>> = if self.sample_sources == 0 || self.sample_sources >= n
-        {
+        let sample: Option<Vec<NodeId>> = if self.sample_sources == 0 || self.sample_sources >= n {
             None
         } else {
             let stride = (n / self.sample_sources).max(1);

@@ -104,7 +104,11 @@ mod tests {
         }
         for y in 0..2 {
             for x in 0..3 {
-                b.add_street(nodes[y * 4 + x], nodes[y * 4 + x + 1], RoadClass::Residential);
+                b.add_street(
+                    nodes[y * 4 + x],
+                    nodes[y * 4 + x + 1],
+                    RoadClass::Residential,
+                );
             }
         }
         for x in 0..4 {

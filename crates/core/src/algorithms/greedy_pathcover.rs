@@ -47,7 +47,11 @@ pub(crate) fn greedy_cover(
     problem: &AttackProblem<'_>,
     constraints: &[Path],
 ) -> Option<Vec<EdgeId>> {
-    greedy_cover_with(constraints, |e| problem.is_cuttable(e), |e| problem.cost_of(e))
+    greedy_cover_with(
+        constraints,
+        |e| problem.is_cuttable(e),
+        |e| problem.cost_of(e),
+    )
 }
 
 /// [`greedy_cover`] with an explicit joint-cuttability mask (used by the
@@ -77,15 +81,13 @@ where
                 }
             }
         }
-        let (&best, _) = count
-            .iter()
-            .max_by(|(ea, ca), (eb, cb)| {
-                let ra = **ca as f64 / cost(**ea);
-                let rb = **cb as f64 / cost(**eb);
-                ra.total_cmp(&rb)
-                    .then_with(|| ca.cmp(cb))
-                    .then_with(|| eb.cmp(ea))
-            })?;
+        let (&best, _) = count.iter().max_by(|(ea, ca), (eb, cb)| {
+            let ra = **ca as f64 / cost(**ea);
+            let rb = **cb as f64 / cost(**eb);
+            ra.total_cmp(&rb)
+                .then_with(|| ca.cmp(cb))
+                .then_with(|| eb.cmp(ea))
+        })?;
         cuts.push(best);
         uncovered.retain(|p| !p.contains_edge(best));
     }
@@ -104,9 +106,15 @@ impl AttackAlgorithm for GreedyPathCover {
 
         loop {
             // Derive the full cut set for the current constraint set.
-            let Some(cuts) = greedy_cover(problem, &constraints) else {
+            let cover = {
+                let _timer = obs::span("pathattack.greedy.cover");
+                greedy_cover(problem, &constraints)
+            };
+            let Some(cuts) = cover else {
                 return state.finish(self.name(), AttackStatus::Stuck);
             };
+            obs::inc("pathattack.greedy.rounds");
+            obs::record_value("pathattack.greedy.paths_covered", constraints.len() as u64);
             // Re-apply from a clean slate.
             state.view = problem.base_view().clone();
             state.removed.clear();

@@ -112,9 +112,7 @@ impl LpPathCover {
             lp.add_constraint(terms, ConstraintOp::Ge, 1.0);
         }
         match lp.solve() {
-            Outcome::Optimal(sol) => {
-                Some(edges.iter().zip(sol.x).map(|(&e, x)| (e, x)).collect())
-            }
+            Outcome::Optimal(sol) => Some(edges.iter().zip(sol.x).map(|(&e, x)| (e, x)).collect()),
             _ => None,
         }
     }
@@ -211,9 +209,7 @@ impl LpPathCover {
         fractional: &HashMap<EdgeId, f64>,
     ) -> Option<Vec<EdgeId>> {
         match self.rounding {
-            Rounding::Deterministic => {
-                Self::round_deterministic(problem, constraints, fractional)
-            }
+            Rounding::Deterministic => Self::round_deterministic(problem, constraints, fractional),
             Rounding::Randomized { seed, trials } => {
                 Self::round_randomized(problem, constraints, fractional, seed, trials)
             }
@@ -236,6 +232,8 @@ impl AttackAlgorithm for LpPathCover {
             let Some(cuts) = self.round_cover(problem, &constraints, &fractional) else {
                 return state.finish(self.name(), AttackStatus::Stuck);
             };
+            obs::inc("pathattack.lp.rounds");
+            obs::record_value("pathattack.lp.constraint_paths", constraints.len() as u64);
             state.view = problem.base_view().clone();
             state.removed.clear();
             state.total_cost = 0.0;
@@ -252,7 +250,11 @@ impl AttackAlgorithm for LpPathCover {
                         return state.finish(self.name(), AttackStatus::Stuck);
                     }
                     constraints.push(p);
-                    match Self::solve_relaxation(problem, &constraints) {
+                    let relaxed = {
+                        let _timer = obs::span("pathattack.lp.relaxation");
+                        Self::solve_relaxation(problem, &constraints)
+                    };
+                    match relaxed {
                         Some(x) => fractional = x,
                         None => return state.finish(self.name(), AttackStatus::Stuck),
                     }
@@ -331,10 +333,26 @@ mod tests {
         let m1 = b.add_node(Point::new(1.0, 1.0));
         let m2 = b.add_node(Point::new(1.0, -1.0));
         let d = b.add_node(Point::new(2.0, 0.0));
-        b.add_edge(a, m1, EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(1));
-        b.add_edge(m1, d, EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(4));
-        b.add_edge(a, m2, EdgeAttrs::from_class(RoadClass::Primary, 2.0).with_lanes(2));
-        b.add_edge(m2, d, EdgeAttrs::from_class(RoadClass::Primary, 2.0).with_lanes(3));
+        b.add_edge(
+            a,
+            m1,
+            EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(1),
+        );
+        b.add_edge(
+            m1,
+            d,
+            EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(4),
+        );
+        b.add_edge(
+            a,
+            m2,
+            EdgeAttrs::from_class(RoadClass::Primary, 2.0).with_lanes(2),
+        );
+        b.add_edge(
+            m2,
+            d,
+            EdgeAttrs::from_class(RoadClass::Primary, 2.0).with_lanes(3),
+        );
         // p* long way
         let alt = b.add_node(Point::new(1.0, -3.0));
         b.add_edge(a, alt, EdgeAttrs::from_class(RoadClass::Primary, 6.0));
@@ -354,7 +372,11 @@ mod tests {
         out.verify(&p).unwrap();
         // cheapest cut: 1-lane edge (cost 1) + 2-lane edge (cost 2) = 3
         assert_eq!(out.num_removed(), 2);
-        assert!((out.total_cost - 3.0).abs() < 1e-9, "cost {}", out.total_cost);
+        assert!(
+            (out.total_cost - 3.0).abs() < 1e-9,
+            "cost {}",
+            out.total_cost
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@ mod lp_pathcover;
 pub use greedy_betweenness::GreedyBetweenness;
 pub use greedy_edge::GreedyEdge;
 pub use greedy_eig::GreedyEig;
-pub use greedy_pathcover::GreedyPathCover;
 pub(crate) use greedy_pathcover::greedy_cover_multi;
+pub use greedy_pathcover::GreedyPathCover;
 pub use lp_pathcover::{LpPathCover, Rounding};
 
 use crate::{AttackOutcome, AttackProblem};
@@ -94,12 +94,19 @@ impl<'g, 'p> CutLoop<'g, 'p> {
 
     /// Finalizes the outcome with the given status.
     pub fn finish(self, algorithm: &str, status: crate::AttackStatus) -> AttackOutcome {
+        let runtime = self.started.elapsed();
+        if obs::enabled() {
+            obs::inc("pathattack.attack.runs");
+            obs::record_value("pathattack.attack.edges_cut", self.removed.len() as u64);
+            obs::record_value("pathattack.attack.iterations", self.iterations as u64);
+            obs::global().record_span("pathattack.attack.run", runtime.as_nanos() as u64, 0);
+        }
         AttackOutcome {
             algorithm: algorithm.to_string(),
             removed: self.removed,
             total_cost: self.total_cost,
             iterations: self.iterations,
-            runtime: self.started.elapsed(),
+            runtime,
             status,
         }
     }

@@ -89,7 +89,10 @@ impl Ord for State {
 /// let hardened = problem.clone().with_protected_edges(plan.edges.clone());
 /// assert_eq!(GreedyPathCover.attack(&hardened).status, AttackStatus::Stuck);
 /// ```
-pub fn minimal_hardening(problem: &AttackProblem<'_>, max_hardened: usize) -> Option<HardeningPlan> {
+pub fn minimal_hardening(
+    problem: &AttackProblem<'_>,
+    max_hardened: usize,
+) -> Option<HardeningPlan> {
     let net = problem.network();
     let n = net.num_nodes();
     let threshold = problem.pstar_weight() + problem.tie_margin();
@@ -139,7 +142,12 @@ pub fn minimal_hardening(problem: &AttackProblem<'_>, max_hardened: usize) -> Op
     // count whose witness stays within w(p*). Breaking on the first
     // target pop would return the minimum-WEIGHT witness instead, which
     // can need strictly more hardened edges.
-    while let Some(State { weight, node, count }) = heap.pop() {
+    while let Some(State {
+        weight,
+        node,
+        count,
+    }) = heap.pop()
+    {
         let (v, c) = (node as usize, count as usize);
         if weight > dist[idx(v, c)] + 1e-12 || weight > threshold {
             continue;
@@ -167,8 +175,7 @@ pub fn minimal_hardening(problem: &AttackProblem<'_>, max_hardened: usize) -> Op
         }
     }
 
-    let best_count =
-        (1..=kmax).find(|&c| dist[idx(t, c)] <= threshold + 1e-12);
+    let best_count = (1..=kmax).find(|&c| dist[idx(t, c)] <= threshold + 1e-12);
     let c = best_count?;
     // Extract the witness path and collect its cuttable edges.
     let mut edges_rev = Vec::new();
@@ -244,7 +251,10 @@ mod tests {
         assert_eq!(plan.num_edges(), 2);
         assert!((plan.witness_weight - 2.0).abs() < 1e-9);
         let hardened = p.clone().with_protected_edges(plan.edges.clone());
-        assert_eq!(GreedyPathCover.attack(&hardened).status, AttackStatus::Stuck);
+        assert_eq!(
+            GreedyPathCover.attack(&hardened).status,
+            AttackStatus::Stuck
+        );
     }
 
     #[test]
@@ -337,7 +347,10 @@ mod tests {
         assert_eq!(plan.num_edges(), 1, "{plan:?}");
         assert!((plan.witness_weight - 6.0).abs() < 1e-9);
         let hardened = p.clone().with_protected_edges(plan.edges.clone());
-        assert_eq!(GreedyPathCover.attack(&hardened).status, AttackStatus::Stuck);
+        assert_eq!(
+            GreedyPathCover.attack(&hardened).status,
+            AttackStatus::Stuck
+        );
     }
 
     #[test]

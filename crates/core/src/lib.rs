@@ -62,8 +62,8 @@ pub use algorithms::{
 };
 pub use defense::{minimal_hardening, HardeningPlan};
 pub use multi::{coordinated_attack, CoordinatedError, CoordinatedOutcome};
-pub use recon::{critical_segments, CriticalSegment};
 pub use problem::{AttackProblem, ProblemError};
+pub use recon::{critical_segments, CriticalSegment};
 pub use result::{AttackOutcome, AttackStatus};
 pub use search::Oracle;
 pub use weights::{CostType, WeightType};

@@ -196,7 +196,9 @@ pub fn coordinated_attack(
 mod tests {
     use super::*;
     use crate::{AttackAlgorithm, CostType, GreedyPathCover, WeightType};
-    use traffic_graph::{EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+    use traffic_graph::{
+        EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
+    };
 
     /// Two victims whose fast routes share a corridor.
     ///

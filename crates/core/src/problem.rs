@@ -432,7 +432,12 @@ mod tests {
         let view = GraphView::new(&net);
         let mut dij = routing::Dijkstra::new(net.num_nodes());
         let short = dij
-            .shortest_path(&view, |e| problem.weight_of(e), NodeId::new(0), NodeId::new(3))
+            .shortest_path(
+                &view,
+                |e| problem.weight_of(e),
+                NodeId::new(0),
+                NodeId::new(3),
+            )
             .unwrap();
         assert!(problem.is_violating(&short));
         assert!(!problem.is_violating(problem.pstar()));

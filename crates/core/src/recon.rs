@@ -94,8 +94,16 @@ mod tests {
         }
         for i in 0..4 {
             for j in (i + 1)..4 {
-                b.add_two_way(left[i], left[j], EdgeAttrs::from_class(RoadClass::Residential, 10.0));
-                b.add_two_way(right[i], right[j], EdgeAttrs::from_class(RoadClass::Residential, 10.0));
+                b.add_two_way(
+                    left[i],
+                    left[j],
+                    EdgeAttrs::from_class(RoadClass::Residential, 10.0),
+                );
+                b.add_two_way(
+                    right[i],
+                    right[j],
+                    EdgeAttrs::from_class(RoadClass::Residential, 10.0),
+                );
             }
         }
         b.add_two_way(

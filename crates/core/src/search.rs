@@ -27,6 +27,7 @@ pub struct Oracle {
 impl Oracle {
     /// Builds the oracle for `problem`, running one backward Dijkstra.
     pub fn new(problem: &AttackProblem<'_>) -> Self {
+        let _timer = obs::span("pathattack.oracle.build");
         let net = problem.network();
         let mut dij = Dijkstra::new(net.num_nodes());
         let rev = dij.distances(
@@ -75,6 +76,7 @@ impl Oracle {
         for &e in pstar.edges() {
             prefix_w.push(prefix_w.last().unwrap() + problem.weight_of(e));
         }
+        let mut spur_searches: u64 = 0;
 
         #[allow(clippy::needless_range_loop)] // i indexes nodes, edges and prefix weights together
         for i in 0..pstar.len() {
@@ -93,6 +95,7 @@ impl Oracle {
                 }
             }
             let rev = &self.rev;
+            spur_searches += 1;
             if let Some(spur) = self.astar.shortest_path(
                 &work,
                 |e| problem.weight_of(e),
@@ -101,10 +104,7 @@ impl Oracle {
                 problem.target(),
             ) {
                 let total = prefix_w[i] + spur.total_weight();
-                if best
-                    .as_ref()
-                    .is_none_or(|b| total < b.total_weight())
-                {
+                if best.as_ref().is_none_or(|b| total < b.total_weight()) {
                     let mut edges = pstar.edges()[..i].to_vec();
                     edges.extend_from_slice(spur.edges());
                     let joined = Path::from_edges(net, edges, |e| problem.weight_of(e))
@@ -116,6 +116,7 @@ impl Oracle {
                 work.restore_edge(e);
             }
         }
+        obs::add("pathattack.oracle.spur_searches", spur_searches);
         best
     }
 
@@ -128,6 +129,7 @@ impl Oracle {
         problem: &AttackProblem<'_>,
         view: &GraphView<'_>,
     ) -> Option<Path> {
+        obs::inc("pathattack.oracle.calls");
         let alt = self.best_alternative(problem, view)?;
         problem.is_violating(&alt).then_some(alt)
     }

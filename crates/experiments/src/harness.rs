@@ -9,9 +9,7 @@
 use crate::metrics::ExperimentRecord;
 use citygen::{CityPreset, Scale};
 use parking_lot::Mutex;
-use pathattack::{
-    all_algorithms, AttackProblem, CostType, ProblemError, WeightType,
-};
+use pathattack::{all_algorithms, AttackProblem, CostType, ProblemError, WeightType};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use routing::Path;
@@ -167,12 +165,19 @@ pub fn run_instances(
         for _ in 0..workers {
             scope.spawn(|_| {
                 let algorithms = all_algorithms();
+                // Per-thread registry: workers record (hospital, source)
+                // timings privately — zero contention on the global maps
+                // — then merge once at join time.
+                let telemetry = obs::enabled().then(obs::Registry::new);
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(inst) = instances.get(i) else {
                         break;
                     };
                     let mut local = Vec::new();
+                    let _inst_timer = telemetry
+                        .as_ref()
+                        .map(|reg| obs::span_in(reg, "harness.instance"));
                     for &cost in &plan.cost_types {
                         let problem = match AttackProblem::new(
                             traffic_graph::GraphView::new(net),
@@ -187,6 +192,11 @@ pub fn run_instances(
                         };
                         for alg in &algorithms {
                             let outcome = alg.attack(&problem);
+                            if let Some(reg) = &telemetry {
+                                reg.counter("harness.attacks").add(1);
+                                reg.histogram("harness.attack_runtime_us")
+                                    .record(outcome.runtime.as_micros() as u64);
+                            }
                             local.push(ExperimentRecord {
                                 city: net.name().to_string(),
                                 weight: plan.weight,
@@ -195,13 +205,21 @@ pub fn run_instances(
                                 hospital: inst.hospital.clone(),
                                 source: inst.source.index(),
                                 runtime_s: outcome.runtime.as_secs_f64(),
+                                iterations: outcome.iterations,
                                 edges_removed: outcome.num_removed(),
                                 cost_removed: outcome.total_cost,
                                 status: outcome.status,
                             });
                         }
                     }
+                    if let Some(reg) = &telemetry {
+                        reg.counter("harness.instances").add(1);
+                    }
                     records.lock().extend(local);
+                }
+                if let Some(reg) = &telemetry {
+                    reg.counter("harness.workers").add(1);
+                    obs::global().merge(reg);
                 }
             });
         }
@@ -231,9 +249,10 @@ mod tests {
         let records = run_plan(&plan);
         // 4 hospitals × 2 sources × 1 cost × 4 algorithms = 32 records
         assert_eq!(records.len(), 32, "{}", records.len());
-        assert!(records
-            .iter()
-            .all(|r| r.status == AttackStatus::Success), "all smoke attacks succeed");
+        assert!(
+            records.iter().all(|r| r.status == AttackStatus::Success),
+            "all smoke attacks succeed"
+        );
         let algs: std::collections::HashSet<&str> =
             records.iter().map(|r| r.algorithm.as_str()).collect();
         assert_eq!(algs.len(), 4);

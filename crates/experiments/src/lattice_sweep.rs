@@ -14,9 +14,7 @@
 //!   attacks relatively worse, as §III-B argues?).
 
 use citygen::{generate_grid, GridConfig};
-use pathattack::{
-    AttackAlgorithm, AttackProblem, CostType, GreedyEdge, LpPathCover, WeightType,
-};
+use pathattack::{AttackAlgorithm, AttackProblem, CostType, GreedyEdge, LpPathCover, WeightType};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -54,10 +52,7 @@ pub fn disorder_city(disorder: f64, side: usize, seed: u64) -> RoadNetwork {
     let base = generate_grid(&format!("disorder-{d:.2}"), &cfg, seed);
     // one hospital at the center so instances exist
     let bb = base.bounding_box();
-    citygen::util::attach_hospitals(
-        &base,
-        &[("Central Hospital".to_string(), bb.center())],
-    )
+    citygen::util::attach_hospitals(&base, &[("Central Hospital".to_string(), bb.center())])
 }
 
 /// Runs the sweep: for each disorder level, builds a city and samples
@@ -105,8 +100,7 @@ pub fn lattice_sweep(
                 };
                 // Same doorstep-trip guard as the harness: measure the
                 // SHORTEST path's hop count, not p*'s.
-                let Some(best) =
-                    dij.shortest_path(&view, |e| w[e.index()], source, hospital)
+                let Some(best) = dij.shortest_path(&view, |e| w[e.index()], source, hospital)
                 else {
                     continue;
                 };
@@ -120,8 +114,7 @@ pub fn lattice_sweep(
                 }
                 if best.total_weight() > 0.0 {
                     thresholds.push(
-                        (problem.pstar_weight() - best.total_weight())
-                            / best.total_weight()
+                        (problem.pstar_weight() - best.total_weight()) / best.total_weight()
                             * 100.0,
                     );
                 }

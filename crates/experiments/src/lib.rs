@@ -44,10 +44,10 @@ mod viz;
 pub const MIN_TRIP_EDGES: usize = 10;
 
 pub use harness::{run_instances, run_plan, sample_instances, ExperimentInstance, ExperimentPlan};
+pub use lattice_sweep::{disorder_city, lattice_sweep, render_lattice_sweep, LatticePoint};
 pub use metrics::{
     aggregate, city_average, records_to_csv, AggregateRow, CityAverage, ExperimentRecord,
 };
-pub use lattice_sweep::{disorder_city, lattice_sweep, render_lattice_sweep, LatticePoint};
 pub use sweep::{rank_sweep, render_rank_sweep, RankSweepPoint};
 pub use tables::{render_experiment_table, render_table1, render_table10, render_table9};
 pub use threshold::{threshold_for_plan, threshold_row, ThresholdRow};

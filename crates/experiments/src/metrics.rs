@@ -25,6 +25,9 @@ pub struct ExperimentRecord {
     pub source: usize,
     /// Attack computation time in seconds.
     pub runtime_s: f64,
+    /// Cutting-loop iterations the algorithm spent (attack telemetry;
+    /// mirrors the `pathattack.attack.iterations` histogram).
+    pub iterations: usize,
     /// Number of removed road segments (NER).
     pub edges_removed: usize,
     /// Total removal cost (CRE).
@@ -121,7 +124,7 @@ pub struct CityAverage {
 /// offline analysis of raw experiment data.
 pub fn records_to_csv(records: &[ExperimentRecord]) -> String {
     let mut s = String::from(
-        "city,weight,cost,algorithm,hospital,source,runtime_s,edges_removed,cost_removed,status\n",
+        "city,weight,cost,algorithm,hospital,source,runtime_s,iterations,edges_removed,cost_removed,status\n",
     );
     for r in records {
         let status = match r.status {
@@ -130,7 +133,7 @@ pub fn records_to_csv(records: &[ExperimentRecord]) -> String {
             AttackStatus::Stuck => "stuck",
         };
         s.push_str(&format!(
-            "{},{},{},{},\"{}\",{},{:.6},{},{:.6},{}\n",
+            "{},{},{},{},\"{}\",{},{:.6},{},{},{:.6},{}\n",
             r.city,
             r.weight.name(),
             r.cost.name(),
@@ -138,6 +141,7 @@ pub fn records_to_csv(records: &[ExperimentRecord]) -> String {
             r.hospital.replace('"', "\"\""),
             r.source,
             r.runtime_s,
+            r.iterations,
             r.edges_removed,
             r.cost_removed,
             status
@@ -171,6 +175,7 @@ mod tests {
             hospital: "H".into(),
             source: 0,
             runtime_s: rt,
+            iterations: removed,
             edges_removed: removed,
             cost_removed: cre,
             status: AttackStatus::Success,

@@ -10,7 +10,11 @@ use std::fmt::Write as _;
 pub fn render_table1(rows: &[CitySummary]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "TABLE I — City graph summaries");
-    let _ = writeln!(s, "{:<15} {:>8} {:>9} {:>12}", "City", "Nodes", "Edges", "Avg. Degree");
+    let _ = writeln!(
+        s,
+        "{:<15} {:>8} {:>9} {:>12}",
+        "City", "Nodes", "Edges", "Avg. Degree"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -176,6 +180,7 @@ mod tests {
                 hospital: "H".into(),
                 source: 0,
                 runtime_s: 0.5,
+                iterations: 3,
                 edges_removed: 3,
                 cost_removed: 4.5,
                 status: AttackStatus::Success,

@@ -142,6 +142,10 @@ impl Problem {
 
     /// Solves the program with two-phase primal simplex.
     pub fn solve(&self) -> Outcome {
+        let _timer = obs::span("lp.simplex.solve");
+        obs::inc("lp.simplex.solves");
+        obs::record_value("lp.simplex.constraint_rows", self.rows.len() as u64);
+        obs::record_value("lp.simplex.variables", self.num_vars() as u64);
         Tableau::build(self).solve()
     }
 }
@@ -296,6 +300,13 @@ impl Tableau {
     /// Runs simplex with the given column costs (restricted to columns
     /// `< limit`).
     fn optimize(&mut self, costs: &[f64], limit: usize) -> OptResult {
+        let mut pivots: u64 = 0;
+        let result = self.optimize_counting(costs, limit, &mut pivots);
+        obs::add("lp.simplex.pivots", pivots);
+        result
+    }
+
+    fn optimize_counting(&mut self, costs: &[f64], limit: usize, pivots: &mut u64) -> OptResult {
         // reduced cost of column j: c_j - c_B · B⁻¹A_j
         // With a dense tableau, reduced costs are recomputed per
         // iteration (LPs here are small, clarity wins).
@@ -361,7 +372,10 @@ impl Tableau {
                 }
             }
             match leave {
-                Some((row, _)) => self.pivot(row, col),
+                Some((row, _)) => {
+                    *pivots += 1;
+                    self.pivot(row, col);
+                }
                 None => return OptResult::Unbounded, // unbounded in this column
             }
         }
@@ -382,9 +396,7 @@ impl Tableau {
                 // phase-1 objective is bounded below by 0, so Unbounded
                 // cannot occur; a stall must not masquerade as
                 // infeasibility.
-                OptResult::Unbounded | OptResult::IterationLimit => {
-                    return Outcome::IterationLimit
-                }
+                OptResult::Unbounded | OptResult::IterationLimit => return Outcome::IterationLimit,
             };
             if obj > 1e-6 {
                 return Outcome::Infeasible;
@@ -392,9 +404,7 @@ impl Tableau {
             // Drive any remaining artificial basics out where possible.
             for row in 0..self.m {
                 if self.basis[row] >= self.art_start && self.b[row].abs() <= EPS {
-                    if let Some(col) =
-                        (0..self.art_start).find(|&j| self.at(row, j).abs() > 1e-7)
-                    {
+                    if let Some(col) = (0..self.art_start).find(|&j| self.at(row, j).abs() > 1e-7) {
                         self.pivot(row, col);
                     }
                 }

@@ -1,0 +1,217 @@
+//! Log-scale histogram: 65 power-of-two buckets over the `u64` range.
+//!
+//! Bucket `0` holds the value 0; bucket `i >= 1` holds values in
+//! `[2^(i-1), 2^i)`. Quantiles are therefore approximate with a
+//! relative error bounded by 2x, which is plenty for latency and
+//! work-count distributions while keeping `record` a single atomic
+//! add with no allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 65;
+
+/// Concurrent log-scale histogram of `u64` samples.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first sample arrives.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`; used as the quantile estimate.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; safe from any thread.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub(crate) fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see module docs for bucket bounds).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample, or `u64::MAX` if empty.
+    pub min: u64,
+    /// Largest sample, or 0 if empty.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the inclusive upper
+    /// bound of the bucket containing the `ceil(q * count)`-th sample.
+    /// Exact samples `v` satisfy `quantile >= v > quantile / 2`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Tighten the top bucket's bound with the observed max.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub(crate) fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, bucket_upper(i), n))
+    }
+
+    pub(crate) fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        sparse: &[(usize, u64)],
+    ) -> Self {
+        let mut buckets = [0u64; BUCKETS];
+        for &(i, n) in sparse {
+            if i < BUCKETS {
+                buckets[i] = n;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_is_within_2x_of_exact() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        for (q, exact) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let est = s.quantile(q);
+            assert!(est >= exact, "q{q}: {est} < exact {exact}");
+            assert!(
+                est <= exact.saturating_mul(2),
+                "q{q}: {est} > 2x exact {exact}"
+            );
+        }
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(100);
+        b.record(2);
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 107);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 100);
+    }
+}

@@ -1,0 +1,115 @@
+//! Lightweight instrumentation for the metro-attack pipeline.
+//!
+//! Deliberately dependency-free (no `tracing`, no `metrics`): the whole
+//! workspace builds offline and the hot paths pay one relaxed atomic
+//! load when telemetry is disabled.
+//!
+//! Three primitives, all addressed by hierarchical dotted names
+//! following the `crate.component.metric` convention
+//! (`routing.dijkstra.pops`, `pathattack.greedy.edges_cut`):
+//!
+//! - [`Counter`] — monotonically increasing `u64`;
+//! - [`Gauge`] — last-written `f64`;
+//! - [`Histogram`] — log-scale (power-of-two bucket) distribution of
+//!   `u64` samples, with approximate quantiles;
+//! - [`span`] — RAII wall-clock timers that aggregate per name and
+//!   track parent/child self-time through a thread-local stack.
+//!
+//! Recording goes to the process-global [`Registry`] by default; worker
+//! threads may record into private registries and [`Registry::merge`]
+//! them at join time (see `experiments::harness`). Export via
+//! [`sink::TableSink`] or [`sink::JsonlSink`].
+//!
+//! ```
+//! obs::set_enabled(true);
+//! obs::add("doc.example.items", 3);
+//! {
+//!     let _t = obs::span("doc.example.work");
+//!     obs::record_value("doc.example.size", 42);
+//! }
+//! let snap = obs::global().snapshot();
+//! assert_eq!(snap.counter("doc.example.items"), Some(3));
+//! # obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod json;
+mod registry;
+pub mod sink;
+mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use json::JsonValue;
+pub use registry::{Counter, Gauge, Registry, Snapshot, SpanSnapshot};
+pub use sink::{JsonlSink, TableSink, TelemetrySink};
+pub use span::{span, span_in, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// Turns global telemetry collection on or off (default: off).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry is being collected. Hot paths gate on this; it is
+/// a single relaxed atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Adds `n` to the global counter `name`; no-op while disabled.
+#[inline]
+pub fn add(name: &str, n: u64) {
+    if enabled() {
+        global().counter(name).add(n);
+    }
+}
+
+/// Increments the global counter `name`; no-op while disabled.
+#[inline]
+pub fn inc(name: &str) {
+    add(name, 1);
+}
+
+/// Records `value` into the global histogram `name`; no-op while
+/// disabled.
+#[inline]
+pub fn record_value(name: &str, value: u64) {
+    if enabled() {
+        global().histogram(name).record(value);
+    }
+}
+
+/// Sets the global gauge `name`; no-op while disabled.
+#[inline]
+pub fn set_gauge(name: &str, value: f64) {
+    if enabled() {
+        global().gauge(name).set(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disabled_by_default_and_toggles() {
+        // Note: tests sharing the process must not rely on the flag
+        // staying off; this only checks the toggle round-trips.
+        let before = super::enabled();
+        super::set_enabled(true);
+        assert!(super::enabled());
+        super::set_enabled(before);
+        assert_eq!(super::enabled(), before);
+    }
+}

@@ -1,0 +1,299 @@
+//! Metric registry: named counters, gauges, histograms, and span
+//! aggregates.
+//!
+//! Lookup takes a short mutex on a `BTreeMap`; updates through the
+//! returned handles are lock-free atomics. Hot code should either hold
+//! a handle or accumulate locally and flush once (the pattern used by
+//! `routing`'s search sweeps).
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a last-write-wins `f64` gauge.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Stores `value`.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Aggregate of all closed spans sharing one name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Total wall time minus time spent in child spans (same thread).
+    pub self_ns: u64,
+    /// Shortest single span, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A set of named metrics. `Registry::new` builds a private registry
+/// (used per worker thread by the experiment harness);
+/// [`crate::global()`] is the process-wide one.
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanSnapshot>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn poison_free<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = Self::poison_free(&self.counters);
+        match map.get(name) {
+            Some(c) => Counter(Arc::clone(c)),
+            None => {
+                let cell = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_string(), Arc::clone(&cell));
+                Counter(cell)
+            }
+        }
+    }
+
+    /// Returns (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = Self::poison_free(&self.gauges);
+        match map.get(name) {
+            Some(g) => Gauge(Arc::clone(g)),
+            None => {
+                let cell = Arc::new(AtomicU64::new(0f64.to_bits()));
+                map.insert(name.to_string(), Arc::clone(&cell));
+                Gauge(cell)
+            }
+        }
+    }
+
+    /// Returns (registering on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = Self::poison_free(&self.histograms);
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Folds one completed span into the aggregate for `name`. Called
+    /// by [`crate::SpanGuard`] on drop; also usable directly when a
+    /// duration was measured by other means.
+    pub fn record_span(&self, name: &str, total_ns: u64, child_ns: u64) {
+        let mut map = Self::poison_free(&self.spans);
+        let s = map.entry(name.to_string()).or_insert(SpanSnapshot {
+            min_ns: u64::MAX,
+            ..SpanSnapshot::default()
+        });
+        s.count += 1;
+        s.total_ns += total_ns;
+        s.self_ns += total_ns.saturating_sub(child_ns);
+        s.min_ns = s.min_ns.min(total_ns);
+        s.max_ns = s.max_ns.max(total_ns);
+    }
+
+    /// Adds every metric from `other` into `self`: counters and span
+    /// aggregates sum, histograms merge bucket-wise, gauges take the
+    /// other registry's value (last write wins).
+    pub fn merge(&self, other: &Registry) {
+        for (name, cell) in Self::poison_free(&other.counters).iter() {
+            let n = cell.load(Ordering::Relaxed);
+            if n > 0 {
+                self.counter(name).add(n);
+            }
+        }
+        for (name, cell) in Self::poison_free(&other.gauges).iter() {
+            self.gauge(name)
+                .set(f64::from_bits(cell.load(Ordering::Relaxed)));
+        }
+        for (name, h) in Self::poison_free(&other.histograms).iter() {
+            self.histogram(name).merge_from(h);
+        }
+        for (name, s) in Self::poison_free(&other.spans).iter() {
+            let mut map = Self::poison_free(&self.spans);
+            let mine = map.entry(name.clone()).or_insert(SpanSnapshot {
+                min_ns: u64::MAX,
+                ..SpanSnapshot::default()
+            });
+            mine.count += s.count;
+            mine.total_ns += s.total_ns;
+            mine.self_ns += s.self_ns;
+            mine.min_ns = mine.min_ns.min(s.min_ns);
+            mine.max_ns = mine.max_ns.max(s.max_ns);
+        }
+    }
+
+    /// Point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: Self::poison_free(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: Self::poison_free(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: Self::poison_free(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            spans: Self::poison_free(&self.spans)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], suitable for export through a
+/// [`crate::TelemetrySink`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, span aggregate)` pairs, sorted by name.
+    pub spans: Vec<(String, SpanSnapshot)>,
+}
+
+impl Snapshot {
+    /// True when no metric was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Counter value by name, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Span aggregate by name, if registered.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handle_survives_relookup() {
+        let r = Registry::new();
+        r.counter("a.b.c").add(2);
+        r.counter("a.b.c").add(3);
+        assert_eq!(r.snapshot().counter("a.b.c"), Some(5));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_spans() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("x").add(1);
+        b.counter("x").add(10);
+        b.counter("y").add(4);
+        a.record_span("s", 100, 0);
+        b.record_span("s", 300, 50);
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("x"), Some(11));
+        assert_eq!(snap.counter("y"), Some(4));
+        let s = snap.span("s").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.self_ns, 350);
+        assert_eq!((s.min_ns, s.max_ns), (100, 300));
+    }
+
+    #[test]
+    fn gauges_last_write_wins_on_merge() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.gauge("g").set(1.5);
+        b.gauge("g").set(2.5);
+        a.merge(&b);
+        assert_eq!(a.snapshot().gauge("g"), Some(2.5));
+    }
+}

@@ -1,0 +1,323 @@
+//! Telemetry exporters: human-readable table and machine-readable
+//! JSONL.
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::{write_escaped, write_f64, JsonValue};
+use crate::registry::{Snapshot, SpanSnapshot};
+use std::io::{self, Write};
+
+/// Something that can consume a metrics [`Snapshot`].
+pub trait TelemetrySink {
+    /// Exports one snapshot.
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()>;
+}
+
+/// Renders an aligned text table grouped into COUNTERS / GAUGES /
+/// HISTOGRAMS / SPANS sections.
+pub struct TableSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> TableSink<W> {
+    /// Writes to `out` (typically stderr, keeping stdout parseable).
+    pub fn new(out: W) -> Self {
+        TableSink { out }
+    }
+}
+
+fn fmt_duration_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn name_width<'a, I: Iterator<Item = &'a str>>(names: I) -> usize {
+    names.map(str::len).max().unwrap_or(0).max(8)
+}
+
+impl<W: Write> TelemetrySink for TableSink<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        let o = &mut self.out;
+        if snapshot.is_empty() {
+            return writeln!(o, "telemetry: no metrics recorded");
+        }
+        if !snapshot.counters.is_empty() {
+            let w = name_width(snapshot.counters.iter().map(|(k, _)| k.as_str()));
+            writeln!(o, "== COUNTERS ==")?;
+            for (name, value) in &snapshot.counters {
+                writeln!(o, "  {name:<w$}  {value:>14}")?;
+            }
+        }
+        if !snapshot.gauges.is_empty() {
+            let w = name_width(snapshot.gauges.iter().map(|(k, _)| k.as_str()));
+            writeln!(o, "== GAUGES ==")?;
+            for (name, value) in &snapshot.gauges {
+                writeln!(o, "  {name:<w$}  {value:>14.4}")?;
+            }
+        }
+        if !snapshot.histograms.is_empty() {
+            let w = name_width(snapshot.histograms.iter().map(|(k, _)| k.as_str()));
+            writeln!(o, "== HISTOGRAMS ==")?;
+            writeln!(
+                o,
+                "  {:<w$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                "name", "count", "mean", "p50", "p90", "p99", "max"
+            )?;
+            for (name, h) in &snapshot.histograms {
+                writeln!(
+                    o,
+                    "  {name:<w$}  {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.9),
+                    h.quantile(0.99),
+                    if h.count == 0 { 0 } else { h.max },
+                )?;
+            }
+        }
+        if !snapshot.spans.is_empty() {
+            let w = name_width(snapshot.spans.iter().map(|(k, _)| k.as_str()));
+            writeln!(o, "== SPANS ==")?;
+            writeln!(
+                o,
+                "  {:<w$}  {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "name", "calls", "total", "self", "mean", "max"
+            )?;
+            for (name, s) in &snapshot.spans {
+                let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
+                writeln!(
+                    o,
+                    "  {name:<w$}  {:>8} {:>12} {:>12} {:>12} {:>12}",
+                    s.count,
+                    fmt_duration_ns(s.total_ns),
+                    fmt_duration_ns(s.self_ns),
+                    fmt_duration_ns(mean),
+                    fmt_duration_ns(s.max_ns),
+                )?;
+            }
+        }
+        o.flush()
+    }
+}
+
+/// Writes one JSON object per line:
+/// `{"kind":"counter"|"gauge"|"histogram"|"span","name":...,...}`.
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Writes to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write> TelemetrySink for JsonlSink<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.out.write_all(snapshot.to_jsonl().as_bytes())?;
+        self.out.flush()
+    }
+}
+
+impl Snapshot {
+    /// Serializes every metric as JSON lines (the [`JsonlSink`]
+    /// format).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str("{\"kind\":\"counter\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(",\"value\":");
+            write_f64(&mut out, *value as f64);
+            out.push_str("}\n");
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("{\"kind\":\"gauge\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(",\"value\":");
+            write_f64(&mut out, *value);
+            out.push_str("}\n");
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"kind\":\"histogram\",\"name\":");
+            write_escaped(&mut out, name);
+            for (key, v) in [
+                ("count", h.count),
+                ("sum", h.sum),
+                ("min", if h.count == 0 { 0 } else { h.min }),
+                ("max", h.max),
+                ("p50", h.quantile(0.5)),
+                ("p90", h.quantile(0.9)),
+                ("p99", h.quantile(0.99)),
+            ] {
+                out.push_str(",\"");
+                out.push_str(key);
+                out.push_str("\":");
+                write_f64(&mut out, v as f64);
+            }
+            out.push_str(",\"buckets\":[");
+            for (i, (idx, _upper, n)) in h.nonzero_buckets().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{idx},{n}]"));
+            }
+            out.push_str("]}\n");
+        }
+        for (name, s) in &self.spans {
+            out.push_str("{\"kind\":\"span\",\"name\":");
+            write_escaped(&mut out, name);
+            for (key, v) in [
+                ("count", s.count),
+                ("total_ns", s.total_ns),
+                ("self_ns", s.self_ns),
+                ("min_ns", if s.count == 0 { 0 } else { s.min_ns }),
+                ("max_ns", s.max_ns),
+            ] {
+                out.push_str(",\"");
+                out.push_str(key);
+                out.push_str("\":");
+                write_f64(&mut out, v as f64);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parses the [`JsonlSink`] format back into a snapshot. Inverse
+    /// of [`Snapshot::to_jsonl`] for values below 2^53 (the JSON
+    /// number precision limit); quantile fields are derived and
+    /// ignored on input.
+    pub fn from_jsonl(input: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        for (lineno, line) in input.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = v
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?;
+            let name = v
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {}: missing name", lineno + 1))?
+                .to_string();
+            let field = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            match kind {
+                "counter" => snap.counters.push((name, field("value"))),
+                "gauge" => snap.gauges.push((
+                    name,
+                    v.get("value").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                )),
+                "histogram" => {
+                    let sparse: Vec<(usize, u64)> = v
+                        .get("buckets")
+                        .and_then(JsonValue::as_arr)
+                        .map(|pairs| {
+                            pairs
+                                .iter()
+                                .filter_map(|p| {
+                                    let p = p.as_arr()?;
+                                    Some((p.first()?.as_u64()? as usize, p.get(1)?.as_u64()?))
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let count = field("count");
+                    snap.histograms.push((
+                        name,
+                        HistogramSnapshot::from_parts(
+                            count,
+                            field("sum"),
+                            if count == 0 { u64::MAX } else { field("min") },
+                            field("max"),
+                            &sparse,
+                        ),
+                    ));
+                }
+                "span" => snap.spans.push((
+                    name,
+                    SpanSnapshot {
+                        count: field("count"),
+                        total_ns: field("total_ns"),
+                        self_ns: field("self_ns"),
+                        min_ns: if field("count") == 0 {
+                            u64::MAX
+                        } else {
+                            field("min_ns")
+                        },
+                        max_ns: field("max_ns"),
+                    },
+                )),
+                other => return Err(format!("line {}: unknown kind '{other}'", lineno + 1)),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("routing.dijkstra.pops").add(1234);
+        r.counter("pathattack.greedy.edges_cut").add(7);
+        r.gauge("lp.simplex.objective").set(42.125);
+        let h = r.histogram("routing.yen.candidates");
+        for v in [1, 2, 3, 30, 300] {
+            h.record(v);
+        }
+        r.record_span("attack.run", 5_000_000, 1_000_000);
+        r
+    }
+
+    #[test]
+    fn table_contains_all_sections() {
+        let mut buf = Vec::new();
+        TableSink::new(&mut buf)
+            .export(&sample_registry().snapshot())
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for needle in [
+            "== COUNTERS ==",
+            "== GAUGES ==",
+            "== HISTOGRAMS ==",
+            "== SPANS ==",
+            "routing.dijkstra.pops",
+            "1234",
+            "attack.run",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snap = sample_registry().snapshot();
+        let text = snap.to_jsonl();
+        for line in text.lines() {
+            JsonValue::parse(line).expect("every line is standalone JSON");
+        }
+        let back = Snapshot::from_jsonl(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::from_jsonl(&snap.to_jsonl()).unwrap(), snap);
+    }
+}

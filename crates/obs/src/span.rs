@@ -1,0 +1,127 @@
+//! RAII span timers with same-thread parent/child accounting.
+//!
+//! A [`SpanGuard`] measures wall time from construction to drop and
+//! folds the result into its registry's aggregate for that name. A
+//! thread-local stack tracks nesting so each span also knows how much
+//! of its time was spent inside child spans: `self_ns` in
+//! [`crate::SpanSnapshot`] is total minus child time, letting the table
+//! exporter show where time actually went in call trees like
+//! `attack.run` → `attack.lp.solve` → `routing.yen.shortest_path`.
+
+use crate::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Child-time accumulator per active span on this thread.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Times a region against the global registry. Returns an inert guard
+/// (no clock read, no allocation) while telemetry is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard<'static> {
+    if crate::enabled() {
+        SpanGuard::start(crate::global(), name)
+    } else {
+        SpanGuard::inert()
+    }
+}
+
+/// Times a region against an explicit registry (used by worker threads
+/// that keep private registries). Not gated on [`crate::enabled`]; the
+/// caller owns that decision.
+#[inline]
+pub fn span_in<'r>(registry: &'r Registry, name: &'static str) -> SpanGuard<'r> {
+    SpanGuard::start(registry, name)
+}
+
+/// RAII timer; records on drop. Obtain via [`span`] or [`span_in`].
+pub struct SpanGuard<'r> {
+    active: Option<(&'r Registry, &'static str, Instant)>,
+}
+
+impl<'r> SpanGuard<'r> {
+    fn start(registry: &'r Registry, name: &'static str) -> Self {
+        STACK.with(|s| s.borrow_mut().push(0));
+        SpanGuard {
+            active: Some((registry, name, Instant::now())),
+        }
+    }
+
+    fn inert() -> SpanGuard<'static> {
+        SpanGuard { active: None }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some((registry, name, start)) = self.active.take() else {
+            return;
+        };
+        let total_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let child_ns = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            // Credit this span's full duration to the enclosing span.
+            if let Some(parent) = stack.last_mut() {
+                *parent += total_ns;
+            }
+            child
+        });
+        registry.record_span(name, total_ns, child_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn nested_spans_attribute_child_time_to_parent() {
+        let r = Registry::new();
+        {
+            let _outer = span_in(&r, "outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span_in(&r, "inner");
+                std::thread::sleep(Duration::from_millis(4));
+            }
+        }
+        let snap = r.snapshot();
+        let outer = snap.span("outer").unwrap();
+        let inner = snap.span("inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Parent total covers the child entirely.
+        assert!(outer.total_ns >= inner.total_ns);
+        // Parent self time excludes the child's share.
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns);
+        assert_eq!(inner.self_ns, inner.total_ns);
+    }
+
+    #[test]
+    fn sibling_spans_aggregate_under_one_name() {
+        let r = Registry::new();
+        for _ in 0..3 {
+            let _s = span_in(&r, "leaf");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.span("leaf").unwrap().count, 3);
+    }
+
+    #[test]
+    fn inert_guard_records_nothing() {
+        // `span()` while disabled must not touch the TLS stack, so an
+        // enclosing explicit span still sees zero child time.
+        let r = Registry::new();
+        {
+            let _outer = span_in(&r, "outer");
+            let _noop = SpanGuard::inert();
+        }
+        let outer_snapshot = r.snapshot();
+        let outer = outer_snapshot.span("outer").unwrap();
+        assert_eq!(outer.self_ns, outer.total_ns);
+    }
+}

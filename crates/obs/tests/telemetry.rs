@@ -1,0 +1,192 @@
+//! Integration tests for the obs crate: concurrency, quantile bounds,
+//! span nesting, registry merging, and JSONL round-trips.
+//!
+//! All tests use private `Registry` instances (not the process global)
+//! so they can run concurrently without interfering.
+
+use obs::{JsonlSink, Registry, Snapshot, TableSink, TelemetrySink};
+
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 25_000;
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                // Mix cached-handle and by-name updates, as hot paths do.
+                let handle = registry.counter("test.concurrent.hits");
+                for i in 0..PER_THREAD {
+                    if i % 2 == 0 {
+                        handle.inc();
+                    } else {
+                        registry.counter("test.concurrent.hits").inc();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.snapshot().counter("test.concurrent.hits"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+}
+
+#[test]
+fn concurrent_histogram_records_are_all_kept() {
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = registry.histogram("test.concurrent.sizes");
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    let h = snap.histogram("test.concurrent.sizes").unwrap();
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, THREADS * PER_THREAD - 1);
+    let total: u64 = THREADS * PER_THREAD;
+    assert_eq!(h.sum, total * (total - 1) / 2);
+}
+
+#[test]
+fn histogram_quantiles_bound_the_exact_value() {
+    let registry = Registry::new();
+    let h = registry.histogram("test.quantiles");
+    // Uniform 1..=10_000: exact quantile q is q * 10_000.
+    for v in 1..=10_000u64 {
+        h.record(v);
+    }
+    let snap = registry.snapshot();
+    let s = snap.histogram("test.quantiles").unwrap();
+    for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+        let estimate = s.quantile(q);
+        // Log-scale buckets guarantee: exact <= estimate < 2 * exact.
+        assert!(estimate >= exact, "q{q}: {estimate} below exact {exact}");
+        assert!(
+            estimate < exact * 2,
+            "q{q}: {estimate} not within 2x of {exact}"
+        );
+    }
+    assert_eq!(s.quantile(0.0), 1);
+    assert_eq!(s.quantile(1.0), 10_000);
+}
+
+#[test]
+fn span_nesting_attributes_totals_to_parents() {
+    let registry = Registry::new();
+    {
+        let _attack = obs::span_in(&registry, "attack.run");
+        for _ in 0..3 {
+            let _solve = obs::span_in(&registry, "attack.lp.solve");
+            std::hint::black_box((0..2000).sum::<u64>());
+        }
+    }
+    let snap = registry.snapshot();
+    let parent = snap.span("attack.run").unwrap();
+    let child = snap.span("attack.lp.solve").unwrap();
+    assert_eq!(parent.count, 1);
+    assert_eq!(child.count, 3);
+    // The parent's wall time covers all child time; its self time is
+    // exactly total minus the children's share.
+    assert!(parent.total_ns >= child.total_ns);
+    assert_eq!(parent.self_ns, parent.total_ns - child.total_ns);
+    // Leaf spans own all their time.
+    assert_eq!(child.self_ns, child.total_ns);
+    assert!(child.min_ns <= child.max_ns);
+}
+
+#[test]
+fn per_thread_registries_merge_like_the_harness() {
+    // Mirrors experiments::harness: each worker records into a private
+    // registry; the coordinator merges them after join.
+    let global = Registry::new();
+    let workers: Vec<Registry> = (0..4)
+        .map(|w| {
+            let r = Registry::new();
+            r.counter("harness.instances").add(w + 1);
+            r.histogram("harness.runtime_ns").record((w + 1) * 100);
+            r.record_span("harness.instance", (w + 1) * 1000, 0);
+            r
+        })
+        .collect();
+    for w in &workers {
+        global.merge(w);
+    }
+    let snap = global.snapshot();
+    assert_eq!(snap.counter("harness.instances"), Some(1 + 2 + 3 + 4));
+    let h = snap.histogram("harness.runtime_ns").unwrap();
+    assert_eq!(h.count, 4);
+    assert_eq!((h.min, h.max), (100, 400));
+    let s = snap.span("harness.instance").unwrap();
+    assert_eq!(s.count, 4);
+    assert_eq!(s.total_ns, 1000 + 2000 + 3000 + 4000);
+    assert_eq!((s.min_ns, s.max_ns), (1000, 4000));
+}
+
+#[test]
+fn jsonl_export_round_trips_through_parser() {
+    let registry = Registry::new();
+    registry.counter("routing.dijkstra.pops").add(987654);
+    registry.counter("pathattack.greedy.oracle_calls").add(42);
+    registry.gauge("lp.simplex.objective").set(-17.25);
+    let h = registry.histogram("routing.yen.spur_candidates");
+    for v in [0, 1, 1, 5, 9, 120, 4096] {
+        h.record(v);
+    }
+    registry.record_span("harness.city", 123_456_789, 23_456_789);
+
+    let snap = registry.snapshot();
+    let jsonl = snap.to_jsonl();
+
+    // Every line parses as standalone JSON with kind+name.
+    for line in jsonl.lines() {
+        let v = obs::JsonValue::parse(line).expect("valid JSON line");
+        assert!(v.get("kind").is_some() && v.get("name").is_some(), "{line}");
+    }
+
+    let back = Snapshot::from_jsonl(&jsonl).expect("parse back");
+    assert_eq!(back, snap);
+
+    // And the sink writes the identical bytes.
+    let mut buf = Vec::new();
+    JsonlSink::new(&mut buf).export(&snap).unwrap();
+    assert_eq!(String::from_utf8(buf).unwrap(), jsonl);
+}
+
+#[test]
+fn table_export_mentions_every_metric_name() {
+    let registry = Registry::new();
+    registry.counter("a.counter").add(1);
+    registry.gauge("b.gauge").set(2.0);
+    registry.histogram("c.histogram").record(3);
+    registry.record_span("d.span", 4, 0);
+    let mut buf = Vec::new();
+    TableSink::new(&mut buf)
+        .export(&registry.snapshot())
+        .unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    for name in ["a.counter", "b.gauge", "c.histogram", "d.span"] {
+        assert!(text.contains(name), "{name} missing from table:\n{text}");
+    }
+}
+
+#[test]
+fn disabled_global_helpers_record_nothing() {
+    obs::set_enabled(false);
+    obs::add("test.disabled.counter", 5);
+    obs::record_value("test.disabled.hist", 5);
+    let _s = obs::span("test.disabled.span");
+    drop(_s);
+    let snap = obs::global().snapshot();
+    assert_eq!(snap.counter("test.disabled.counter"), None);
+    assert!(snap.histogram("test.disabled.hist").is_none());
+    assert!(snap.span("test.disabled.span").is_none());
+}

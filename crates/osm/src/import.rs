@@ -100,8 +100,8 @@ pub fn import_document(doc: &OsmDocument, opts: &ImportOptions) -> RoadNetwork {
     let mut node_map: HashMap<i64, NodeId> = HashMap::new();
 
     let ensure_node = |b: &mut RoadNetworkBuilder,
-                           node_map: &mut HashMap<i64, NodeId>,
-                           osm_id: i64|
+                       node_map: &mut HashMap<i64, NodeId>,
+                       osm_id: i64|
      -> Option<NodeId> {
         if let Some(&id) = node_map.get(&osm_id) {
             return Some(id);
@@ -200,10 +200,7 @@ pub fn import_document(doc: &OsmDocument, opts: &ImportOptions) -> RoadNetwork {
 /// # Errors
 ///
 /// Returns the parse error when the document is malformed.
-pub fn import_xml(
-    xml: &str,
-    opts: &ImportOptions,
-) -> Result<RoadNetwork, crate::model::OsmError> {
+pub fn import_xml(xml: &str, opts: &ImportOptions) -> Result<RoadNetwork, crate::model::OsmError> {
     Ok(import_document(&OsmDocument::parse(xml)?, opts))
 }
 

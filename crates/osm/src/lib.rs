@@ -30,6 +30,8 @@ mod import;
 mod model;
 mod xml;
 
-pub use import::{import_document, import_xml, parse_maxspeed, parse_width, project, ImportOptions};
+pub use import::{
+    import_document, import_xml, parse_maxspeed, parse_width, project, ImportOptions,
+};
 pub use model::{OsmDocument, OsmError, OsmNode, OsmWay};
 pub use xml::{XmlError, XmlEvent, XmlParser};

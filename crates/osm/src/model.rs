@@ -98,24 +98,24 @@ impl OsmDocument {
             match event {
                 XmlEvent::Start { name, attrs, .. } => match name.as_str() {
                     "node" => {
-                        let id = get_attr(&attrs, "id")
-                            .and_then(|v| v.parse().ok())
-                            .ok_or(OsmError::BadAttribute {
+                        let id = get_attr(&attrs, "id").and_then(|v| v.parse().ok()).ok_or(
+                            OsmError::BadAttribute {
                                 element: "node",
                                 attr: "id",
-                            })?;
-                        let lat = get_attr(&attrs, "lat")
-                            .and_then(|v| v.parse().ok())
-                            .ok_or(OsmError::BadAttribute {
+                            },
+                        )?;
+                        let lat = get_attr(&attrs, "lat").and_then(|v| v.parse().ok()).ok_or(
+                            OsmError::BadAttribute {
                                 element: "node",
                                 attr: "lat",
-                            })?;
-                        let lon = get_attr(&attrs, "lon")
-                            .and_then(|v| v.parse().ok())
-                            .ok_or(OsmError::BadAttribute {
+                            },
+                        )?;
+                        let lon = get_attr(&attrs, "lon").and_then(|v| v.parse().ok()).ok_or(
+                            OsmError::BadAttribute {
                                 element: "node",
                                 attr: "lon",
-                            })?;
+                            },
+                        )?;
                         cur_node = Some(OsmNode {
                             id,
                             lat,
@@ -124,12 +124,12 @@ impl OsmDocument {
                         });
                     }
                     "way" => {
-                        let id = get_attr(&attrs, "id")
-                            .and_then(|v| v.parse().ok())
-                            .ok_or(OsmError::BadAttribute {
+                        let id = get_attr(&attrs, "id").and_then(|v| v.parse().ok()).ok_or(
+                            OsmError::BadAttribute {
                                 element: "way",
                                 attr: "id",
-                            })?;
+                            },
+                        )?;
                         cur_way = Some(OsmWay {
                             id,
                             nodes: Vec::new(),
@@ -138,18 +138,17 @@ impl OsmDocument {
                     }
                     "nd" => {
                         if let Some(way) = cur_way.as_mut() {
-                            let r = get_attr(&attrs, "ref")
-                                .and_then(|v| v.parse().ok())
-                                .ok_or(OsmError::BadAttribute {
+                            let r = get_attr(&attrs, "ref").and_then(|v| v.parse().ok()).ok_or(
+                                OsmError::BadAttribute {
                                     element: "nd",
                                     attr: "ref",
-                                })?;
+                                },
+                            )?;
                             way.nodes.push(r);
                         }
                     }
                     "tag" => {
-                        let (Some(k), Some(v)) =
-                            (get_attr(&attrs, "k"), get_attr(&attrs, "v"))
+                        let (Some(k), Some(v)) = (get_attr(&attrs, "k"), get_attr(&attrs, "v"))
                         else {
                             return Err(OsmError::BadAttribute {
                                 element: "tag",
@@ -195,7 +194,8 @@ impl OsmDocument {
                 .replace('>', "&gt;")
                 .replace('"', "&quot;")
         }
-        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<osm version=\"0.6\">\n");
+        let mut out =
+            String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<osm version=\"0.6\">\n");
         let mut node_ids: Vec<&i64> = self.nodes.keys().collect();
         node_ids.sort_unstable();
         for id in node_ids {

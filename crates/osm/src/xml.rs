@@ -158,8 +158,7 @@ impl<'a> XmlParser<'a> {
                     }
                     self.pos += 1;
                 }
-                let text =
-                    String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let text = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                 let trimmed = text.trim();
                 if trimmed.is_empty() {
                     continue;
@@ -256,11 +255,11 @@ fn decode_entities(s: &str) -> String {
                 "quot" => Some('"'),
                 "apos" => Some('\''),
                 _ if ent.starts_with("#x") || ent.starts_with("#X") => {
-                    u32::from_str_radix(&ent[2..], 16).ok().and_then(char::from_u32)
+                    u32::from_str_radix(&ent[2..], 16)
+                        .ok()
+                        .and_then(char::from_u32)
                 }
-                _ if ent.starts_with('#') => {
-                    ent[1..].parse::<u32>().ok().and_then(char::from_u32)
-                }
+                _ if ent.starts_with('#') => ent[1..].parse::<u32>().ok().and_then(char::from_u32),
                 _ => None,
             };
             match decoded {
@@ -313,8 +312,19 @@ mod tests {
     fn self_closing_emits_end() {
         let ev = collect(r#"<node id="1" lat="42.0" lon="-71.0"/>"#);
         assert_eq!(ev.len(), 2);
-        assert!(matches!(&ev[0], XmlEvent::Start { self_closing: true, .. }));
-        assert_eq!(ev[1], XmlEvent::End { name: "node".into() });
+        assert!(matches!(
+            &ev[0],
+            XmlEvent::Start {
+                self_closing: true,
+                ..
+            }
+        ));
+        assert_eq!(
+            ev[1],
+            XmlEvent::End {
+                name: "node".into()
+            }
+        );
     }
 
     #[test]

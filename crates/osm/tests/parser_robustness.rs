@@ -13,14 +13,9 @@ proptest! {
     fn xml_parser_never_panics(input in "[\\x00-\\x7f]{0,256}") {
         let mut p = XmlParser::new(&input);
         let mut steps = 0usize;
-        loop {
-            match p.next() {
-                Ok(Some(_)) => {
-                    steps += 1;
-                    prop_assert!(steps < 10_000, "parser made no progress");
-                }
-                Ok(None) | Err(_) => break,
-            }
+        while let Ok(Some(_)) = p.next() {
+            steps += 1;
+            prop_assert!(steps < 10_000, "parser made no progress");
         }
     }
 

@@ -150,7 +150,13 @@ impl Landmarks {
         F: Fn(EdgeId) -> f64,
     {
         let mut astar = AStar::new(view.network().num_nodes());
-        astar.shortest_path(view, weight, |v| self.lower_bound(v, target), source, target)
+        astar.shortest_path(
+            view,
+            weight,
+            |v| self.lower_bound(v, target),
+            source,
+            target,
+        )
     }
 }
 

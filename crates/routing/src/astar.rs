@@ -133,7 +133,15 @@ impl AStar {
             node: source.index() as u32,
         });
 
+        // Telemetry accumulates in locals; one flush per search keeps
+        // the inner loop free of atomics.
+        let mut pops: u64 = 0;
+        let mut relaxations: u64 = 0;
+        let mut prunes: u64 = 0;
+        let mut found = false;
+
         while let Some(HeapEntry { node: v, .. }) = heap.pop() {
+            pops += 1;
             let vi = v as usize;
             if self.settled[vi] == 1 && self.stamp[vi] == self.generation {
                 continue;
@@ -141,10 +149,12 @@ impl AStar {
             self.touch(vi);
             self.settled[vi] = 1;
             if vi == target.index() {
-                return self.extract(view, source, target);
+                found = true;
+                break;
             }
             let g = self.dist[vi];
             for (e, w) in view.out_neighbors(NodeId::new(vi)) {
+                relaxations += 1;
                 let we = weight(e);
                 debug_assert!(we >= 0.0, "negative edge weight");
                 let wi = w.index();
@@ -153,6 +163,9 @@ impl AStar {
                 if ng < self.dist[wi] {
                     let hw = h(w);
                     if hw.is_infinite() {
+                        // Heuristic proves this neighbor useless: the
+                        // search never enqueues it.
+                        prunes += 1;
                         continue;
                     }
                     self.dist[wi] = ng;
@@ -164,7 +177,32 @@ impl AStar {
                 }
             }
         }
-        None
+
+        if obs::enabled() {
+            // Handles are resolved once per thread: A* runs thousands of
+            // times per attack, so per-search name lookups would dominate
+            // the enabled-mode overhead.
+            thread_local! {
+                static STATS: [obs::Counter; 4] = [
+                    obs::global().counter("routing.astar.searches"),
+                    obs::global().counter("routing.astar.pops"),
+                    obs::global().counter("routing.astar.relaxations"),
+                    obs::global().counter("routing.astar.heuristic_prunes"),
+                ];
+            }
+            STATS.with(|[searches, c_pops, c_relax, c_prunes]| {
+                searches.add(1);
+                c_pops.add(pops);
+                c_relax.add(relaxations);
+                c_prunes.add(prunes);
+            });
+        }
+
+        if found {
+            self.extract(view, source, target)
+        } else {
+            None
+        }
     }
 
     fn extract(&self, view: &GraphView<'_>, source: NodeId, target: NodeId) -> Option<Path> {

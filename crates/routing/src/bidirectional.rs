@@ -240,8 +240,8 @@ mod tests {
     fn trivial_source_target() {
         let net = grid(2, 2);
         let view = GraphView::new(&net);
-        let p = bidirectional_shortest_path(&view, |_| 1.0, NodeId::new(1), NodeId::new(1))
-            .unwrap();
+        let p =
+            bidirectional_shortest_path(&view, |_| 1.0, NodeId::new(1), NodeId::new(1)).unwrap();
         assert!(p.is_empty());
     }
 

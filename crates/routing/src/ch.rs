@@ -88,14 +88,7 @@ struct WorkGraph {
 impl WorkGraph {
     /// Limited witness Dijkstra: is there a path `u → … → v` avoiding
     /// `via` with weight ≤ `limit`? Settles at most `max_settled` nodes.
-    fn witness_exists(
-        &self,
-        u: u32,
-        v: u32,
-        via: u32,
-        limit: f64,
-        max_settled: usize,
-    ) -> bool {
+    fn witness_exists(&self, u: u32, v: u32, via: u32, limit: f64, max_settled: usize) -> bool {
         let mut dist: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
         let mut heap = BinaryHeap::new();
         dist.insert(u, 0.0);
@@ -215,14 +208,21 @@ impl ContractionHierarchy {
             })
             .collect();
 
-        while let Some(HeapEntry { dist: prio, node: v }) = queue.pop() {
+        while let Some(HeapEntry {
+            dist: prio,
+            node: v,
+        }) = queue.pop()
+        {
             if work.contracted[v as usize] {
                 continue;
             }
             // Lazy re-evaluation: if priority got stale, re-queue.
             let fresh = priority(&work, &deleted_neighbors, v);
             if fresh > prio + 1e-9 {
-                queue.push(HeapEntry { dist: fresh, node: v });
+                queue.push(HeapEntry {
+                    dist: fresh,
+                    node: v,
+                });
                 continue;
             }
 
@@ -232,14 +232,22 @@ impl ContractionHierarchy {
             for &(t, w, kind) in &work.out[v as usize] {
                 if !work.contracted[t as usize] {
                     let idx = arcs.len() as u32;
-                    arcs.push(ChEdge { to: t, weight: w, kind });
+                    arcs.push(ChEdge {
+                        to: t,
+                        weight: w,
+                        kind,
+                    });
                     up_pairs.push((v, idx));
                 }
             }
             for &(u, w, kind) in &work.inn[v as usize] {
                 if !work.contracted[u as usize] {
                     let idx = arcs.len() as u32;
-                    arcs.push(ChEdge { to: u, weight: w, kind });
+                    arcs.push(ChEdge {
+                        to: u,
+                        weight: w,
+                        kind,
+                    });
                     down_pairs.push((v, idx));
                 }
             }
@@ -263,16 +271,8 @@ impl ContractionHierarchy {
                     weight: 0.0,
                     kind: kv,
                 });
-                work.out[u as usize].push((
-                    t,
-                    w,
-                    ChEdgeKind::Shortcut { first, second },
-                ));
-                work.inn[t as usize].push((
-                    u,
-                    w,
-                    ChEdgeKind::Shortcut { first, second },
-                ));
+                work.out[u as usize].push((t, w, ChEdgeKind::Shortcut { first, second }));
+                work.inn[t as usize].push((u, w, ChEdgeKind::Shortcut { first, second }));
             }
             for &(u, _, _) in &work.inn[v as usize] {
                 if !work.contracted[u as usize] {
@@ -348,8 +348,14 @@ impl ContractionHierarchy {
         let mut hb = BinaryHeap::new();
         fwd.insert(si, (0.0, None));
         bwd.insert(ti, (0.0, None));
-        hf.push(HeapEntry { dist: 0.0, node: si });
-        hb.push(HeapEntry { dist: 0.0, node: ti });
+        hf.push(HeapEntry {
+            dist: 0.0,
+            node: si,
+        });
+        hb.push(HeapEntry {
+            dist: 0.0,
+            node: ti,
+        });
         let mut best = f64::INFINITY;
         let mut meet = u32::MAX;
 
@@ -410,7 +416,10 @@ impl ContractionHierarchy {
             let cur = dist.get(&arc.to).map(|&(d, _)| d).unwrap_or(f64::INFINITY);
             if nd < cur - 1e-15 {
                 dist.insert(arc.to, (nd, Some((ai, v))));
-                heap.push(HeapEntry { dist: nd, node: arc.to });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: arc.to,
+                });
             }
         }
     }

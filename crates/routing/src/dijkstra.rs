@@ -163,17 +163,28 @@ impl Dijkstra {
             node: source.index() as u32,
         });
 
+        // Telemetry is accumulated in locals and flushed once after the
+        // sweep: the loop itself stays atomics-free.
+        let mut pops: u64 = 0;
+        let mut relaxations: u64 = 0;
+
         while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+            pops += 1;
             let vi = v as usize;
             if self.is_settled(vi) {
                 continue;
             }
             self.settled[vi] = 1;
             if stop_at == Some(NodeId::new(vi)) {
-                return;
+                break;
             }
             let node = NodeId::new(vi);
-            let relax = |this: &mut Self, heap: &mut BinaryHeap<HeapEntry>, e: EdgeId, w: NodeId| {
+            let relax = |this: &mut Self,
+                         heap: &mut BinaryHeap<HeapEntry>,
+                         relaxations: &mut u64,
+                         e: EdgeId,
+                         w: NodeId| {
+                *relaxations += 1;
                 let we = weight(e);
                 debug_assert!(we >= 0.0, "negative edge weight");
                 let wi = w.index();
@@ -191,15 +202,32 @@ impl Dijkstra {
             match direction {
                 Direction::Forward => {
                     for (e, w) in view.out_neighbors(node) {
-                        relax(self, &mut heap, e, w);
+                        relax(self, &mut heap, &mut relaxations, e, w);
                     }
                 }
                 Direction::Backward => {
                     for (e, w) in view.in_neighbors(node) {
-                        relax(self, &mut heap, e, w);
+                        relax(self, &mut heap, &mut relaxations, e, w);
                     }
                 }
             }
+        }
+
+        if obs::enabled() {
+            // Per-thread handles: sweeps are frequent enough that name
+            // lookups on every flush would show up in enabled-mode runs.
+            thread_local! {
+                static STATS: [obs::Counter; 3] = [
+                    obs::global().counter("routing.dijkstra.sweeps"),
+                    obs::global().counter("routing.dijkstra.pops"),
+                    obs::global().counter("routing.dijkstra.relaxations"),
+                ];
+            }
+            STATS.with(|[sweeps, c_pops, c_relax]| {
+                sweeps.add(1);
+                c_pops.add(pops);
+                c_relax.add(relaxations);
+            });
         }
     }
 

@@ -248,10 +248,7 @@ mod tests {
         let e0 = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
         let e1 = net.find_edge(NodeId::new(1), NodeId::new(2)).unwrap();
         let p = Path::from_edges(&net, vec![e0, e1], length(&net)).unwrap();
-        assert_eq!(
-            p.nodes(),
-            &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]
-        );
+        assert_eq!(p.nodes(), &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
         assert_eq!(p.total_weight(), 200.0);
         assert!(p.is_simple());
     }

@@ -320,14 +320,8 @@ mod tests {
         let net = b.build();
         let view = GraphView::new(&net);
         let penalty = standard_turn_model(&net, 1000.0);
-        let p = turn_aware_shortest_path(
-            &view,
-            |e| net.edge_attrs(e).length_m,
-            &penalty,
-            n0,
-            n2,
-        )
-        .unwrap();
+        let p = turn_aware_shortest_path(&view, |e| net.edge_attrs(e).length_m, &penalty, n0, n2)
+            .unwrap();
         assert!((p.total_weight() - 200.0).abs() < 1e-9);
     }
 }

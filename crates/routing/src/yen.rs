@@ -137,6 +137,7 @@ where
     if k == 0 {
         return Vec::new();
     }
+    let _timer = obs::span("routing.yen.shortest_path");
     let net = view.network();
     let n = net.num_nodes();
 
@@ -147,6 +148,11 @@ where
     if source == target {
         return vec![first];
     }
+
+    // Flushed once at the end of the enumeration.
+    let mut spur_searches: u64 = 0;
+    let mut candidates_generated: u64 = 0;
+    let mut duplicate_candidates: u64 = 0;
 
     // Admissible heuristic: exact distances to target on the caller's
     // view (or the trivial zero heuristic, degrading A* to Dijkstra).
@@ -216,12 +222,14 @@ where
                 }
             }
 
+            spur_searches += 1;
             if let Some(spur) =
                 astar.shortest_path(&work, &weight, |v| rev[v.index()], spur_node, target)
             {
                 let mut edges = prev.edges()[..i].to_vec();
                 edges.extend_from_slice(spur.edges());
                 if seen.insert(edges.clone()) {
+                    candidates_generated += 1;
                     let mut nodes = prev.nodes()[..=i].to_vec();
                     nodes.extend_from_slice(&spur.nodes()[1..]);
                     let total = prefix_w[i] + spur.total_weight();
@@ -229,6 +237,8 @@ where
                         path: Path::from_parts(nodes, edges, total),
                         deviation: i,
                     });
+                } else {
+                    duplicate_candidates += 1;
                 }
             }
 
@@ -242,6 +252,12 @@ where
             None => break,
         }
     }
+
+    obs::add("routing.yen.queries", 1);
+    obs::add("routing.yen.spur_searches", spur_searches);
+    obs::add("routing.yen.duplicate_candidates", duplicate_candidates);
+    obs::record_value("routing.yen.candidates_per_query", candidates_generated);
+    obs::record_value("routing.yen.paths_per_query", accepted.len() as u64);
 
     accepted.into_iter().map(|(p, _)| p).collect()
 }

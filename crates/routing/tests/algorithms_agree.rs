@@ -3,17 +3,14 @@
 
 use proptest::prelude::*;
 use routing::{bidirectional_shortest_path, AStar, Dijkstra, Direction};
-use traffic_graph::{EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+use traffic_graph::{
+    EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
+};
 
 fn network_from(n_nodes: usize, arcs: &[(usize, usize, f64)]) -> RoadNetwork {
     let mut b = RoadNetworkBuilder::new("prop");
     let nodes: Vec<NodeId> = (0..n_nodes)
-        .map(|i| {
-            b.add_node(Point::new(
-                (i % 5) as f64 * 100.0,
-                (i / 5) as f64 * 100.0,
-            ))
-        })
+        .map(|i| b.add_node(Point::new((i % 5) as f64 * 100.0, (i / 5) as f64 * 100.0)))
         .collect();
     for &(u, v, w) in arcs {
         let mut attrs = EdgeAttrs::from_class(RoadClass::Residential, 1.0 + w);

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use routing::k_shortest_paths;
-use traffic_graph::{EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+use traffic_graph::{
+    EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
+};
 
 fn network_from(n_nodes: usize, arcs: &[(usize, usize, f64)]) -> RoadNetwork {
     let mut b = RoadNetworkBuilder::new("tiny");

@@ -5,9 +5,7 @@
 //! snapping (paper §III-A) happens here because it must split edges, which
 //! is cheap before the CSR indices are assigned.
 
-use crate::{
-    project_onto_segment, EdgeAttrs, NodeId, Point, Poi, PoiKind, RoadClass, RoadNetwork,
-};
+use crate::{project_onto_segment, EdgeAttrs, NodeId, Poi, PoiKind, Point, RoadClass, RoadNetwork};
 
 /// Pending edge inside a [`RoadNetworkBuilder`].
 #[derive(Debug, Clone)]
@@ -117,7 +115,12 @@ impl RoadNetworkBuilder {
     ///
     /// Returns the id of the POI node, or `None` if the network has no
     /// edges to snap onto.
-    pub fn attach_poi(&mut self, name: impl Into<String>, kind: PoiKind, p: Point) -> Option<NodeId> {
+    pub fn attach_poi(
+        &mut self,
+        name: impl Into<String>,
+        kind: PoiKind,
+        p: Point,
+    ) -> Option<NodeId> {
         let (best_edge, t, q) = self.nearest_edge(p)?;
         let (u, v) = (self.edges[best_edge].from, self.edges[best_edge].to);
 
@@ -256,14 +259,24 @@ mod tests {
         let lengths: Vec<f64> = (0..net.num_edges())
             .map(|i| net.edge_attrs(crate::EdgeId::new(i)).length_m)
             .collect();
-        assert!(lengths.iter().filter(|&&l| (l - 100.0).abs() < 1e-9).count() == 4);
+        assert!(
+            lengths
+                .iter()
+                .filter(|&&l| (l - 100.0).abs() < 1e-9)
+                .count()
+                == 4
+        );
     }
 
     #[test]
     fn attach_poi_splits_edge() {
         let mut b = toy();
         // POI below the middle of the a–c street.
-        let poi = b.attach_poi("General Hospital", PoiKind::Hospital, Point::new(50.0, -30.0));
+        let poi = b.attach_poi(
+            "General Hospital",
+            PoiKind::Hospital,
+            Point::new(50.0, -30.0),
+        );
         assert!(poi.is_some());
         let net = b.build();
         // 3 original nodes + split node + poi node

@@ -46,11 +46,7 @@ impl Ord for HeapEntry {
 /// # Panics
 ///
 /// Panics if `weight` returns a negative value for a live edge.
-pub fn edge_betweenness<F>(
-    view: &GraphView<'_>,
-    weight: F,
-    sources: Option<&[NodeId]>,
-) -> Vec<f64>
+pub fn edge_betweenness<F>(view: &GraphView<'_>, weight: F, sources: Option<&[NodeId]>) -> Vec<f64>
 where
     F: Fn(EdgeId) -> f64,
 {
@@ -443,10 +439,7 @@ mod tests {
         let view = GraphView::new(&net);
         let x = eigenvector_centrality(&view, 200, 1e-12);
         for leaf in 1..5 {
-            assert!(
-                x[0] > x[leaf],
-                "center should dominate leaves: {x:?}"
-            );
+            assert!(x[0] > x[leaf], "center should dominate leaves: {x:?}");
         }
         // leaves are symmetric
         for leaf in 2..5 {

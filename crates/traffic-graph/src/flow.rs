@@ -64,8 +64,14 @@ impl FlowNetwork {
     /// Panics if an endpoint is out of range or the capacity is negative
     /// or non-finite.
     pub fn add_arc(&mut self, from: usize, to: usize, capacity: f64) -> usize {
-        assert!(from < self.adj.len() && to < self.adj.len(), "arc endpoint out of range");
-        assert!(capacity >= 0.0 && capacity.is_finite(), "bad capacity {capacity}");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "arc endpoint out of range"
+        );
+        assert!(
+            capacity >= 0.0 && capacity.is_finite(),
+            "bad capacity {capacity}"
+        );
         let id = self.head.len();
         self.head.push(to as u32);
         self.cap.push(capacity);
@@ -131,7 +137,10 @@ impl FlowNetwork {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
-        assert!(s < self.adj.len() && t < self.adj.len(), "terminal out of range");
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "terminal out of range"
+        );
         assert_ne!(s, t, "source equals sink");
         let mut flow = 0.0;
         while let Some(level) = self.levels(s, t) {
@@ -336,8 +345,16 @@ mod tests {
         let s1 = b.add_node(Point::new(0.0, 1.0));
         let s2 = b.add_node(Point::new(0.0, -1.0));
         let t = b.add_node(Point::new(1.0, 0.0));
-        b.add_edge(s1, t, EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(1));
-        b.add_edge(s2, t, EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(4));
+        b.add_edge(
+            s1,
+            t,
+            EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(1),
+        );
+        b.add_edge(
+            s2,
+            t,
+            EdgeAttrs::from_class(RoadClass::Primary, 1.0).with_lanes(4),
+        );
         let net = b.build();
         let view = GraphView::new(&net);
         let cut = isolate_area(&view, &[t], |e| f64::from(net.edge_attrs(e).lanes)).unwrap();

@@ -276,9 +276,17 @@ mod tests {
         let a = b.add_node(Point::new(0.0, 0.0));
         let c = b.add_node(Point::new(120.5, -3.25));
         let d = b.add_node(Point::new(240.0, 10.0));
-        b.add_two_way(a, c, EdgeAttrs::from_class(RoadClass::Primary, 121.0).with_lanes(3));
+        b.add_two_way(
+            a,
+            c,
+            EdgeAttrs::from_class(RoadClass::Primary, 121.0).with_lanes(3),
+        );
         b.add_edge(c, d, EdgeAttrs::from_class(RoadClass::Motorway, 119.5));
-        b.attach_poi("General Hospital", PoiKind::Hospital, Point::new(60.0, 40.0));
+        b.attach_poi(
+            "General Hospital",
+            PoiKind::Hospital,
+            Point::new(60.0, 40.0),
+        );
         b.build()
     }
 

@@ -56,9 +56,7 @@ mod latticeness;
 mod network;
 mod view;
 
-pub use attrs::{
-    EdgeAttrs, Poi, PoiKind, RoadClass, AVERAGE_CAR_WIDTH_M, DEFAULT_LANE_WIDTH_M,
-};
+pub use attrs::{EdgeAttrs, Poi, PoiKind, RoadClass, AVERAGE_CAR_WIDTH_M, DEFAULT_LANE_WIDTH_M};
 pub use builder::RoadNetworkBuilder;
 pub use centrality::{
     closeness_centrality, edge_betweenness, edge_eigenscore, eigenvector_centrality,
@@ -70,7 +68,7 @@ pub use connectivity::{
 };
 pub use flow::{isolate_area, FlowNetwork, IsolationCut};
 pub use geometry::{project_onto_segment, BoundingBox, Point};
-pub use latticeness::{average_circuity, orientation_histogram, orientation_order};
 pub use ids::{EdgeId, NodeId};
+pub use latticeness::{average_circuity, orientation_histogram, orientation_order};
 pub use network::RoadNetwork;
 pub use view::GraphView;

@@ -6,7 +6,7 @@
 //! edge removal (the attack primitive) happens through
 //! [`crate::GraphView`] masks without touching this structure.
 
-use crate::{BoundingBox, EdgeAttrs, EdgeId, NodeId, Point, Poi, PoiKind};
+use crate::{BoundingBox, EdgeAttrs, EdgeId, NodeId, Poi, PoiKind, Point};
 use serde::{Deserialize, Serialize};
 
 /// An immutable directed road network.
@@ -60,7 +60,10 @@ impl RoadNetwork {
         assert_eq!(edge_to.len(), m);
         assert_eq!(attrs.len(), m);
         assert!(
-            edge_from.iter().chain(edge_to.iter()).all(|&v| (v as usize) < n),
+            edge_from
+                .iter()
+                .chain(edge_to.iter())
+                .all(|&v| (v as usize) < n),
             "edge endpoint out of range"
         );
 
@@ -184,7 +187,9 @@ impl RoadNetwork {
     pub fn out_edges(&self, node: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
         let s = self.out_start[node.index()] as usize;
         let e = self.out_start[node.index() + 1] as usize;
-        self.out_edges[s..e].iter().map(|&i| EdgeId::new(i as usize))
+        self.out_edges[s..e]
+            .iter()
+            .map(|&i| EdgeId::new(i as usize))
     }
 
     /// Edges entering `node`.
@@ -225,12 +230,11 @@ impl RoadNetwork {
     ///
     /// Returns `None` for an empty network.
     pub fn nearest_node(&self, p: Point) -> Option<NodeId> {
-        self.nodes()
-            .min_by(|&a, &b| {
-                self.node_point(a)
-                    .distance_sq(p)
-                    .total_cmp(&self.node_point(b).distance_sq(p))
-            })
+        self.nodes().min_by(|&a, &b| {
+            self.node_point(a)
+                .distance_sq(p)
+                .total_cmp(&self.node_point(b).distance_sq(p))
+        })
     }
 
     /// Looks up a directed edge by endpoints; returns the first match if
@@ -326,7 +330,10 @@ mod tests {
         let net = diamond();
         let e = net.find_edge(NodeId::new(0), NodeId::new(1));
         assert!(e.is_some());
-        assert_eq!(net.edge_endpoints(e.unwrap()), (NodeId::new(0), NodeId::new(1)));
+        assert_eq!(
+            net.edge_endpoints(e.unwrap()),
+            (NodeId::new(0), NodeId::new(1))
+        );
         assert!(net.find_edge(NodeId::new(1), NodeId::new(0)).is_none());
     }
 

@@ -128,13 +128,15 @@ impl<'g> GraphView<'g> {
     /// `(edge, neighbor)` pairs for live out-edges of `node`.
     #[inline]
     pub fn out_neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
-        self.out_edges(node).map(move |e| (e, self.net.edge_target(e)))
+        self.out_edges(node)
+            .map(move |e| (e, self.net.edge_target(e)))
     }
 
     /// `(edge, neighbor)` pairs for live in-edges of `node`.
     #[inline]
     pub fn in_neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
-        self.in_edges(node).map(move |e| (e, self.net.edge_source(e)))
+        self.in_edges(node)
+            .map(move |e| (e, self.net.edge_source(e)))
     }
 }
 

@@ -180,7 +180,13 @@ mod tests {
 
     /// Braess network: s→a (v/100), a→t (45), s→b (45), b→t (v/100) and
     /// the paradoxical bypass a→b (0).
-    fn braess() -> (RoadNetwork, Vec<Latency>, NodeId, NodeId, traffic_graph::EdgeId) {
+    fn braess() -> (
+        RoadNetwork,
+        Vec<Latency>,
+        NodeId,
+        NodeId,
+        traffic_graph::EdgeId,
+    ) {
         let mut b = RoadNetworkBuilder::new("braess");
         let s = b.add_node(Point::new(0.0, 0.0));
         let a = b.add_node(Point::new(1.0, 1.0));

@@ -74,7 +74,10 @@ impl OdMatrix {
         seed: u64,
     ) -> OdMatrix {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let hospitals: Vec<NodeId> = net.pois_of_kind(PoiKind::Hospital).map(|p| p.node).collect();
+        let hospitals: Vec<NodeId> = net
+            .pois_of_kind(PoiKind::Hospital)
+            .map(|p| p.node)
+            .collect();
         let n = net.num_nodes();
         let mut m = OdMatrix::new();
         if hospitals.is_empty() || n < 2 {

@@ -108,8 +108,16 @@ mod tests {
         b.add_edge(n0, n1, EdgeAttrs::from_class(RoadClass::Primary, 1000.0));
         b.add_edge(n1, n2, EdgeAttrs::from_class(RoadClass::Primary, 1000.0));
         // slow detour through s0
-        b.add_edge(n0, s0, EdgeAttrs::from_class(RoadClass::Residential, 1200.0));
-        b.add_edge(s0, n2, EdgeAttrs::from_class(RoadClass::Residential, 1800.0));
+        b.add_edge(
+            n0,
+            s0,
+            EdgeAttrs::from_class(RoadClass::Residential, 1200.0),
+        );
+        b.add_edge(
+            s0,
+            n2,
+            EdgeAttrs::from_class(RoadClass::Residential, 1800.0),
+        );
         let net = b.build();
         let mut demand = OdMatrix::new();
         demand.add(n0, n2, 800.0);

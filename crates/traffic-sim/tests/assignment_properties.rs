@@ -2,7 +2,9 @@
 //! monotonicity on random grids.
 
 use proptest::prelude::*;
-use traffic_graph::{EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+use traffic_graph::{
+    EdgeAttrs, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
+};
 use traffic_sim::{assign, AssignmentConfig, Latency, OdMatrix};
 
 fn grid(n: usize, lens: &[f64]) -> RoadNetwork {
@@ -14,7 +16,7 @@ fn grid(n: usize, lens: &[f64]) -> RoadNetwork {
         }
     }
     let mut i = 0usize;
-    let mut next = |i: &mut usize| {
+    let next = |i: &mut usize| {
         let l = 80.0 + lens[*i % lens.len()];
         *i += 1;
         l

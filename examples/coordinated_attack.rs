@@ -57,7 +57,10 @@ fn main() {
     );
     println!("independent attacks: total cost {independent_cost:.1}");
     if joint.is_success() && joint.total_cost <= independent_cost {
-        println!("coordination saves {:.1} cost units", independent_cost - joint.total_cost);
+        println!(
+            "coordination saves {:.1} cost units",
+            independent_cost - joint.total_cost
+        );
     }
 
     // Conflict case: two victims whose fast routes overlap so heavily

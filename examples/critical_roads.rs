@@ -24,7 +24,9 @@ fn main() {
 
         let top = critical_segments(&city, WeightType::Time, Some(48), 10);
         let mean_b = top.iter().map(|s| s.betweenness).sum::<f64>() / top.len().max(1) as f64;
-        let concentration = top.first().map_or(0.0, |s| s.betweenness / mean_b.max(1e-9));
+        let concentration = top
+            .first()
+            .map_or(0.0, |s| s.betweenness / mean_b.max(1e-9));
 
         println!(
             "{:<15} {:>7.3} {:>10.3} {:>14.2} {:>18}",

@@ -48,15 +48,9 @@ fn main() {
         "Algorithm", "Cost", "Runtime(ms)", "NER", "CRE", "Status"
     );
     for cost in CostType::ALL {
-        let problem = AttackProblem::with_path_rank(
-            &city,
-            WeightType::Time,
-            cost,
-            source,
-            hospital.node,
-            50,
-        )
-        .expect("rank-50 alternative exists");
+        let problem =
+            AttackProblem::with_path_rank(&city, WeightType::Time, cost, source, hospital.node, 50)
+                .expect("rank-50 alternative exists");
         for alg in all_algorithms() {
             let out = alg.attack(&problem);
             out.verify(&problem).expect("outcome verifies");

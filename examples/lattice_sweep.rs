@@ -10,7 +10,6 @@
 //!
 //! Run with: `cargo run --release --example lattice_sweep`
 
-use metro_attack::prelude::*;
 use metro_attack::experiments::{lattice_sweep, render_lattice_sweep};
 
 fn main() {

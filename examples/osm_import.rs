@@ -72,7 +72,12 @@ fn main() {
     let view = GraphView::new(&net);
     let mut dij = Dijkstra::new(net.num_nodes());
     let weight = WeightType::Time.compute(&net);
-    let dist = dij.distances(&view, |e| weight[e.index()], hospital.node, Direction::Backward);
+    let dist = dij.distances(
+        &view,
+        |e| weight[e.index()],
+        hospital.node,
+        Direction::Backward,
+    );
     let source = (0..net.num_nodes())
         .filter(|&v| dist[v].is_finite() && v != hospital.node.index())
         .max_by(|&a, &b| dist[a].total_cmp(&dist[b]))

@@ -51,7 +51,9 @@ fn main() {
                 let (u, v) = city.edge_endpoints(e);
                 city.node_point(u).midpoint(city.node_point(v))
             };
-            mid(a).distance_sq(center).total_cmp(&mid(b).distance_sq(center))
+            mid(a)
+                .distance_sq(center)
+                .total_cmp(&mid(b).distance_sq(center))
         })
         .expect("LA preset has freeways");
     let (tu, tv) = city.edge_endpoints(toll);

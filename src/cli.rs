@@ -1,0 +1,128 @@
+//! Shared CLI surface: accepted flags, usage text, and the `--metrics`
+//! telemetry plumbing.
+//!
+//! This lives in the library (rather than `main.rs`) so the integration
+//! tests can assert that every accepted flag is documented in the usage
+//! text — the two lists can no longer drift apart silently.
+
+use obs::TelemetrySink;
+use std::io;
+
+/// Every `--key value` flag the CLI accepts, across all subcommands.
+pub const KNOWN_FLAGS: [&str; 16] = [
+    "city",
+    "scale",
+    "seed",
+    "rank",
+    "weight",
+    "cost",
+    "algorithm",
+    "source",
+    "hospital",
+    "top",
+    "radius",
+    "trips",
+    "svg",
+    "victims",
+    "max-hardened",
+    "metrics",
+];
+
+/// Usage text printed on bad invocations; documents every known flag.
+pub const USAGE: &str =
+    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate> \
+[--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
+[--rank K] [--weight length|time] [--cost uniform|lanes|width] \
+[--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness] \
+[--source N] [--hospital IDX] [--top K] [--radius M] [--trips N] [--svg FILE] \
+[--victims N] [--max-hardened K] [--metrics table|jsonl|FILE]";
+
+/// Destination of the `--metrics` telemetry report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Human-readable table on stderr (keeps stdout parseable).
+    Table,
+    /// JSON lines on stdout.
+    Jsonl,
+    /// JSON lines written to the given file.
+    File(String),
+}
+
+impl MetricsMode {
+    /// Parses a `--metrics` value: `table`, `jsonl`, or a file path.
+    pub fn parse(value: &str) -> MetricsMode {
+        match value {
+            "table" => MetricsMode::Table,
+            "jsonl" => MetricsMode::Jsonl,
+            path => MetricsMode::File(path.to_string()),
+        }
+    }
+
+    /// Exports the global registry's snapshot to this destination.
+    pub fn emit(&self) -> io::Result<()> {
+        let snapshot = obs::global().snapshot();
+        match self {
+            MetricsMode::Table => obs::TableSink::new(io::stderr().lock()).export(&snapshot),
+            MetricsMode::Jsonl => obs::JsonlSink::new(io::stdout().lock()).export(&snapshot),
+            MetricsMode::File(path) => {
+                let file = std::fs::File::create(path)?;
+                obs::JsonlSink::new(io::BufWriter::new(file)).export(&snapshot)
+            }
+        }
+    }
+}
+
+/// Static span name for the per-command `harness.*` timer.
+pub fn command_span_name(cmd: &str) -> &'static str {
+    match cmd {
+        "generate" => "harness.cmd.generate",
+        "attack" => "harness.cmd.attack",
+        "recon" => "harness.cmd.recon",
+        "harden" => "harness.cmd.harden",
+        "isolate" => "harness.cmd.isolate",
+        "impact" => "harness.cmd.impact",
+        "coordinate" => "harness.cmd.coordinate",
+        _ => "harness.cmd.other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_known_flag_is_documented_in_usage() {
+        for flag in KNOWN_FLAGS {
+            assert!(
+                USAGE.contains(&format!("--{flag}")),
+                "usage text omits --{flag}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_mode_parses() {
+        assert_eq!(MetricsMode::parse("table"), MetricsMode::Table);
+        assert_eq!(MetricsMode::parse("jsonl"), MetricsMode::Jsonl);
+        assert_eq!(
+            MetricsMode::parse("out/metrics.jsonl"),
+            MetricsMode::File("out/metrics.jsonl".into())
+        );
+    }
+
+    #[test]
+    fn command_span_names_follow_convention() {
+        for cmd in [
+            "generate",
+            "attack",
+            "recon",
+            "harden",
+            "isolate",
+            "impact",
+            "coordinate",
+        ] {
+            assert_eq!(command_span_name(cmd), format!("harness.cmd.{cmd}"));
+        }
+        assert_eq!(command_span_name("bogus"), "harness.cmd.other");
+    }
+}

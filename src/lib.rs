@@ -46,9 +46,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 pub use citygen;
 pub use experiments;
 pub use lp;
+pub use obs;
 pub use osm;
 pub use pathattack as attack;
 pub use routing;
@@ -58,8 +61,8 @@ pub use traffic_sim as sim;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use citygen::{
-        generate_coastal, generate_grid, generate_organic, generate_sprawl, summarize,
-        CityPreset, CoastalConfig, GridConfig, OrganicConfig, Scale, SprawlConfig,
+        generate_coastal, generate_grid, generate_organic, generate_sprawl, summarize, CityPreset,
+        CoastalConfig, GridConfig, OrganicConfig, Scale, SprawlConfig,
     };
     pub use experiments::{
         aggregate, city_average, rank_sweep, records_to_csv, render_experiment_table,
@@ -70,20 +73,19 @@ pub mod prelude {
         all_algorithms, all_algorithms_extended, coordinated_attack, critical_segments,
         minimal_hardening, AttackAlgorithm, AttackOutcome, AttackProblem, AttackStatus,
         CoordinatedError, CoordinatedOutcome, CostType, CriticalSegment, GreedyBetweenness,
-        GreedyEdge, GreedyEig, GreedyPathCover, HardeningPlan, LpPathCover, Rounding,
-        WeightType,
+        GreedyEdge, GreedyEig, GreedyPathCover, HardeningPlan, LpPathCover, Rounding, WeightType,
     };
     pub use routing::{
-        bidirectional_shortest_path, k_shortest_paths, k_shortest_paths_with,
-        kth_shortest_path, AStar, Dijkstra, Direction, Landmarks, Path, YenConfig,
+        bidirectional_shortest_path, k_shortest_paths, k_shortest_paths_with, kth_shortest_path,
+        AStar, Dijkstra, Direction, Landmarks, Path, YenConfig,
     };
     pub use traffic_graph::{
         average_circuity, edge_betweenness, eigenvector_centrality, is_reachable,
         is_strongly_connected, isolate_area, orientation_order, EdgeAttrs, EdgeId, GraphView,
-        NodeId, Point, PoiKind, RoadClass, RoadNetwork, RoadNetworkBuilder,
+        NodeId, PoiKind, Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
     };
     pub use traffic_sim::{
-        assign, attack_impact, AssignmentConfig, AssignmentResult, ImpactReport, Latency,
-        OdMatrix, OdPair,
+        assign, attack_impact, AssignmentConfig, AssignmentResult, ImpactReport, Latency, OdMatrix,
+        OdPair,
     };
 }

@@ -14,18 +14,13 @@
 //! writes a Figs 1–4-style map.
 
 use metro_attack::attack::{coordinated_attack, minimal_hardening};
+use metro_attack::cli::{command_span_name, MetricsMode, KNOWN_FLAGS, USAGE};
 use metro_attack::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate> \
-         [--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
-         [--rank K] [--weight length|time] [--cost uniform|lanes|width] \
-         [--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness] \
-         [--source N] [--hospital IDX] [--top K] [--radius M] [--trips N] [--svg FILE]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2)
 }
 
@@ -33,11 +28,6 @@ fn usage() -> ! {
 struct Args {
     values: HashMap<String, String>,
 }
-
-const KNOWN_FLAGS: [&str; 15] = [
-    "city", "scale", "seed", "rank", "weight", "cost", "algorithm", "source", "hospital",
-    "top", "radius", "trips", "svg", "victims", "max-hardened",
-];
 
 impl Args {
     fn parse(raw: &[String]) -> Args {
@@ -191,7 +181,10 @@ fn cmd_generate(args: &Args) -> ExitCode {
     let preset = parse_city(args);
     let city = preset.build(parse_scale(args), args.num("seed", 42u64));
     let s = summarize(&city);
-    println!("{}: {} intersections, {} road segments, avg degree {:.2}", s.city, s.nodes, s.edges, s.avg_degree);
+    println!(
+        "{}: {} intersections, {} road segments, avg degree {:.2}",
+        s.city, s.nodes, s.edges, s.avg_degree
+    );
     println!(
         "orientation order φ = {:.3}, circuity = {:.3}",
         orientation_order(&city),
@@ -208,14 +201,13 @@ fn cmd_attack(args: &Args) -> ExitCode {
     let weight = parse_weight(args);
     let cost = parse_cost(args);
     let rank = args.num("rank", 50usize);
-    let problem =
-        match AttackProblem::with_path_rank(&city, weight, cost, source, hospital, rank) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("cannot set up instance: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let problem = match AttackProblem::with_path_rank(&city, weight, cost, source, hospital, rank) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot set up instance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let alg = parse_algorithm(args);
     let out = alg.attack(&problem);
     println!(
@@ -244,7 +236,10 @@ fn cmd_attack(args: &Args) -> ExitCode {
     for &e in &out.removed {
         let (u, v) = city.edge_endpoints(e);
         let a = city.edge_attrs(e);
-        println!("  cut {e}: {u} → {v} ({}, {:.0} m, {} lanes)", a.class, a.length_m, a.lanes);
+        println!(
+            "  cut {e}: {u} → {v} ({}, {:.0} m, {} lanes)",
+            a.class, a.length_m, a.lanes
+        );
     }
     if out.is_success() {
         out.verify(&problem).expect("verification");
@@ -273,8 +268,16 @@ fn cmd_attack(args: &Args) -> ExitCode {
 fn cmd_recon(args: &Args) -> ExitCode {
     let preset = parse_city(args);
     let city = preset.build(parse_scale(args), args.num("seed", 42u64));
-    let top = critical_segments(&city, parse_weight(args), Some(64), args.num("top", 10usize));
-    println!("most critical segments of {} (sampled betweenness):", city.name());
+    let top = critical_segments(
+        &city,
+        parse_weight(args),
+        Some(64),
+        args.num("top", 10usize),
+    );
+    println!(
+        "most critical segments of {} (sampled betweenness):",
+        city.name()
+    );
     for (i, seg) in top.iter().enumerate() {
         let (u, v) = city.edge_endpoints(seg.edge);
         println!(
@@ -445,14 +448,34 @@ fn main() -> ExitCode {
         usage();
     };
     let args = Args::parse(rest);
-    match cmd.as_str() {
-        "generate" => cmd_generate(&args),
-        "attack" => cmd_attack(&args),
-        "recon" => cmd_recon(&args),
-        "harden" => cmd_harden(&args),
-        "isolate" => cmd_isolate(&args),
-        "impact" => cmd_impact(&args),
-        "coordinate" => cmd_coordinate(&args),
-        _ => usage(),
+    let metrics = args.get("metrics").map(MetricsMode::parse);
+    if metrics.is_some() {
+        obs::set_enabled(true);
     }
+    let started = std::time::Instant::now();
+    let code = {
+        let _cmd_timer = obs::span(command_span_name(cmd));
+        match cmd.as_str() {
+            "generate" => cmd_generate(&args),
+            "attack" => cmd_attack(&args),
+            "recon" => cmd_recon(&args),
+            "harden" => cmd_harden(&args),
+            "isolate" => cmd_isolate(&args),
+            "impact" => cmd_impact(&args),
+            "coordinate" => cmd_coordinate(&args),
+            _ => usage(),
+        }
+    };
+    if let Some(mode) = &metrics {
+        obs::inc("harness.commands");
+        obs::record_value(
+            "harness.command_runtime_ms",
+            started.elapsed().as_millis() as u64,
+        );
+        if let Err(e) = mode.emit() {
+            eprintln!("cannot write metrics: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
 }

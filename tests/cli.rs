@@ -27,8 +27,15 @@ fn generate_prints_summary() {
 #[test]
 fn attack_succeeds_and_verifies() {
     let (ok, stdout, _) = run(&[
-        "attack", "--city", "boston", "--scale", "0.05", "--rank", "10",
-        "--algorithm", "greedy-pathcover",
+        "attack",
+        "--city",
+        "boston",
+        "--scale",
+        "0.05",
+        "--rank",
+        "10",
+        "--algorithm",
+        "greedy-pathcover",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("status Success"));
@@ -41,8 +48,15 @@ fn attack_writes_svg() {
     std::fs::create_dir_all(&dir).unwrap();
     let svg = dir.join("attack.svg");
     let (ok, _, _) = run(&[
-        "attack", "--city", "chicago", "--scale", "0.05", "--rank", "8",
-        "--svg", svg.to_str().unwrap(),
+        "attack",
+        "--city",
+        "chicago",
+        "--scale",
+        "0.05",
+        "--rank",
+        "8",
+        "--svg",
+        svg.to_str().unwrap(),
     ]);
     assert!(ok);
     let content = std::fs::read_to_string(&svg).unwrap();
@@ -64,7 +78,9 @@ fn recon_lists_top_segments() {
 
 #[test]
 fn harden_reports_plan_or_defensible() {
-    let (ok, stdout, _) = run(&["harden", "--city", "chicago", "--scale", "0.05", "--rank", "8"]);
+    let (ok, stdout, _) = run(&[
+        "harden", "--city", "chicago", "--scale", "0.05", "--rank", "8",
+    ]);
     assert!(ok, "{stdout}");
     assert!(
         stdout.contains("harden") || stdout.contains("already defensible"),
@@ -77,7 +93,9 @@ fn harden_reports_plan_or_defensible() {
 
 #[test]
 fn isolate_reports_blockade() {
-    let (ok, stdout, _) = run(&["isolate", "--city", "sf", "--scale", "0.05", "--radius", "300"]);
+    let (ok, stdout, _) = run(&[
+        "isolate", "--city", "sf", "--scale", "0.05", "--radius", "300",
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("blockade isolating"));
 }
@@ -95,7 +113,15 @@ fn impact_reports_slowdown() {
 #[test]
 fn coordinate_runs() {
     let (ok, stdout, _) = run(&[
-        "coordinate", "--city", "chicago", "--scale", "0.05", "--victims", "2", "--rank", "6",
+        "coordinate",
+        "--city",
+        "chicago",
+        "--scale",
+        "0.05",
+        "--victims",
+        "2",
+        "--rank",
+        "6",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("joint cut"));
@@ -108,4 +134,107 @@ fn bad_usage_exits_nonzero() {
     assert!(stderr.contains("usage"));
     let (ok, _, _) = run(&["attack", "--city", "atlantis"]);
     assert!(!ok);
+}
+
+#[test]
+fn usage_documents_every_known_flag() {
+    let (ok, _, stderr) = run(&["help-me"]);
+    assert!(!ok);
+    for flag in metro_attack::cli::KNOWN_FLAGS {
+        assert!(
+            stderr.contains(&format!("--{flag}")),
+            "usage output omits --{flag}:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn metrics_table_covers_routing_pathattack_and_harness() {
+    let (ok, _, stderr) = run(&[
+        "attack",
+        "--city",
+        "boston",
+        "--scale",
+        "0.05",
+        "--rank",
+        "10",
+        "--metrics",
+        "table",
+    ]);
+    assert!(ok, "{stderr}");
+    for section in ["== COUNTERS ==", "== HISTOGRAMS ==", "== SPANS =="] {
+        assert!(stderr.contains(section), "missing {section}:\n{stderr}");
+    }
+    // At least one counter, one histogram, and one span from each of the
+    // three instrumented groups (ISSUE 1 acceptance criteria).
+    for metric in [
+        // routing
+        "routing.dijkstra.pops",
+        "routing.yen.candidates_per_query",
+        "routing.yen.shortest_path",
+        // pathattack (attack algorithms + oracle)
+        "pathattack.oracle.calls",
+        "pathattack.attack.edges_cut",
+        "pathattack.attack.run",
+        // harness (CLI command roll-up)
+        "harness.commands",
+        "harness.command_runtime_ms",
+        "harness.cmd.attack",
+    ] {
+        assert!(stderr.contains(metric), "missing {metric}:\n{stderr}");
+    }
+}
+
+#[test]
+fn metrics_jsonl_parses_as_json_lines() {
+    let (ok, stdout, stderr) = run(&[
+        "attack",
+        "--city",
+        "chicago",
+        "--scale",
+        "0.05",
+        "--rank",
+        "8",
+        "--metrics",
+        "jsonl",
+    ]);
+    assert!(ok, "{stderr}");
+    let telemetry: Vec<&str> = stdout.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(!telemetry.is_empty(), "no JSONL telemetry in:\n{stdout}");
+    let joined = telemetry.join("\n");
+    let snap = metro_attack::obs::Snapshot::from_jsonl(&joined).expect("valid JSONL");
+    assert!(snap.counter("harness.commands").is_some());
+    assert!(snap.counter("routing.astar.searches").is_some());
+}
+
+#[test]
+fn metrics_file_writes_jsonl() {
+    let dir = std::env::temp_dir().join(format!("ma-cli-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.jsonl");
+    let (ok, _, stderr) = run(&[
+        "attack",
+        "--city",
+        "chicago",
+        "--scale",
+        "0.05",
+        "--rank",
+        "8",
+        "--metrics",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let content = std::fs::read_to_string(&path).unwrap();
+    metro_attack::obs::Snapshot::from_jsonl(&content).expect("valid JSONL file");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_off_by_default() {
+    let (ok, stdout, stderr) = run(&[
+        "attack", "--city", "chicago", "--scale", "0.05", "--rank", "8",
+    ]);
+    assert!(ok);
+    assert!(!stdout.contains("\"kind\":"), "{stdout}");
+    assert!(!stderr.contains("== COUNTERS =="), "{stderr}");
 }

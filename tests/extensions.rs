@@ -123,7 +123,12 @@ fn coordinated_attack_verifies_against_each_oracle() {
         // 0 further cuts needed
         let res = GreedyPathCover.attack(&single);
         assert!(res.is_success());
-        assert_eq!(res.num_removed(), 0, "victim {} not fully forced", p.source());
+        assert_eq!(
+            res.num_removed(),
+            0,
+            "victim {} not fully forced",
+            p.source()
+        );
     }
 }
 
@@ -196,9 +201,13 @@ fn ch_and_landmarks_agree_with_dijkstra_on_presets() {
     for (si, ti) in [(0usize, 50usize), (10, 200), (77, 402), (300, 5)] {
         let s = NodeId::new(si % city.num_nodes());
         let t = NodeId::new(ti % city.num_nodes());
-        let exact = dij.shortest_path(&view, weight, s, t).map(|p| p.total_weight());
+        let exact = dij
+            .shortest_path(&view, weight, s, t)
+            .map(|p| p.total_weight());
         let via_ch = ch.distance(s, t);
-        let via_lm = lm.shortest_path(&view, weight, s, t).map(|p| p.total_weight());
+        let via_lm = lm
+            .shortest_path(&view, weight, s, t)
+            .map(|p| p.total_weight());
         match (exact, via_ch, via_lm) {
             (Some(a), Some(b), Some(c)) => {
                 assert!((a - b).abs() < 1e-6, "CH mismatch: {a} vs {b}");

@@ -5,11 +5,7 @@
 use metro_attack::prelude::*;
 
 /// Runs a small experiment set and returns the aggregate rows.
-fn small_set(
-    preset: CityPreset,
-    weight: WeightType,
-    seed: u64,
-) -> Vec<experiments::AggregateRow> {
+fn small_set(preset: CityPreset, weight: WeightType, seed: u64) -> Vec<experiments::AggregateRow> {
     let mut plan = ExperimentPlan::smoke(preset, weight, seed);
     plan.cost_types = vec![CostType::Uniform, CostType::Lanes, CostType::Width];
     plan.path_rank = 15;
@@ -74,7 +70,8 @@ fn all_experiments_succeed() {
         let rows = small_set(preset, WeightType::Length, 3);
         for r in &rows {
             assert_eq!(
-                r.successes, r.n,
+                r.successes,
+                r.n,
                 "{}/{:?} on {}: {}/{} succeeded",
                 r.algorithm,
                 r.cost,
@@ -171,8 +168,18 @@ fn table_one_summaries_scale_with_preset() {
     let la = summarize(&CityPreset::LosAngeles.build(Scale::Small, seed));
     let chi = summarize(&CityPreset::Chicago.build(Scale::Small, seed));
     let bos = summarize(&CityPreset::Boston.build(Scale::Small, seed));
-    assert!(la.nodes > chi.nodes, "LA {} vs Chicago {}", la.nodes, chi.nodes);
-    assert!(chi.nodes > bos.nodes, "Chicago {} vs Boston {}", chi.nodes, bos.nodes);
+    assert!(
+        la.nodes > chi.nodes,
+        "LA {} vs Chicago {}",
+        la.nodes,
+        chi.nodes
+    );
+    assert!(
+        chi.nodes > bos.nodes,
+        "Chicago {} vs Boston {}",
+        chi.nodes,
+        bos.nodes
+    );
     // avg degree in a plausible street-network range
     for s in [&la, &chi, &bos] {
         assert!(

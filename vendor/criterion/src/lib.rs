@@ -1,0 +1,267 @@
+//! Offline shim for `criterion`: same macro/API shape, wall-clock
+//! timing only. Each benchmark warms up, then runs iterations for the
+//! configured measurement window and reports mean ns/iter to stdout —
+//! no statistics, plots, or baseline comparison.
+//!
+//! Passing `--test` (as `cargo test --benches` does) switches to a
+//! single-iteration smoke run so benches double as tests.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement marker types (only wall-clock time is implemented).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Benchmark driver handed to group callbacks.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            _parent: PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// No-op (upstream prints the summary report here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: PhantomData<&'a mut M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Accepted for API compatibility; the shim sizes runs by wall
+    /// time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the timed measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Times `f` under this group's configuration.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            quick: self.test_mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut b);
+        b.print(&self.name, &id.into().id);
+        self
+    }
+
+    /// Times `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream finalizes reports here).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    quick: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for the measurement window (once in
+    /// `--test` mode) and records mean wall time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            self.report = Some((1, Duration::ZERO));
+            return;
+        }
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+
+    fn print(&self, group: &str, id: &str) {
+        match self.report {
+            Some((1, d)) if d == Duration::ZERO => {
+                println!("{group}/{id}: ok (smoke run)");
+            }
+            Some((iters, total)) => {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!("{group}/{id}: {ns:>14.1} ns/iter ({iters} iterations)");
+            }
+            None => println!("{group}/{id}: no measurement recorded"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            quick: true,
+            warm_up: Duration::ZERO,
+            measurement: Duration::ZERO,
+            report: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_mode_reports_iterations() {
+        let mut b = Bencher {
+            quick: false,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            report: None,
+        };
+        b.iter(|| black_box(3u64.pow(7)));
+        let (iters, total) = b.report.expect("report");
+        assert!(iters >= 1);
+        assert!(total >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn group_chaining_compiles() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &41usize, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        g.finish();
+    }
+}

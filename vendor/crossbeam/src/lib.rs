@@ -1,0 +1,84 @@
+//! Offline shim for `crossbeam::scope`, implemented over
+//! `std::thread::scope` (which did not exist when crossbeam's scoped
+//! threads were written, and subsumes them for this workspace's use).
+//!
+//! Semantics preserved from crossbeam: `scope` returns
+//! `Err(panic_payload)` when the closure or any unjoined spawned thread
+//! panics, instead of unwinding through the caller.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// `Result` of a [`scope`] call: `Err` carries the panic payload of the
+/// closure or of an unjoined child thread.
+pub type ScopeResult<T> = Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+/// Handle passed to the [`scope`] closure; spawns threads that may
+/// borrow from the enclosing stack frame.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle
+    /// again (crossbeam's signature), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope for spawning threads that borrow local data. All
+/// spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_borrow_stack_data() {
+        let hits = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child down"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let hits = AtomicUsize::new(0);
+        let r = scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        });
+        assert!(r.is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

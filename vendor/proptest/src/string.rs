@@ -1,0 +1,262 @@
+//! `string_regex`: strings matching a small regex subset.
+//!
+//! Supported syntax: literal chars, `\`-escapes (`\\ \n \t \r \- \] \.`
+//! and any other escaped punctuation as itself), character classes
+//! `[...]` with ranges, groups `(...)`, and the quantifiers `{m}`,
+//! `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 repetitions).
+
+use crate::{Strategy, TestRng};
+
+/// Error from [`string_regex`] on unsupported or malformed patterns.
+#[derive(Debug)]
+pub struct StringRegexError(String);
+
+impl std::fmt::Display for StringRegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, usize, usize)>),
+}
+
+/// Strategy returned by [`string_regex`].
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    /// (node, min repeats, max repeats) per atom, in order.
+    atoms: Vec<(Node, usize, usize)>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.atoms, rng, &mut out);
+        out
+    }
+}
+
+fn emit(atoms: &[(Node, usize, usize)], rng: &mut TestRng, out: &mut String) {
+    for (node, lo, hi) in atoms {
+        let reps = rng.sample(*lo..=*hi);
+        for _ in 0..reps {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let (a, b) = ranges[rng.index(ranges.len())];
+                    out.push(char::from_u32(rng.sample(a as u32..=b as u32)).unwrap_or(a));
+                }
+                Node::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Builds a strategy producing strings that match `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, StringRegexError> {
+    let mut chars = pattern.chars().peekable();
+    let atoms = parse_sequence(&mut chars, false)?;
+    if chars.next().is_some() {
+        return Err(StringRegexError(format!("unbalanced ')' in /{pattern}/")));
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(
+    chars: &mut Chars,
+    in_group: bool,
+) -> Result<Vec<(Node, usize, usize)>, StringRegexError> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            if in_group {
+                chars.next();
+            }
+            return Ok(atoms);
+        }
+        chars.next();
+        let node = match c {
+            '[' => Node::Class(parse_class(chars)?),
+            '(' => Node::Group(parse_sequence(chars, true)?),
+            '\\' => Node::Literal(parse_escape(chars)?),
+            '.' => Node::Class(vec![(' ', '~')]),
+            '?' | '*' | '+' | '{' => {
+                return Err(StringRegexError(format!("dangling quantifier '{c}'")))
+            }
+            other => Node::Literal(other),
+        };
+        let (lo, hi) = parse_quantifier(chars)?;
+        atoms.push((node, lo, hi));
+    }
+    if in_group {
+        return Err(StringRegexError("unterminated group".into()));
+    }
+    Ok(atoms)
+}
+
+fn parse_escape(chars: &mut Chars) -> Result<char, StringRegexError> {
+    match chars.next() {
+        Some('n') => Ok('\n'),
+        Some('t') => Ok('\t'),
+        Some('r') => Ok('\r'),
+        Some('x') => {
+            let hi = chars.next().and_then(|c| c.to_digit(16));
+            let lo = chars.next().and_then(|c| c.to_digit(16));
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => char::from_u32(hi * 16 + lo)
+                    .ok_or_else(|| StringRegexError("bad \\x escape".into())),
+                _ => Err(StringRegexError("\\x needs two hex digits".into())),
+            }
+        }
+        Some(c) => Ok(c),
+        None => Err(StringRegexError("trailing backslash".into())),
+    }
+}
+
+fn parse_class(chars: &mut Chars) -> Result<Vec<(char, char)>, StringRegexError> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match chars.next() {
+            None => return Err(StringRegexError("unterminated character class".into())),
+            Some(']') if !ranges.is_empty() => return Ok(ranges),
+            Some('\\') => parse_escape(chars)?,
+            Some(c) => c,
+        };
+        // Range `a-z` only when '-' is followed by a non-']' char.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => ranges.push((c, c)),
+                Some(_) => {
+                    chars.next(); // consume '-'
+                    let end = match chars.next() {
+                        Some('\\') => parse_escape(chars)?,
+                        Some(e) => e,
+                        None => return Err(StringRegexError("unterminated range".into())),
+                    };
+                    if end < c {
+                        return Err(StringRegexError(format!("inverted range {c}-{end}")));
+                    }
+                    ranges.push((c, end));
+                }
+            }
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut Chars) -> Result<(usize, usize), StringRegexError> {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((lo, hi)) => (parse_num(lo)?, parse_num(hi)?),
+                        None => {
+                            let n = parse_num(&body)?;
+                            (n, n)
+                        }
+                    };
+                    if hi < lo {
+                        return Err(StringRegexError(format!("inverted repeat {{{body}}}")));
+                    }
+                    return Ok((lo, hi));
+                }
+                body.push(c);
+            }
+            Err(StringRegexError("unterminated repetition".into()))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, StringRegexError> {
+    s.trim()
+        .parse()
+        .map_err(|_| StringRegexError(format!("bad repeat count '{s}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn class_of(pattern: &str) -> Vec<(char, char)> {
+        match &string_regex(pattern).expect("parse").atoms[0].0 {
+            Node::Class(r) => r.clone(),
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_test_suite_patterns() {
+        for p in [
+            "[a-z0-9_:<>&\" ]{1,12}",
+            "[a-z_:]{1,10}",
+            "[a-z_]{1,8}",
+            "[a-zA-Z0-9 <>&\"']{0,16}",
+            "[a-zA-Z0-9 ]{0,10}",
+        ] {
+            string_regex(p).expect(p);
+        }
+    }
+
+    #[test]
+    fn class_ranges_parse() {
+        assert_eq!(class_of("[a-c_]"), vec![('a', 'c'), ('_', '_')]);
+        assert_eq!(class_of("[-a]"), vec![('-', '-'), ('a', 'a')]);
+    }
+
+    #[test]
+    fn malformed_patterns_error() {
+        assert!(string_regex("[a-z").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+        assert!(string_regex("*a").is_err());
+        assert!(string_regex("(ab").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_strings_match_length_and_alphabet(
+            s in string_regex("[a-z0-9_:<>&\" ]{1,12}").expect("regex")
+        ) {
+            prop_assert!(!s.is_empty() && s.chars().count() <= 12, "len {}", s.len());
+            for c in s.chars() {
+                prop_assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "_:<>&\" ".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn groups_and_quantifiers_compose(s in string_regex("(ab){2}c?d+").expect("regex")) {
+            prop_assert!(s.starts_with("abab"), "{s}");
+            prop_assert!(s.contains('d'));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline shim for the way this workspace uses `serde`: purely as
+//! `#[derive(Serialize, Deserialize)]` markers on plain-old-data types.
+//! No serde *format* crate is in the approved offline set, so nothing in
+//! the workspace ever invokes a serializer — the derives only need to
+//! exist and compile. Structured output (JSONL telemetry, CSV records,
+//! the TGRF binary format) is hand-written where needed.
+//!
+//! The derive macros expand to marker-trait impls, so `T: Serialize`
+//! bounds keep working if future code adds them.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that opted into serialization support.
+pub trait Serialize {}
+
+/// Marker for types that opted into deserialization support.
+pub trait Deserialize<'de> {}
+
+/// Marker for owned deserialization (auto-implemented).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

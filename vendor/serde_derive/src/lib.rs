@@ -1,0 +1,51 @@
+//! Derive macros for the offline serde shim: each derive expands to an
+//! empty marker-trait impl for the annotated type.
+//!
+//! Parsing is deliberately minimal (no syn/quote in the offline set):
+//! the macro scans the token stream for the `struct`/`enum` keyword and
+//! takes the following identifier as the type name. Generic types are
+//! not supported — the workspace derives only on concrete types — and
+//! an unparsable item expands to nothing rather than erroring, since the
+//! impls are markers with no behavior.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct` or `enum`.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        // anything else is attributes, doc comments, visibility groups
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Marker derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Marker derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
