@@ -110,6 +110,7 @@ fn ablation_yen_heuristic(c: &mut Criterion) {
                 15,
                 &YenConfig {
                     reverse_heuristic: false,
+                    ..YenConfig::default()
                 },
             )
         })

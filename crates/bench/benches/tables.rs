@@ -122,6 +122,7 @@ fn table9_aggregation(c: &mut Criterion) {
             edges_removed: 3 + i % 5,
             cost_removed: 4.0 + (i % 9) as f64,
             status: AttackStatus::Success,
+            degraded: pathattack::Degradation::None,
         })
         .collect();
     let mut g = c.benchmark_group("table9_aggregation");

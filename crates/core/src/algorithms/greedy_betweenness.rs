@@ -74,6 +74,9 @@ impl AttackAlgorithm for GreedyBetweenness {
 
         loop {
             let Some(violating) = oracle.next_violating(problem, &state.view) else {
+                if oracle.interrupted() {
+                    return state.finish(self.name(), AttackStatus::TimedOut);
+                }
                 return state.finish(self.name(), AttackStatus::Success);
             };
             let pick = violating

@@ -63,6 +63,9 @@ impl AttackAlgorithm for GreedyEig {
 
         loop {
             let Some(violating) = oracle.next_violating(problem, &state.view) else {
+                if oracle.interrupted() {
+                    return state.finish(self.name(), AttackStatus::TimedOut);
+                }
                 return state.finish(self.name(), AttackStatus::Success);
             };
             let pick = violating

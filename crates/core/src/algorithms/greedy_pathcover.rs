@@ -131,6 +131,9 @@ impl AttackAlgorithm for GreedyPathCover {
             }
 
             match oracle.next_violating(problem, &state.view) {
+                None if oracle.interrupted() => {
+                    return state.finish(self.name(), AttackStatus::TimedOut)
+                }
                 None => return state.finish(self.name(), AttackStatus::Success),
                 Some(p) => {
                     if constraints.iter().any(|q| q.edges() == p.edges()) {

@@ -1,11 +1,46 @@
 //! The `LP-PathCover` algorithm.
 
+use crate::algorithms::greedy_pathcover::greedy_cover;
 use crate::algorithms::{AttackAlgorithm, CutLoop};
-use crate::{AttackOutcome, AttackProblem, AttackStatus, Oracle};
+use crate::{faults, AttackOutcome, AttackProblem, AttackStatus, Degradation, Oracle};
 use lp::{ConstraintOp, Outcome, Problem as LpProblem};
 use routing::Path;
 use std::collections::HashMap;
 use traffic_graph::EdgeId;
+
+/// Outcome of one LP relaxation solve, classified for the fallback
+/// chain.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Relaxation {
+    /// Fractional solution per edge — rounding can proceed normally.
+    Solved(HashMap<EdgeId, f64>),
+    /// The solver failed to produce an optimum (iteration-limit stall,
+    /// or a numerically degenerate infeasible/unbounded report). The
+    /// reason string feeds telemetry; the caller degrades to greedy
+    /// rounding over the discovered constraints.
+    Degenerate(&'static str),
+    /// Some constraint path has no cuttable edge: the instance is
+    /// genuinely infeasible for this attacker, no fallback can help.
+    Uncuttable,
+}
+
+/// Maps a raw solver outcome (plus the variable order used to build the
+/// LP) to a [`Relaxation`]. Split out so the non-`Optimal` arms — which
+/// a well-formed covering LP cannot produce organically — are unit
+/// tested.
+pub(crate) fn classify_relaxation(edges: &[EdgeId], outcome: Outcome) -> Relaxation {
+    match outcome {
+        Outcome::Optimal(sol) => Relaxation::Solved(edges.iter().copied().zip(sol.x).collect()),
+        // The covering LP is feasible and bounded by construction
+        // (cutting every variable at 1.0 satisfies every row; costs are
+        // non-negative), so these two arms only appear through numerical
+        // degeneracy — treat them like a stall rather than trusting
+        // them.
+        Outcome::Infeasible => Relaxation::Degenerate("infeasible"),
+        Outcome::Unbounded => Relaxation::Degenerate("unbounded"),
+        Outcome::IterationLimit => Relaxation::Degenerate("iteration_limit"),
+    }
+}
 
 /// LP-relaxation attack with constraint generation (paper §III-A,
 /// algorithm 1; PATHATTACK-LP adapted to directed graphs).
@@ -77,14 +112,9 @@ impl LpPathCover {
             rounding: Rounding::Randomized { seed, trials },
         }
     }
-    /// Solves the covering LP over the discovered constraint paths.
-    ///
-    /// Returns the fractional solution per edge, or `None` if the LP is
-    /// infeasible (some constraint path has no cuttable edges).
-    fn solve_relaxation(
-        problem: &AttackProblem<'_>,
-        constraints: &[Path],
-    ) -> Option<HashMap<EdgeId, f64>> {
+    /// Solves the covering LP over the discovered constraint paths and
+    /// classifies the outcome for the fallback chain.
+    fn solve_relaxation(problem: &AttackProblem<'_>, constraints: &[Path]) -> Relaxation {
         // Variables: cuttable edges appearing in at least one constraint.
         let mut var_of: HashMap<EdgeId, usize> = HashMap::new();
         let mut edges: Vec<EdgeId> = Vec::new();
@@ -107,14 +137,14 @@ impl LpPathCover {
                 .filter_map(|e| var_of.get(e).map(|&v| (v, 1.0)))
                 .collect();
             if terms.is_empty() {
-                return None; // uncuttable violating path
+                return Relaxation::Uncuttable; // uncuttable violating path
             }
             lp.add_constraint(terms, ConstraintOp::Ge, 1.0);
         }
-        match lp.solve() {
-            Outcome::Optimal(sol) => Some(edges.iter().zip(sol.x).map(|(&e, x)| (e, x)).collect()),
-            _ => None,
+        if faults::lp_stall_requested() {
+            lp.set_iteration_limit(0);
         }
+        classify_relaxation(&edges, lp.solve())
     }
 
     /// Deterministic rounding: cover every constraint path, preferring
@@ -229,7 +259,15 @@ impl AttackAlgorithm for LpPathCover {
         let mut fractional: HashMap<EdgeId, f64> = HashMap::new();
 
         loop {
-            let Some(cuts) = self.round_cover(problem, &constraints, &fractional) else {
+            // First fallback step: once the LP has proven unusable, round
+            // greedily over the discovered constraints instead of from
+            // the (stale) fractional solution.
+            let cover = if state.degraded == Degradation::LpGreedyRounding {
+                greedy_cover(problem, &constraints)
+            } else {
+                self.round_cover(problem, &constraints, &fractional)
+            };
+            let Some(cuts) = cover else {
                 return state.finish(self.name(), AttackStatus::Stuck);
             };
             obs::inc("pathattack.lp.rounds");
@@ -244,23 +282,66 @@ impl AttackAlgorithm for LpPathCover {
             }
 
             match oracle.next_violating(problem, &state.view) {
+                None if oracle.interrupted() => {
+                    return state.finish(self.name(), AttackStatus::TimedOut)
+                }
                 None => return state.finish(self.name(), AttackStatus::Success),
                 Some(p) => {
                     if constraints.iter().any(|q| q.edges() == p.edges()) {
-                        return state.finish(self.name(), AttackStatus::Stuck);
+                        // Constraint generation wedged: the rounded cover
+                        // failed to kill an already-known path. Second
+                        // fallback step: re-run the whole instance with
+                        // plain GreedyPathCover.
+                        return self.greedy_fallback(problem, state);
                     }
                     constraints.push(p);
-                    let relaxed = {
-                        let _timer = obs::span("pathattack.lp.relaxation");
-                        Self::solve_relaxation(problem, &constraints)
-                    };
-                    match relaxed {
-                        Some(x) => fractional = x,
-                        None => return state.finish(self.name(), AttackStatus::Stuck),
+                    if state.degraded != Degradation::LpGreedyRounding {
+                        let relaxed = {
+                            let _timer = obs::span("pathattack.lp.relaxation");
+                            Self::solve_relaxation(problem, &constraints)
+                        };
+                        match relaxed {
+                            Relaxation::Solved(x) => fractional = x,
+                            Relaxation::Uncuttable => {
+                                return state.finish(self.name(), AttackStatus::Stuck)
+                            }
+                            Relaxation::Degenerate(reason) => {
+                                obs::inc("pathattack.lp.degenerate");
+                                obs::inc(match reason {
+                                    "infeasible" => "pathattack.lp.degenerate.infeasible",
+                                    "unbounded" => "pathattack.lp.degenerate.unbounded",
+                                    _ => "pathattack.lp.degenerate.iteration_limit",
+                                });
+                                state.degraded = Degradation::LpGreedyRounding;
+                            }
+                        }
                     }
                 }
             }
         }
+    }
+}
+
+impl LpPathCover {
+    /// Last fallback step: abandon constraint generation and solve the
+    /// instance with plain [`crate::GreedyPathCover`], reporting the
+    /// result under this algorithm's name with
+    /// [`Degradation::GreedyFallback`] and the *total* elapsed time
+    /// (LP attempt included).
+    fn greedy_fallback(
+        &self,
+        problem: &AttackProblem<'_>,
+        state: CutLoop<'_, '_>,
+    ) -> AttackOutcome {
+        obs::inc("pathattack.lp.greedy_fallbacks");
+        if obs::enabled() {
+            obs::inc("pathattack.attack.degraded");
+        }
+        let mut out = crate::GreedyPathCover.attack(problem);
+        out.algorithm = self.name().to_string();
+        out.degraded = Degradation::GreedyFallback;
+        out.runtime = state.started.elapsed();
+        out
     }
 }
 
@@ -433,5 +514,84 @@ mod tests {
         .unwrap();
         let out = LpPathCover::default().attack(&p);
         assert_eq!(out.status, AttackStatus::Stuck);
+    }
+
+    #[test]
+    fn classify_optimal_maps_edges_to_solution() {
+        let edges = vec![EdgeId::new(3), EdgeId::new(7)];
+        let mut lp = LpProblem::minimize(vec![1.0, 2.0]);
+        lp.bound_var(0, 1.0);
+        lp.bound_var(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0);
+        let outcome = lp.solve();
+        match classify_relaxation(&edges, outcome) {
+            Relaxation::Solved(x) => {
+                assert_eq!(x.len(), 2);
+                assert!((x[&EdgeId::new(3)] - 1.0).abs() < 1e-9, "{x:?}");
+            }
+            other => panic!("expected Solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_degenerate_outcomes() {
+        for (outcome, reason) in [
+            (Outcome::Infeasible, "infeasible"),
+            (Outcome::Unbounded, "unbounded"),
+            (Outcome::IterationLimit, "iteration_limit"),
+        ] {
+            assert_eq!(
+                classify_relaxation(&[], outcome),
+                Relaxation::Degenerate(reason)
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_limit_outcome_reachable_from_solver() {
+        // Prove the IterationLimit arm is reachable through the real
+        // simplex path the attack uses, not just constructible.
+        let mut lp = LpProblem::minimize(vec![1.0]);
+        lp.bound_var(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.set_iteration_limit(0);
+        assert_eq!(
+            classify_relaxation(&[EdgeId::new(0)], lp.solve()),
+            Relaxation::Degenerate("iteration_limit")
+        );
+    }
+
+    #[test]
+    fn injected_lp_stall_degrades_to_greedy_rounding() {
+        let plan = crate::FaultPlan::parse("seed=1,lp_stall=1").unwrap();
+        faults::install(Some(plan));
+        faults::set_run_key("lp-stall-test");
+        let net = shared_bridge();
+        let p = problem(&net);
+        let out = LpPathCover::default().attack(&p);
+        faults::clear_run_key();
+        faults::install(None);
+        // The stalled LP must not sink the run: greedy rounding over the
+        // discovered constraints still solves the instance.
+        assert!(out.is_success(), "{out:?}");
+        out.verify(&p).unwrap();
+        assert_eq!(out.degraded, Degradation::LpGreedyRounding);
+    }
+
+    #[test]
+    fn fault_free_run_reports_no_degradation() {
+        let net = shared_bridge();
+        let p = problem(&net);
+        let out = LpPathCover::default().attack(&p);
+        assert_eq!(out.degraded, Degradation::None);
+    }
+
+    #[test]
+    fn call_cap_times_out_instead_of_hanging() {
+        use crate::RunLimits;
+        let net = shared_bridge();
+        let p = problem(&net).with_limits(RunLimits::default().with_max_oracle_calls(0));
+        let out = LpPathCover::default().attack(&p);
+        assert_eq!(out.status, AttackStatus::TimedOut);
     }
 }

@@ -61,6 +61,7 @@ pub(crate) struct CutLoop<'g, 'p> {
     pub total_cost: f64,
     pub iterations: usize,
     pub started: std::time::Instant,
+    pub degraded: crate::Degradation,
 }
 
 impl<'g, 'p> CutLoop<'g, 'p> {
@@ -72,6 +73,7 @@ impl<'g, 'p> CutLoop<'g, 'p> {
             iterations: 0,
             problem,
             started: std::time::Instant::now(),
+            degraded: crate::Degradation::None,
         }
     }
 
@@ -100,6 +102,12 @@ impl<'g, 'p> CutLoop<'g, 'p> {
             obs::record_value("pathattack.attack.edges_cut", self.removed.len() as u64);
             obs::record_value("pathattack.attack.iterations", self.iterations as u64);
             obs::global().record_span("pathattack.attack.run", runtime.as_nanos() as u64, 0);
+            if status == crate::AttackStatus::TimedOut {
+                obs::inc("pathattack.attack.timeouts");
+            }
+            if self.degraded != crate::Degradation::None {
+                obs::inc("pathattack.attack.degraded");
+            }
         }
         AttackOutcome {
             algorithm: algorithm.to_string(),
@@ -108,6 +116,7 @@ impl<'g, 'p> CutLoop<'g, 'p> {
             iterations: self.iterations,
             runtime,
             status,
+            degraded: self.degraded,
         }
     }
 }

@@ -1,0 +1,350 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! The experiment pipeline promises to survive worker panics, LP stalls
+//! and slow runs. Proving that requires *causing* those conditions on
+//! demand, reproducibly. A [`FaultPlan`] selects runs by hashing
+//! `(seed, site, run key)` — no RNG state, no ordering sensitivity — so
+//! a test can predict exactly which runs a plan hits and assert that the
+//! remaining runs are untouched.
+//!
+//! Plans are per-thread: the harness installs the plan on each worker it
+//! spawns and tags every run with [`set_run_key`] before executing it.
+//! Production binaries run with no plan installed and pay one
+//! thread-local lookup per instrumented site. The `METRO_FAULTS`
+//! environment variable (same syntax as [`FaultPlan::parse`]) installs a
+//! plan on every thread that has not had one set programmatically, which
+//! lets CI smoke-test the binary without a dedicated flag.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// Environment variable holding a [`FaultPlan::parse`] spec.
+pub const FAULTS_ENV: &str = "METRO_FAULTS";
+
+/// Injection site, hashed into the selection decision so one run can be
+/// picked for one fault kind and not another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic on the run's first oracle query.
+    OraclePanic,
+    /// Force the LP relaxation to report an iteration-limit stall.
+    LpStall,
+    /// Sleep on every oracle query of the run.
+    OracleLatency,
+}
+
+impl FaultSite {
+    fn tag(self) -> u64 {
+        match self {
+            FaultSite::OraclePanic => 1,
+            FaultSite::LpStall => 2,
+            FaultSite::OracleLatency => 3,
+        }
+    }
+}
+
+/// A seeded fault-injection plan. All rates are probabilities in
+/// `[0, 1]` over the space of run keys; selection is a pure function of
+/// `(seed, site, key)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every selection decision.
+    pub seed: u64,
+    /// Fraction of runs whose first oracle query panics.
+    pub oracle_panic: f64,
+    /// Fraction of runs whose LP relaxations stall at the iteration
+    /// limit.
+    pub lp_stall: f64,
+    /// Fraction of runs that sleep [`FaultPlan::latency`] per oracle
+    /// query (simulates pathological instances; with a short deadline it
+    /// forces `TimedOut`).
+    pub oracle_latency: f64,
+    /// Sleep injected per oracle query on latency-selected runs.
+    pub latency: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            oracle_panic: 0.0,
+            lp_stall: 0.0,
+            oracle_latency: 0.0,
+            latency: Duration::from_millis(10),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses a spec like
+    /// `seed=7,oracle_panic=0.1,lp_stall=1,latency=0.5,latency_ms=20`.
+    /// Unknown keys and malformed entries are rejected.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || format!("fault spec `{key}` has non-numeric value `{value}`");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|_| bad())?,
+                "oracle_panic" => plan.oracle_panic = value.parse().map_err(|_| bad())?,
+                "lp_stall" => plan.lp_stall = value.parse().map_err(|_| bad())?,
+                "latency" => plan.oracle_latency = value.parse().map_err(|_| bad())?,
+                "latency_ms" => {
+                    plan.latency = Duration::from_millis(value.parse().map_err(|_| bad())?)
+                }
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        for (name, rate) in [
+            ("oracle_panic", plan.oracle_panic),
+            ("lp_stall", plan.lp_stall),
+            ("latency", plan.oracle_latency),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault rate `{name}` = {rate} outside [0, 1]"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether this plan selects `key` for faults at `site`. Pure and
+    /// deterministic — tests use it to predict which runs are affected.
+    pub fn selects(&self, site: FaultSite, key: &str) -> bool {
+        let rate = match site {
+            FaultSite::OraclePanic => self.oracle_panic,
+            FaultSite::LpStall => self.lp_stall,
+            FaultSite::OracleLatency => self.oracle_latency,
+        };
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        // FNV-1a over (seed, site, key), mapped to [0, 1).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for b in self.seed.to_le_bytes() {
+            mix(b);
+        }
+        mix(site.tag() as u8);
+        for b in key.bytes() {
+            mix(b);
+        }
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < rate
+    }
+}
+
+struct FaultState {
+    /// `None` until first use, then `Some(plan-or-no-plan)`.
+    plan: Option<Option<FaultPlan>>,
+    run_key: String,
+}
+
+thread_local! {
+    static STATE: RefCell<FaultState> = const {
+        RefCell::new(FaultState {
+            plan: None,
+            run_key: String::new(),
+        })
+    };
+}
+
+/// Installs `plan` on the current thread (overriding any `METRO_FAULTS`
+/// environment spec). `None` disables injection on this thread.
+pub fn install(plan: Option<FaultPlan>) {
+    STATE.with(|s| s.borrow_mut().plan = Some(plan));
+}
+
+/// Tags subsequent runs on this thread with `key` (the harness uses
+/// `hospital|source|cost|algorithm`). Selection decisions hash this key.
+pub fn set_run_key(key: &str) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.run_key.clear();
+        s.run_key.push_str(key);
+    });
+}
+
+/// Clears the current thread's run key (no further injection until the
+/// next [`set_run_key`]).
+pub fn clear_run_key() {
+    set_run_key("");
+}
+
+fn with_active_plan<R>(f: impl FnOnce(&FaultPlan, &str) -> R) -> Option<R> {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.plan.is_none() {
+            // Lazy env-gate init: threads the harness did not configure
+            // (including the main thread of a smoke-test binary) pick up
+            // METRO_FAULTS once and cache the answer.
+            let env_plan = std::env::var(FAULTS_ENV)
+                .ok()
+                .and_then(|spec| FaultPlan::parse(&spec).ok());
+            s.plan = Some(env_plan);
+        }
+        match (&s.plan, s.run_key.is_empty()) {
+            (Some(Some(plan)), false) => Some(f(plan, &s.run_key)),
+            _ => None,
+        }
+    })
+}
+
+/// Oracle-query hook: panics or sleeps when the active plan selects the
+/// current run. Called by [`crate::Oracle::next_violating`]; a no-op
+/// when no plan is installed or no run key is set.
+pub(crate) fn before_oracle_call() {
+    let action = with_active_plan(|plan, key| {
+        let panic = plan.selects(FaultSite::OraclePanic, key);
+        let sleep = (!panic && plan.selects(FaultSite::OracleLatency, key)).then_some(plan.latency);
+        (panic, key.to_string(), sleep)
+    });
+    if let Some((panic, key, sleep)) = action {
+        if panic {
+            obs::inc("pathattack.faults.oracle_panics");
+            panic!("injected oracle panic (fault plan, run {key})");
+        }
+        if let Some(d) = sleep {
+            obs::inc("pathattack.faults.oracle_latency");
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// LP-relaxation hook: `true` when the active plan forces this run's LP
+/// solves to stall. Called by `LpPathCover` before each solve.
+pub(crate) fn lp_stall_requested() -> bool {
+    let stall =
+        with_active_plan(|plan, key| plan.selects(FaultSite::LpStall, key)).unwrap_or(false);
+    if stall {
+        obs::inc("pathattack.faults.lp_stalls");
+    }
+    stall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let plan =
+            FaultPlan::parse("seed=7, oracle_panic=0.25, lp_stall=1, latency=0.5, latency_ms=20")
+                .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.oracle_panic, 0.25);
+        assert_eq!(plan.lp_stall, 1.0);
+        assert_eq!(plan.oracle_latency, 0.5);
+        assert_eq!(plan.latency, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("oracle_panic=2.0").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_rate_bounded() {
+        let plan = FaultPlan {
+            seed: 42,
+            oracle_panic: 0.3,
+            ..FaultPlan::default()
+        };
+        let keys: Vec<String> = (0..1000)
+            .map(|i| format!("h{}|{}|U|Alg", i % 7, i))
+            .collect();
+        let hits: Vec<bool> = keys
+            .iter()
+            .map(|k| plan.selects(FaultSite::OraclePanic, k.as_str()))
+            .collect();
+        let again: Vec<bool> = keys
+            .iter()
+            .map(|k| plan.selects(FaultSite::OraclePanic, k.as_str()))
+            .collect();
+        assert_eq!(hits, again);
+        let count = hits.iter().filter(|&&h| h).count();
+        // 1000 draws at p=0.3: allow a wide band, just not degenerate.
+        assert!((150..=450).contains(&count), "hit count {count}");
+    }
+
+    #[test]
+    fn sites_select_independently() {
+        let plan = FaultPlan {
+            seed: 1,
+            oracle_panic: 0.5,
+            lp_stall: 0.5,
+            ..FaultPlan::default()
+        };
+        let differs = (0..100).map(|i| format!("key{i}")).any(|k| {
+            plan.selects(FaultSite::OraclePanic, &k) != plan.selects(FaultSite::LpStall, &k)
+        });
+        assert!(differs, "site tag not mixed into the hash");
+    }
+
+    #[test]
+    fn zero_and_one_rates_are_exact() {
+        let plan = FaultPlan {
+            seed: 9,
+            oracle_panic: 1.0,
+            lp_stall: 0.0,
+            ..FaultPlan::default()
+        };
+        for i in 0..50 {
+            let k = format!("k{i}");
+            assert!(plan.selects(FaultSite::OraclePanic, &k));
+            assert!(!plan.selects(FaultSite::LpStall, &k));
+        }
+    }
+
+    #[test]
+    fn hooks_are_noops_without_run_key() {
+        install(Some(FaultPlan {
+            seed: 3,
+            oracle_panic: 1.0,
+            lp_stall: 1.0,
+            ..FaultPlan::default()
+        }));
+        clear_run_key();
+        before_oracle_call(); // must not panic: no run key set
+        assert!(!lp_stall_requested());
+        install(None);
+    }
+
+    #[test]
+    fn lp_stall_hook_fires_for_selected_run() {
+        install(Some(FaultPlan {
+            seed: 3,
+            lp_stall: 1.0,
+            ..FaultPlan::default()
+        }));
+        set_run_key("h|0|UNIFORM|LP-PathCover");
+        assert!(lp_stall_requested());
+        clear_run_key();
+        install(None);
+    }
+
+    #[test]
+    fn panic_hook_fires_for_selected_run() {
+        install(Some(FaultPlan {
+            seed: 3,
+            oracle_panic: 1.0,
+            ..FaultPlan::default()
+        }));
+        set_run_key("h|0|UNIFORM|GreedyEdge");
+        let r = std::panic::catch_unwind(before_oracle_call);
+        clear_run_key();
+        install(None);
+        assert!(r.is_err(), "injected panic did not fire");
+    }
+}

@@ -48,6 +48,8 @@
 
 mod algorithms;
 mod defense;
+pub mod faults;
+mod limits;
 mod multi;
 mod problem;
 mod recon;
@@ -61,9 +63,11 @@ pub use algorithms::{
     GreedyEig, GreedyPathCover, LpPathCover, Rounding,
 };
 pub use defense::{minimal_hardening, HardeningPlan};
+pub use faults::{FaultPlan, FaultSite};
+pub use limits::RunLimits;
 pub use multi::{coordinated_attack, CoordinatedError, CoordinatedOutcome};
 pub use problem::{AttackProblem, ProblemError};
 pub use recon::{critical_segments, CriticalSegment};
-pub use result::{AttackOutcome, AttackStatus};
+pub use result::{AttackOutcome, AttackStatus, Degradation};
 pub use search::Oracle;
 pub use weights::{CostType, WeightType};

@@ -1,0 +1,74 @@
+//! Per-run resource limits for attack executions.
+
+use std::time::Duration;
+
+/// Resource limits applied to one attack run.
+///
+/// Limits ride on the [`crate::AttackProblem`] (via
+/// [`crate::AttackProblem::with_limits`]) so the
+/// [`crate::AttackAlgorithm`] trait stays unchanged. The [`crate::Oracle`]
+/// enforces them: the deadline becomes a [`routing::CancelToken`] shared
+/// with every inner search, and the call cap trips after that many
+/// `next_violating` queries. Either limit firing ends the run with
+/// [`crate::AttackStatus::TimedOut`].
+///
+/// # Examples
+///
+/// ```
+/// use pathattack::RunLimits;
+/// use std::time::Duration;
+///
+/// let limits = RunLimits::default().with_deadline(Duration::from_secs(30));
+/// assert!(limits.deadline.is_some());
+/// assert!(limits.max_oracle_calls.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunLimits {
+    /// Wall-clock budget for the whole run, measured from
+    /// [`crate::Oracle::new`] (which also performs the up-front backward
+    /// Dijkstra). `None` means no deadline.
+    pub deadline: Option<Duration>,
+    /// Maximum number of oracle (`next_violating`) queries the run may
+    /// issue. `Some(0)` times out on the first query — useful for
+    /// deterministic tests. `None` means unlimited.
+    pub max_oracle_calls: Option<u64>,
+}
+
+impl RunLimits {
+    /// Limits with only a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Limits with only an oracle-call cap.
+    pub fn with_max_oracle_calls(mut self, max: u64) -> Self {
+        self.max_oracle_calls = Some(max);
+        self
+    }
+
+    /// Whether any limit is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_oracle_calls.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(RunLimits::default().is_unlimited());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let l = RunLimits::default()
+            .with_deadline(Duration::from_millis(5))
+            .with_max_oracle_calls(3);
+        assert_eq!(l.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(l.max_oracle_calls, Some(3));
+        assert!(!l.is_unlimited());
+    }
+}

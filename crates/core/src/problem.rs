@@ -1,6 +1,6 @@
 //! The Force Path Cut problem instance (paper §II-B).
 
-use crate::{CostType, WeightType};
+use crate::{CostType, RunLimits, WeightType};
 use routing::{kth_shortest_path, Path};
 use std::fmt;
 use traffic_graph::{EdgeId, GraphView, NodeId, RoadNetwork};
@@ -78,6 +78,7 @@ pub struct AttackProblem<'g> {
     on_pstar: Vec<bool>,
     protected: Vec<bool>,
     budget: Option<f64>,
+    limits: RunLimits,
 }
 
 impl<'g> AttackProblem<'g> {
@@ -130,6 +131,7 @@ impl<'g> AttackProblem<'g> {
             on_pstar,
             protected: vec![false; num_edges],
             budget: None,
+            limits: RunLimits::default(),
         })
     }
 
@@ -171,6 +173,19 @@ impl<'g> AttackProblem<'g> {
             self.protected[e.index()] = true;
         }
         self
+    }
+
+    /// Applies per-run resource limits (deadline, oracle-call cap). The
+    /// [`crate::Oracle`] enforces them; a limit firing ends the run with
+    /// [`crate::AttackStatus::TimedOut`].
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The run limits in effect (unlimited by default).
+    pub fn limits(&self) -> RunLimits {
+        self.limits
     }
 
     /// Whether `e` has been hardened against removal.

@@ -16,6 +16,81 @@ pub enum AttackStatus {
     /// over artificial connectors) — the instance is infeasible for this
     /// attacker.
     Stuck,
+    /// A [`crate::RunLimits`] limit fired (wall-clock deadline or oracle-
+    /// call cap) before the attack terminated on its own. The removals
+    /// recorded so far are valid cuts but `p*` is not known to be
+    /// exclusive.
+    TimedOut,
+    /// The run panicked and was isolated by the experiment harness; no
+    /// usable cut set was produced.
+    Failed,
+}
+
+impl AttackStatus {
+    /// Stable lowercase name used in CSV exports and checkpoints.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackStatus::Success => "success",
+            AttackStatus::BudgetExhausted => "budget_exhausted",
+            AttackStatus::Stuck => "stuck",
+            AttackStatus::TimedOut => "timed_out",
+            AttackStatus::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`AttackStatus::name`].
+    pub fn from_name(name: &str) -> Option<AttackStatus> {
+        match name {
+            "success" => Some(AttackStatus::Success),
+            "budget_exhausted" => Some(AttackStatus::BudgetExhausted),
+            "stuck" => Some(AttackStatus::Stuck),
+            "timed_out" => Some(AttackStatus::TimedOut),
+            "failed" => Some(AttackStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// Which fallback (if any) an attack run took to produce its result.
+///
+/// Only `LP-PathCover` currently degrades: when its LP relaxation stalls
+/// or turns infeasible it first switches to greedy rounding over the
+/// discovered constraints, and when constraint generation itself wedges
+/// it re-runs the instance with plain `GreedyPathCover`. The step taken
+/// is recorded here (and in `obs` counters) so experiment tables can
+/// separate clean LP results from degraded ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Degradation {
+    /// The primary algorithm ran to completion.
+    #[default]
+    None,
+    /// LP relaxation unusable; the cover was rounded greedily from the
+    /// discovered constraint paths instead of from a fractional solution.
+    LpGreedyRounding,
+    /// Constraint generation wedged; the whole instance was re-run with
+    /// plain `GreedyPathCover`.
+    GreedyFallback,
+}
+
+impl Degradation {
+    /// Stable lowercase name used in CSV exports and checkpoints.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Degradation::None => "none",
+            Degradation::LpGreedyRounding => "lp_greedy_rounding",
+            Degradation::GreedyFallback => "greedy_fallback",
+        }
+    }
+
+    /// Inverse of [`Degradation::name`].
+    pub fn from_name(name: &str) -> Option<Degradation> {
+        match name {
+            "none" => Some(Degradation::None),
+            "lp_greedy_rounding" => Some(Degradation::LpGreedyRounding),
+            "greedy_fallback" => Some(Degradation::GreedyFallback),
+            _ => None,
+        }
+    }
 }
 
 /// Result of running one attack algorithm on one problem instance.
@@ -39,6 +114,8 @@ pub struct AttackOutcome {
     pub runtime: Duration,
     /// How the attack terminated.
     pub status: AttackStatus,
+    /// Which fallback (if any) produced this result.
+    pub degraded: Degradation,
 }
 
 impl AttackOutcome {

@@ -11,35 +11,71 @@
 //!   checking for ties, so the oracle computes the best path distinct
 //!   from `p*` with a Yen-style spur pass along `p*`.
 
-use crate::AttackProblem;
-use routing::{AStar, Dijkstra, Direction, Path};
+use crate::{faults, AttackProblem};
+use routing::{AStar, CancelToken, Dijkstra, Direction, Path};
 use traffic_graph::{EdgeId, GraphView};
 
 /// Reusable search state for one attack run.
+///
+/// The oracle also enforces the problem's [`crate::RunLimits`]: the
+/// deadline clock starts at [`Oracle::new`] and is shared with every
+/// inner search via a [`CancelToken`], and the oracle-call cap trips
+/// after that many [`Oracle::next_violating`] queries. A tripped limit
+/// makes `next_violating` return `None` — exactly the shape of a
+/// successful attack — so every caller must check
+/// [`Oracle::interrupted`] before treating `None` as success.
 #[derive(Debug)]
 pub struct Oracle {
     astar: AStar,
     /// Exact distance from every node to the target on the pre-attack
     /// view (admissible heuristic for all later views).
     rev: Vec<f64>,
+    cancel: Option<CancelToken>,
+    max_calls: Option<u64>,
+    calls: u64,
+    exhausted: bool,
 }
 
 impl Oracle {
     /// Builds the oracle for `problem`, running one backward Dijkstra.
+    /// If the problem has a deadline, its clock starts here (the
+    /// backward sweep counts against it).
     pub fn new(problem: &AttackProblem<'_>) -> Self {
         let _timer = obs::span("pathattack.oracle.build");
+        let limits = problem.limits();
+        let cancel = limits.deadline.map(CancelToken::deadline_in);
         let net = problem.network();
         let mut dij = Dijkstra::new(net.num_nodes());
+        dij.set_cancel(cancel.clone());
         let rev = dij.distances(
             problem.base_view(),
             |e| problem.weight_of(e),
             problem.target(),
             Direction::Backward,
         );
+        let mut astar = AStar::new(net.num_nodes());
+        astar.set_cancel(cancel.clone());
         Oracle {
-            astar: AStar::new(net.num_nodes()),
+            astar,
             rev,
+            cancel,
+            max_calls: limits.max_oracle_calls,
+            calls: 0,
+            exhausted: false,
         }
+    }
+
+    /// Whether a run limit has fired. After a `None` from
+    /// [`Oracle::next_violating`], this distinguishes "the attack
+    /// succeeded" (`false`) from "the run must end with
+    /// [`crate::AttackStatus::TimedOut`]" (`true`).
+    pub fn interrupted(&self) -> bool {
+        self.exhausted || self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    /// Number of [`Oracle::next_violating`] queries issued so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
     }
 
     /// Shortest s→t path in `view` under the problem's weights.
@@ -129,6 +165,20 @@ impl Oracle {
         problem: &AttackProblem<'_>,
         view: &GraphView<'_>,
     ) -> Option<Path> {
+        faults::before_oracle_call();
+        self.calls += 1;
+        if let Some(max) = self.max_calls {
+            if self.calls > max {
+                self.exhausted = true;
+                if let Some(t) = &self.cancel {
+                    t.cancel();
+                }
+                return None;
+            }
+        }
+        if self.interrupted() {
+            return None;
+        }
         obs::inc("pathattack.oracle.calls");
         let alt = self.best_alternative(problem, view)?;
         problem.is_violating(&alt).then_some(alt)
@@ -226,6 +276,42 @@ mod tests {
             view.remove_edge(net.find_edge(NodeId::new(u), NodeId::new(v)).unwrap());
         }
         assert!(oracle.best_alternative(&p, &view).is_none());
+    }
+
+    #[test]
+    fn call_cap_zero_interrupts_first_query() {
+        let net = three_routes();
+        let p = problem(&net).with_limits(crate::RunLimits::default().with_max_oracle_calls(0));
+        let mut oracle = Oracle::new(&p);
+        assert!(!oracle.interrupted());
+        let view = p.base_view().clone();
+        // There IS a violating route, but the cap makes the query return
+        // None — interrupted() is what keeps this from looking like
+        // success.
+        assert!(oracle.next_violating(&p, &view).is_none());
+        assert!(oracle.interrupted());
+        assert_eq!(oracle.calls(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts() {
+        let net = three_routes();
+        let p = problem(&net)
+            .with_limits(crate::RunLimits::default().with_deadline(std::time::Duration::ZERO));
+        let mut oracle = Oracle::new(&p);
+        let view = p.base_view().clone();
+        assert!(oracle.next_violating(&p, &view).is_none());
+        assert!(oracle.interrupted());
+    }
+
+    #[test]
+    fn unlimited_oracle_never_interrupts() {
+        let net = three_routes();
+        let p = problem(&net);
+        let mut oracle = Oracle::new(&p);
+        let view = p.base_view().clone();
+        assert!(oracle.next_violating(&p, &view).is_some());
+        assert!(!oracle.interrupted());
     }
 
     #[test]

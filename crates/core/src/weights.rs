@@ -45,6 +45,11 @@ impl WeightType {
             WeightType::Time => "TIME",
         }
     }
+
+    /// Inverse of [`WeightType::name`] (checkpoint journal round-trip).
+    pub fn from_name(name: &str) -> Option<WeightType> {
+        Self::ALL.into_iter().find(|w| w.name() == name)
+    }
 }
 
 impl fmt::Display for WeightType {
@@ -89,6 +94,11 @@ impl CostType {
             CostType::Lanes => "LANES",
             CostType::Width => "WIDTH",
         }
+    }
+
+    /// Inverse of [`CostType::name`] (checkpoint journal round-trip).
+    pub fn from_name(name: &str) -> Option<CostType> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
     }
 }
 

@@ -1,0 +1,311 @@
+//! Checkpoint journal for killable experiment sweeps.
+//!
+//! [`run_instances_resumable`](crate::run_instances_resumable) appends
+//! one JSONL line per completed (hospital, source, cost, algorithm) run.
+//! Every append rewrites the journal through a sibling tmp file and an
+//! atomic rename, so a sweep killed at any instant leaves either the
+//! previous journal or the new one — never a torn line. `--resume PATH`
+//! reloads the journal and skips the already-recorded keys; because the
+//! harness sorts records deterministically, a resumed sweep emits the
+//! journaled records verbatim and the final CSV is what the
+//! uninterrupted sweep would have produced.
+//!
+//! The format is hand-rolled JSON (the workspace builds offline with a
+//! no-op serde shim). Floats are written with Rust's shortest
+//! round-trip formatting, so `runtime_s`/`cost_removed` survive the
+//! journal byte-exactly.
+
+use crate::metrics::ExperimentRecord;
+use pathattack::{AttackStatus, CostType, Degradation, WeightType};
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// `<name>.tmp` first, then replace `path` via `rename`. Readers (and
+/// crashes) observe either the old file or the new one, never a prefix.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Journal key of one attack run. The four components identify a run
+/// uniquely within a plan; `|` never appears in cost/algorithm names and
+/// hospitals don't contain it either (and even if one did, the key is
+/// only ever compared for equality).
+pub fn run_key(hospital: &str, source: usize, cost: CostType, algorithm: &str) -> String {
+    format!("{hospital}|{source}|{}|{algorithm}", cost.name())
+}
+
+/// A JSONL journal of completed experiment records.
+///
+/// # Examples
+///
+/// ```no_run
+/// use experiments::CheckpointJournal;
+///
+/// let mut journal = CheckpointJournal::open("sweep.ckpt.jsonl").unwrap();
+/// println!("{} runs already recorded", journal.len());
+/// ```
+#[derive(Debug)]
+pub struct CheckpointJournal {
+    path: PathBuf,
+    /// Serialized journal body, mirrored to disk on every append.
+    text: String,
+    keys: HashSet<String>,
+    records: Vec<ExperimentRecord>,
+}
+
+impl CheckpointJournal {
+    /// Opens (or creates the in-memory state for) a journal at `path`.
+    /// A missing file yields an empty journal; a malformed line is an
+    /// error — better to stop than to silently redo half a sweep.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<CheckpointJournal> {
+        let path = path.into();
+        let mut journal = CheckpointJournal {
+            path,
+            text: String::new(),
+            keys: HashSet::new(),
+            records: Vec::new(),
+        };
+        match std::fs::read_to_string(&journal.path) {
+            Ok(body) => {
+                for (lineno, line) in body.lines().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let record = parse_record(line).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{} line {}: {e}", journal.path.display(), lineno + 1),
+                        )
+                    })?;
+                    journal.keys.insert(record_key(&record));
+                    write_record(&mut journal.text, &record);
+                    journal.records.push(record);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(journal)
+    }
+
+    /// Appends one completed record and syncs the journal to disk
+    /// atomically.
+    pub fn append(&mut self, record: &ExperimentRecord) -> io::Result<()> {
+        self.keys.insert(record_key(record));
+        write_record(&mut self.text, record);
+        self.records.push(record.clone());
+        write_atomic(&self.path, self.text.as_bytes())
+    }
+
+    /// Whether a run with this [`run_key`] is already journaled.
+    pub fn contains(&self, key: &str) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// The journaled run keys.
+    pub fn keys(&self) -> &HashSet<String> {
+        &self.keys
+    }
+
+    /// The journaled records, in journal (completion) order.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// Number of journaled records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// [`run_key`] of an existing record.
+pub(crate) fn record_key(r: &ExperimentRecord) -> String {
+    run_key(&r.hospital, r.source, r.cost, &r.algorithm)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_record(out: &mut String, r: &ExperimentRecord) {
+    out.push_str("{\"city\":");
+    escape_into(out, &r.city);
+    out.push_str(",\"weight\":");
+    escape_into(out, r.weight.name());
+    out.push_str(",\"cost\":");
+    escape_into(out, r.cost.name());
+    out.push_str(",\"algorithm\":");
+    escape_into(out, &r.algorithm);
+    out.push_str(",\"hospital\":");
+    escape_into(out, &r.hospital);
+    // `{}` on f64 is shortest-round-trip: parsing the journal recovers
+    // the exact bits, so a resumed CSV is byte-identical.
+    out.push_str(&format!(
+        ",\"source\":{},\"runtime_s\":{},\"iterations\":{},\"edges_removed\":{},\"cost_removed\":{},\"status\":\"{}\",\"degraded\":\"{}\"}}\n",
+        r.source,
+        r.runtime_s,
+        r.iterations,
+        r.edges_removed,
+        r.cost_removed,
+        r.status.name(),
+        r.degraded.name(),
+    ));
+}
+
+fn parse_record(line: &str) -> Result<ExperimentRecord, String> {
+    let v = obs::JsonValue::parse(line).map_err(|e| e.to_string())?;
+    let str_field = |key: &str| {
+        v.get(key)
+            .and_then(obs::JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing or non-string field `{key}`"))
+    };
+    let num_field = |key: &str| {
+        v.get(key)
+            .and_then(obs::JsonValue::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+    };
+    let weight_name = str_field("weight")?;
+    let cost_name = str_field("cost")?;
+    let status_name = str_field("status")?;
+    let degraded_name = str_field("degraded")?;
+    Ok(ExperimentRecord {
+        city: str_field("city")?,
+        weight: WeightType::from_name(&weight_name)
+            .ok_or_else(|| format!("unknown weight `{weight_name}`"))?,
+        cost: CostType::from_name(&cost_name)
+            .ok_or_else(|| format!("unknown cost `{cost_name}`"))?,
+        algorithm: str_field("algorithm")?,
+        hospital: str_field("hospital")?,
+        source: num_field("source")? as usize,
+        runtime_s: num_field("runtime_s")?,
+        iterations: num_field("iterations")? as usize,
+        edges_removed: num_field("edges_removed")? as usize,
+        cost_removed: num_field("cost_removed")?,
+        status: AttackStatus::from_name(&status_name)
+            .ok_or_else(|| format!("unknown status `{status_name}`"))?,
+        degraded: Degradation::from_name(&degraded_name)
+            .ok_or_else(|| format!("unknown degradation `{degraded_name}`"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(hospital: &str, source: usize, runtime_s: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            city: "Testville".into(),
+            weight: WeightType::Time,
+            cost: CostType::Lanes,
+            algorithm: "LP-PathCover".into(),
+            hospital: hospital.into(),
+            source,
+            runtime_s,
+            iterations: 4,
+            edges_removed: 3,
+            cost_removed: 3.5,
+            status: AttackStatus::Success,
+            degraded: Degradation::LpGreedyRounding,
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("metro-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_records_exactly() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut j = CheckpointJournal::open(&path).unwrap();
+        let a = record("St. \"Mary's\"\nAnnex", 12, 0.000123456789);
+        let b = record("General", 7, 1.5e-7);
+        j.append(&a).unwrap();
+        j.append(&b).unwrap();
+
+        let reopened = CheckpointJournal::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        let ra = &reopened.records()[0];
+        assert_eq!(ra.hospital, a.hospital);
+        assert_eq!(ra.runtime_s.to_bits(), a.runtime_s.to_bits());
+        assert_eq!(ra.status, a.status);
+        assert_eq!(ra.degraded, a.degraded);
+        assert_eq!(
+            reopened.records()[1].runtime_s.to_bits(),
+            b.runtime_s.to_bits()
+        );
+        assert!(reopened.contains(&record_key(&a)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_opens_empty() {
+        let path = tmp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let j = CheckpointJournal::open(&path).unwrap();
+        assert!(j.is_empty());
+        assert!(!path.exists(), "open must not create the file");
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let path = tmp_path("malformed");
+        std::fs::write(&path, "{\"city\":\n").unwrap();
+        assert!(CheckpointJournal::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_leaves_no_tmp_file() {
+        let path = tmp_path("notmp");
+        let _ = std::fs::remove_file(&path);
+        let mut j = CheckpointJournal::open(&path).unwrap();
+        j.append(&record("H", 1, 0.5)).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents() {
+        let path = tmp_path("atomic");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

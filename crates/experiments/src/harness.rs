@@ -6,14 +6,20 @@
 //! per set; the harness makes those knobs configurable so tests and
 //! benches can run smaller sets.
 
+use crate::checkpoint::{record_key, CheckpointJournal};
 use crate::metrics::ExperimentRecord;
 use citygen::{CityPreset, Scale};
 use parking_lot::Mutex;
-use pathattack::{all_algorithms, AttackProblem, CostType, ProblemError, WeightType};
+use pathattack::{
+    all_algorithms, faults, AttackProblem, AttackStatus, CostType, Degradation, FaultPlan,
+    ProblemError, RunLimits, WeightType,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use routing::Path;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 use traffic_graph::{NodeId, PoiKind, RoadNetwork};
 
 /// Configuration of one experiment set.
@@ -35,6 +41,15 @@ pub struct ExperimentPlan {
     pub cost_types: Vec<CostType>,
     /// Worker threads for the (hospital, source) fan-out.
     pub threads: usize,
+    /// Per-run wall-clock deadline in seconds (`None` = unlimited). A
+    /// run past its deadline ends with [`AttackStatus::TimedOut`]
+    /// instead of hanging the sweep.
+    pub deadline_s: Option<f64>,
+    /// Per-run oracle-call budget (`None` = unlimited).
+    pub max_oracle_calls: Option<u64>,
+    /// Deterministic fault-injection plan for resilience testing
+    /// (`None` = no injected faults; see [`pathattack::FaultPlan`]).
+    pub faults: Option<FaultPlan>,
 }
 
 impl ExperimentPlan {
@@ -52,6 +67,9 @@ impl ExperimentPlan {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            deadline_s: None,
+            max_oracle_calls: None,
+            faults: None,
         }
     }
 
@@ -67,6 +85,17 @@ impl ExperimentPlan {
             sources_per_hospital: 2,
             cost_types: vec![CostType::Uniform],
             threads: 2,
+            deadline_s: None,
+            max_oracle_calls: None,
+            faults: None,
+        }
+    }
+
+    /// The [`RunLimits`] this plan imposes on each attack run.
+    pub fn run_limits(&self) -> RunLimits {
+        RunLimits {
+            deadline: self.deadline_s.map(Duration::from_secs_f64),
+            max_oracle_calls: self.max_oracle_calls,
         }
     }
 }
@@ -135,6 +164,16 @@ pub fn sample_instances(net: &RoadNetwork, plan: &ExperimentPlan) -> Vec<Experim
                 Err(_) => continue,
             }
         }
+        if found < plan.sources_per_hospital {
+            let shortfall = plan.sources_per_hospital - found;
+            obs::add("harness.sampling_shortfall", shortfall as u64);
+            eprintln!(
+                "warning: hospital `{}` sampled only {found}/{} sources \
+                 after {attempts} attempts ({shortfall} short); aggregates \
+                 for this hospital average fewer runs than planned",
+                hospital.name, plan.sources_per_hospital,
+            );
+        }
     }
     out
 }
@@ -157,13 +196,50 @@ pub fn run_instances(
     plan: &ExperimentPlan,
     instances: &[ExperimentInstance],
 ) -> Vec<ExperimentRecord> {
+    run_instances_resumable(net, plan, instances, None)
+}
+
+/// [`run_instances`] with an optional checkpoint journal.
+///
+/// Every completed (instance × cost × algorithm) run is appended to the
+/// journal atomically before the sweep moves on, and runs whose
+/// (hospital, source, cost, algorithm) key is already journaled are
+/// skipped — their journaled records are emitted verbatim instead. A
+/// sweep killed mid-way and restarted against the same journal therefore
+/// produces the output the uninterrupted sweep would have (the final
+/// sort is deterministic and journaled floats round-trip exactly).
+///
+/// Each run is isolated with `catch_unwind`: a panicking algorithm
+/// yields a [`AttackStatus::Failed`] record and costs the sweep exactly
+/// that one result.
+pub fn run_instances_resumable(
+    net: &RoadNetwork,
+    plan: &ExperimentPlan,
+    instances: &[ExperimentInstance],
+    journal: Option<&mut CheckpointJournal>,
+) -> Vec<ExperimentRecord> {
+    // Seed output with already-journaled records and skip their keys.
+    let mut out: Vec<ExperimentRecord> = journal
+        .as_ref()
+        .map(|j| j.records().to_vec())
+        .unwrap_or_default();
+    let skip: std::collections::HashSet<String> = out.iter().map(record_key).collect();
+    let journal = Mutex::new(journal);
     let records = Mutex::new(Vec::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = plan.threads.max(1).min(instances.len().max(1));
+    let limits = plan.run_limits();
 
-    crossbeam::scope(|scope| {
+    let joined = crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
+                // Fault plans are thread-local: arm each worker. When
+                // the plan carries no faults, leave the thread
+                // uninitialized so the METRO_FAULTS env gate can still
+                // arm CI smoke runs.
+                if plan.faults.is_some() {
+                    faults::install(plan.faults);
+                }
                 let algorithms = all_algorithms();
                 // Per-thread registry: workers record (hospital, source)
                 // timings privately — zero contention on the global maps
@@ -187,29 +263,72 @@ pub fn run_instances(
                             inst.target,
                             inst.pstar.clone(),
                         ) {
-                            Ok(p) => p,
+                            Ok(p) => p.with_limits(limits),
                             Err(_) => continue,
                         };
                         for alg in &algorithms {
-                            let outcome = alg.attack(&problem);
-                            if let Some(reg) = &telemetry {
-                                reg.counter("harness.attacks").add(1);
-                                reg.histogram("harness.attack_runtime_us")
-                                    .record(outcome.runtime.as_micros() as u64);
-                            }
-                            local.push(ExperimentRecord {
-                                city: net.name().to_string(),
-                                weight: plan.weight,
+                            let key = crate::checkpoint::run_key(
+                                &inst.hospital,
+                                inst.source.index(),
                                 cost,
-                                algorithm: outcome.algorithm.clone(),
-                                hospital: inst.hospital.clone(),
-                                source: inst.source.index(),
-                                runtime_s: outcome.runtime.as_secs_f64(),
-                                iterations: outcome.iterations,
-                                edges_removed: outcome.num_removed(),
-                                cost_removed: outcome.total_cost,
-                                status: outcome.status,
-                            });
+                                alg.name(),
+                            );
+                            if skip.contains(&key) {
+                                continue;
+                            }
+                            faults::set_run_key(&key);
+                            let started = Instant::now();
+                            let attempt = catch_unwind(AssertUnwindSafe(|| alg.attack(&problem)));
+                            faults::clear_run_key();
+                            let record = match attempt {
+                                Ok(outcome) => {
+                                    if let Some(reg) = &telemetry {
+                                        reg.counter("harness.attacks").add(1);
+                                        reg.histogram("harness.attack_runtime_us")
+                                            .record(outcome.runtime.as_micros() as u64);
+                                    }
+                                    ExperimentRecord {
+                                        city: net.name().to_string(),
+                                        weight: plan.weight,
+                                        cost,
+                                        algorithm: outcome.algorithm.clone(),
+                                        hospital: inst.hospital.clone(),
+                                        source: inst.source.index(),
+                                        runtime_s: outcome.runtime.as_secs_f64(),
+                                        iterations: outcome.iterations,
+                                        edges_removed: outcome.num_removed(),
+                                        cost_removed: outcome.total_cost,
+                                        status: outcome.status,
+                                        degraded: outcome.degraded,
+                                    }
+                                }
+                                // One panic costs one record, not the
+                                // sweep: emit a Failed placeholder so
+                                // aggregates know the run existed.
+                                Err(_) => {
+                                    obs::inc("harness.run_panics");
+                                    ExperimentRecord {
+                                        city: net.name().to_string(),
+                                        weight: plan.weight,
+                                        cost,
+                                        algorithm: alg.name().to_string(),
+                                        hospital: inst.hospital.clone(),
+                                        source: inst.source.index(),
+                                        runtime_s: started.elapsed().as_secs_f64(),
+                                        iterations: 0,
+                                        edges_removed: 0,
+                                        cost_removed: 0.0,
+                                        status: AttackStatus::Failed,
+                                        degraded: Degradation::None,
+                                    }
+                                }
+                            };
+                            if let Some(j) = journal.lock().as_deref_mut() {
+                                if let Err(e) = j.append(&record) {
+                                    eprintln!("warning: checkpoint append failed: {e}");
+                                }
+                            }
+                            local.push(record);
                         }
                     }
                     if let Some(reg) = &telemetry {
@@ -223,10 +342,16 @@ pub fn run_instances(
                 }
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
+    if joined.is_err() {
+        // A worker died outside the per-run catch_unwind (allocator
+        // failure, stack exhaustion, ...). Keep everything that
+        // completed instead of poisoning the whole sweep.
+        obs::inc("harness.worker_failures");
+        eprintln!("warning: an experiment worker died; keeping completed records");
+    }
 
-    let mut out = records.into_inner();
+    out.extend(records.into_inner());
     out.sort_by(|a, b| {
         (&a.hospital, a.source, a.cost.name(), &a.algorithm).cmp(&(
             &b.hospital,

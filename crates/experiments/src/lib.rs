@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod checkpoint;
 mod harness;
 mod lattice_sweep;
 mod metrics;
@@ -43,7 +44,11 @@ mod viz;
 /// trips with degenerate path-rank statistics.
 pub const MIN_TRIP_EDGES: usize = 10;
 
-pub use harness::{run_instances, run_plan, sample_instances, ExperimentInstance, ExperimentPlan};
+pub use checkpoint::{run_key, write_atomic, CheckpointJournal};
+pub use harness::{
+    run_instances, run_instances_resumable, run_plan, sample_instances, ExperimentInstance,
+    ExperimentPlan,
+};
 pub use lattice_sweep::{disorder_city, lattice_sweep, render_lattice_sweep, LatticePoint};
 pub use metrics::{
     aggregate, city_average, records_to_csv, AggregateRow, CityAverage, ExperimentRecord,

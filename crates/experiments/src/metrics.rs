@@ -5,7 +5,7 @@
 //! removed) and **ACRE** (average cost of removed edges), averaged over
 //! 40 experiments (4 hospitals × 10 random sources).
 
-use pathattack::{AttackStatus, CostType, WeightType};
+use pathattack::{AttackStatus, CostType, Degradation, WeightType};
 use serde::{Deserialize, Serialize};
 
 /// Result of one attack run in one experiment.
@@ -34,6 +34,8 @@ pub struct ExperimentRecord {
     pub cost_removed: f64,
     /// Terminal status.
     pub status: AttackStatus,
+    /// Degraded-mode step the run took, if any (LP fallback chain).
+    pub degraded: Degradation,
 }
 
 /// Aggregated row: one (algorithm, cost type) cell group of Tables
@@ -124,16 +126,11 @@ pub struct CityAverage {
 /// offline analysis of raw experiment data.
 pub fn records_to_csv(records: &[ExperimentRecord]) -> String {
     let mut s = String::from(
-        "city,weight,cost,algorithm,hospital,source,runtime_s,iterations,edges_removed,cost_removed,status\n",
+        "city,weight,cost,algorithm,hospital,source,runtime_s,iterations,edges_removed,cost_removed,status,degraded\n",
     );
     for r in records {
-        let status = match r.status {
-            AttackStatus::Success => "success",
-            AttackStatus::BudgetExhausted => "budget_exhausted",
-            AttackStatus::Stuck => "stuck",
-        };
         s.push_str(&format!(
-            "{},{},{},{},\"{}\",{},{:.6},{},{},{:.6},{}\n",
+            "{},{},{},{},\"{}\",{},{:.6},{},{},{:.6},{},{}\n",
             r.city,
             r.weight.name(),
             r.cost.name(),
@@ -144,7 +141,8 @@ pub fn records_to_csv(records: &[ExperimentRecord]) -> String {
             r.iterations,
             r.edges_removed,
             r.cost_removed,
-            status
+            r.status.name(),
+            r.degraded.name()
         ));
     }
     s
@@ -179,6 +177,7 @@ mod tests {
             edges_removed: removed,
             cost_removed: cre,
             status: AttackStatus::Success,
+            degraded: Degradation::None,
         }
     }
 
@@ -236,7 +235,20 @@ mod tests {
         assert!(lines[0].starts_with("city,weight,cost"));
         assert!(lines[1].contains("GreedyEdge"));
         assert!(lines[1].contains("UNIFORM"));
-        assert!(lines[1].ends_with("success"));
+        assert!(lines[1].ends_with("success,none"));
+    }
+
+    #[test]
+    fn csv_records_status_and_degradation() {
+        let mut r = rec("LP-PathCover", CostType::Uniform, 3, 3.0, 0.5);
+        r.status = AttackStatus::TimedOut;
+        r.degraded = Degradation::GreedyFallback;
+        let csv = records_to_csv(&[r]);
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .ends_with("timed_out,greedy_fallback"));
     }
 
     #[test]

@@ -184,6 +184,7 @@ mod tests {
                 edges_removed: 3,
                 cost_removed: 4.5,
                 status: AttackStatus::Success,
+                degraded: pathattack::Degradation::None,
             })
             .collect();
         let rows = crate::metrics::aggregate(&records);

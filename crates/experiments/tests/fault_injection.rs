@@ -1,0 +1,238 @@
+//! Proof tests for the resilience layer: deterministic fault injection
+//! through the full experiment harness.
+//!
+//! These tests exercise the promises the pipeline makes:
+//! - an injected panic costs exactly one record and the sweep completes;
+//! - an injected LP stall degrades the run to greedy rounding instead of
+//!   sinking it;
+//! - an injected hang converts to `TimedOut` within the configured
+//!   deadline;
+//! - a sweep killed mid-way and `--resume`d produces the same CSV as an
+//!   uninterrupted one.
+
+use citygen::CityPreset;
+use experiments::{
+    records_to_csv, run_instances_resumable, run_plan, sample_instances, CheckpointJournal,
+    ExperimentPlan, ExperimentRecord,
+};
+use pathattack::{AttackStatus, Degradation, FaultPlan, FaultSite, WeightType};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn smoke_plan(seed: u64) -> ExperimentPlan {
+    ExperimentPlan::smoke(CityPreset::Chicago, WeightType::Time, seed)
+}
+
+fn record_run_key(r: &ExperimentRecord) -> String {
+    experiments::run_key(&r.hospital, r.source, r.cost, &r.algorithm)
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("metro-fault-{name}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Metric columns that must be reproducible run-to-run (everything but
+/// the wall-clock `runtime_s`).
+fn deterministic_view(
+    r: &ExperimentRecord,
+) -> (String, usize, usize, f64, AttackStatus, Degradation) {
+    (
+        record_run_key(r),
+        r.iterations,
+        r.edges_removed,
+        r.cost_removed,
+        r.status,
+        r.degraded,
+    )
+}
+
+#[test]
+fn injected_panic_loses_exactly_one_record_and_sweep_completes() {
+    let plan = smoke_plan(1);
+    let baseline = run_plan(&plan);
+    assert!(!baseline.is_empty());
+    let keys: Vec<String> = baseline.iter().map(record_run_key).collect();
+
+    // Selection is a pure function of (seed, site, key), so scan seeds
+    // for a plan that hits exactly one of this sweep's runs.
+    let fault = (0..10_000u64)
+        .map(|seed| FaultPlan {
+            seed,
+            oracle_panic: 0.03,
+            ..FaultPlan::default()
+        })
+        .find(|f| {
+            keys.iter()
+                .filter(|k| f.selects(FaultSite::OraclePanic, k))
+                .count()
+                == 1
+        })
+        .expect("some seed selects exactly one run");
+    let victim = keys
+        .iter()
+        .find(|k| fault.selects(FaultSite::OraclePanic, k))
+        .unwrap()
+        .clone();
+
+    let mut faulty_plan = smoke_plan(1);
+    faulty_plan.faults = Some(fault);
+    let faulty = run_plan(&faulty_plan);
+
+    // The sweep completed with the full record count...
+    assert_eq!(faulty.len(), baseline.len());
+    // ...the victim run — and only it — became a Failed placeholder...
+    let failed: Vec<&ExperimentRecord> = faulty
+        .iter()
+        .filter(|r| r.status == AttackStatus::Failed)
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly one record lost");
+    assert_eq!(record_run_key(failed[0]), victim);
+    assert_eq!(failed[0].edges_removed, 0);
+    // ...and every other record is identical to the fault-free run.
+    for (b, f) in baseline.iter().zip(&faulty) {
+        if record_run_key(f) == victim {
+            continue;
+        }
+        assert_eq!(deterministic_view(b), deterministic_view(f));
+    }
+}
+
+#[test]
+fn injected_lp_stall_degrades_lp_runs_without_sinking_them() {
+    let mut plan = smoke_plan(2);
+    plan.faults = Some(FaultPlan {
+        seed: 9,
+        lp_stall: 1.0,
+        ..FaultPlan::default()
+    });
+    let records = run_plan(&plan);
+    let lp: Vec<&ExperimentRecord> = records
+        .iter()
+        .filter(|r| r.algorithm == "LP-PathCover")
+        .collect();
+    assert!(!lp.is_empty());
+    for r in lp {
+        // Every relaxation stalls, so any LP run that needed a cut must
+        // have taken a fallback step — and still finished.
+        assert_eq!(r.status, AttackStatus::Success, "{r:?}");
+        if r.edges_removed > 0 {
+            assert_ne!(r.degraded, Degradation::None, "{r:?}");
+        }
+    }
+    // Non-LP algorithms never consult the LP and must be untouched.
+    let baseline = run_plan(&smoke_plan(2));
+    for (b, f) in baseline.iter().zip(&records) {
+        if b.algorithm != "LP-PathCover" {
+            assert_eq!(deterministic_view(b), deterministic_view(f));
+        }
+    }
+}
+
+#[test]
+fn injected_hang_converts_to_timed_out_within_deadline() {
+    let mut plan = smoke_plan(3);
+    // Every oracle query sleeps 25ms against a 5ms deadline: instead of
+    // "hanging", each run must surface TimedOut after at most a couple
+    // of oracle round-trips.
+    plan.deadline_s = Some(0.005);
+    plan.faults = Some(FaultPlan {
+        seed: 4,
+        oracle_latency: 1.0,
+        latency: Duration::from_millis(25),
+        ..FaultPlan::default()
+    });
+    let net = plan.city.build(plan.scale, plan.seed);
+    let instances = sample_instances(&net, &plan);
+    assert!(!instances.is_empty());
+    let records = run_instances_resumable(&net, &plan, &instances, None);
+    assert!(!records.is_empty());
+    for r in &records {
+        assert_eq!(r.status, AttackStatus::TimedOut, "{r:?}");
+        // Deadline (5ms) + at most two injected sleeps (50ms) + slack:
+        // nowhere near a hang.
+        assert!(r.runtime_s < 2.0, "{r:?}");
+    }
+}
+
+#[test]
+fn killed_sweep_resumed_from_checkpoint_matches_uninterrupted_csv() {
+    let plan = smoke_plan(4);
+    let net = plan.city.build(plan.scale, plan.seed);
+    let instances = sample_instances(&net, &plan);
+
+    // Uninterrupted journaled sweep → reference CSV.
+    let full_path = tmp_journal("full");
+    let mut full_journal = CheckpointJournal::open(&full_path).unwrap();
+    let full = run_instances_resumable(&net, &plan, &instances, Some(&mut full_journal));
+    let full_csv = records_to_csv(&full);
+    assert_eq!(full_journal.len(), full.len());
+
+    // Simulate a kill: keep only the first half of the journal file.
+    let body = std::fs::read_to_string(&full_path).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    let keep = lines.len() / 2;
+    assert!(keep > 0);
+    let resume_path = tmp_journal("resumed");
+    std::fs::write(&resume_path, format!("{}\n", lines[..keep].join("\n"))).unwrap();
+
+    // Resume: journaled runs are emitted verbatim, the rest re-run.
+    let mut resumed_journal = CheckpointJournal::open(&resume_path).unwrap();
+    assert_eq!(resumed_journal.len(), keep);
+    let resumed = run_instances_resumable(&net, &plan, &instances, Some(&mut resumed_journal));
+    let resumed_csv = records_to_csv(&resumed);
+    assert_eq!(resumed_journal.len(), full.len());
+
+    // Journaled (not re-run) rows survive byte-identically, runtime
+    // included: the journal's shortest-round-trip floats reproduce the
+    // CSV's {:.6} formatting exactly.
+    let journaled: std::collections::HashSet<String> = full_journal.records()[..keep]
+        .iter()
+        .map(record_run_key)
+        .collect();
+    let full_lines: Vec<&str> = full_csv.lines().collect();
+    let resumed_lines: Vec<&str> = resumed_csv.lines().collect();
+    assert_eq!(full_lines.len(), resumed_lines.len());
+    for ((fl, rl), rec) in full_lines[1..].iter().zip(&resumed_lines[1..]).zip(&full) {
+        if journaled.contains(&record_run_key(rec)) {
+            assert_eq!(fl, rl, "journaled row must round-trip byte-identically");
+        }
+    }
+    // Re-run rows are byte-identical too once the one wall-clock column
+    // is masked (runtimes are genuinely re-measured on resume).
+    let mask = |line: &str| {
+        let mut cols: Vec<&str> = line.split(',').collect();
+        // runtime_s is the 7th column; hospital is quoted and contains
+        // no commas in the generated cities.
+        cols[6] = "-";
+        cols.join(",")
+    };
+    for (fl, rl) in full_lines.iter().zip(&resumed_lines) {
+        assert_eq!(mask(fl), mask(rl));
+    }
+
+    // Resuming from the *complete* journal re-runs nothing and is
+    // byte-identical end to end.
+    let mut complete = CheckpointJournal::open(&full_path).unwrap();
+    let replayed = run_instances_resumable(&net, &plan, &instances, Some(&mut complete));
+    assert_eq!(records_to_csv(&replayed), full_csv);
+
+    std::fs::remove_file(&full_path).unwrap();
+    std::fs::remove_file(&resume_path).unwrap();
+}
+
+#[test]
+fn fault_plan_env_spec_round_trips_through_parse() {
+    // The CLI and the METRO_FAULTS env var share this syntax; pin it.
+    let plan =
+        FaultPlan::parse("seed=7,oracle_panic=0.25,lp_stall=1,latency=0.5,latency_ms=20").unwrap();
+    assert_eq!(plan.seed, 7);
+    assert!((plan.oracle_panic - 0.25).abs() < 1e-12);
+    assert!((plan.lp_stall - 1.0).abs() < 1e-12);
+    assert!((plan.oracle_latency - 0.5).abs() < 1e-12);
+    assert_eq!(plan.latency, Duration::from_millis(20));
+    assert!(FaultPlan::parse("bogus=1").is_err());
+    assert!(FaultPlan::parse("oracle_panic=1.5").is_err());
+}

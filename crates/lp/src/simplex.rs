@@ -89,6 +89,7 @@ pub struct Problem {
     objective: Vec<f64>,
     rows: Vec<Row>,
     upper: Vec<Option<f64>>,
+    iteration_limit: Option<usize>,
 }
 
 impl Problem {
@@ -100,7 +101,17 @@ impl Problem {
             objective,
             rows: Vec::new(),
             upper: vec![None; n],
+            iteration_limit: None,
         }
+    }
+
+    /// Caps the pivot iterations of each simplex run (phase 1 and
+    /// phase 2 separately) below the built-in size-scaled default.
+    /// Hitting the cap yields [`Outcome::IterationLimit`]. Used by the
+    /// fault-injection harness to force deterministic stalls and by
+    /// callers that prefer a degraded answer over a long solve.
+    pub fn set_iteration_limit(&mut self, limit: usize) {
+        self.iteration_limit = Some(limit);
     }
 
     /// Number of variables.
@@ -167,6 +178,8 @@ struct Tableau {
     art_start: usize,
     /// Number of original variables.
     orig_n: usize,
+    /// Caller-imposed pivot cap (see [`Problem::set_iteration_limit`]).
+    iteration_limit: Option<usize>,
 }
 
 impl Tableau {
@@ -260,6 +273,7 @@ impl Tableau {
             basis,
             art_start,
             orig_n,
+            iteration_limit: p.iteration_limit,
         }
     }
 
@@ -310,7 +324,10 @@ impl Tableau {
         // reduced cost of column j: c_j - c_B · B⁻¹A_j
         // With a dense tableau, reduced costs are recomputed per
         // iteration (LPs here are small, clarity wins).
-        let max_iters = 1000 + 80 * (self.m + self.n);
+        let mut max_iters = 1000 + 80 * (self.m + self.n);
+        if let Some(cap) = self.iteration_limit {
+            max_iters = max_iters.min(cap);
+        }
         let bland_after = 100 + 20 * (self.m + self.n);
 
         for iter in 0..max_iters {
@@ -594,6 +611,25 @@ mod tests {
     fn add_constraint_validates_index() {
         let mut p = Problem::minimize(vec![1.0]);
         p.add_constraint(vec![(5, 1.0)], ConstraintOp::Ge, 1.0);
+    }
+
+    #[test]
+    fn iteration_limit_zero_forces_stall() {
+        // Same feasible program as `simple_ge_row`, but with a pivot cap
+        // of zero the solver must report the stall instead of an answer.
+        let mut p = Problem::minimize(vec![2.0, 3.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+        p.set_iteration_limit(0);
+        assert_eq!(p.solve(), Outcome::IterationLimit);
+    }
+
+    #[test]
+    fn generous_iteration_limit_still_solves() {
+        let mut p = Problem::minimize(vec![2.0, 3.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+        p.set_iteration_limit(10_000);
+        let s = p.solve().expect_optimal();
+        assert_close(s.objective, 8.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! — A* guided by them explores a small corridor instead of the whole
 //! city.
 
+use crate::cancel::{CancelToken, CHECK_STRIDE};
 use crate::dijkstra::HeapEntry;
 use crate::Path;
 use std::collections::BinaryHeap;
@@ -58,6 +59,7 @@ pub struct AStar {
     stamp: Vec<u32>,
     settled: Vec<u32>,
     generation: u32,
+    cancel: Option<CancelToken>,
 }
 
 impl AStar {
@@ -69,7 +71,15 @@ impl AStar {
             stamp: vec![0; num_nodes],
             settled: vec![0; num_nodes],
             generation: 0,
+            cancel: None,
         }
+    }
+
+    /// Installs (or clears) a cancellation token. A cancelled search
+    /// stops early and reports the target unreachable; callers sharing
+    /// the token must check it rather than trust a `None` result.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
     }
 
     fn fresh(&mut self, n: usize) {
@@ -142,6 +152,13 @@ impl AStar {
 
         while let Some(HeapEntry { node: v, .. }) = heap.pop() {
             pops += 1;
+            if pops.is_multiple_of(CHECK_STRIDE) {
+                if let Some(token) = &self.cancel {
+                    if token.is_cancelled() {
+                        break;
+                    }
+                }
+            }
             let vi = v as usize;
             if self.settled[vi] == 1 && self.stamp[vi] == self.generation {
                 continue;

@@ -1,0 +1,132 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! Attack sweeps run thousands of searches; one pathological instance
+//! must not hang a whole experiment set. A [`CancelToken`] carries an
+//! explicit cancel flag plus an optional wall-clock deadline, and the
+//! hot loops ([`crate::Dijkstra`], [`crate::AStar`], Yen) poll it every
+//! [`CHECK_STRIDE`] heap pops — frequent enough to bound overrun to
+//! microseconds, rare enough to stay invisible in profiles.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many heap pops a search performs between cancellation checks.
+pub const CHECK_STRIDE: u64 = 1024;
+
+/// Shared cancellation handle: an explicit flag plus an optional
+/// deadline. Cloning is cheap (the flag is shared; the deadline is
+/// copied), so one token can fan out across many searchers.
+///
+/// Once the deadline passes, the shared flag latches so later checks
+/// never consult the clock again.
+///
+/// # Examples
+///
+/// ```
+/// use routing::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token whose deadline is `timeout` from now.
+    pub fn deadline_in(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Sets (or replaces) the deadline on this handle. Only handles
+    /// cloned *after* this call observe the new deadline; the cancel
+    /// flag stays shared either way.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Requests cancellation on every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token is cancelled (flag set or deadline passed).
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                // Latch so sibling clones skip the clock from now on.
+                self.flag.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_token_never_self_cancels() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_cancels_and_latches_siblings() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let sibling = t.clone();
+        assert!(t.is_cancelled());
+        // the latch reached the sibling through the shared flag
+        assert!(sibling.flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn future_deadline_not_yet_cancelled() {
+        let t = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn set_deadline_replaces() {
+        let mut t = CancelToken::new();
+        t.set_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+    }
+}

@@ -6,6 +6,7 @@
 //! with generation stamps — a query touches only the nodes it actually
 //! visits.
 
+use crate::cancel::{CancelToken, CHECK_STRIDE};
 use crate::Path;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -73,6 +74,7 @@ pub struct Dijkstra {
     stamp: Vec<u32>,
     settled: Vec<u32>,
     generation: u32,
+    cancel: Option<CancelToken>,
 }
 
 const NO_EDGE: u32 = u32::MAX;
@@ -86,7 +88,15 @@ impl Dijkstra {
             stamp: vec![0; num_nodes],
             settled: vec![0; num_nodes],
             generation: 0,
+            cancel: None,
         }
+    }
+
+    /// Installs (or clears) a cancellation token. A cancelled sweep
+    /// stops early, leaving the target unreached; callers that share the
+    /// token are expected to check it rather than trust a `None` path.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
     }
 
     /// Grows internal buffers if the network is larger than at
@@ -170,6 +180,13 @@ impl Dijkstra {
 
         while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
             pops += 1;
+            if pops.is_multiple_of(CHECK_STRIDE) {
+                if let Some(token) = &self.cancel {
+                    if token.is_cancelled() {
+                        break;
+                    }
+                }
+            }
             let vi = v as usize;
             if self.is_settled(vi) {
                 continue;
@@ -428,6 +445,25 @@ mod tests {
         let mut d = Dijkstra::new(net.num_nodes());
         let dist = d.distances(&view, len(&net), NodeId::new(0), Direction::Forward);
         assert_eq!(dist, vec![0.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn cancelled_token_leaves_results_usable() {
+        // A pre-cancelled token may truncate the sweep (the stride means
+        // tiny graphs finish anyway); either way nothing panics and a
+        // later un-cancelled query is clean.
+        let net = weighted_square();
+        let view = GraphView::new(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        let token = CancelToken::new();
+        token.cancel();
+        d.set_cancel(Some(token));
+        let _ = d.shortest_path(&view, len(&net), NodeId::new(0), NodeId::new(3));
+        d.set_cancel(None);
+        let p = d
+            .shortest_path(&view, len(&net), NodeId::new(0), NodeId::new(3))
+            .unwrap();
+        assert_eq!(p.total_weight(), 2.0);
     }
 
     #[test]

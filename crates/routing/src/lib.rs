@@ -46,6 +46,7 @@
 mod alt;
 mod astar;
 mod bidirectional;
+mod cancel;
 mod ch;
 mod dijkstra;
 mod path;
@@ -55,6 +56,7 @@ mod yen;
 pub use alt::Landmarks;
 pub use astar::AStar;
 pub use bidirectional::bidirectional_shortest_path;
+pub use cancel::{CancelToken, CHECK_STRIDE};
 pub use ch::ContractionHierarchy;
 pub use dijkstra::{Dijkstra, Direction};
 pub use path::{BrokenPathError, Path};

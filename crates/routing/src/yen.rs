@@ -17,7 +17,7 @@
 //!   by a backward Dijkstra) stay admissible, and each spur search
 //!   explores a thin corridor instead of the whole city.
 
-use crate::{AStar, Dijkstra, Direction, Path};
+use crate::{AStar, CancelToken, Dijkstra, Direction, Path};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use traffic_graph::{EdgeId, GraphView, NodeId};
@@ -112,12 +112,19 @@ pub struct YenConfig {
     /// Guide spur searches with exact distances-to-target computed once
     /// on the caller's view.
     pub reverse_heuristic: bool,
+    /// Cooperative cancellation: checked between spur searches and
+    /// propagated into the inner Dijkstra/A* loops. A cancelled
+    /// enumeration returns the paths accepted so far (possibly fewer
+    /// than `k`); callers sharing the token must check it rather than
+    /// interpret a short result as path exhaustion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for YenConfig {
     fn default() -> Self {
         YenConfig {
             reverse_heuristic: true,
+            cancel: None,
         }
     }
 }
@@ -142,6 +149,7 @@ where
     let n = net.num_nodes();
 
     let mut dij = Dijkstra::new(n);
+    dij.set_cancel(config.cancel.clone());
     let Some(first) = dij.shortest_path(view, &weight, source, target) else {
         return Vec::new();
     };
@@ -162,6 +170,7 @@ where
         vec![0.0; n]
     };
     let mut astar = AStar::new(n);
+    astar.set_cancel(config.cancel.clone());
 
     // Working view: caller's removals plus temporary spur removals.
     let mut work = view.clone();
@@ -172,6 +181,11 @@ where
     seen.insert(accepted[0].0.edges().to_vec());
 
     while accepted.len() < k {
+        if let Some(token) = &config.cancel {
+            if token.is_cancelled() {
+                break;
+            }
+        }
         let (prev, dev_start) = {
             let last = accepted.last().expect("accepted non-empty");
             (last.0.clone(), last.1)
@@ -461,12 +475,30 @@ mod tests {
             8,
             &YenConfig {
                 reverse_heuristic: false,
+                ..YenConfig::default()
             },
         );
         assert_eq!(fast.len(), plain.len());
         for (a, b) in fast.iter().zip(&plain) {
             assert!((a.total_weight() - b.total_weight()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn cancelled_enumeration_returns_prefix() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        let token = CancelToken::new();
+        token.cancel();
+        let config = YenConfig {
+            cancel: Some(token),
+            ..YenConfig::default()
+        };
+        // The initial Dijkstra on this tiny graph completes before the
+        // first stride check, so the shortest path is accepted; the
+        // outer loop then sees the cancelled token and stops.
+        let paths = k_shortest_paths_with(&view, len(&net), nodes[0], nodes[5], 8, &config);
+        assert!(paths.len() <= 1);
     }
 
     #[test]

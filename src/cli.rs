@@ -9,7 +9,7 @@ use obs::TelemetrySink;
 use std::io;
 
 /// Every `--key value` flag the CLI accepts, across all subcommands.
-pub const KNOWN_FLAGS: [&str; 16] = [
+pub const KNOWN_FLAGS: [&str; 22] = [
     "city",
     "scale",
     "seed",
@@ -26,16 +26,24 @@ pub const KNOWN_FLAGS: [&str; 16] = [
     "victims",
     "max-hardened",
     "metrics",
+    "sources",
+    "deadline",
+    "max-oracle-calls",
+    "resume",
+    "csv",
+    "faults",
 ];
 
 /// Usage text printed on bad invocations; documents every known flag.
 pub const USAGE: &str =
-    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate> \
+    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment> \
 [--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
 [--rank K] [--weight length|time] [--cost uniform|lanes|width] \
 [--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness] \
 [--source N] [--hospital IDX] [--top K] [--radius M] [--trips N] [--svg FILE] \
-[--victims N] [--max-hardened K] [--metrics table|jsonl|FILE]";
+[--victims N] [--max-hardened K] [--metrics table|jsonl|FILE] \
+[--sources N] [--deadline SECS] [--max-oracle-calls N] [--resume CKPT.jsonl] \
+[--csv FILE] [--faults SPEC]";
 
 /// Destination of the `--metrics` telemetry report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,8 +73,11 @@ impl MetricsMode {
             MetricsMode::Table => obs::TableSink::new(io::stderr().lock()).export(&snapshot),
             MetricsMode::Jsonl => obs::JsonlSink::new(io::stdout().lock()).export(&snapshot),
             MetricsMode::File(path) => {
-                let file = std::fs::File::create(path)?;
-                obs::JsonlSink::new(io::BufWriter::new(file)).export(&snapshot)
+                // Buffer and rename-in-place so a crash mid-export never
+                // leaves a truncated metrics file behind.
+                let mut buf: Vec<u8> = Vec::new();
+                obs::JsonlSink::new(&mut buf).export(&snapshot)?;
+                experiments::write_atomic(std::path::Path::new(path), &buf)
             }
         }
     }
@@ -82,6 +93,7 @@ pub fn command_span_name(cmd: &str) -> &'static str {
         "isolate" => "harness.cmd.isolate",
         "impact" => "harness.cmd.impact",
         "coordinate" => "harness.cmd.coordinate",
+        "experiment" => "harness.cmd.experiment",
         _ => "harness.cmd.other",
     }
 }
@@ -120,6 +132,7 @@ mod tests {
             "isolate",
             "impact",
             "coordinate",
+            "experiment",
         ] {
             assert_eq!(command_span_name(cmd), format!("harness.cmd.{cmd}"));
         }

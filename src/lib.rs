@@ -66,14 +66,16 @@ pub mod prelude {
     };
     pub use experiments::{
         aggregate, city_average, rank_sweep, records_to_csv, render_experiment_table,
-        render_rank_sweep, render_svg, render_table1, render_table10, render_table9, run_plan,
-        sample_instances, threshold_row, ExperimentPlan, FigureSpec, RankSweepPoint,
+        render_rank_sweep, render_svg, render_table1, render_table10, render_table9,
+        run_instances_resumable, run_plan, sample_instances, threshold_row, write_atomic,
+        CheckpointJournal, ExperimentPlan, FigureSpec, RankSweepPoint,
     };
     pub use pathattack::{
         all_algorithms, all_algorithms_extended, coordinated_attack, critical_segments,
         minimal_hardening, AttackAlgorithm, AttackOutcome, AttackProblem, AttackStatus,
-        CoordinatedError, CoordinatedOutcome, CostType, CriticalSegment, GreedyBetweenness,
-        GreedyEdge, GreedyEig, GreedyPathCover, HardeningPlan, LpPathCover, Rounding, WeightType,
+        CoordinatedError, CoordinatedOutcome, CostType, CriticalSegment, Degradation, FaultPlan,
+        GreedyBetweenness, GreedyEdge, GreedyEig, GreedyPathCover, HardeningPlan, LpPathCover,
+        Rounding, RunLimits, WeightType,
     };
     pub use routing::{
         bidirectional_shortest_path, k_shortest_paths, k_shortest_paths_with, kth_shortest_path,

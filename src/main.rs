@@ -8,10 +8,13 @@
 //! metro-attack harden   --city sf      [--rank 30]
 //! metro-attack isolate  --city sf      [--radius 400]
 //! metro-attack impact   --city chicago [--trips 40] [--rank 20]
+//! metro-attack experiment --city boston [--sources 10] [--deadline 30]
+//!                       [--max-oracle-calls N] [--resume CKPT] [--csv FILE]
 //! ```
 //!
 //! Every subcommand prints a human-readable report; `attack --svg` also
-//! writes a Figs 1–4-style map.
+//! writes a Figs 1–4-style map. `experiment` runs a full (city, weight)
+//! sweep with checkpoint/resume and per-run deadlines.
 
 use metro_attack::attack::{coordinated_attack, minimal_hardening};
 use metro_attack::cli::{command_span_name, MetricsMode, KNOWN_FLAGS, USAGE};
@@ -114,6 +117,30 @@ fn parse_cost(args: &Args) -> CostType {
     }
 }
 
+/// Per-run limits from `--deadline` (seconds) and `--max-oracle-calls`.
+fn parse_limits(args: &Args) -> RunLimits {
+    let mut limits = RunLimits::default();
+    if let Some(v) = args.get("deadline") {
+        let secs: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --deadline: {v:?}");
+            usage()
+        });
+        if secs < 0.0 || !secs.is_finite() {
+            eprintln!("--deadline must be a non-negative number of seconds");
+            usage()
+        }
+        limits.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(v) = args.get("max-oracle-calls") {
+        let calls: u64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --max-oracle-calls: {v:?}");
+            usage()
+        });
+        limits.max_oracle_calls = Some(calls);
+    }
+    limits
+}
+
 fn parse_algorithm(args: &Args) -> Box<dyn AttackAlgorithm> {
     match args.get("algorithm").unwrap_or("greedy-pathcover") {
         "lp" | "lp-pathcover" => Box::new(LpPathCover::default()),
@@ -202,7 +229,7 @@ fn cmd_attack(args: &Args) -> ExitCode {
     let cost = parse_cost(args);
     let rank = args.num("rank", 50usize);
     let problem = match AttackProblem::with_path_rank(&city, weight, cost, source, hospital, rank) {
-        Ok(p) => p,
+        Ok(p) => p.with_limits(parse_limits(args)),
         Err(e) => {
             eprintln!("cannot set up instance: {e}");
             return ExitCode::FAILURE;
@@ -256,7 +283,7 @@ fn cmd_attack(args: &Args) -> ExitCode {
                 title: format!("{} attack on {}", out.algorithm, city.name()),
             },
         );
-        if let Err(e) = std::fs::write(path, svg) {
+        if let Err(e) = write_atomic(std::path::Path::new(path), svg.as_bytes()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -442,6 +469,82 @@ fn cmd_coordinate(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_experiment(args: &Args) -> ExitCode {
+    let preset = parse_city(args);
+    let weight = parse_weight(args);
+    let mut plan =
+        ExperimentPlan::paper(preset, weight, parse_scale(args), args.num("seed", 42u64));
+    plan.path_rank = args.num("rank", plan.path_rank);
+    plan.sources_per_hospital = args.num("sources", plan.sources_per_hospital);
+    let limits = parse_limits(args);
+    plan.deadline_s = limits.deadline.map(|d| d.as_secs_f64());
+    plan.max_oracle_calls = limits.max_oracle_calls;
+    if let Some(spec) = args.get("faults") {
+        match FaultPlan::parse(spec) {
+            Ok(faults) => plan.faults = Some(faults),
+            Err(e) => {
+                eprintln!("bad --faults spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let net = plan.city.build(plan.scale, plan.seed);
+    let instances = sample_instances(&net, &plan);
+    if instances.is_empty() {
+        eprintln!("no usable (source, hospital) instances at this scale/rank");
+        return ExitCode::FAILURE;
+    }
+    let mut journal = match args.get("resume") {
+        Some(path) => match CheckpointJournal::open(path) {
+            Ok(j) => {
+                println!("resuming from {path}: {} runs already journaled", j.len());
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("cannot open checkpoint {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let records = run_instances_resumable(&net, &plan, &instances, journal.as_mut());
+
+    let rows = aggregate(&records);
+    println!(
+        "{}",
+        render_experiment_table("EXPERIMENT", net.name(), weight, &rows)
+    );
+    let timed_out = records
+        .iter()
+        .filter(|r| r.status == AttackStatus::TimedOut)
+        .count();
+    let failed = records
+        .iter()
+        .filter(|r| r.status == AttackStatus::Failed)
+        .count();
+    let degraded = records
+        .iter()
+        .filter(|r| r.degraded != Degradation::None)
+        .count();
+    println!(
+        "{} runs: {} timed out, {} failed, {} degraded",
+        records.len(),
+        timed_out,
+        failed,
+        degraded
+    );
+    if let Some(path) = args.get("csv") {
+        let csv = records_to_csv(&records);
+        if let Err(e) = write_atomic(std::path::Path::new(path), csv.as_bytes()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
@@ -463,6 +566,7 @@ fn main() -> ExitCode {
             "isolate" => cmd_isolate(&args),
             "impact" => cmd_impact(&args),
             "coordinate" => cmd_coordinate(&args),
+            "experiment" => cmd_experiment(&args),
             _ => usage(),
         }
     };

@@ -230,6 +230,79 @@ fn metrics_file_writes_jsonl() {
 }
 
 #[test]
+fn attack_call_cap_reports_timeout() {
+    let (ok, stdout, _) = run(&[
+        "attack",
+        "--city",
+        "boston",
+        "--scale",
+        "0.05",
+        "--rank",
+        "10",
+        "--max-oracle-calls",
+        "0",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("status TimedOut"), "{stdout}");
+}
+
+#[test]
+fn experiment_sweeps_with_checkpoint_resume_and_csv() {
+    let dir = std::env::temp_dir().join(format!("ma-cli-exp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("sweep.ckpt.jsonl");
+    let csv = dir.join("records.csv");
+    let args = [
+        "experiment",
+        "--city",
+        "chicago",
+        "--scale",
+        "0.05",
+        "--rank",
+        "8",
+        "--sources",
+        "1",
+        "--deadline",
+        "30",
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+    ];
+    let (ok, stdout, stderr) = run(&args);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("EXPERIMENT"), "{stdout}");
+    assert!(stdout.contains("timed out"), "{stdout}");
+    let first_csv = std::fs::read_to_string(&csv).unwrap();
+    assert!(first_csv.starts_with("city,weight,cost"), "{first_csv}");
+    assert!(ckpt.exists());
+
+    // Second invocation resumes from the complete journal: nothing is
+    // re-run and the CSV comes out byte-identical.
+    let (ok, stdout, stderr) = run(&args);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("resuming from"), "{stdout}");
+    let second_csv = std::fs::read_to_string(&csv).unwrap();
+    assert_eq!(first_csv, second_csv);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiment_rejects_bad_fault_spec() {
+    let (ok, _, stderr) = run(&[
+        "experiment",
+        "--city",
+        "chicago",
+        "--scale",
+        "0.05",
+        "--faults",
+        "frobnicate=1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --faults spec"), "{stderr}");
+}
+
+#[test]
 fn metrics_off_by_default() {
     let (ok, stdout, stderr) = run(&[
         "attack", "--city", "chicago", "--scale", "0.05", "--rank", "8",
