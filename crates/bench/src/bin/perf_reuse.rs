@@ -1,0 +1,243 @@
+//! Measures the cross-run computation-reuse layer on full experiment
+//! sets and writes `BENCH_perf.json`.
+//!
+//! ```text
+//! perf_reuse [--sources N] [--rank K] [--iters N] [--out FILE]
+//!            [--min-speedup X] [--min-sweep-ratio X]
+//! ```
+//!
+//! For each of two city presets (Boston, Chicago) the bench runs the
+//! same small-scale experiment set twice — once with `plan.reuse`
+//! disabled (every run recomputes its reverse table and centrality, the
+//! pre-reuse behavior) and once enabled (one `TargetContext` per
+//! hospital, one `NetworkCache` per sweep) — and reports:
+//!
+//! - median wall-clock per mode and the speedup,
+//! - backward reverse-table sweeps per mode (the
+//!   `pathattack.reuse.rev_dij.miss` counter: a miss IS a sweep that
+//!   ran) and their ratio,
+//! - total Dijkstra sweeps and oracle calls per mode,
+//! - whether the two modes produced byte-identical attack records
+//!   (runtimes masked — wall-clock is the one column allowed to differ).
+//!
+//! Exits non-zero when the reused path is slower than `--min-speedup`×
+//! the baseline, when the sweep drop is below `--min-sweep-ratio`, or
+//! when records differ. CI runs this with `--min-speedup 1.0` as a
+//! regression smoke; the committed `BENCH_perf.json` uses the default
+//! 2×/10× acceptance thresholds.
+
+use citygen::{CityPreset, Scale};
+use experiments::{records_to_csv, run_instances, sample_instances, ExperimentPlan};
+use pathattack::WeightType;
+use std::time::Instant;
+
+struct ModeStats {
+    ms: f64,
+    rev_sweeps: u64,
+    total_sweeps: u64,
+    oracle_calls: u64,
+    csv_masked: String,
+    records: usize,
+}
+
+struct CityRow {
+    city: &'static str,
+    baseline: ModeStats,
+    reuse: ModeStats,
+    speedup: f64,
+    sweep_ratio: f64,
+    records_identical: bool,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// Masks the runtime_s column so byte-comparison ignores wall-clock.
+fn mask_runtime(csv: &str) -> String {
+    csv.lines()
+        .map(|line| {
+            let mut cols: Vec<&str> = line.split(',').collect();
+            if cols.len() > 6 {
+                cols[6] = "-";
+            }
+            cols.join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn counter(snap: &obs::Snapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
+fn run_mode(net: &traffic_graph::RoadNetwork, plan: &ExperimentPlan, iters: usize) -> ModeStats {
+    // Warm-up pass faults in allocator arenas and the scratch pools.
+    let _ = run_instances(net, plan, &sample_instances(net, plan));
+
+    let mut times = Vec::with_capacity(iters);
+    let mut rev_sweeps = 0;
+    let mut total_sweeps = 0;
+    let mut oracle_calls = 0;
+    let mut csv_masked = String::new();
+    let mut records = 0;
+    for i in 0..iters {
+        let before = obs::global().snapshot();
+        let t = Instant::now();
+        let instances = sample_instances(net, plan);
+        let recs = run_instances(net, plan, &instances);
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+        let after = obs::global().snapshot();
+        if i == 0 {
+            rev_sweeps = counter(&after, "pathattack.reuse.rev_dij.miss")
+                - counter(&before, "pathattack.reuse.rev_dij.miss");
+            total_sweeps = counter(&after, "routing.dijkstra.sweeps")
+                - counter(&before, "routing.dijkstra.sweeps");
+            oracle_calls = counter(&after, "pathattack.oracle.calls")
+                - counter(&before, "pathattack.oracle.calls");
+            csv_masked = mask_runtime(&records_to_csv(&recs));
+            records = recs.len();
+        }
+    }
+    ModeStats {
+        ms: median(&mut times),
+        rev_sweeps,
+        total_sweeps,
+        oracle_calls,
+        csv_masked,
+        records,
+    }
+}
+
+fn bench_city(preset: CityPreset, sources: usize, rank: usize, iters: usize) -> CityRow {
+    let mut plan = ExperimentPlan::paper(preset, WeightType::Time, Scale::Small, 42);
+    plan.sources_per_hospital = sources;
+    plan.path_rank = rank;
+    // The full algorithm roster: the extension baselines are the
+    // centrality-heavy consumers the NetworkCache exists for.
+    plan.extended_algorithms = true;
+    let net = plan.city.build(plan.scale, plan.seed);
+
+    plan.reuse = false;
+    let baseline = run_mode(&net, &plan, iters);
+    plan.reuse = true;
+    let reuse = run_mode(&net, &plan, iters);
+
+    CityRow {
+        city: preset.name(),
+        speedup: baseline.ms / reuse.ms,
+        sweep_ratio: baseline.rev_sweeps as f64 / (reuse.rev_sweeps.max(1)) as f64,
+        records_identical: baseline.csv_masked == reuse.csv_masked,
+        baseline,
+        reuse,
+    }
+}
+
+fn main() {
+    let mut sources = 3usize;
+    let mut rank = 20usize;
+    let mut iters = 3usize;
+    let mut out_path = "BENCH_perf.json".to_string();
+    let mut min_speedup = 2.0f64;
+    let mut min_sweep_ratio = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |what: &str| -> f64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} N"))
+        };
+        match a.as_str() {
+            "--sources" => sources = num("--sources") as usize,
+            "--rank" => rank = num("--rank") as usize,
+            "--iters" => iters = num("--iters") as usize,
+            "--min-speedup" => min_speedup = num("--min-speedup"),
+            "--min-sweep-ratio" => min_sweep_ratio = num("--min-sweep-ratio"),
+            "--out" => out_path = args.next().expect("--out FILE"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    // The sweep/oracle counters are the bench's measurement substrate.
+    obs::set_enabled(true);
+
+    let rows: Vec<CityRow> = [CityPreset::Boston, CityPreset::Chicago]
+        .into_iter()
+        .map(|preset| {
+            let row = bench_city(preset, sources, rank, iters);
+            println!(
+                "{:<9} baseline {:>8.1} ms  reuse {:>8.1} ms  speedup {:.2}x  \
+                 rev-sweeps {} -> {} ({:.1}x)  records identical: {}",
+                row.city,
+                row.baseline.ms,
+                row.reuse.ms,
+                row.speedup,
+                row.baseline.rev_sweeps,
+                row.reuse.rev_sweeps,
+                row.sweep_ratio,
+                row.records_identical,
+            );
+            row
+        })
+        .collect();
+
+    let min_observed_speedup = rows.iter().map(|r| r.speedup).fold(f64::MAX, f64::min);
+    let min_observed_ratio = rows.iter().map(|r| r.sweep_ratio).fold(f64::MAX, f64::min);
+    let all_identical = rows.iter().all(|r| r.records_identical);
+    let pass = min_observed_speedup >= min_speedup
+        && min_observed_ratio >= min_sweep_ratio
+        && all_identical;
+
+    let mode_json = |m: &ModeStats| {
+        format!(
+            "{{\"wall_ms\": {:.1}, \"rev_dij_sweeps\": {}, \"dijkstra_sweeps\": {}, \
+             \"oracle_calls\": {}, \"records\": {}}}",
+            m.ms, m.rev_sweeps, m.total_sweeps, m.oracle_calls, m.records
+        )
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"perf_reuse\",\n");
+    json.push_str("  \"scale\": \"small\",\n");
+    json.push_str(&format!("  \"path_rank\": {rank},\n"));
+    json.push_str(&format!("  \"sources_per_hospital\": {sources},\n"));
+    json.push_str("  \"algorithms\": \"extended (paper 4 + GreedyBetweenness)\",\n");
+    json.push_str(&format!("  \"iters_per_mode\": {iters},\n"));
+    json.push_str("  \"cities\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"city\": \"{}\",\n     \"baseline\": {},\n     \"reuse\": {},\n     \
+             \"speedup\": {:.2}, \"rev_sweep_ratio\": {:.1}, \"records_identical\": {}}}{}\n",
+            r.city,
+            mode_json(&r.baseline),
+            mode_json(&r.reuse),
+            r.speedup,
+            r.sweep_ratio,
+            r.records_identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"min_speedup\": {min_observed_speedup:.2},\n  \"min_rev_sweep_ratio\": {min_observed_ratio:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"threshold_speedup\": {min_speedup}, \"threshold_sweep_ratio\": {min_sweep_ratio},\n"
+    ));
+    json.push_str(&format!("  \"pass\": {pass}\n"));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
+    println!(
+        "wrote {out_path} (min speedup {min_observed_speedup:.2}x >= {min_speedup}x, \
+         min sweep ratio {min_observed_ratio:.1}x >= {min_sweep_ratio}x, identical: {all_identical})"
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::algorithms::{AttackAlgorithm, CutLoop};
 use crate::{AttackOutcome, AttackProblem, AttackStatus, Oracle};
+use std::sync::Arc;
 use traffic_graph::{edge_betweenness, NodeId};
 
 /// Extension baseline (not one of the paper's four): while a violating
@@ -66,11 +67,17 @@ impl AttackAlgorithm for GreedyBetweenness {
                     .collect(),
             )
         };
-        let centrality = edge_betweenness(
-            problem.base_view(),
-            |e| problem.weight_of(e),
-            sample.as_deref(),
-        );
+        let compute = || {
+            edge_betweenness(
+                problem.base_view(),
+                |e| problem.weight_of(e),
+                sample.as_deref(),
+            )
+        };
+        let centrality: Arc<Vec<f64>> = problem
+            .reusable_cache()
+            .and_then(|c| c.betweenness_with(self.sample_sources, problem.weight_type(), compute))
+            .unwrap_or_else(|| Arc::new(compute()));
 
         loop {
             let Some(violating) = oracle.next_violating(problem, &state.view) else {

@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 mod algorithms;
+mod context;
 mod defense;
 pub mod faults;
 mod limits;
@@ -62,6 +63,7 @@ pub use algorithms::{
     all_algorithms, all_algorithms_extended, AttackAlgorithm, GreedyBetweenness, GreedyEdge,
     GreedyEig, GreedyPathCover, LpPathCover, Rounding,
 };
+pub use context::{NetworkCache, TargetContext};
 pub use defense::{minimal_hardening, HardeningPlan};
 pub use faults::{FaultPlan, FaultSite};
 pub use limits::RunLimits;

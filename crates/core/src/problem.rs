@@ -1,8 +1,9 @@
 //! The Force Path Cut problem instance (paper §II-B).
 
-use crate::{CostType, RunLimits, WeightType};
-use routing::{kth_shortest_path, Path};
+use crate::{CostType, NetworkCache, RunLimits, TargetContext, WeightType};
+use routing::{k_shortest_paths_with, kth_shortest_path, Path, YenConfig};
 use std::fmt;
+use std::sync::Arc;
 use traffic_graph::{EdgeId, GraphView, NodeId, RoadNetwork};
 
 /// Errors constructing an [`AttackProblem`].
@@ -69,8 +70,9 @@ pub struct AttackProblem<'g> {
     base: GraphView<'g>,
     weight_type: WeightType,
     cost_type: CostType,
-    weight: Vec<f64>,
-    cost: Vec<f64>,
+    weight: Arc<Vec<f64>>,
+    cost: Arc<Vec<f64>>,
+    ctx: Option<Arc<TargetContext>>,
     source: NodeId,
     target: NodeId,
     pstar: Path,
@@ -96,6 +98,51 @@ impl<'g> AttackProblem<'g> {
         target: NodeId,
         pstar: Path,
     ) -> Result<Self, ProblemError> {
+        Self::build(view, weight_type, cost_type, source, target, pstar, None)
+    }
+
+    /// Like [`AttackProblem::new`], but attaches a shared
+    /// [`TargetContext`] so oracles and centrality-based attacks built
+    /// from this problem reuse its precomputed tables instead of
+    /// recomputing them per run.
+    ///
+    /// The context is consulted opportunistically: any table whose
+    /// parameters don't match the problem is computed fresh, so an
+    /// incompatible context degrades to [`AttackProblem::new`] behavior
+    /// rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`AttackProblem::new`].
+    pub fn new_in(
+        view: GraphView<'g>,
+        weight_type: WeightType,
+        cost_type: CostType,
+        source: NodeId,
+        target: NodeId,
+        pstar: Path,
+        ctx: &Arc<TargetContext>,
+    ) -> Result<Self, ProblemError> {
+        Self::build(
+            view,
+            weight_type,
+            cost_type,
+            source,
+            target,
+            pstar,
+            Some(ctx.clone()),
+        )
+    }
+
+    fn build(
+        view: GraphView<'g>,
+        weight_type: WeightType,
+        cost_type: CostType,
+        source: NodeId,
+        target: NodeId,
+        pstar: Path,
+        ctx: Option<Arc<TargetContext>>,
+    ) -> Result<Self, ProblemError> {
         if pstar.source() != source {
             return Err(ProblemError::WrongSource);
         }
@@ -109,8 +156,15 @@ impl<'g> AttackProblem<'g> {
             return Err(ProblemError::UsesRemovedEdge(e));
         }
         let net = view.network();
-        let weight = weight_type.compute(net);
-        let cost = cost_type.compute(net);
+        let ctx_for_net = ctx.as_ref().filter(|c| c.matches_net(net));
+        let weight = match ctx_for_net.filter(|c| c.weight_type() == weight_type) {
+            Some(c) => c.weights().clone(),
+            None => Arc::new(weight_type.compute(net)),
+        };
+        let cost = match ctx_for_net {
+            Some(c) => c.cache().costs(net, cost_type),
+            None => Arc::new(cost_type.compute(net)),
+        };
         let pstar_weight = pstar.edges().iter().map(|e| weight[e.index()]).sum();
         let mut on_pstar = vec![false; net.num_edges()];
         for &e in pstar.edges() {
@@ -124,6 +178,7 @@ impl<'g> AttackProblem<'g> {
             cost_type,
             weight,
             cost,
+            ctx,
             source,
             target,
             pstar,
@@ -153,9 +208,71 @@ impl<'g> AttackProblem<'g> {
     ) -> Result<Self, ProblemError> {
         let view = GraphView::new(net);
         let weight = weight_type.compute(net);
+        // Yen's enumeration runs its own backward sweep for the spur
+        // heuristic here; with_path_rank_in shares it instead.
+        obs::inc("pathattack.reuse.rev_dij.miss");
         let pstar = kth_shortest_path(&view, |e| weight[e.index()], source, target, rank)
             .ok_or(ProblemError::RankUnavailable(rank))?;
         Self::new(view, weight_type, cost_type, source, target, pstar)
+    }
+
+    /// Like [`AttackProblem::with_path_rank`], but feeds the shared
+    /// reverse-distance table of `ctx` to Yen's spur searches (saving the
+    /// per-call backward Dijkstra) and attaches `ctx` to the resulting
+    /// problem as [`AttackProblem::new_in`] does.
+    ///
+    /// Falls back to the self-contained computation when `ctx` was built
+    /// for a different network, weight model, or target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::RankUnavailable`] when fewer than `rank`
+    /// simple paths exist.
+    pub fn with_path_rank_in(
+        net: &'g RoadNetwork,
+        weight_type: WeightType,
+        cost_type: CostType,
+        source: NodeId,
+        target: NodeId,
+        rank: usize,
+        ctx: &Arc<TargetContext>,
+    ) -> Result<Self, ProblemError> {
+        if rank == 0 {
+            return Err(ProblemError::RankUnavailable(0));
+        }
+        let view = GraphView::new(net);
+        let usable =
+            ctx.matches_net(net) && ctx.weight_type() == weight_type && ctx.target() == target;
+        let weight = if usable {
+            ctx.weights().clone()
+        } else {
+            Arc::new(weight_type.compute(net))
+        };
+        let config = if usable {
+            obs::inc("pathattack.reuse.rev_dij.hit");
+            YenConfig {
+                shared_reverse: Some(ctx.rev().clone()),
+                ..YenConfig::default()
+            }
+        } else {
+            obs::inc("pathattack.reuse.rev_dij.miss");
+            YenConfig::default()
+        };
+        let mut paths =
+            k_shortest_paths_with(&view, |e| weight[e.index()], source, target, rank, &config);
+        if paths.len() < rank {
+            return Err(ProblemError::RankUnavailable(rank));
+        }
+        let pstar = paths.swap_remove(rank - 1);
+        Self::build(
+            view,
+            weight_type,
+            cost_type,
+            source,
+            target,
+            pstar,
+            Some(ctx.clone()),
+        )
     }
 
     /// Caps the attacker's total removal cost; attacks report failure
@@ -181,6 +298,30 @@ impl<'g> AttackProblem<'g> {
     pub fn with_limits(mut self, limits: RunLimits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// Attaches a shared [`TargetContext`] after construction (builder
+    /// form of [`AttackProblem::new_in`] for already-built problems).
+    pub fn with_target_context(mut self, ctx: &Arc<TargetContext>) -> Self {
+        self.ctx = Some(ctx.clone());
+        self
+    }
+
+    /// The attached shared context, if any.
+    pub fn target_context(&self) -> Option<&Arc<TargetContext>> {
+        self.ctx.as_ref()
+    }
+
+    /// The shared whole-network table cache, when the attached context
+    /// is valid for this problem (same network/weight/target and an
+    /// unmodified pre-attack view — the cached tables describe the
+    /// intact network, so a problem with pre-attack removals must not
+    /// use them).
+    pub fn reusable_cache(&self) -> Option<&NetworkCache> {
+        self.ctx
+            .as_ref()
+            .filter(|c| c.matches(self))
+            .map(|c| &**c.cache())
     }
 
     /// The run limits in effect (unlimited by default).

@@ -12,7 +12,8 @@
 //!   from `p*` with a Yen-style spur pass along `p*`.
 
 use crate::{faults, AttackProblem};
-use routing::{AStar, CancelToken, Dijkstra, Direction, Path};
+use routing::{acquire_scratch, CancelToken, Direction, Path, ScratchGuard};
+use std::sync::Arc;
 use traffic_graph::{EdgeId, GraphView};
 
 /// Reusable search state for one attack run.
@@ -26,10 +27,12 @@ use traffic_graph::{EdgeId, GraphView};
 /// [`Oracle::interrupted`] before treating `None` as success.
 #[derive(Debug)]
 pub struct Oracle {
-    astar: AStar,
+    scratch: ScratchGuard,
     /// Exact distance from every node to the target on the pre-attack
-    /// view (admissible heuristic for all later views).
-    rev: Vec<f64>,
+    /// view (admissible heuristic for all later views). Shared with the
+    /// problem's [`crate::TargetContext`] when one matches, owned
+    /// otherwise.
+    rev: Arc<Vec<f64>>,
     cancel: Option<CancelToken>,
     max_calls: Option<u64>,
     calls: u64,
@@ -37,26 +40,37 @@ pub struct Oracle {
 }
 
 impl Oracle {
-    /// Builds the oracle for `problem`, running one backward Dijkstra.
-    /// If the problem has a deadline, its clock starts here (the
-    /// backward sweep counts against it).
+    /// Builds the oracle for `problem`. When the problem carries a
+    /// matching [`crate::TargetContext`], its reverse-distance table is
+    /// reused (`pathattack.reuse.rev_dij.hit`); otherwise one backward
+    /// Dijkstra runs here (`pathattack.reuse.rev_dij.miss`). If the
+    /// problem has a deadline, its clock starts here (an owned backward
+    /// sweep counts against it).
     pub fn new(problem: &AttackProblem<'_>) -> Self {
         let _timer = obs::span("pathattack.oracle.build");
         let limits = problem.limits();
         let cancel = limits.deadline.map(CancelToken::deadline_in);
         let net = problem.network();
-        let mut dij = Dijkstra::new(net.num_nodes());
-        dij.set_cancel(cancel.clone());
-        let rev = dij.distances(
-            problem.base_view(),
-            |e| problem.weight_of(e),
-            problem.target(),
-            Direction::Backward,
-        );
-        let mut astar = AStar::new(net.num_nodes());
-        astar.set_cancel(cancel.clone());
+        let mut scratch = acquire_scratch(net.num_nodes());
+        let rev = match problem.target_context().filter(|c| c.matches(problem)) {
+            Some(ctx) => {
+                obs::inc("pathattack.reuse.rev_dij.hit");
+                ctx.rev().clone()
+            }
+            None => {
+                obs::inc("pathattack.reuse.rev_dij.miss");
+                scratch.dijkstra.set_cancel(cancel.clone());
+                Arc::new(scratch.dijkstra.distances(
+                    problem.base_view(),
+                    |e| problem.weight_of(e),
+                    problem.target(),
+                    Direction::Backward,
+                ))
+            }
+        };
+        scratch.astar.set_cancel(cancel.clone());
         Oracle {
-            astar,
+            scratch,
             rev,
             cancel,
             max_calls: limits.max_oracle_calls,
@@ -81,7 +95,7 @@ impl Oracle {
     /// Shortest s→t path in `view` under the problem's weights.
     pub fn shortest(&mut self, problem: &AttackProblem<'_>, view: &GraphView<'_>) -> Option<Path> {
         let rev = &self.rev;
-        self.astar.shortest_path(
+        self.scratch.astar.shortest_path(
             view,
             |e| problem.weight_of(e),
             |v| rev[v.index()],
@@ -132,7 +146,7 @@ impl Oracle {
             }
             let rev = &self.rev;
             spur_searches += 1;
-            if let Some(spur) = self.astar.shortest_path(
+            if let Some(spur) = self.scratch.astar.shortest_path(
                 &work,
                 |e| problem.weight_of(e),
                 |v| rev[v.index()],
@@ -312,6 +326,45 @@ mod tests {
         let view = p.base_view().clone();
         assert!(oracle.next_violating(&p, &view).is_some());
         assert!(!oracle.interrupted());
+    }
+
+    #[test]
+    fn shared_context_oracle_matches_owned_sweep() {
+        let net = three_routes();
+        let ctx = Arc::new(crate::TargetContext::build(
+            &net,
+            WeightType::Length,
+            NodeId::new(4),
+        ));
+        let p_owned = problem(&net);
+        let p_shared = AttackProblem::with_path_rank_in(
+            &net,
+            WeightType::Length,
+            CostType::Uniform,
+            NodeId::new(0),
+            NodeId::new(4),
+            2,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(p_owned.pstar().edges(), p_shared.pstar().edges());
+        assert!(ctx.matches(&p_shared));
+
+        let mut owned = Oracle::new(&p_owned);
+        let mut shared = Oracle::new(&p_shared);
+        // The shared table must be bitwise identical to the owned sweep.
+        for v in 0..5 {
+            assert_eq!(
+                owned.reverse_distance(NodeId::new(v)).to_bits(),
+                shared.reverse_distance(NodeId::new(v)).to_bits(),
+            );
+        }
+        let view_o = p_owned.base_view().clone();
+        let view_s = p_shared.base_view().clone();
+        let a = owned.next_violating(&p_owned, &view_o).unwrap();
+        let b = shared.next_violating(&p_shared, &view_s).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.total_weight().to_bits(), b.total_weight().to_bits());
     }
 
     #[test]

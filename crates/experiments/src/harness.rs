@@ -11,14 +11,16 @@ use crate::metrics::ExperimentRecord;
 use citygen::{CityPreset, Scale};
 use parking_lot::Mutex;
 use pathattack::{
-    all_algorithms, faults, AttackProblem, AttackStatus, CostType, Degradation, FaultPlan,
-    ProblemError, RunLimits, WeightType,
+    all_algorithms, all_algorithms_extended, faults, AttackProblem, AttackStatus, CostType,
+    Degradation, FaultPlan, NetworkCache, ProblemError, RunLimits, TargetContext, WeightType,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use routing::Path;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use traffic_graph::{NodeId, PoiKind, RoadNetwork};
 
@@ -50,6 +52,14 @@ pub struct ExperimentPlan {
     /// Deterministic fault-injection plan for resilience testing
     /// (`None` = no injected faults; see [`pathattack::FaultPlan`]).
     pub faults: Option<FaultPlan>,
+    /// Share one [`pathattack::TargetContext`] per hospital across all
+    /// runs of the set (default). The shared tables are bit-identical to
+    /// the per-run computations, so records do not change; disabling
+    /// this exists for the perf bench's before/after comparison.
+    pub reuse: bool,
+    /// Sweep [`pathattack::all_algorithms_extended`] instead of the
+    /// paper's four (adds the centrality-heavy extension baselines).
+    pub extended_algorithms: bool,
 }
 
 impl ExperimentPlan {
@@ -70,6 +80,8 @@ impl ExperimentPlan {
             deadline_s: None,
             max_oracle_calls: None,
             faults: None,
+            reuse: true,
+            extended_algorithms: false,
         }
     }
 
@@ -88,6 +100,8 @@ impl ExperimentPlan {
             deadline_s: None,
             max_oracle_calls: None,
             faults: None,
+            reuse: true,
+            extended_algorithms: false,
         }
     }
 
@@ -131,6 +145,12 @@ pub fn sample_instances(net: &RoadNetwork, plan: &ExperimentPlan) -> Vec<Experim
     let mut dij = routing::Dijkstra::new(n);
 
     for hospital in &hospitals {
+        // One backward sweep per hospital feeds every Yen enumeration
+        // below (and, via with_path_rank_in, every source's spur
+        // searches) instead of one sweep per attempted source.
+        let ctx = plan
+            .reuse
+            .then(|| Arc::new(TargetContext::build(net, plan.weight, hospital.node)));
         let mut found = 0usize;
         let mut attempts = 0usize;
         while found < plan.sources_per_hospital && attempts < 200 * plan.sources_per_hospital {
@@ -143,14 +163,26 @@ pub fn sample_instances(net: &RoadNetwork, plan: &ExperimentPlan) -> Vec<Experim
                 Some(p) if p.len() >= crate::MIN_TRIP_EDGES => {}
                 _ => continue,
             }
-            match AttackProblem::with_path_rank(
-                net,
-                plan.weight,
-                CostType::Uniform,
-                source,
-                hospital.node,
-                plan.path_rank,
-            ) {
+            let problem = match &ctx {
+                Some(ctx) => AttackProblem::with_path_rank_in(
+                    net,
+                    plan.weight,
+                    CostType::Uniform,
+                    source,
+                    hospital.node,
+                    plan.path_rank,
+                    ctx,
+                ),
+                None => AttackProblem::with_path_rank(
+                    net,
+                    plan.weight,
+                    CostType::Uniform,
+                    source,
+                    hospital.node,
+                    plan.path_rank,
+                ),
+            };
+            match problem {
                 Ok(problem) => {
                     out.push(ExperimentInstance {
                         source,
@@ -230,6 +262,28 @@ pub fn run_instances_resumable(
     let workers = plan.threads.max(1).min(instances.len().max(1));
     let limits = plan.run_limits();
 
+    // One TargetContext per hospital, one NetworkCache for the whole
+    // sweep: every oracle built below reuses the hospital's reverse
+    // table and the centrality-based algorithms reuse one shared
+    // centrality computation (all bit-identical to the per-run path).
+    let contexts: HashMap<NodeId, Arc<TargetContext>> = if plan.reuse {
+        let cache = Arc::new(NetworkCache::new());
+        let mut m = HashMap::new();
+        for inst in instances {
+            m.entry(inst.target).or_insert_with(|| {
+                Arc::new(TargetContext::build_with_cache(
+                    net,
+                    plan.weight,
+                    inst.target,
+                    cache.clone(),
+                ))
+            });
+        }
+        m
+    } else {
+        HashMap::new()
+    };
+
     let joined = crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
@@ -240,7 +294,11 @@ pub fn run_instances_resumable(
                 if plan.faults.is_some() {
                     faults::install(plan.faults);
                 }
-                let algorithms = all_algorithms();
+                let algorithms = if plan.extended_algorithms {
+                    all_algorithms_extended()
+                } else {
+                    all_algorithms()
+                };
                 // Per-thread registry: workers record (hospital, source)
                 // timings privately — zero contention on the global maps
                 // — then merge once at join time.
@@ -255,14 +313,27 @@ pub fn run_instances_resumable(
                         .as_ref()
                         .map(|reg| obs::span_in(reg, "harness.instance"));
                     for &cost in &plan.cost_types {
-                        let problem = match AttackProblem::new(
-                            traffic_graph::GraphView::new(net),
-                            plan.weight,
-                            cost,
-                            inst.source,
-                            inst.target,
-                            inst.pstar.clone(),
-                        ) {
+                        let view = traffic_graph::GraphView::new(net);
+                        let built = match contexts.get(&inst.target) {
+                            Some(ctx) => AttackProblem::new_in(
+                                view,
+                                plan.weight,
+                                cost,
+                                inst.source,
+                                inst.target,
+                                inst.pstar.clone(),
+                                ctx,
+                            ),
+                            None => AttackProblem::new(
+                                view,
+                                plan.weight,
+                                cost,
+                                inst.source,
+                                inst.target,
+                                inst.pstar.clone(),
+                            ),
+                        };
+                        let problem = match built {
                             Ok(p) => p.with_limits(limits),
                             Err(_) => continue,
                         };

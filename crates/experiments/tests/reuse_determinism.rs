@@ -1,0 +1,164 @@
+//! Proof tests for the computation-reuse layer: sharing per-hospital
+//! reverse tables and per-sweep centrality caches must never change a
+//! single record.
+//!
+//! The reuse layer's contract is *bit-identity*: the shared tables hold
+//! exactly the values the per-run computations would produce, so every
+//! A\* expansion order, every tie-break, and therefore every attack
+//! record is unchanged. These tests pin that contract at the pipeline
+//! level (the kernel-level equivalents live in `traffic-graph` and
+//! `pathattack` unit tests):
+//!
+//! - reuse on vs. off: identical CSV modulo the wall-clock column;
+//! - a sweep journaled without reuse and resumed *with* reuse (and vice
+//!   versa) completes to the same CSV — record keys and contents are
+//!   mode-independent, so `--resume` composes with the optimization;
+//! - serial vs. parallel centrality agree bit-for-bit on a full city
+//!   graph, not just the unit-test toys.
+
+use citygen::{CityPreset, Scale};
+use experiments::{
+    records_to_csv, run_instances_resumable, run_plan, sample_instances, CheckpointJournal,
+    ExperimentPlan,
+};
+use pathattack::WeightType;
+use std::path::PathBuf;
+
+fn smoke_plan(seed: u64, reuse: bool) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::smoke(CityPreset::Chicago, WeightType::Time, seed);
+    plan.reuse = reuse;
+    plan
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("metro-reuse-{name}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Blanks the runtime_s column (the one legitimately nondeterministic
+/// field) so the rest of the CSV can be compared byte-for-byte.
+fn mask_runtime(csv: &str) -> String {
+    csv.lines()
+        .map(|line| {
+            let mut cols: Vec<&str> = line.split(',').collect();
+            if cols.len() > 6 {
+                cols[6] = "-";
+            }
+            cols.join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn reuse_on_and_off_produce_byte_identical_records() {
+    let with_reuse = run_plan(&smoke_plan(11, true));
+    let without = run_plan(&smoke_plan(11, false));
+    assert!(!with_reuse.is_empty());
+    assert_eq!(
+        mask_runtime(&records_to_csv(&with_reuse)),
+        mask_runtime(&records_to_csv(&without)),
+    );
+}
+
+#[test]
+fn extended_algorithms_are_reuse_invariant_too() {
+    // The extension baselines lean on the shared centrality caches —
+    // the exact tables the NetworkCache hands out — so they get their
+    // own identity check.
+    let mut on = smoke_plan(13, true);
+    on.extended_algorithms = true;
+    let mut off = smoke_plan(13, false);
+    off.extended_algorithms = true;
+    assert_eq!(
+        mask_runtime(&records_to_csv(&run_plan(&on))),
+        mask_runtime(&records_to_csv(&run_plan(&off))),
+    );
+}
+
+#[test]
+fn resume_across_reuse_modes_is_byte_identical() {
+    let plan_off = smoke_plan(17, false);
+    let net = plan_off.city.build(plan_off.scale, plan_off.seed);
+    let instances = sample_instances(&net, &plan_off);
+    let reference = run_instances_resumable(&net, &plan_off, &instances, None);
+    assert!(reference.len() > 4);
+
+    // Journal the first half of the sweep under reuse=off...
+    let path = tmp_journal("cross-mode");
+    {
+        let mut journal = CheckpointJournal::open(&path).unwrap();
+        for r in &reference[..reference.len() / 2] {
+            journal.append(r).unwrap();
+        }
+    }
+    // ...and resume the rest under reuse=on. Keys and record contents
+    // are mode-independent, so the completed sweep must reproduce the
+    // uninterrupted reuse=off output exactly.
+    let plan_on = smoke_plan(17, true);
+    let mut journal = CheckpointJournal::open(&path).unwrap();
+    assert_eq!(journal.len(), reference.len() / 2);
+    let resumed = run_instances_resumable(&net, &plan_on, &instances, Some(&mut journal));
+    assert_eq!(
+        mask_runtime(&records_to_csv(&resumed)),
+        mask_runtime(&records_to_csv(&reference)),
+    );
+
+    // Resuming the now-complete journal re-runs nothing and still
+    // round-trips the CSV byte-for-byte (journaled floats are exact).
+    let mut journal = CheckpointJournal::open(&path).unwrap();
+    let replayed = run_instances_resumable(&net, &plan_on, &instances, Some(&mut journal));
+    let replay_csv = records_to_csv(&replayed);
+    let resumed_csv = records_to_csv(&resumed);
+    // Re-run runtimes for the second half persist via the journal, so
+    // even the runtime column matches between these two.
+    let tail: Vec<&str> = replay_csv.lines().skip(1).collect();
+    for line in tail {
+        assert!(
+            resumed_csv.contains(line),
+            "replayed line missing from resumed sweep: {line}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn serial_and_parallel_centrality_agree_on_a_full_city() {
+    let city = CityPreset::Boston.build(Scale::Small, 42);
+    let view = traffic_graph::GraphView::new(&city);
+    let w = WeightType::Time.compute(&city);
+    let weight = |e: traffic_graph::EdgeId| w[e.index()];
+
+    let sample: Vec<traffic_graph::NodeId> = (0..city.num_nodes())
+        .step_by(7)
+        .take(48)
+        .map(traffic_graph::NodeId::new)
+        .collect();
+    let serial = traffic_graph::edge_betweenness_serial(&view, weight, Some(&sample));
+    for threads in [2, 5] {
+        let parallel =
+            traffic_graph::edge_betweenness_parallel(&view, weight, Some(&sample), threads);
+        assert!(
+            serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "betweenness diverged at {threads} threads"
+        );
+    }
+
+    let serial_eig = traffic_graph::eigenvector_centrality_serial(&view, 60, 1e-10);
+    for threads in [3, 8] {
+        let parallel_eig =
+            traffic_graph::eigenvector_centrality_parallel(&view, 60, 1e-10, threads);
+        assert!(
+            serial_eig
+                .iter()
+                .zip(&parallel_eig)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "eigenvector diverged at {threads} threads"
+        );
+    }
+}

@@ -50,6 +50,7 @@ mod cancel;
 mod ch;
 mod dijkstra;
 mod path;
+mod scratch;
 mod turns;
 mod yen;
 
@@ -60,5 +61,6 @@ pub use cancel::{CancelToken, CHECK_STRIDE};
 pub use ch::ContractionHierarchy;
 pub use dijkstra::{Dijkstra, Direction};
 pub use path::{BrokenPathError, Path};
+pub use scratch::{acquire_scratch, ScratchGuard, SearchScratch};
 pub use turns::{standard_turn_model, turn_aware_shortest_path, TurnPenalty};
 pub use yen::{k_shortest_paths, k_shortest_paths_with, kth_shortest_path, YenConfig};

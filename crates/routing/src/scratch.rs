@@ -1,0 +1,208 @@
+//! Pooled search scratch state.
+//!
+//! [`Dijkstra`] and [`AStar`] already avoid re-zeroing their O(V) buffers
+//! between queries via generation stamps, but every *constructor* call
+//! still allocates four fresh arrays. The attack pipeline constructs
+//! searchers at high frequency — one oracle per (instance × cost ×
+//! algorithm) run, plus one Dijkstra/A* pair per Yen enumeration — so
+//! those allocations add up to real time and allocator traffic.
+//!
+//! [`acquire_scratch`] hands out a [`SearchScratch`] (a Dijkstra/A* pair)
+//! from a per-thread free list and returns it there on drop. Buffers grow
+//! monotonically to the largest network seen by the thread and their
+//! generation stamps keep advancing across reuses, so a recycled searcher
+//! behaves exactly like a fresh one — just without the allocations.
+//! Constructors remain public and unchanged; the pool is the fast path.
+
+use crate::{AStar, Dijkstra};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Cap on the per-thread free list. Callers hold at most a few guards at
+/// once (the harness nests an oracle inside a Yen enumeration at worst),
+/// so anything beyond a small constant is leak protection, not tuning.
+const POOL_CAP: usize = 8;
+
+/// A paired [`Dijkstra`] and [`AStar`] with their reusable buffers.
+///
+/// The pair covers every search shape the attack pipeline issues:
+/// backward sweeps for reverse-distance tables (Dijkstra) and guided
+/// point-to-point corridor queries (A*).
+#[derive(Debug)]
+pub struct SearchScratch {
+    /// Reusable Dijkstra searcher.
+    pub dijkstra: Dijkstra,
+    /// Reusable A* searcher.
+    pub astar: AStar,
+}
+
+impl SearchScratch {
+    /// Creates scratch state sized for networks of up to `num_nodes`
+    /// nodes (buffers grow on demand if a larger network shows up).
+    pub fn new(num_nodes: usize) -> Self {
+        SearchScratch {
+            dijkstra: Dijkstra::new(num_nodes),
+            astar: AStar::new(num_nodes),
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Vec<SearchScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Owning handle to a pooled [`SearchScratch`]; returns it to the
+/// per-thread pool on drop with any cancellation tokens cleared.
+#[derive(Debug)]
+pub struct ScratchGuard {
+    scratch: Option<SearchScratch>,
+}
+
+impl Deref for ScratchGuard {
+    type Target = SearchScratch;
+    fn deref(&self) -> &SearchScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for ScratchGuard {
+    fn deref_mut(&mut self) -> &mut SearchScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        if let Some(mut s) = self.scratch.take() {
+            // A leftover token must never cancel an unrelated future
+            // search.
+            s.dijkstra.set_cancel(None);
+            s.astar.set_cancel(None);
+            POOL.with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < POOL_CAP {
+                    pool.push(s);
+                }
+            });
+        }
+    }
+}
+
+/// Checks out a [`SearchScratch`] for a network of `num_nodes` nodes,
+/// reusing a previously returned one when the calling thread has any.
+///
+/// Telemetry: `routing.scratch.hit` counts reuses, `routing.scratch.miss`
+/// counts fresh allocations (only while `obs` collection is enabled).
+pub fn acquire_scratch(num_nodes: usize) -> ScratchGuard {
+    let reused = POOL.with(|p| p.borrow_mut().pop());
+    match reused {
+        Some(s) => {
+            obs::inc("routing.scratch.hit");
+            ScratchGuard { scratch: Some(s) }
+        }
+        None => {
+            obs::inc("routing.scratch.miss");
+            ScratchGuard {
+                scratch: Some(SearchScratch::new(num_nodes)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+    use traffic_graph::{GraphView, NodeId, Point, RoadClass, RoadNetworkBuilder};
+
+    fn line(n: usize) -> traffic_graph::RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("line");
+        let nodes: Vec<_> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64 * 100.0, 0.0)))
+            .collect();
+        for w in nodes.windows(2) {
+            b.add_street(w[0], w[1], RoadClass::Residential);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn recycled_scratch_searches_correctly() {
+        let net = line(6);
+        let view = GraphView::new(&net);
+        let weight = |e| net.edge_attrs(e).length_m;
+        let first = {
+            let mut s = acquire_scratch(net.num_nodes());
+            s.dijkstra
+                .shortest_path(&view, weight, NodeId::new(0), NodeId::new(5))
+                .unwrap()
+                .total_weight()
+        };
+        // Second acquisition on this thread reuses the returned searcher.
+        let mut s = acquire_scratch(net.num_nodes());
+        let again = s
+            .dijkstra
+            .shortest_path(&view, weight, NodeId::new(0), NodeId::new(5))
+            .unwrap()
+            .total_weight();
+        assert_eq!(first, again);
+        let rev = s
+            .dijkstra
+            .distances(&view, weight, NodeId::new(5), Direction::Backward);
+        let p = s
+            .astar
+            .shortest_path(
+                &view,
+                weight,
+                |v| rev[v.index()],
+                NodeId::new(0),
+                NodeId::new(5),
+            )
+            .unwrap();
+        assert_eq!(p.total_weight(), first);
+    }
+
+    #[test]
+    fn scratch_grows_to_larger_networks() {
+        {
+            let _small = acquire_scratch(4);
+        }
+        let big = line(64);
+        let view = GraphView::new(&big);
+        let mut s = acquire_scratch(big.num_nodes());
+        let p = s
+            .dijkstra
+            .shortest_path(
+                &view,
+                |e| big.edge_attrs(e).length_m,
+                NodeId::new(0),
+                NodeId::new(63),
+            )
+            .unwrap();
+        assert_eq!(p.len(), 63);
+    }
+
+    #[test]
+    fn cancel_tokens_do_not_leak_between_checkouts() {
+        let net = line(6);
+        let view = GraphView::new(&net);
+        {
+            let token = crate::CancelToken::new();
+            token.cancel();
+            let mut s = acquire_scratch(net.num_nodes());
+            s.dijkstra.set_cancel(Some(token.clone()));
+            s.astar.set_cancel(Some(token));
+        }
+        let mut s = acquire_scratch(net.num_nodes());
+        // A leaked cancelled token would make this return None.
+        assert!(s
+            .dijkstra
+            .shortest_path(
+                &view,
+                |e| net.edge_attrs(e).length_m,
+                NodeId::new(0),
+                NodeId::new(5)
+            )
+            .is_some());
+    }
+}

@@ -17,9 +17,10 @@
 //!   by a backward Dijkstra) stay admissible, and each spur search
 //!   explores a thin corridor instead of the whole city.
 
-use crate::{AStar, CancelToken, Dijkstra, Direction, Path};
+use crate::{acquire_scratch, CancelToken, Direction, Path};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 use traffic_graph::{EdgeId, GraphView, NodeId};
 
 /// Candidate entry in Yen's B-heap, ordered cheapest-first.
@@ -112,6 +113,17 @@ pub struct YenConfig {
     /// Guide spur searches with exact distances-to-target computed once
     /// on the caller's view.
     pub reverse_heuristic: bool,
+    /// Precomputed exact distances-to-target, shared across calls.
+    ///
+    /// Must be indexed by node id, cover every node of the network, and
+    /// hold exact shortest distances to `target` under the same `weight`
+    /// on a view whose live-edge set is a **superset** of the search
+    /// view's (removals only lengthen shortest paths, so such a table
+    /// stays a consistent A\* heuristic). When set, it takes precedence
+    /// over `reverse_heuristic` and saves the per-call backward Dijkstra
+    /// — the main cross-run reuse win for repeated enumerations toward
+    /// one target.
+    pub shared_reverse: Option<Arc<Vec<f64>>>,
     /// Cooperative cancellation: checked between spur searches and
     /// propagated into the inner Dijkstra/A* loops. A cancelled
     /// enumeration returns the paths accepted so far (possibly fewer
@@ -124,6 +136,7 @@ impl Default for YenConfig {
     fn default() -> Self {
         YenConfig {
             reverse_heuristic: true,
+            shared_reverse: None,
             cancel: None,
         }
     }
@@ -148,9 +161,12 @@ where
     let net = view.network();
     let n = net.num_nodes();
 
-    let mut dij = Dijkstra::new(n);
-    dij.set_cancel(config.cancel.clone());
-    let Some(first) = dij.shortest_path(view, &weight, source, target) else {
+    let mut scratch = acquire_scratch(n);
+    scratch.dijkstra.set_cancel(config.cancel.clone());
+    let Some(first) = scratch
+        .dijkstra
+        .shortest_path(view, &weight, source, target)
+    else {
         return Vec::new();
     };
     if source == target {
@@ -162,15 +178,23 @@ where
     let mut candidates_generated: u64 = 0;
     let mut duplicate_candidates: u64 = 0;
 
-    // Admissible heuristic: exact distances to target on the caller's
-    // view (or the trivial zero heuristic, degrading A* to Dijkstra).
-    let rev = if config.reverse_heuristic {
-        dij.distances(view, &weight, target, Direction::Backward)
+    // Admissible heuristic: a caller-shared distance table, exact
+    // distances to target on the caller's view, or the trivial zero
+    // heuristic (degrading A* to Dijkstra).
+    let owned_rev: Vec<f64>;
+    let rev: &[f64] = if let Some(shared) = &config.shared_reverse {
+        debug_assert!(shared.len() >= n, "shared reverse table too short");
+        shared
+    } else if config.reverse_heuristic {
+        owned_rev = scratch
+            .dijkstra
+            .distances(view, &weight, target, Direction::Backward);
+        &owned_rev
     } else {
-        vec![0.0; n]
+        owned_rev = vec![0.0; n];
+        &owned_rev
     };
-    let mut astar = AStar::new(n);
-    astar.set_cancel(config.cancel.clone());
+    scratch.astar.set_cancel(config.cancel.clone());
 
     // Working view: caller's removals plus temporary spur removals.
     let mut work = view.clone();
@@ -238,11 +262,19 @@ where
 
             spur_searches += 1;
             if let Some(spur) =
-                astar.shortest_path(&work, &weight, |v| rev[v.index()], spur_node, target)
+                scratch
+                    .astar
+                    .shortest_path(&work, &weight, |v| rev[v.index()], spur_node, target)
             {
                 let mut edges = prev.edges()[..i].to_vec();
                 edges.extend_from_slice(spur.edges());
-                if seen.insert(edges.clone()) {
+                // Membership test on the borrowed slice first: cloning
+                // the edge list for an already-seen candidate would be
+                // pure allocator churn on the hottest Yen branch.
+                if seen.contains(edges.as_slice()) {
+                    duplicate_candidates += 1;
+                } else {
+                    seen.insert(edges.clone());
                     candidates_generated += 1;
                     let mut nodes = prev.nodes()[..=i].to_vec();
                     nodes.extend_from_slice(&spur.nodes()[1..]);
@@ -251,8 +283,6 @@ where
                         path: Path::from_parts(nodes, edges, total),
                         deviation: i,
                     });
-                } else {
-                    duplicate_candidates += 1;
                 }
             }
 
@@ -481,6 +511,61 @@ mod tests {
         assert_eq!(fast.len(), plain.len());
         for (a, b) in fast.iter().zip(&plain) {
             assert!((a.total_weight() - b.total_weight()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_reverse_table_matches_owned_computation() {
+        let (net, nodes) = yen_example();
+        let view = GraphView::new(&net);
+        // The table the enumeration would compute for itself, shared.
+        let mut dij = crate::Dijkstra::new(net.num_nodes());
+        let rev = dij.distances(&view, len(&net), nodes[5], Direction::Backward);
+        let shared = k_shortest_paths_with(
+            &view,
+            len(&net),
+            nodes[0],
+            nodes[5],
+            8,
+            &YenConfig {
+                shared_reverse: Some(Arc::new(rev)),
+                ..YenConfig::default()
+            },
+        );
+        let owned = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 8);
+        assert_eq!(shared.len(), owned.len());
+        for (a, b) in shared.iter().zip(&owned) {
+            assert_eq!(a.edges(), b.edges());
+            assert_eq!(a.total_weight(), b.total_weight());
+        }
+    }
+
+    #[test]
+    fn shared_supergraph_table_stays_admissible_after_removals() {
+        let (net, nodes) = yen_example();
+        // Table computed on the intact graph...
+        let intact = GraphView::new(&net);
+        let mut dij = crate::Dijkstra::new(net.num_nodes());
+        let rev = Arc::new(dij.distances(&intact, len(&net), nodes[5], Direction::Backward));
+        // ...used on a view with an edge removed (distances only grew).
+        let mut view = GraphView::new(&net);
+        let ef = net.find_edge(nodes[2], nodes[3]).unwrap();
+        view.remove_edge(ef);
+        let shared = k_shortest_paths_with(
+            &view,
+            len(&net),
+            nodes[0],
+            nodes[5],
+            5,
+            &YenConfig {
+                shared_reverse: Some(rev),
+                ..YenConfig::default()
+            },
+        );
+        let owned = k_shortest_paths(&view, len(&net), nodes[0], nodes[5], 5);
+        assert_eq!(shared.len(), owned.len());
+        for (a, b) in shared.iter().zip(&owned) {
+            assert_eq!(a.edges(), b.edges());
         }
     }
 

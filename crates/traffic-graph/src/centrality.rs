@@ -9,7 +9,13 @@
 
 use crate::{EdgeId, GraphView, NodeId};
 use std::cmp::Ordering;
+#[cfg(feature = "parallel")]
+use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
+#[cfg(feature = "parallel")]
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+#[cfg(feature = "parallel")]
+use std::sync::Mutex;
 
 /// Max-heap entry ordered by smallest distance first.
 #[derive(Debug, PartialEq)]
@@ -43,107 +49,297 @@ impl Ord for HeapEntry {
 ///
 /// Returns one centrality value per edge id (removed edges get 0).
 ///
+/// With the `parallel` feature enabled, sources are swept by a thread
+/// pool and the per-source contributions are merged **in source order**,
+/// so the result is bit-identical to [`edge_betweenness_serial`]
+/// regardless of thread count. The feature also adds a `Sync` bound on
+/// `weight`.
+///
 /// # Panics
 ///
 /// Panics if `weight` returns a negative value for a live edge.
+#[cfg(not(feature = "parallel"))]
 pub fn edge_betweenness<F>(view: &GraphView<'_>, weight: F, sources: Option<&[NodeId]>) -> Vec<f64>
 where
     F: Fn(EdgeId) -> f64,
 {
-    let net = view.network();
-    let n = net.num_nodes();
-    let m = net.num_edges();
-    let mut centrality = vec![0.0f64; m];
-    if n == 0 {
-        return centrality;
-    }
+    edge_betweenness_serial(view, weight, sources)
+}
 
-    let all_sources: Vec<NodeId>;
-    let source_list: &[NodeId] = match sources {
-        Some(s) => s,
-        None => {
-            all_sources = net.nodes().collect();
-            &all_sources
+/// Returns one centrality value per edge id (removed edges get 0).
+///
+/// Sources are swept by a thread pool and the per-source contributions
+/// are merged **in source order**, so the result is bit-identical to
+/// [`edge_betweenness_serial`] regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `weight` returns a negative value for a live edge.
+#[cfg(feature = "parallel")]
+pub fn edge_betweenness<F>(view: &GraphView<'_>, weight: F, sources: Option<&[NodeId]>) -> Vec<f64>
+where
+    F: Fn(EdgeId) -> f64 + Sync,
+{
+    edge_betweenness_parallel(view, weight, sources, centrality_threads())
+}
+
+/// Reusable per-source state for Brandes sweeps.
+struct BrandesScratch {
+    dist: Vec<f64>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    /// Predecessor edges on shortest paths into each node.
+    preds: Vec<Vec<EdgeId>>,
+    settled: Vec<bool>,
+    settled_order: Vec<u32>,
+}
+
+impl BrandesScratch {
+    fn new(n: usize) -> Self {
+        BrandesScratch {
+            dist: vec![f64::INFINITY; n],
+            sigma: vec![0.0; n],
+            delta: vec![0.0; n],
+            preds: vec![Vec::new(); n],
+            settled: vec![false; n],
+            settled_order: Vec::with_capacity(n),
         }
-    };
-    if source_list.is_empty() {
-        return centrality;
     }
-    let scale = n as f64 / source_list.len() as f64;
 
-    // Per-source state, reused across sources.
-    let mut dist = vec![f64::INFINITY; n];
-    let mut sigma = vec![0.0f64; n];
-    let mut delta = vec![0.0f64; n];
-    // Predecessor edges on shortest paths into each node.
-    let mut preds: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-    let mut settled_order: Vec<u32> = Vec::with_capacity(n);
-
-    for &s in source_list {
-        dist.fill(f64::INFINITY);
-        sigma.fill(0.0);
-        delta.fill(0.0);
-        for p in preds.iter_mut() {
+    fn reset(&mut self) {
+        self.dist.fill(f64::INFINITY);
+        self.sigma.fill(0.0);
+        self.delta.fill(0.0);
+        for p in self.preds.iter_mut() {
             p.clear();
         }
-        settled_order.clear();
+        self.settled.fill(false);
+        self.settled_order.clear();
+    }
+}
 
-        dist[s.index()] = 0.0;
-        sigma[s.index()] = 1.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry {
-            dist: 0.0,
-            node: s.index() as u32,
-        });
-        let mut settled = vec![false; n];
+/// One Brandes source sweep, appending `(edge index, increment)` pairs to
+/// `out` instead of writing a shared accumulator. The serial and parallel
+/// drivers both apply these contributions in source order, which is what
+/// makes their floating-point results identical: each edge receives at
+/// most one increment per source, in the same sequence either way.
+fn brandes_source_pass<F>(
+    view: &GraphView<'_>,
+    weight: &F,
+    s: NodeId,
+    scale: f64,
+    scratch: &mut BrandesScratch,
+    out: &mut Vec<(u32, f64)>,
+) where
+    F: Fn(EdgeId) -> f64,
+{
+    let net = view.network();
+    scratch.reset();
+    scratch.dist[s.index()] = 0.0;
+    scratch.sigma[s.index()] = 1.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: s.index() as u32,
+    });
 
-        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
-            let vi = v as usize;
-            if settled[vi] {
-                continue;
-            }
-            settled[vi] = true;
-            settled_order.push(v);
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        let vi = v as usize;
+        if scratch.settled[vi] {
+            continue;
+        }
+        scratch.settled[vi] = true;
+        scratch.settled_order.push(v);
 
-            for (e, w) in view.out_neighbors(NodeId::new(vi)) {
-                let we = weight(e);
-                assert!(we >= 0.0, "negative edge weight in betweenness");
-                let nd = d + we;
-                let wi = w.index();
-                // Relative tie tolerance: absolute 1e-12 is below f64 ULP
-                // at city-scale distances (1e4-1e5 m), which would make
-                // genuinely equal-length paths miss the tie branch.
-                let tie = 1e-9 * nd.abs().max(1.0);
-                if nd < dist[wi] - tie {
-                    dist[wi] = nd;
-                    sigma[wi] = sigma[vi];
-                    preds[wi].clear();
-                    preds[wi].push(e);
-                    heap.push(HeapEntry {
-                        dist: nd,
-                        node: wi as u32,
-                    });
-                } else if (nd - dist[wi]).abs() <= tie && !settled[wi] {
-                    sigma[wi] += sigma[vi];
-                    preds[wi].push(e);
-                }
+        for (e, w) in view.out_neighbors(NodeId::new(vi)) {
+            let we = weight(e);
+            assert!(we >= 0.0, "negative edge weight in betweenness");
+            let nd = d + we;
+            let wi = w.index();
+            // Relative tie tolerance: absolute 1e-12 is below f64 ULP
+            // at city-scale distances (1e4-1e5 m), which would make
+            // genuinely equal-length paths miss the tie branch.
+            let tie = 1e-9 * nd.abs().max(1.0);
+            if nd < scratch.dist[wi] - tie {
+                scratch.dist[wi] = nd;
+                scratch.sigma[wi] = scratch.sigma[vi];
+                scratch.preds[wi].clear();
+                scratch.preds[wi].push(e);
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: wi as u32,
+                });
+            } else if (nd - scratch.dist[wi]).abs() <= tie && !scratch.settled[wi] {
+                scratch.sigma[wi] += scratch.sigma[vi];
+                scratch.preds[wi].push(e);
             }
         }
+    }
 
-        // Accumulate dependencies in reverse settle order.
-        for &v in settled_order.iter().rev() {
-            let vi = v as usize;
-            for &e in &preds[vi] {
-                let u = net.edge_source(e).index();
-                if sigma[vi] > 0.0 {
-                    let c = sigma[u] / sigma[vi] * (1.0 + delta[vi]);
-                    centrality[e.index()] += c * scale;
-                    delta[u] += c;
-                }
+    // Accumulate dependencies in reverse settle order.
+    for &v in scratch.settled_order.iter().rev() {
+        let vi = v as usize;
+        for &e in &scratch.preds[vi] {
+            let u = net.edge_source(e).index();
+            if scratch.sigma[vi] > 0.0 {
+                let c = scratch.sigma[u] / scratch.sigma[vi] * (1.0 + scratch.delta[vi]);
+                out.push((e.index() as u32, c * scale));
+                scratch.delta[u] += c;
             }
+        }
+    }
+}
+
+/// Resolves the source list and sampling scale shared by the betweenness
+/// drivers. Returns `None` when there is nothing to sweep.
+fn betweenness_sources(
+    view: &GraphView<'_>,
+    sources: Option<&[NodeId]>,
+) -> Option<(Vec<NodeId>, f64)> {
+    let net = view.network();
+    let n = net.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let source_list: Vec<NodeId> = match sources {
+        Some(s) => s.to_vec(),
+        None => net.nodes().collect(),
+    };
+    if source_list.is_empty() {
+        return None;
+    }
+    let scale = n as f64 / source_list.len() as f64;
+    Some((source_list, scale))
+}
+
+/// Single-threaded [`edge_betweenness`], always available regardless of
+/// the `parallel` feature (determinism tests compare against it).
+pub fn edge_betweenness_serial<F>(
+    view: &GraphView<'_>,
+    weight: F,
+    sources: Option<&[NodeId]>,
+) -> Vec<f64>
+where
+    F: Fn(EdgeId) -> f64,
+{
+    let net = view.network();
+    let mut centrality = vec![0.0f64; net.num_edges()];
+    let Some((source_list, scale)) = betweenness_sources(view, sources) else {
+        return centrality;
+    };
+    let mut scratch = BrandesScratch::new(net.num_nodes());
+    let mut contrib: Vec<(u32, f64)> = Vec::new();
+    for &s in &source_list {
+        contrib.clear();
+        brandes_source_pass(view, &weight, s, scale, &mut scratch, &mut contrib);
+        for &(e, c) in &contrib {
+            centrality[e as usize] += c;
         }
     }
     centrality
+}
+
+/// [`edge_betweenness`] over an explicit number of worker threads.
+///
+/// Workers claim sources from a shared cursor but contributions are
+/// applied strictly in source order (out-of-order finishers park their
+/// contribution list until it is that source's turn), so the output is
+/// bit-identical to [`edge_betweenness_serial`] for any `threads`.
+#[cfg(feature = "parallel")]
+pub fn edge_betweenness_parallel<F>(
+    view: &GraphView<'_>,
+    weight: F,
+    sources: Option<&[NodeId]>,
+    threads: usize,
+) -> Vec<f64>
+where
+    F: Fn(EdgeId) -> f64 + Sync,
+{
+    let net = view.network();
+    let n = net.num_nodes();
+    let m = net.num_edges();
+    let Some((source_list, scale)) = betweenness_sources(view, sources) else {
+        return vec![0.0; m];
+    };
+    let threads = threads.clamp(1, source_list.len());
+    if threads == 1 {
+        return edge_betweenness_serial(view, weight, sources);
+    }
+
+    struct MergeState {
+        /// Next source index whose contribution may be applied.
+        next: usize,
+        /// Finished-early contributions, keyed by source index.
+        pending: BTreeMap<usize, Vec<(u32, f64)>>,
+        centrality: Vec<f64>,
+    }
+    let apply = |centrality: &mut [f64], contrib: &[(u32, f64)]| {
+        for &(e, c) in contrib {
+            centrality[e as usize] += c;
+        }
+    };
+    let merge = Mutex::new(MergeState {
+        next: 0,
+        pending: BTreeMap::new(),
+        centrality: vec![0.0; m],
+    });
+    let cursor = AtomicUsize::new(0);
+    let source_list = &source_list;
+    let weight = &weight;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut scratch = BrandesScratch::new(n);
+                let mut contrib: Vec<(u32, f64)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                    if i >= source_list.len() {
+                        break;
+                    }
+                    contrib.clear();
+                    brandes_source_pass(
+                        view,
+                        weight,
+                        source_list[i],
+                        scale,
+                        &mut scratch,
+                        &mut contrib,
+                    );
+                    let mut st = merge.lock().expect("betweenness merge poisoned");
+                    if st.next == i {
+                        apply(&mut st.centrality, &contrib);
+                        st.next += 1;
+                        loop {
+                            let turn = st.next;
+                            let Some(ready) = st.pending.remove(&turn) else {
+                                break;
+                            };
+                            apply(&mut st.centrality, &ready);
+                            st.next += 1;
+                        }
+                    } else {
+                        st.pending.insert(i, std::mem::take(&mut contrib));
+                    }
+                }
+            });
+        }
+    });
+
+    let st = merge.into_inner().expect("betweenness merge poisoned");
+    debug_assert!(st.pending.is_empty());
+    st.centrality
+}
+
+/// Worker count for feature-gated parallel centrality: every core helps
+/// on city-scale sweeps, but there is no point spawning more threads
+/// than a small constant — the merge lock serializes beyond that.
+#[cfg(feature = "parallel")]
+fn centrality_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Eigenvector centrality of nodes via power iteration on the
@@ -153,33 +349,62 @@ where
 /// Returns the (L2-normalized, non-negative) principal eigenvector, one
 /// entry per node. Converges when successive iterates differ by less than
 /// `tol` in L2 norm or after `max_iter` iterations.
+///
+/// The matrix-vector product is written in *gather* form — each output
+/// entry is the sum over its own neighbors, with a fixed per-node
+/// summation order — so splitting the output across threads (the
+/// `parallel` feature) changes nothing about the floating-point result:
+/// [`eigenvector_centrality`] and [`eigenvector_centrality_serial`] are
+/// bit-identical.
+#[cfg(not(feature = "parallel"))]
 pub fn eigenvector_centrality(view: &GraphView<'_>, max_iter: usize, tol: f64) -> Vec<f64> {
-    let net = view.network();
-    let n = net.num_nodes();
-    if n == 0 {
-        return Vec::new();
+    eigenvector_centrality_serial(view, max_iter, tol)
+}
+
+/// Returns the (L2-normalized, non-negative) principal eigenvector, one
+/// entry per node. Converges when successive iterates differ by less than
+/// `tol` in L2 norm or after `max_iter` iterations.
+///
+/// The power-iteration product is chunked across threads; the gather
+/// form keeps the result bit-identical to
+/// [`eigenvector_centrality_serial`].
+#[cfg(feature = "parallel")]
+pub fn eigenvector_centrality(view: &GraphView<'_>, max_iter: usize, tol: f64) -> Vec<f64> {
+    eigenvector_centrality_parallel(view, max_iter, tol, centrality_threads())
+}
+
+/// One gather-form product chunk: `next[v] = x[v] + Σ x[out-nb] +
+/// Σ x[in-nb]` for the nodes covered by `next`, which starts at node
+/// index `start`. The identity shift keeps power iteration convergent on
+/// bipartite (sub)graphs, where the spectrum is symmetric; out- then
+/// in-neighbors symmetrize the directed adjacency.
+fn eig_gather_chunk(view: &GraphView<'_>, x: &[f64], next: &mut [f64], start: usize) {
+    for (off, slot) in next.iter_mut().enumerate() {
+        let v = NodeId::new(start + off);
+        let mut acc = x[start + off];
+        for (_, w) in view.out_neighbors(v) {
+            acc += x[w.index()];
+        }
+        for (_, u) in view.in_neighbors(v) {
+            acc += x[u.index()];
+        }
+        *slot = acc;
     }
+}
+
+/// Shared power-iteration driver: `apply` computes one matrix-vector
+/// product into `next`; normalization, convergence and the no-edges
+/// fallback live here so the serial and parallel variants cannot drift.
+fn eig_power_iteration(
+    n: usize,
+    max_iter: usize,
+    tol: f64,
+    mut apply: impl FnMut(&[f64], &mut [f64]),
+) -> Vec<f64> {
     let mut x = vec![1.0 / (n as f64).sqrt(); n];
     let mut next = vec![0.0f64; n];
-
     for _ in 0..max_iter {
-        next.fill(0.0);
-        for v in net.nodes() {
-            let xv = x[v.index()];
-            if xv == 0.0 {
-                continue;
-            }
-            // Identity shift keeps power iteration convergent on
-            // bipartite (sub)graphs, where the spectrum is symmetric.
-            next[v.index()] += xv;
-            for (_, w) in view.out_neighbors(v) {
-                // symmetrize: contribute both directions
-                next[w.index()] += xv;
-            }
-            for (_, u) in view.in_neighbors(v) {
-                next[u.index()] += xv;
-            }
-        }
+        apply(&x, &mut next);
         let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm == 0.0 {
             // graph has no edges; centrality is uniform
@@ -200,6 +425,47 @@ pub fn eigenvector_centrality(view: &GraphView<'_>, max_iter: usize, tol: f64) -
         }
     }
     x
+}
+
+/// Single-threaded [`eigenvector_centrality`], always available
+/// regardless of the `parallel` feature.
+pub fn eigenvector_centrality_serial(view: &GraphView<'_>, max_iter: usize, tol: f64) -> Vec<f64> {
+    let n = view.network().num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    eig_power_iteration(n, max_iter, tol, |x, next| {
+        eig_gather_chunk(view, x, next, 0);
+    })
+}
+
+/// [`eigenvector_centrality`] over an explicit number of worker threads.
+/// Bit-identical to [`eigenvector_centrality_serial`] for any `threads`:
+/// each output entry is computed whole by exactly one thread, in the
+/// same per-node summation order as the serial product.
+#[cfg(feature = "parallel")]
+pub fn eigenvector_centrality_parallel(
+    view: &GraphView<'_>,
+    max_iter: usize,
+    tol: f64,
+    threads: usize,
+) -> Vec<f64> {
+    let n = view.network().num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return eigenvector_centrality_serial(view, max_iter, tol);
+    }
+    let chunk = n.div_ceil(threads);
+    eig_power_iteration(n, max_iter, tol, |x, next| {
+        std::thread::scope(|scope| {
+            for (ci, slice) in next.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || eig_gather_chunk(view, x, slice, ci * chunk));
+            }
+        });
+    })
 }
 
 /// Edge eigenscore: the product of the eigenvector-centrality values of
@@ -525,6 +791,111 @@ mod tests {
             }
         }
         assert!(cc.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Irregular weighted grid with shortcut diagonals: enough ties,
+    /// alternative routes and weight variety to shake out any
+    /// accumulation-order difference between serial and parallel sweeps.
+    fn wonky_grid(n: usize) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("wonky");
+        let mut nodes = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                nodes.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        let mut salt = 7u64;
+        let mut jitter = || {
+            // deterministic LCG: varied but reproducible edge lengths
+            salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((salt >> 33) % 7) as f64 * 13.0
+        };
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_edge(nodes[i], nodes[i + 1], attrs(100.0 + jitter()));
+                    b.add_edge(nodes[i + 1], nodes[i], attrs(100.0 + jitter()));
+                }
+                if y + 1 < n {
+                    b.add_edge(nodes[i], nodes[i + n], attrs(100.0 + jitter()));
+                    b.add_edge(nodes[i + n], nodes[i], attrs(100.0 + jitter()));
+                }
+                if x + 1 < n && y + 1 < n && (x + y) % 3 == 0 {
+                    b.add_edge(nodes[i], nodes[i + n + 1], attrs(141.0));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn betweenness_serial_matches_public_entry_point() {
+        let net = wonky_grid(7);
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let a = edge_betweenness_serial(&view, weight, None);
+        let b = edge_betweenness(&view, weight, None);
+        assert_eq!(a, b, "dispatch must be bit-identical to serial");
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn betweenness_parallel_bit_identical_for_any_thread_count() {
+        let net = wonky_grid(7);
+        let view = GraphView::new(&net);
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        let serial = edge_betweenness_serial(&view, weight, None);
+        for threads in [1, 2, 3, 5, 8] {
+            let par = edge_betweenness_parallel(&view, weight, None, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // sampled sweeps too
+        let sample: Vec<NodeId> = (0..net.num_nodes()).step_by(3).map(NodeId::new).collect();
+        let serial = edge_betweenness_serial(&view, weight, Some(&sample));
+        for threads in [2, 4] {
+            let par = edge_betweenness_parallel(&view, weight, Some(&sample), threads);
+            assert_eq!(serial, par, "sampled, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_serial_matches_public_entry_point() {
+        let net = wonky_grid(6);
+        let view = GraphView::new(&net);
+        let a = eigenvector_centrality_serial(&view, 100, 1e-10);
+        let b = eigenvector_centrality(&view, 100, 1e-10);
+        assert_eq!(a, b, "dispatch must be bit-identical to serial");
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn eigenvector_parallel_bit_identical_for_any_thread_count() {
+        let net = wonky_grid(6);
+        let view = GraphView::new(&net);
+        let serial = eigenvector_centrality_serial(&view, 100, 1e-10);
+        for threads in [1, 2, 3, 7] {
+            let par = eigenvector_centrality_parallel(&view, 100, 1e-10, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_respects_removals_like_serial() {
+        let net = wonky_grid(5);
+        let mut view = GraphView::new(&net);
+        view.remove_edge(EdgeId::new(0));
+        view.remove_edge(EdgeId::new(9));
+        let weight = |e: EdgeId| net.edge_attrs(e).length_m;
+        assert_eq!(
+            edge_betweenness_serial(&view, weight, None),
+            edge_betweenness_parallel(&view, weight, None, 4),
+        );
+        assert_eq!(
+            eigenvector_centrality_serial(&view, 50, 1e-9),
+            eigenvector_centrality_parallel(&view, 50, 1e-9, 4),
+        );
     }
 
     #[test]

@@ -59,9 +59,11 @@ mod view;
 pub use attrs::{EdgeAttrs, Poi, PoiKind, RoadClass, AVERAGE_CAR_WIDTH_M, DEFAULT_LANE_WIDTH_M};
 pub use builder::RoadNetworkBuilder;
 pub use centrality::{
-    closeness_centrality, edge_betweenness, edge_eigenscore, eigenvector_centrality,
-    node_betweenness,
+    closeness_centrality, edge_betweenness, edge_betweenness_serial, edge_eigenscore,
+    eigenvector_centrality, eigenvector_centrality_serial, node_betweenness,
 };
+#[cfg(feature = "parallel")]
+pub use centrality::{edge_betweenness_parallel, eigenvector_centrality_parallel};
 pub use connectivity::{
     is_reachable, is_strongly_connected, largest_scc, reachable_from, reaching_to,
     strongly_connected_components,

@@ -9,7 +9,7 @@ use obs::TelemetrySink;
 use std::io;
 
 /// Every `--key value` flag the CLI accepts, across all subcommands.
-pub const KNOWN_FLAGS: [&str; 22] = [
+pub const KNOWN_FLAGS: [&str; 23] = [
     "city",
     "scale",
     "seed",
@@ -32,6 +32,7 @@ pub const KNOWN_FLAGS: [&str; 22] = [
     "resume",
     "csv",
     "faults",
+    "threads",
 ];
 
 /// Usage text printed on bad invocations; documents every known flag.
@@ -43,7 +44,7 @@ pub const USAGE: &str =
 [--source N] [--hospital IDX] [--top K] [--radius M] [--trips N] [--svg FILE] \
 [--victims N] [--max-hardened K] [--metrics table|jsonl|FILE] \
 [--sources N] [--deadline SECS] [--max-oracle-calls N] [--resume CKPT.jsonl] \
-[--csv FILE] [--faults SPEC]";
+[--csv FILE] [--faults SPEC] [--threads N]";
 
 /// Destination of the `--metrics` telemetry report.
 #[derive(Debug, Clone, PartialEq, Eq)]

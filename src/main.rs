@@ -476,6 +476,7 @@ fn cmd_experiment(args: &Args) -> ExitCode {
         ExperimentPlan::paper(preset, weight, parse_scale(args), args.num("seed", 42u64));
     plan.path_rank = args.num("rank", plan.path_rank);
     plan.sources_per_hospital = args.num("sources", plan.sources_per_hospital);
+    plan.threads = args.num("threads", plan.threads).max(1);
     let limits = parse_limits(args);
     plan.deadline_s = limits.deadline.map(|d| d.as_secs_f64());
     plan.max_oracle_calls = limits.max_oracle_calls;
@@ -534,6 +535,16 @@ fn cmd_experiment(args: &Args) -> ExitCode {
         failed,
         degraded
     );
+    if obs::enabled() {
+        // One-line reuse summary on top of the full --metrics report:
+        // sweeps is the total Dijkstra work, hits/misses prove how often
+        // the shared reverse tables absorbed a backward sweep.
+        let snap = obs::global().snapshot();
+        let sweeps = snap.counter("routing.dijkstra.sweeps").unwrap_or(0);
+        let hits = snap.counter("pathattack.reuse.rev_dij.hit").unwrap_or(0);
+        let misses = snap.counter("pathattack.reuse.rev_dij.miss").unwrap_or(0);
+        println!("dijkstra sweeps: {sweeps}; rev-table reuse: {hits} hits, {misses} misses");
+    }
     if let Some(path) = args.get("csv") {
         let csv = records_to_csv(&records);
         if let Err(e) = write_atomic(std::path::Path::new(path), csv.as_bytes()) {

@@ -288,6 +288,50 @@ fn experiment_sweeps_with_checkpoint_resume_and_csv() {
 }
 
 #[test]
+fn experiment_threads_flag_and_reuse_summary() {
+    let (ok, stdout, stderr) = run(&[
+        "experiment",
+        "--city",
+        "chicago",
+        "--scale",
+        "0.05",
+        "--rank",
+        "8",
+        "--sources",
+        "1",
+        "--threads",
+        "1",
+        "--metrics",
+        "table",
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    // The --metrics summary line reports total Dijkstra work and how
+    // often the shared reverse tables absorbed a backward sweep.
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("dijkstra sweeps:"))
+        .unwrap_or_else(|| panic!("no reuse summary in:\n{stdout}"));
+    assert!(line.contains("rev-table reuse:"), "{line}");
+    let grab = |marker: &str| -> u64 {
+        let at = line.find(marker).unwrap() + marker.len();
+        line[at..]
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    let hits = grab("reuse:");
+    let misses = grab("hits,");
+    // Every (cost × algorithm) oracle shares its hospital's one table.
+    assert!(hits > misses, "{line}");
+    // The raw counters surface in the full metrics report too.
+    assert!(stderr.contains("pathattack.reuse.rev_dij.hit"), "{stderr}");
+    assert!(stderr.contains("routing.scratch.hit"), "{stderr}");
+}
+
+#[test]
 fn experiment_rejects_bad_fault_spec() {
     let (ok, _, stderr) = run(&[
         "experiment",
