@@ -1,0 +1,315 @@
+//! Closed-loop load generator for the `serve` query service.
+//!
+//! ```text
+//! serve_load [--requests N] [--concurrency C] [--rank K] [--out FILE]
+//!            [--max-p99-ratio X]            # benchmark mode (default)
+//! serve_load --addr HOST:PORT [--requests N] [--concurrency C]
+//!            [--allow-imperfect]            # external mode (CI smoke)
+//! ```
+//!
+//! **Benchmark mode** starts two in-process servers on the Boston
+//! preset — batching off (every request builds a fresh `TargetContext`)
+//! and batching on (requests grouped by (network, weight, target) share
+//! one) — drives an identical deterministic route/attack workload
+//! through each at the given concurrency, and writes `BENCH_serve.json`
+//! with throughput, client-side p50/p99 latency, and the context-reuse
+//! hit rate per mode. It exits non-zero unless: every request succeeds
+//! in both modes, all responses are byte-identical across modes
+//! (batching must never change answers), the batched hit rate is
+//! positive, and the batched p99 is within `--max-p99-ratio` of the
+//! unbatched p99.
+//!
+//! **External mode** (`--addr`) drives an already-running server (the
+//! CI smoke job starts `metro-attack serve` and points this at it),
+//! asserts a 100 % success rate, and asserts the server reports zero
+//! shed and zero timed-out requests — at smoke concurrency the
+//! admission queue must never fill.
+
+use serve::{Client, Request, RequestKind, Response, Server, ServerConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The deterministic workload: ids are list indices, so responses can
+/// be compared across modes response-by-response.
+fn workload(requests: usize, rank: usize) -> Vec<Request> {
+    const SOURCES: [usize; 6] = [3, 11, 17, 29, 5, 23];
+    (0..requests)
+        .map(|i| {
+            let kind = if i % 4 == 3 {
+                RequestKind::Attack
+            } else {
+                RequestKind::Route
+            };
+            let mut r = Request::new(i as u64, kind, "boston");
+            r.source = SOURCES[i % SOURCES.len()];
+            r.rank = rank;
+            r
+        })
+        .collect()
+}
+
+struct ModeStats {
+    wall_ms: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    ctx_hits: u64,
+    ctx_misses: u64,
+    ok: usize,
+    errors: usize,
+    /// Raw response frames by request id.
+    responses: Vec<Option<Vec<u8>>>,
+}
+
+impl ModeStats {
+    fn hit_rate(&self) -> f64 {
+        let total = self.ctx_hits + self.ctx_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ctx_hits as f64 / total as f64
+        }
+    }
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// What one closed-loop run of the workload produced.
+struct DriveResult {
+    wall_ms: f64,
+    latencies_us: Vec<u64>,
+    /// Raw response frames by request id.
+    responses: Vec<Option<Vec<u8>>>,
+    ok: usize,
+    errors: usize,
+}
+
+/// Drives `reqs` through the server at `addr` from `concurrency`
+/// closed-loop connections; returns latencies and raw responses.
+fn drive(addr: &std::net::SocketAddr, reqs: &[Request], concurrency: usize) -> DriveResult {
+    let next = AtomicUsize::new(0);
+    let latencies = Mutex::new(Vec::with_capacity(reqs.len()));
+    let responses = Mutex::new(vec![None; reqs.len()]);
+    let errors = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(req) = reqs.get(i) else { break };
+                    let t = Instant::now();
+                    match client.roundtrip_raw(&req.to_payload()) {
+                        Ok(raw) => {
+                            latencies
+                                .lock()
+                                .unwrap()
+                                .push(t.elapsed().as_micros() as u64);
+                            let parsed = Response::parse(&raw);
+                            if !matches!(&parsed, Ok(r) if r.ok) {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            responses.lock().unwrap()[i] = Some(raw);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let errors = errors.into_inner();
+    DriveResult {
+        wall_ms,
+        latencies_us: latencies.into_inner().unwrap(),
+        responses: responses.into_inner().unwrap(),
+        ok: reqs.len() - errors,
+        errors,
+    }
+}
+
+fn counter(snap: &obs::Snapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
+/// Benchmark one batching mode against a fresh in-process server.
+fn run_mode(batching: bool, reqs: &[Request], concurrency: usize, workers: usize) -> ModeStats {
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        cities: vec!["boston".to_string()],
+        workers,
+        batching,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    // The obs registry is process-global and both modes run in this
+    // process, so reuse counters are measured as before/after deltas.
+    let before = obs::global().snapshot();
+    let mut run = drive(&server.local_addr(), reqs, concurrency);
+    let after = obs::global().snapshot();
+    server.shutdown();
+    run.latencies_us.sort_unstable();
+    ModeStats {
+        wall_ms: run.wall_ms,
+        throughput_rps: reqs.len() as f64 / (run.wall_ms / 1e3),
+        p50_us: quantile(&run.latencies_us, 0.50),
+        p99_us: quantile(&run.latencies_us, 0.99),
+        ctx_hits: counter(&after, "serve.reuse.ctx.hit") - counter(&before, "serve.reuse.ctx.hit"),
+        ctx_misses: counter(&after, "serve.reuse.ctx.miss")
+            - counter(&before, "serve.reuse.ctx.miss"),
+        ok: run.ok,
+        errors: run.errors,
+        responses: run.responses,
+    }
+}
+
+fn mode_json(m: &ModeStats) -> String {
+    format!(
+        "{{\"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+         \"ctx_hits\": {}, \"ctx_misses\": {}, \"hit_rate\": {:.3}, \"ok\": {}, \"errors\": {}}}",
+        m.wall_ms,
+        m.throughput_rps,
+        m.p50_us,
+        m.p99_us,
+        m.ctx_hits,
+        m.ctx_misses,
+        m.hit_rate(),
+        m.ok,
+        m.errors
+    )
+}
+
+/// External mode: drive a running server, then interrogate its stats.
+fn run_external(addr: &str, requests: usize, concurrency: usize, allow_imperfect: bool) {
+    let addr: std::net::SocketAddr = addr.parse().expect("--addr HOST:PORT");
+    let reqs = workload(requests, 4);
+    let mut run = drive(&addr, &reqs, concurrency);
+    run.latencies_us.sort_unstable();
+    let mut client = Client::connect(&addr).expect("connect for stats");
+    let stats = client
+        .roundtrip(&Request::new(u64::MAX, RequestKind::Stats, ""))
+        .expect("stats request");
+    let stat_counter = |name: &str| -> u64 {
+        stats
+            .result
+            .as_ref()
+            .and_then(|r| r.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(obs::JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    let shed = stat_counter("serve.requests.shed");
+    let timeout = stat_counter("serve.requests.timeout");
+    println!(
+        "{}/{} ok in {:.0} ms (p50 {} us, p99 {} us); server: {shed} shed, {timeout} timed out",
+        run.ok,
+        reqs.len(),
+        run.wall_ms,
+        quantile(&run.latencies_us, 0.50),
+        quantile(&run.latencies_us, 0.99),
+    );
+    if run.errors > 0 || (!allow_imperfect && (shed > 0 || timeout > 0)) {
+        eprintln!(
+            "FAIL: {} errors, {shed} shed, {timeout} timed out",
+            run.errors
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut requests = 60usize;
+    let mut concurrency: Option<String> = None;
+    let mut rank = 6usize;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut max_p99_ratio = 1.0f64;
+    let mut addr: Option<String> = None;
+    let mut allow_imperfect = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests N")
+            }
+            "--concurrency" => concurrency = Some(args.next().expect("--concurrency C")),
+            "--rank" => rank = args.next().and_then(|v| v.parse().ok()).expect("--rank K"),
+            "--out" => out_path = args.next().expect("--out FILE"),
+            "--max-p99-ratio" => {
+                max_p99_ratio = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-p99-ratio X")
+            }
+            "--addr" => addr = Some(args.next().expect("--addr HOST:PORT")),
+            "--allow-imperfect" => allow_imperfect = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    // The same resolution helper the server and `experiment` use, so
+    // client- and server-side pools size identically by default.
+    let concurrency = serve::resolve_workers(concurrency.as_deref()).unwrap_or_else(|e| {
+        eprintln!("bad --concurrency: {e}");
+        std::process::exit(2);
+    });
+
+    if let Some(addr) = addr {
+        run_external(&addr, requests, concurrency, allow_imperfect);
+        return;
+    }
+
+    obs::set_enabled(true);
+    let reqs = workload(requests, rank);
+    let workers = serve::resolve_workers(None).unwrap_or(4);
+    // Unbatched first: it owns no shared state, so warm-up effects
+    // (allocator arenas, page cache) favor the baseline if anything.
+    let unbatched = run_mode(false, &reqs, concurrency, workers);
+    let batched = run_mode(true, &reqs, concurrency, workers);
+
+    let identical =
+        unbatched.responses == batched.responses && unbatched.responses.iter().all(Option::is_some);
+    let p99_ratio = batched.p99_us as f64 / unbatched.p99_us.max(1) as f64;
+    let pass = unbatched.errors == 0
+        && batched.errors == 0
+        && identical
+        && batched.ctx_hits > 0
+        && p99_ratio <= max_p99_ratio;
+
+    for (name, m) in [("unbatched", &unbatched), ("batched", &batched)] {
+        println!(
+            "{name:<9} {:>6.1} req/s  p50 {:>7} us  p99 {:>7} us  ctx {} hits / {} misses (rate {:.2})  {} ok, {} errors",
+            m.throughput_rps, m.p50_us, m.p99_us, m.ctx_hits, m.ctx_misses, m.hit_rate(), m.ok, m.errors
+        );
+    }
+    println!(
+        "responses identical: {identical}; p99 ratio {p99_ratio:.2} (max {max_p99_ratio}); pass: {pass}"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"city\": \"boston\",\n  \"scale\": \"small\",\n  \
+         \"requests\": {requests},\n  \"concurrency\": {concurrency},\n  \"workers\": {workers},\n  \
+         \"rank\": {rank},\n  \"modes\": {{\n    \"unbatched\": {},\n    \"batched\": {}\n  }},\n  \
+         \"responses_identical\": {identical},\n  \"batched_hit_rate\": {:.3},\n  \
+         \"p99_ratio\": {p99_ratio:.2},\n  \"max_p99_ratio\": {max_p99_ratio},\n  \"pass\": {pass}\n}}\n",
+        mode_json(&unbatched),
+        mode_json(&batched),
+        batched.hit_rate(),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -68,6 +68,47 @@ impl JsonValue {
         }
     }
 
+    /// Serializes the value to compact JSON. Object keys come out in
+    /// sorted (`BTreeMap`) order, so equal values always serialize to
+    /// byte-identical documents — protocol consumers rely on that for
+    /// response comparison.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => write_f64(out, *n),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_to(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Parses one JSON document, requiring it to span the whole input.
     pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
         let mut p = Parser {
@@ -336,6 +377,16 @@ mod tests {
         assert!(JsonValue::parse(r#"{"a":}"#).is_err());
         assert!(JsonValue::parse("[1,2,]").is_err());
         assert!(JsonValue::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn to_json_round_trips_and_is_deterministic() {
+        let doc = r#"{"a":[1,2.5,null],"b":{"x":"q\"uote","y":false},"z":-3}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let out = v.to_json();
+        assert_eq!(JsonValue::parse(&out).unwrap(), v);
+        // keys are sorted, so re-serializing the reparse is stable
+        assert_eq!(JsonValue::parse(&out).unwrap().to_json(), out);
     }
 
     #[test]

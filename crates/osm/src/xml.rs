@@ -134,6 +134,26 @@ impl<'a> XmlParser<'a> {
         Err(self.err("unterminated attribute value"))
     }
 
+    /// Drains the parser, returning every event in document order.
+    ///
+    /// This is the loop every caller of [`XmlParser::next`] would
+    /// otherwise hand-roll — and the hand-rolled versions tended to
+    /// `unwrap()` each step, turning a malformed document into a panic
+    /// instead of an error. Use this (or match `next()` properly); a
+    /// parse failure is an ordinary [`XmlError`], never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first malformed construct and returns its
+    /// [`XmlError`]; events before the failure are discarded.
+    pub fn collect_events(mut self) -> Result<Vec<XmlEvent>, XmlError> {
+        let mut out = Vec::new();
+        while let Some(event) = self.next()? {
+            out.push(event);
+        }
+        Ok(out)
+    }
+
     /// Next event, or `None` at end of input.
     ///
     /// # Errors
@@ -286,12 +306,9 @@ mod tests {
     use super::*;
 
     fn collect(doc: &str) -> Vec<XmlEvent> {
-        let mut p = XmlParser::new(doc);
-        let mut out = Vec::new();
-        while let Some(e) = p.next().unwrap() {
-            out.push(e);
-        }
-        out
+        XmlParser::new(doc)
+            .collect_events()
+            .expect("well-formed test document")
     }
 
     #[test]

@@ -60,6 +60,31 @@ proptest! {
     }
 }
 
+/// Regression: draining the parser over malformed XML must surface the
+/// parse failure as an `Err`, not a panic — the drain loop used to be
+/// hand-rolled with an `unwrap()` per event.
+#[test]
+fn malformed_input_is_an_error_not_a_panic() {
+    let malformed = [
+        "<osm",              // tag never closed
+        "<osm attr>",        // unquoted attribute
+        "<osm attr=\"v>",    // unterminated attribute value
+        "<osm><way id='1'",  // truncated mid-document
+        "<!-- never closed", // unterminated comment
+        "<>",                // empty tag name
+        "</",                // truncated end tag
+    ];
+    for doc in malformed {
+        let result = XmlParser::new(doc).collect_events();
+        assert!(result.is_err(), "{doc:?} parsed without error: {result:?}");
+    }
+    // And the happy path still produces events.
+    let events = XmlParser::new(r#"<osm><node id="1"/></osm>"#)
+        .collect_events()
+        .unwrap();
+    assert_eq!(events.len(), 4);
+}
+
 #[test]
 fn deeply_nested_tags_do_not_recurse() {
     // the pull parser is iterative; deep nesting must be fine

@@ -1,0 +1,475 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! big-endian length `n` followed by exactly `n` bytes of UTF-8 JSON.
+//! Frames are capped at [`MAX_FRAME`] bytes; a peer announcing a larger
+//! frame is protocol-broken and the connection is closed after a
+//! structured error, because the stream can no longer be resynchronized.
+//! Malformed JSON *inside* a well-framed message is recoverable: the
+//! server answers with an error response and keeps serving the
+//! connection.
+//!
+//! Requests are JSON objects with a `kind` field (`route`, `attack`,
+//! `recon`, `impact`, `stats`, `ping`) plus kind-specific parameters;
+//! responses echo the request `id` and carry either `"ok": true` with a
+//! `result` object or `"ok": false` with an `error` string (and a
+//! `retry_after_ms` hint when the server shed the request under load).
+//! Responses serialize through [`obs::JsonValue`], whose object keys are
+//! sorted — identical results are byte-identical on the wire, which the
+//! `serve_load` bench exploits to prove batching never changes answers.
+
+use obs::JsonValue;
+use pathattack::{CostType, WeightType};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload size (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Outcome of reading one frame from a stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// The stream ended inside a frame (truncated header or body).
+    Truncated,
+    /// The header announced a frame larger than [`MAX_FRAME`].
+    Oversized(usize),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Truncated => f.write_str("stream ended inside a frame"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame (4-byte big-endian length, then the payload).
+///
+/// # Errors
+///
+/// Propagates transport errors; refuses payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let header = (payload.len() as u32).to_be_bytes();
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking until it is complete.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF at a frame boundary,
+/// [`FrameError::Truncated`] on EOF inside a frame,
+/// [`FrameError::Oversized`] when the header exceeds [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
+/// What one request asks the service to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// Shortest (or `rank`-th shortest) route from `source` to the
+    /// hospital.
+    Route,
+    /// Force Path Cut attack on the (source, hospital) trip.
+    Attack,
+    /// Betweenness reconnaissance: the `top` most critical segments.
+    Recon,
+    /// City-wide congestion impact of the attack's cut set.
+    Impact,
+    /// Server telemetry snapshot.
+    Stats,
+    /// Liveness probe; echoes back.
+    Ping,
+}
+
+impl RequestKind {
+    /// Wire name of the kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestKind::Route => "route",
+            RequestKind::Attack => "attack",
+            RequestKind::Recon => "recon",
+            RequestKind::Impact => "impact",
+            RequestKind::Stats => "stats",
+            RequestKind::Ping => "ping",
+        }
+    }
+
+    /// Inverse of [`RequestKind::name`].
+    pub fn from_name(name: &str) -> Option<RequestKind> {
+        match name {
+            "route" => Some(RequestKind::Route),
+            "attack" => Some(RequestKind::Attack),
+            "recon" => Some(RequestKind::Recon),
+            "impact" => Some(RequestKind::Impact),
+            "stats" => Some(RequestKind::Stats),
+            "ping" => Some(RequestKind::Ping),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed request.
+///
+/// Defaults mirror the CLI: weight `time`, cost `uniform`, rank 20,
+/// algorithm `greedy-pathcover`. `city` is required for every kind
+/// except `stats`/`ping`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// What to do.
+    pub kind: RequestKind,
+    /// Resident network to query (registry key).
+    pub city: String,
+    /// Victim trip origin (node index).
+    pub source: usize,
+    /// Hospital index (into the city's hospital POI list).
+    pub hospital: usize,
+    /// Alternative-route rank (`route` returns this path, `attack`
+    /// forces it).
+    pub rank: usize,
+    /// Victim weight model.
+    pub weight: WeightType,
+    /// Attacker cost model.
+    pub cost: CostType,
+    /// Attack algorithm name (CLI spelling, e.g. `greedy-pathcover`).
+    pub algorithm: String,
+    /// `recon`: how many segments to rank.
+    pub top: usize,
+    /// `impact`: demand trips and RNG seed.
+    pub trips: usize,
+    /// `impact`: demand RNG seed.
+    pub seed: u64,
+    /// Per-request deadline override in milliseconds (`None` = server
+    /// default).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request of `kind` with CLI-default parameters.
+    pub fn new(id: u64, kind: RequestKind, city: &str) -> Request {
+        Request {
+            id,
+            kind,
+            city: city.to_string(),
+            source: 0,
+            hospital: 0,
+            rank: 20,
+            weight: WeightType::Time,
+            cost: CostType::Uniform,
+            algorithm: "greedy-pathcover".to_string(),
+            top: 10,
+            trips: 20,
+            seed: 42,
+            deadline_ms: None,
+        }
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed
+    /// field (also covering non-object documents and unknown kinds).
+    pub fn parse(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+        let doc = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        if !matches!(doc, JsonValue::Obj(_)) {
+            return Err("request must be a JSON object".to_string());
+        }
+        let kind_name = doc
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"kind\"")?;
+        let kind = RequestKind::from_name(kind_name)
+            .ok_or_else(|| format!("unknown kind {kind_name:?}"))?;
+        let city = doc
+            .get("city")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default();
+        if city.is_empty() && !matches!(kind, RequestKind::Stats | RequestKind::Ping) {
+            return Err(format!("kind {kind_name:?} requires \"city\""));
+        }
+        let num = |key: &str, default: u64| -> Result<u64, String> {
+            match doc.get(key) {
+                None | Some(JsonValue::Null) => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("\"{key}\" must be a non-negative number")),
+            }
+        };
+        let mut req = Request::new(num("id", 0)?, kind, city);
+        req.source = num("source", req.source as u64)? as usize;
+        req.hospital = num("hospital", req.hospital as u64)? as usize;
+        req.rank = num("rank", req.rank as u64)? as usize;
+        req.top = num("top", req.top as u64)? as usize;
+        req.trips = num("trips", req.trips as u64)? as usize;
+        req.seed = num("seed", req.seed)?;
+        req.deadline_ms = match doc.get("deadline_ms") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or("\"deadline_ms\" must be a non-negative number")?,
+            ),
+        };
+        if let Some(w) = doc.get("weight").and_then(JsonValue::as_str) {
+            req.weight = match w {
+                "length" => WeightType::Length,
+                "time" => WeightType::Time,
+                other => return Err(format!("unknown weight {other:?}")),
+            };
+        }
+        if let Some(c) = doc.get("cost").and_then(JsonValue::as_str) {
+            req.cost = match c {
+                "uniform" => CostType::Uniform,
+                "lanes" => CostType::Lanes,
+                "width" => CostType::Width,
+                other => return Err(format!("unknown cost {other:?}")),
+            };
+        }
+        if let Some(a) = doc.get("algorithm").and_then(JsonValue::as_str) {
+            req.algorithm = a.to_string();
+        }
+        Ok(req)
+    }
+
+    /// Serializes the request to a frame payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".to_string(), JsonValue::Num(self.id as f64));
+        obj.insert(
+            "kind".to_string(),
+            JsonValue::Str(self.kind.name().to_string()),
+        );
+        if !self.city.is_empty() {
+            obj.insert("city".to_string(), JsonValue::Str(self.city.clone()));
+        }
+        obj.insert("source".to_string(), JsonValue::Num(self.source as f64));
+        obj.insert("hospital".to_string(), JsonValue::Num(self.hospital as f64));
+        obj.insert("rank".to_string(), JsonValue::Num(self.rank as f64));
+        obj.insert(
+            "weight".to_string(),
+            JsonValue::Str(
+                match self.weight {
+                    WeightType::Length => "length",
+                    WeightType::Time => "time",
+                }
+                .to_string(),
+            ),
+        );
+        obj.insert(
+            "cost".to_string(),
+            JsonValue::Str(
+                match self.cost {
+                    CostType::Uniform => "uniform",
+                    CostType::Lanes => "lanes",
+                    CostType::Width => "width",
+                }
+                .to_string(),
+            ),
+        );
+        obj.insert(
+            "algorithm".to_string(),
+            JsonValue::Str(self.algorithm.clone()),
+        );
+        obj.insert("top".to_string(), JsonValue::Num(self.top as f64));
+        obj.insert("trips".to_string(), JsonValue::Num(self.trips as f64));
+        obj.insert("seed".to_string(), JsonValue::Num(self.seed as f64));
+        if let Some(d) = self.deadline_ms {
+            obj.insert("deadline_ms".to_string(), JsonValue::Num(d as f64));
+        }
+        JsonValue::Obj(obj).to_json().into_bytes()
+    }
+}
+
+/// Builds a success response payload.
+pub fn ok_response(id: u64, kind: &RequestKind, result: JsonValue) -> Vec<u8> {
+    let mut obj = BTreeMap::new();
+    obj.insert("id".to_string(), JsonValue::Num(id as f64));
+    obj.insert("ok".to_string(), JsonValue::Bool(true));
+    obj.insert("kind".to_string(), JsonValue::Str(kind.name().to_string()));
+    obj.insert("result".to_string(), result);
+    JsonValue::Obj(obj).to_json().into_bytes()
+}
+
+/// Builds an error response payload; `retry_after_ms` marks retryable
+/// load-shed rejections.
+pub fn error_response(id: u64, error: &str, retry_after_ms: Option<u64>) -> Vec<u8> {
+    let mut obj = BTreeMap::new();
+    obj.insert("id".to_string(), JsonValue::Num(id as f64));
+    obj.insert("ok".to_string(), JsonValue::Bool(false));
+    obj.insert("error".to_string(), JsonValue::Str(error.to_string()));
+    if let Some(ms) = retry_after_ms {
+        obj.insert("retry_after_ms".to_string(), JsonValue::Num(ms as f64));
+    }
+    JsonValue::Obj(obj).to_json().into_bytes()
+}
+
+/// A parsed response (client-side view).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Echoed request id.
+    pub id: u64,
+    /// Whether the request was executed.
+    pub ok: bool,
+    /// Error description when `ok` is false.
+    pub error: Option<String>,
+    /// Load-shed retry hint in milliseconds.
+    pub retry_after_ms: Option<u64>,
+    /// The result object when `ok` is true.
+    pub result: Option<JsonValue>,
+}
+
+impl Response {
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field.
+    pub fn parse(payload: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+        let doc = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let ok = match doc.get("ok") {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => return Err("missing \"ok\"".to_string()),
+        };
+        Ok(Response {
+            id: doc.get("id").and_then(JsonValue::as_u64).unwrap_or(0),
+            ok,
+            error: doc
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            retry_after_ms: doc.get("retry_after_ms").and_then(JsonValue::as_u64),
+            result: doc.get("result").cloned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"x\":1}").unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 0, 7]);
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"{\"x\":1}");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_detected() {
+        let mut r: &[u8] = &[0, 0]; // half a header
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        let mut r: &[u8] = &[0, 0, 0, 9, b'x']; // body shorter than announced
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        let huge = ((MAX_FRAME + 1) as u32).to_be_bytes();
+        let mut r: &[u8] = &huge;
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Oversized(n)) if n == MAX_FRAME + 1
+        ));
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let mut req = Request::new(7, RequestKind::Attack, "boston");
+        req.source = 12;
+        req.rank = 30;
+        req.weight = WeightType::Length;
+        req.cost = CostType::Lanes;
+        req.deadline_ms = Some(250);
+        let back = Request::parse(&req.to_payload()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_defaults_applied() {
+        let req = Request::parse(br#"{"kind":"route","city":"sf","id":3}"#).unwrap();
+        assert_eq!(req.id, 3);
+        assert_eq!(req.kind, RequestKind::Route);
+        assert_eq!(req.rank, 20);
+        assert_eq!(req.weight, WeightType::Time);
+        assert!(req.deadline_ms.is_none());
+    }
+
+    #[test]
+    fn request_parse_rejects_malformed() {
+        assert!(Request::parse(b"not json").is_err());
+        assert!(Request::parse(b"[1,2]").is_err());
+        assert!(Request::parse(br#"{"kind":"frobnicate","city":"x"}"#).is_err());
+        assert!(Request::parse(br#"{"kind":"attack"}"#).is_err()); // no city
+        assert!(Request::parse(br#"{"kind":"attack","city":"x","rank":-2}"#).is_err());
+        assert!(Request::parse(br#"{"kind":"stats"}"#).is_ok()); // city-less kinds
+    }
+
+    #[test]
+    fn responses_parse_back() {
+        let ok = ok_response(
+            9,
+            &RequestKind::Ping,
+            JsonValue::Obj(std::collections::BTreeMap::new()),
+        );
+        let r = Response::parse(&ok).unwrap();
+        assert!(r.ok);
+        assert_eq!(r.id, 9);
+        let err = error_response(4, "overloaded", Some(50));
+        let r = Response::parse(&err).unwrap();
+        assert!(!r.ok);
+        assert_eq!(r.retry_after_ms, Some(50));
+        assert_eq!(r.error.as_deref(), Some("overloaded"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Bounded admission queue with batch extraction.
+//!
+//! The queue is the service's only buffer: readers [`BatchQueue::push`]
+//! parsed requests and workers [`BatchQueue::pop_batch`] them. Two
+//! policies live here:
+//!
+//! * **Admission control** — capacity is fixed at construction.
+//!   `push` never blocks; when the queue is full it hands the item
+//!   back and the caller sheds it with a retry-after response. A full
+//!   queue therefore costs a client one round-trip, not a stalled or
+//!   dropped connection.
+//! * **Batching** — `pop_batch` removes the oldest item plus every
+//!   queued item the caller's `same_key` predicate groups with it (up
+//!   to `batch_max`), so one `TargetContext` lookup serves the whole
+//!   group. Extraction preserves arrival order inside the batch and
+//!   never reorders items across different keys relative to the queue
+//!   head.
+//!
+//! [`BatchQueue::close`] wakes all waiting workers for drain: `pop_batch`
+//! then returns `None` once the backlog is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with keyed batch pops.
+pub struct BatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+    batch_max: usize,
+}
+
+impl<T> std::fmt::Debug for BatchQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchQueue")
+            .field("capacity", &self.capacity)
+            .field("batch_max", &self.batch_max)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue admitting at most `capacity` items, popped in batches of
+    /// at most `batch_max`.
+    pub fn new(capacity: usize, batch_max: usize) -> BatchQueue<T> {
+        BatchQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            batch_max: batch_max.max(1),
+        }
+    }
+
+    /// Current backlog.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the backlog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Hands the item back when the queue is full (the caller sheds it)
+    /// or closed (the caller rejects it as draining).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        obs::set_gauge("serve.queue.depth", inner.items.len() as f64);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then removes the oldest item and
+    /// every item `same_key` groups with it (up to the batch cap, in
+    /// arrival order). Returns `None` once the queue is closed and
+    /// drained.
+    pub fn pop_batch(&self, same_key: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(head) = inner.items.pop_front() {
+                let mut batch = vec![head];
+                let mut i = 0;
+                while i < inner.items.len() && batch.len() < self.batch_max {
+                    if same_key(&batch[0], &inner.items[i]) {
+                        // `remove` keeps the relative order of what stays.
+                        batch.push(inner.items.remove(i).unwrap());
+                    } else {
+                        i += 1;
+                    }
+                }
+                obs::set_gauge("serve.queue.depth", inner.items.len() as f64);
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Stops admitting new items and wakes every waiting worker; queued
+    /// items still drain through `pop_batch`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_sheds_when_full_and_after_close() {
+        let q = BatchQueue::new(2, 8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        q.close();
+        assert_eq!(q.push(4), Err(4));
+        // The backlog still drains.
+        assert_eq!(q.pop_batch(|_, _| true), Some(vec![1, 2]));
+        assert_eq!(q.pop_batch(|_, _| true), None);
+    }
+
+    #[test]
+    fn pop_groups_by_key_in_arrival_order() {
+        let q = BatchQueue::new(16, 8);
+        for v in [10, 20, 11, 21, 12] {
+            q.push(v).unwrap();
+        }
+        // Key = tens digit: the head (10) groups with 11 and 12.
+        let batch = q.pop_batch(|a, b| a / 10 == b / 10);
+        assert_eq!(batch, Some(vec![10, 11, 12]));
+        assert_eq!(q.pop_batch(|a, b| a / 10 == b / 10), Some(vec![20, 21]));
+    }
+
+    #[test]
+    fn batch_cap_limits_extraction() {
+        let q = BatchQueue::new(16, 2);
+        for v in [1, 1, 1, 1] {
+            q.push(v).unwrap();
+        }
+        assert_eq!(q.pop_batch(|a, b| a == b), Some(vec![1, 1]));
+        assert_eq!(q.pop_batch(|a, b| a == b), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BatchQueue::<u32>::new(4, 4));
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop_batch(|a, b| a == b))
+        };
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+}

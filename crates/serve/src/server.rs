@@ -1,0 +1,799 @@
+//! The server: accept loop, connection readers, worker pool, drain.
+//!
+//! Thread structure (all std threads, no framework):
+//!
+//! * **accept thread** — nonblocking `TcpListener` polled every 10 ms so
+//!   it also notices the drain flag ([`crate::signal`] or
+//!   [`Server::drain`]) promptly. On drain it stops accepting, waits for
+//!   live connections to finish (bounded by the drain deadline, after
+//!   which stragglers are force-closed), then closes the queue.
+//! * **reader threads** (one per connection) — frame + parse requests,
+//!   validate them against the resident networks (cheap work, early
+//!   errors), and push [`Job`]s into the [`BatchQueue`]. `stats` and
+//!   `ping` are answered inline. A full queue sheds with a
+//!   retry-after error; a draining server rejects new work the same
+//!   way, but jobs already admitted always get their response.
+//! * **worker threads** (`workers` of them) — pop batches grouped by
+//!   (network, weight, target), resolve one shared [`TargetContext`]
+//!   per batch (or a fresh one per request with batching off) and run
+//!   the route/attack/recon/impact computations against the existing
+//!   `pathattack` / `traffic-sim` APIs.
+//!
+//! Responses deliberately carry no wall-clock fields: the same request
+//! must serialize to byte-identical responses with batching on or off,
+//! which is how `serve_load` proves the reuse layer never changes
+//! answers.
+
+use crate::protocol::{
+    error_response, ok_response, read_frame, write_frame, FrameError, Request, RequestKind,
+    Response,
+};
+use crate::queue::BatchQueue;
+use crate::registry::{NetworkRegistry, ResidentNetwork};
+use crate::signal;
+use obs::JsonValue;
+use parking_lot::Mutex;
+use pathattack::{
+    AttackAlgorithm, AttackProblem, AttackStatus, GreedyBetweenness, GreedyEdge, GreedyEig,
+    GreedyPathCover, LpPathCover, RunLimits, TargetContext,
+};
+use std::collections::BTreeMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use traffic_graph::NodeId;
+use traffic_sim::{attack_impact, AssignmentConfig, OdMatrix};
+
+/// Everything [`Server::start`] needs to know.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Resident networks: preset names or OSM file paths.
+    pub cities: Vec<String>,
+    /// Generation scale for preset cities.
+    pub scale: citygen::Scale,
+    /// Generation seed for preset cities.
+    pub seed: u64,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Admission-queue capacity; pushes beyond it are shed.
+    pub queue_depth: usize,
+    /// Largest batch one worker pops at a time.
+    pub batch_max: usize,
+    /// Whether to share `TargetContext`s across requests (on in
+    /// production; off is the `serve_load` baseline).
+    pub batching: bool,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// How long a drain may take before stragglers are force-closed.
+    pub drain_deadline: Duration,
+    /// Retry hint attached to load-shed responses, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            cities: vec!["boston".to_string()],
+            scale: citygen::Scale::Small,
+            seed: 42,
+            workers: crate::resolve_workers(None).unwrap_or(4),
+            queue_depth: 256,
+            batch_max: 32,
+            batching: true,
+            default_deadline: None,
+            drain_deadline: Duration::from_secs(5),
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One admitted request, waiting for (or being run by) a worker.
+#[derive(Debug)]
+struct Job {
+    request: Request,
+    resident: Arc<ResidentNetwork>,
+    target: NodeId,
+    deadline: Option<Instant>,
+    received: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared by every thread of one server.
+#[derive(Debug)]
+struct Shared {
+    cfg: ServerConfig,
+    registry: NetworkRegistry,
+    queue: BatchQueue<Job>,
+    draining: AtomicBool,
+    active_conns: AtomicUsize,
+    conns: Mutex<Vec<Weak<Mutex<TcpStream>>>>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signal::drain_requested()
+    }
+}
+
+/// A running service instance.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Loads the resident networks, binds the listener, and spawns the
+    /// accept loop plus worker pool. Telemetry is switched on — the
+    /// `stats` request depends on it.
+    ///
+    /// # Errors
+    ///
+    /// Describes the bad city spec or bind failure.
+    pub fn start(cfg: ServerConfig) -> Result<Server, String> {
+        obs::set_enabled(true);
+        let mut registry = NetworkRegistry::new();
+        for spec in &cfg.cities {
+            registry.load(spec, cfg.scale, cfg.seed)?;
+        }
+        if registry.names().is_empty() {
+            return Err("no resident networks configured".to_string());
+        }
+        let listener = TcpListener::bind(&cfg.listen)
+            .map_err(|e| format!("cannot bind {}: {e}", cfg.listen))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read local addr: {e}"))?;
+
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BatchQueue::new(cfg.queue_depth, cfg.batch_max),
+            cfg,
+            registry,
+            draining: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// Where the server is actually listening.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Starts a graceful drain — same effect as SIGTERM.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain is in progress.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Blocks until the server has fully drained (accept loop and every
+    /// worker exited). Without a prior [`Server::drain`] or signal this
+    /// waits for one to arrive.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Convenience: drain, then join.
+    pub fn shutdown(self) {
+        self.drain();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let writer = match stream.try_clone() {
+                    Ok(clone) => Arc::new(Mutex::new(clone)),
+                    Err(_) => continue,
+                };
+                shared.conns.lock().push(Arc::downgrade(&writer));
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                obs::inc("serve.connections");
+                let conn_shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        reader_loop(stream, &writer, &conn_shared);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Drain: no new connections (listener drops below), existing ones
+    // finish until the deadline, stragglers are then force-closed so
+    // shutdown time stays bounded.
+    drop(listener);
+    let drain_started = Instant::now();
+    while shared.active_conns.load(Ordering::SeqCst) > 0
+        && drain_started.elapsed() < shared.cfg.drain_deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if shared.active_conns.load(Ordering::SeqCst) > 0 {
+        for conn in shared.conns.lock().iter() {
+            if let Some(stream) = conn.upgrade() {
+                obs::inc("serve.drain.force_closed");
+                let _ = stream.lock().shutdown(Shutdown::Both);
+            }
+        }
+    }
+    shared.queue.close();
+}
+
+fn send(writer: &Mutex<TcpStream>, payload: &[u8]) {
+    let mut stream = writer.lock();
+    if write_frame(&mut *stream, payload).is_err() {
+        obs::inc("serve.write_errors");
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Truncated) => {
+                obs::inc("serve.protocol.truncated");
+                break;
+            }
+            Err(FrameError::Oversized(n)) => {
+                // The stream cannot be resynchronized past an oversized
+                // frame; answer once, then close.
+                obs::inc("serve.protocol.oversized");
+                send(
+                    writer,
+                    &error_response(0, &format!("frame of {n} bytes exceeds the cap"), None),
+                );
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        };
+        let request = match Request::parse(&payload) {
+            Ok(r) => r,
+            Err(msg) => {
+                obs::inc("serve.protocol.bad_request");
+                send(writer, &error_response(0, &msg, None));
+                continue;
+            }
+        };
+        handle_request(request, writer, shared);
+    }
+}
+
+/// Validates a request and either answers inline (`stats`/`ping`,
+/// validation errors, shed) or admits it to the queue.
+fn handle_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) {
+    let id = request.id;
+    match request.kind {
+        RequestKind::Ping => {
+            let mut obj = BTreeMap::new();
+            obj.insert("pong".to_string(), JsonValue::Bool(true));
+            send(
+                writer,
+                &ok_response(id, &RequestKind::Ping, JsonValue::Obj(obj)),
+            );
+            return;
+        }
+        RequestKind::Stats => {
+            send(
+                writer,
+                &ok_response(id, &RequestKind::Stats, stats_result(shared)),
+            );
+            return;
+        }
+        _ => {}
+    }
+    if shared.draining() {
+        obs::inc("serve.requests.rejected_draining");
+        send(
+            writer,
+            &error_response(id, "server is draining; no new requests", None),
+        );
+        return;
+    }
+    let Some(resident) = shared.registry.get(&request.city) else {
+        send(
+            writer,
+            &error_response(
+                id,
+                &format!(
+                    "unknown city {:?}; resident: {}",
+                    request.city,
+                    shared.registry.names().join(", ")
+                ),
+                None,
+            ),
+        );
+        return;
+    };
+    let hospitals = resident.hospitals();
+    if hospitals.is_empty() {
+        send(writer, &error_response(id, "city has no hospitals", None));
+        return;
+    }
+    if request.hospital >= hospitals.len() {
+        send(
+            writer,
+            &error_response(
+                id,
+                &format!(
+                    "hospital {} out of range (city has {})",
+                    request.hospital,
+                    hospitals.len()
+                ),
+                None,
+            ),
+        );
+        return;
+    }
+    if request.source >= resident.net().num_nodes() {
+        send(
+            writer,
+            &error_response(
+                id,
+                &format!(
+                    "source {} out of range (city has {} intersections)",
+                    request.source,
+                    resident.net().num_nodes()
+                ),
+                None,
+            ),
+        );
+        return;
+    }
+    if request.rank == 0 {
+        send(writer, &error_response(id, "rank is 1-based", None));
+        return;
+    }
+    if matches!(request.kind, RequestKind::Attack) {
+        if let Err(msg) = algorithm_by_name(&request.algorithm) {
+            send(writer, &error_response(id, &msg, None));
+            return;
+        }
+    }
+    let target = hospitals[request.hospital].node;
+    let now = Instant::now();
+    let deadline = request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.cfg.default_deadline)
+        .map(|d| now + d);
+    let job = Job {
+        request,
+        resident: resident.clone(),
+        target,
+        deadline,
+        received: now,
+        writer: writer.clone(),
+    };
+    obs::inc("serve.requests.admitted");
+    if let Err(job) = shared.queue.push(job) {
+        obs::inc("serve.requests.shed");
+        send(
+            &job.writer,
+            &error_response(
+                id,
+                "overloaded: admission queue full",
+                Some(shared.cfg.retry_after_ms),
+            ),
+        );
+    }
+}
+
+/// Batch key: jobs share a batch iff they hit the same network with the
+/// same weight model and target hospital — exactly the `TargetContext`
+/// key.
+fn same_key(a: &Job, b: &Job) -> bool {
+    Arc::ptr_eq(&a.resident, &b.resident)
+        && a.request.weight == b.request.weight
+        && a.target == b.target
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let batching = shared.cfg.batching;
+    loop {
+        let batch = if batching {
+            shared.queue.pop_batch(same_key)
+        } else {
+            shared.queue.pop_batch(|_, _| false)
+        };
+        let Some(batch) = batch else { break };
+        obs::record_value("serve.batch.size", batch.len() as u64);
+        // One context serves the whole batch; built lazily because
+        // recon jobs never touch it.
+        let mut batch_ctx: Option<Arc<TargetContext>> = None;
+        for job in batch {
+            process_job(job, &mut batch_ctx, batching);
+        }
+    }
+}
+
+fn context_for(
+    job: &Job,
+    batch_ctx: &mut Option<Arc<TargetContext>>,
+    batching: bool,
+) -> Arc<TargetContext> {
+    if batching {
+        batch_ctx
+            .get_or_insert_with(|| job.resident.shared_context(job.request.weight, job.target))
+            .clone()
+    } else {
+        job.resident.fresh_context(job.request.weight, job.target)
+    }
+}
+
+fn process_job(job: Job, batch_ctx: &mut Option<Arc<TargetContext>>, batching: bool) {
+    let id = job.request.id;
+    let now = Instant::now();
+    if let Some(deadline) = job.deadline {
+        if now >= deadline {
+            // The deadline elapsed while the job sat in the queue: same
+            // contract as an attack that ran out of time — a structured
+            // timed-out answer, not a dropped connection.
+            obs::inc("serve.requests.timeout");
+            send(&job.writer, &timed_out_payload(&job));
+            obs::record_value(
+                "serve.latency_us",
+                job.received.elapsed().as_micros() as u64,
+            );
+            return;
+        }
+    }
+    let result = match job.request.kind {
+        RequestKind::Route => exec_route(&job, &context_for(&job, batch_ctx, batching)),
+        RequestKind::Attack => exec_attack(&job, &context_for(&job, batch_ctx, batching), now),
+        RequestKind::Recon => exec_recon(&job),
+        RequestKind::Impact => exec_impact(&job, &context_for(&job, batch_ctx, batching)),
+        // Handled inline by the reader; unreachable through the queue.
+        RequestKind::Stats | RequestKind::Ping => Err("not a queued request kind".to_string()),
+    };
+    match result {
+        Ok(value) => {
+            obs::inc("serve.requests.ok");
+            send(&job.writer, &ok_response(id, &job.request.kind, value));
+        }
+        Err(msg) => {
+            obs::inc("serve.requests.error");
+            send(&job.writer, &error_response(id, &msg, None));
+        }
+    }
+    obs::record_value(
+        "serve.latency_us",
+        job.received.elapsed().as_micros() as u64,
+    );
+}
+
+/// The answer for a request whose deadline expired in the queue: for
+/// `attack`, the existing `timed_out` status with an empty cut set; for
+/// everything else a plain error.
+fn timed_out_payload(job: &Job) -> Vec<u8> {
+    if matches!(job.request.kind, RequestKind::Attack) {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "status".to_string(),
+            JsonValue::Str(AttackStatus::TimedOut.name().to_string()),
+        );
+        obj.insert("removed".to_string(), JsonValue::Arr(Vec::new()));
+        obj.insert("total_cost".to_string(), JsonValue::Num(0.0));
+        obj.insert("iterations".to_string(), JsonValue::Num(0.0));
+        ok_response(job.request.id, &job.request.kind, JsonValue::Obj(obj))
+    } else {
+        error_response(job.request.id, "deadline exceeded in queue", None)
+    }
+}
+
+fn algorithm_by_name(name: &str) -> Result<Box<dyn AttackAlgorithm>, String> {
+    match name {
+        "lp" | "lp-pathcover" => Ok(Box::new(LpPathCover::default())),
+        "greedy-pathcover" | "pathcover" => Ok(Box::new(GreedyPathCover)),
+        "greedy-edge" | "edge" => Ok(Box::new(GreedyEdge)),
+        "greedy-eig" | "eig" => Ok(Box::new(GreedyEig::default())),
+        "greedy-betweenness" | "betweenness" => Ok(Box::new(GreedyBetweenness::default())),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn num_arr<I: IntoIterator<Item = usize>>(items: I) -> JsonValue {
+    JsonValue::Arr(
+        items
+            .into_iter()
+            .map(|v| JsonValue::Num(v as f64))
+            .collect(),
+    )
+}
+
+fn exec_route(job: &Job, ctx: &Arc<TargetContext>) -> Result<JsonValue, String> {
+    let req = &job.request;
+    let problem = AttackProblem::with_path_rank_in(
+        job.resident.net(),
+        req.weight,
+        req.cost,
+        NodeId::new(req.source),
+        job.target,
+        req.rank,
+        ctx,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "nodes".to_string(),
+        num_arr(problem.pstar().nodes().iter().map(|n| n.index())),
+    );
+    obj.insert(
+        "num_edges".to_string(),
+        JsonValue::Num(problem.pstar().len() as f64),
+    );
+    obj.insert("weight".to_string(), JsonValue::Num(problem.pstar_weight()));
+    obj.insert(
+        "optimal_weight".to_string(),
+        JsonValue::Num(ctx.distance_to_target(NodeId::new(req.source))),
+    );
+    Ok(JsonValue::Obj(obj))
+}
+
+fn exec_attack(job: &Job, ctx: &Arc<TargetContext>, now: Instant) -> Result<JsonValue, String> {
+    let req = &job.request;
+    let limits = RunLimits {
+        deadline: job.deadline.map(|d| d.saturating_duration_since(now)),
+        ..RunLimits::default()
+    };
+    let problem = AttackProblem::with_path_rank_in(
+        job.resident.net(),
+        req.weight,
+        req.cost,
+        NodeId::new(req.source),
+        job.target,
+        req.rank,
+        ctx,
+    )
+    .map_err(|e| e.to_string())?
+    .with_limits(limits);
+    let algorithm = algorithm_by_name(&req.algorithm)?;
+    let out = algorithm.attack(&problem);
+    if out.status == AttackStatus::TimedOut {
+        obs::inc("serve.requests.timeout");
+    }
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "status".to_string(),
+        JsonValue::Str(out.status.name().to_string()),
+    );
+    obj.insert(
+        "removed".to_string(),
+        num_arr(out.removed.iter().map(|e| e.index())),
+    );
+    obj.insert("total_cost".to_string(), JsonValue::Num(out.total_cost));
+    obj.insert(
+        "iterations".to_string(),
+        JsonValue::Num(out.iterations as f64),
+    );
+    obj.insert(
+        "pstar_weight".to_string(),
+        JsonValue::Num(problem.pstar_weight()),
+    );
+    obj.insert(
+        "algorithm".to_string(),
+        JsonValue::Str(out.algorithm.clone()),
+    );
+    Ok(JsonValue::Obj(obj))
+}
+
+fn exec_recon(job: &Job) -> Result<JsonValue, String> {
+    let req = &job.request;
+    let segments = pathattack::critical_segments(job.resident.net(), req.weight, Some(64), req.top);
+    let items = segments
+        .iter()
+        .map(|seg| {
+            let mut obj = BTreeMap::new();
+            obj.insert("edge".to_string(), JsonValue::Num(seg.edge.index() as f64));
+            obj.insert("betweenness".to_string(), JsonValue::Num(seg.betweenness));
+            obj.insert("class".to_string(), JsonValue::Str(seg.class.to_string()));
+            obj.insert("length_m".to_string(), JsonValue::Num(seg.length_m));
+            JsonValue::Obj(obj)
+        })
+        .collect();
+    let mut obj = BTreeMap::new();
+    obj.insert("segments".to_string(), JsonValue::Arr(items));
+    Ok(JsonValue::Obj(obj))
+}
+
+fn exec_impact(job: &Job, ctx: &Arc<TargetContext>) -> Result<JsonValue, String> {
+    let req = &job.request;
+    let net = job.resident.net();
+    let problem = AttackProblem::with_path_rank_in(
+        net,
+        req.weight,
+        req.cost,
+        NodeId::new(req.source),
+        job.target,
+        req.rank,
+        ctx,
+    )
+    .map_err(|e| e.to_string())?;
+    let out = GreedyPathCover.attack(&problem);
+    let demand = OdMatrix::synthetic_hospital_demand(net, req.trips, 350.0, req.seed);
+    let report = attack_impact(net, &demand, &out.removed, &AssignmentConfig::default());
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "removed".to_string(),
+        num_arr(out.removed.iter().map(|e| e.index())),
+    );
+    obj.insert(
+        "mean_trip_before_s".to_string(),
+        JsonValue::Num(report.before.mean_trip_time_s),
+    );
+    obj.insert(
+        "mean_trip_after_s".to_string(),
+        JsonValue::Num(report.after.mean_trip_time_s),
+    );
+    obj.insert(
+        "extra_mean_trip_s".to_string(),
+        JsonValue::Num(report.extra_mean_trip_s),
+    );
+    obj.insert(
+        "extra_time_veh_s".to_string(),
+        JsonValue::Num(report.extra_time_veh_s),
+    );
+    obj.insert(
+        "newly_unserved_vph".to_string(),
+        JsonValue::Num(report.newly_unserved_vph),
+    );
+    Ok(JsonValue::Obj(obj))
+}
+
+/// The `stats` response body: service configuration, live queue state,
+/// and the serve-relevant slice of the telemetry registry.
+fn stats_result(shared: &Shared) -> JsonValue {
+    let snap = obs::global().snapshot();
+    let mut counters = BTreeMap::new();
+    for name in [
+        "serve.connections",
+        "serve.requests.admitted",
+        "serve.requests.ok",
+        "serve.requests.error",
+        "serve.requests.shed",
+        "serve.requests.timeout",
+        "serve.requests.rejected_draining",
+        "serve.reuse.ctx.hit",
+        "serve.reuse.ctx.miss",
+        "pathattack.reuse.rev_dij.hit",
+        "pathattack.reuse.rev_dij.miss",
+    ] {
+        counters.insert(
+            name.to_string(),
+            JsonValue::Num(snap.counter(name).unwrap_or(0) as f64),
+        );
+    }
+    let hist = |name: &str| {
+        let mut obj = BTreeMap::new();
+        if let Some(h) = snap.histogram(name) {
+            obj.insert("count".to_string(), JsonValue::Num(h.count as f64));
+            obj.insert("mean".to_string(), JsonValue::Num(h.mean()));
+            obj.insert("p50".to_string(), JsonValue::Num(h.quantile(0.5) as f64));
+            obj.insert("p99".to_string(), JsonValue::Num(h.quantile(0.99) as f64));
+        }
+        JsonValue::Obj(obj)
+    };
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "cities".to_string(),
+        JsonValue::Arr(
+            shared
+                .registry
+                .names()
+                .iter()
+                .map(|n| JsonValue::Str(n.clone()))
+                .collect(),
+        ),
+    );
+    obj.insert(
+        "workers".to_string(),
+        JsonValue::Num(shared.cfg.workers.max(1) as f64),
+    );
+    obj.insert(
+        "queue_capacity".to_string(),
+        JsonValue::Num(shared.queue.capacity() as f64),
+    );
+    obj.insert(
+        "queue_depth".to_string(),
+        JsonValue::Num(shared.queue.len() as f64),
+    );
+    obj.insert("batching".to_string(), JsonValue::Bool(shared.cfg.batching));
+    obj.insert("draining".to_string(), JsonValue::Bool(shared.draining()));
+    obj.insert("counters".to_string(), JsonValue::Obj(counters));
+    obj.insert("batch_size".to_string(), hist("serve.batch.size"));
+    obj.insert("latency_us".to_string(), hist("serve.latency_us"));
+    JsonValue::Obj(obj)
+}
+
+/// A minimal blocking client for tests, the CLI, and `serve_load`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// Describes transport or protocol failures.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, String> {
+        let raw = self.roundtrip_raw(&request.to_payload())?;
+        Response::parse(&raw)
+    }
+
+    /// Sends a raw payload and returns the raw response bytes —
+    /// `serve_load` compares these byte-for-byte across modes.
+    ///
+    /// # Errors
+    ///
+    /// Describes transport failures.
+    pub fn roundtrip_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("send: {e}"))?;
+        read_frame(&mut self.stream).map_err(|e| format!("recv: {e}"))
+    }
+}

@@ -1,0 +1,67 @@
+//! SIGTERM / SIGINT → drain flag, without a signal-handling crate.
+//!
+//! The workspace bakes in no external dependencies, so this goes
+//! through libc's `signal(2)` directly — std already links libc, the
+//! symbol just needs declaring. The handler does the only
+//! async-signal-safe thing it can: store into an atomic. The server's
+//! accept loop polls [`drain_requested`] and starts a graceful drain;
+//! a second signal during the drain is absorbed by the same flag (the
+//! drain deadline, not signal count, bounds shutdown time).
+//!
+//! Non-unix builds compile to a never-set flag; the `serve` subcommand
+//! then only stops when its connections do.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::DRAIN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handlers (idempotent; unix only).
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a shutdown signal has arrived since [`install`].
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Sets the drain flag directly — same effect as a signal. Used by
+/// tests and by in-process shutdown paths.
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (test isolation only; real servers never un-drain).
+#[doc(hidden)]
+pub fn reset_for_tests() {
+    DRAIN.store(false, Ordering::SeqCst);
+}

@@ -1,0 +1,123 @@
+//! Protocol robustness: malformed input must produce a structured error
+//! (or a clean close) and never take the server down — well-formed
+//! requests keep flowing afterwards.
+
+use serve::{
+    read_frame, write_frame, FrameError, Request, RequestKind, Response, Server, ServerConfig,
+    MAX_FRAME,
+};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn tiny_server() -> Server {
+    Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        cities: vec!["boston".to_string()],
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn ping_ok(stream: &mut TcpStream, id: u64) {
+    let req = Request::new(id, RequestKind::Ping, "");
+    write_frame(stream, &req.to_payload()).unwrap();
+    let resp = Response::parse(&read_frame(stream).unwrap()).unwrap();
+    assert!(resp.ok, "ping {id} failed: {:?}", resp.error);
+    assert_eq!(resp.id, id);
+}
+
+#[test]
+fn invalid_json_gets_structured_error_and_connection_survives() {
+    let server = tiny_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, b"{this is not json").unwrap();
+    let resp = Response::parse(&read_frame(&mut stream).unwrap()).unwrap();
+    assert!(!resp.ok);
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("JSON"),
+        "unexpected error: {:?}",
+        resp.error
+    );
+    // Same connection, same server: still serving.
+    ping_ok(&mut stream, 1);
+    write_frame(&mut stream, b"[1,2,3]").unwrap();
+    let resp = Response::parse(&read_frame(&mut stream).unwrap()).unwrap();
+    assert!(!resp.ok);
+    ping_ok(&mut stream, 2);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_answered_then_closed() {
+    let server = tiny_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // A header announcing a frame over the cap; no body follows.
+    let header = ((MAX_FRAME + 1) as u32).to_be_bytes();
+    stream.write_all(&header).unwrap();
+    stream.flush().unwrap();
+    let resp = Response::parse(&read_frame(&mut stream).unwrap()).unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.as_deref().unwrap_or("").contains("exceeds"));
+    // The stream cannot be resynchronized: the server closes it.
+    assert!(matches!(
+        read_frame(&mut stream),
+        Err(FrameError::Closed) | Err(FrameError::Io(_))
+    ));
+    // New connections are unaffected.
+    let mut fresh = TcpStream::connect(server.local_addr()).unwrap();
+    ping_ok(&mut fresh, 3);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_closes_cleanly_and_server_keeps_serving() {
+    let server = tiny_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Claim 64 bytes, send 5, then half-close: the server sees EOF
+    // mid-frame and drops the connection without a response.
+    stream.write_all(&64u32.to_be_bytes()).unwrap();
+    stream.write_all(b"hello").unwrap();
+    stream.flush().unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    assert!(matches!(
+        read_frame(&mut stream),
+        Err(FrameError::Closed) | Err(FrameError::Io(_))
+    ));
+    let mut fresh = TcpStream::connect(server.local_addr()).unwrap();
+    ping_ok(&mut fresh, 4);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_city_and_bad_parameters_are_per_request_errors() {
+    let server = tiny_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let checks: [(&[u8], &str); 4] = [
+        (
+            br#"{"kind":"route","city":"atlantis","id":1}"#,
+            "unknown city",
+        ),
+        (
+            br#"{"kind":"route","city":"boston","id":2,"hospital":99}"#,
+            "out of range",
+        ),
+        (
+            br#"{"kind":"route","city":"boston","id":3,"source":99999999}"#,
+            "out of range",
+        ),
+        (
+            br#"{"kind":"attack","city":"boston","id":4,"algorithm":"magic"}"#,
+            "unknown algorithm",
+        ),
+    ];
+    for (payload, needle) in checks {
+        write_frame(&mut stream, payload).unwrap();
+        let resp = Response::parse(&read_frame(&mut stream).unwrap()).unwrap();
+        assert!(!resp.ok);
+        let msg = resp.error.unwrap_or_default();
+        assert!(msg.contains(needle), "{msg:?} does not mention {needle:?}");
+    }
+    ping_ok(&mut stream, 5);
+    server.shutdown();
+}

@@ -1,0 +1,253 @@
+//! End-to-end service behavior: concurrent mixed workloads, the
+//! batched/unbatched byte-identity contract, admission control,
+//! per-request deadlines, and graceful drain under load.
+
+use obs::JsonValue;
+use serve::{Client, Request, RequestKind, Server, ServerConfig};
+use std::collections::BTreeMap;
+
+fn server_with(batching: bool, workers: usize) -> Server {
+    Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        cities: vec!["boston".to_string()],
+        workers,
+        batching,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// A deterministic mixed request list; ids are list indices so the two
+/// modes can be compared response-by-response.
+fn workload() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for (i, (kind, source, rank)) in [
+        (RequestKind::Route, 3usize, 5usize),
+        (RequestKind::Route, 11, 8),
+        (RequestKind::Attack, 3, 5),
+        (RequestKind::Attack, 17, 6),
+        (RequestKind::Route, 3, 5),
+        (RequestKind::Recon, 0, 1),
+        (RequestKind::Attack, 11, 8),
+        (RequestKind::Route, 29, 4),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut r = Request::new(i as u64, kind, "boston");
+        r.source = source;
+        r.rank = rank;
+        r.top = 5;
+        reqs.push(r);
+    }
+    reqs
+}
+
+#[test]
+fn concurrent_clients_all_get_their_own_answers() {
+    let server = server_with(true, 2);
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for i in 0..3u64 {
+                    let id = t * 100 + i;
+                    let mut req = Request::new(id, RequestKind::Route, "boston");
+                    req.source = (3 + 7 * t as usize + i as usize) % 30;
+                    req.rank = 4;
+                    let resp = client.roundtrip(&req).unwrap();
+                    assert_eq!(resp.id, id, "response routed to the wrong request");
+                    assert!(resp.ok, "route failed: {:?}", resp.error);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn batched_and_unbatched_responses_are_byte_identical() {
+    let reqs = workload();
+    let mut by_mode: Vec<BTreeMap<u64, Vec<u8>>> = Vec::new();
+    for batching in [true, false] {
+        let server = server_with(batching, 2);
+        let mut client = Client::connect(&server.local_addr()).unwrap();
+        let mut responses = BTreeMap::new();
+        for req in &reqs {
+            let raw = client.roundtrip_raw(&req.to_payload()).unwrap();
+            let parsed = serve::Response::parse(&raw).unwrap();
+            assert!(parsed.ok, "request {} failed: {:?}", req.id, parsed.error);
+            responses.insert(parsed.id, raw);
+        }
+        server.shutdown();
+        by_mode.push(responses);
+    }
+    assert_eq!(by_mode[0].len(), reqs.len());
+    for (id, raw) in &by_mode[0] {
+        assert_eq!(
+            Some(raw),
+            by_mode[1].get(id),
+            "response {id} differs between batched and unbatched mode"
+        );
+    }
+}
+
+#[test]
+fn batching_reuses_contexts_across_requests() {
+    let server = server_with(true, 1);
+    let mut client = Client::connect(&server.local_addr()).unwrap();
+    // Same (network, weight, target) key every time: after the first
+    // request builds the shared context, the rest must hit it.
+    for i in 0..4u64 {
+        let mut req = Request::new(i, RequestKind::Route, "boston");
+        req.source = 3 + i as usize;
+        req.rank = 3;
+        assert!(client.roundtrip(&req).unwrap().ok);
+    }
+    let stats = client
+        .roundtrip(&Request::new(99, RequestKind::Stats, ""))
+        .unwrap();
+    let result = stats.result.expect("stats result");
+    let hits = result
+        .get("counters")
+        .and_then(|c| c.get("serve.reuse.ctx.hit"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    assert!(hits > 0, "expected shared-context hits, got {result:?}");
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_retry_hint() {
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        cities: vec!["boston".to_string()],
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let client = Client::connect(&server.local_addr()).unwrap();
+    // Occupy the single worker with a heavy equilibrium computation,
+    // then rapid-fire pipelined requests: capacity 1 admits one, the
+    // rest are shed with a retry-after hint.
+    let mut heavy = Request::new(0, RequestKind::Impact, "boston");
+    heavy.source = 3;
+    heavy.rank = 4;
+    heavy.trips = 400;
+    let mut payloads = vec![heavy.to_payload()];
+    for i in 1..=6u64 {
+        let mut light = Request::new(i, RequestKind::Route, "boston");
+        light.source = 3;
+        light.rank = 3;
+        payloads.push(light.to_payload());
+    }
+    use std::io::Write as _;
+    let mut framed = Vec::new();
+    for p in &payloads {
+        serve::write_frame(&mut framed, p).unwrap();
+    }
+    // One write: all requests land before the worker can drain them.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&framed).unwrap();
+    raw.flush().unwrap();
+    let mut shed = 0;
+    let mut ok = 0;
+    for _ in 0..payloads.len() {
+        let resp = serve::Response::parse(&serve::read_frame(&mut raw).unwrap()).unwrap();
+        if resp.ok {
+            ok += 1;
+        } else {
+            assert!(
+                resp.retry_after_ms.is_some(),
+                "non-shed error: {:?}",
+                resp.error
+            );
+            shed += 1;
+        }
+    }
+    assert!(shed > 0, "expected load shedding at queue depth 1");
+    // The heavy job was admitted before the flood, so it always
+    // completes; lights race the worker and may all be shed.
+    assert!(ok >= 1, "admitted work still completes under shedding");
+    assert_eq!(ok + shed, payloads.len());
+    // Shedding never poisons the connection: the next request goes
+    // through once the backlog clears.
+    let mut after = Request::new(50, RequestKind::Route, "boston");
+    after.source = 3;
+    after.rank = 3;
+    serve::write_frame(&mut raw, &after.to_payload()).unwrap();
+    let resp = serve::Response::parse(&serve::read_frame(&mut raw).unwrap()).unwrap();
+    assert!(resp.ok, "post-shed request failed: {:?}", resp.error);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_yields_timed_out_status_not_a_dropped_connection() {
+    let server = server_with(true, 1);
+    let mut client = Client::connect(&server.local_addr()).unwrap();
+    let mut req = Request::new(5, RequestKind::Attack, "boston");
+    req.source = 3;
+    req.rank = 5;
+    req.deadline_ms = Some(0);
+    let resp = client.roundtrip(&req).unwrap();
+    assert!(resp.ok, "timed-out attack still gets a structured answer");
+    let status = resp
+        .result
+        .as_ref()
+        .and_then(|r| r.get("status"))
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
+    assert_eq!(status, "timed_out");
+    // The connection survives the timeout.
+    let pong = client
+        .roundtrip(&Request::new(6, RequestKind::Ping, ""))
+        .unwrap();
+    assert!(pong.ok);
+    server.shutdown();
+}
+
+#[test]
+fn drain_finishes_in_flight_work_and_rejects_new_requests() {
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        cities: vec!["boston".to_string()],
+        workers: 1,
+        drain_deadline: std::time::Duration::from_secs(60),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(&addr).unwrap();
+    // Put a heavy request in flight, then drain while it runs.
+    let mut heavy = Request::new(1, RequestKind::Impact, "boston");
+    heavy.source = 3;
+    heavy.rank = 4;
+    heavy.trips = 100;
+    let in_flight = std::thread::spawn(move || client.roundtrip(&heavy));
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    server.drain();
+    // The in-flight request completes.
+    let resp = in_flight.join().unwrap().unwrap();
+    assert!(
+        resp.ok,
+        "in-flight request aborted by drain: {:?}",
+        resp.error
+    );
+    // New connections are refused (listener closed) or new requests on
+    // the old connection rejected — either way no new work is accepted.
+    let mut late = Client::connect(&addr)
+        .ok()
+        .and_then(|mut c| c.roundtrip(&Request::new(2, RequestKind::Ping, "")).ok());
+    if let Some(resp) = late.take() {
+        // A racing accept may still answer ping; real work is refused.
+        let _ = resp;
+    }
+    server.join();
+}

@@ -9,7 +9,7 @@ use obs::TelemetrySink;
 use std::io;
 
 /// Every `--key value` flag the CLI accepts, across all subcommands.
-pub const KNOWN_FLAGS: [&str; 23] = [
+pub const KNOWN_FLAGS: [&str; 28] = [
     "city",
     "scale",
     "seed",
@@ -33,18 +33,38 @@ pub const KNOWN_FLAGS: [&str; 23] = [
     "csv",
     "faults",
     "threads",
+    "listen",
+    "workers",
+    "queue-depth",
+    "batch-max",
+    "drain-deadline",
+];
+
+/// Every subcommand the CLI dispatches on, in usage order.
+pub const SUBCOMMANDS: [&str; 9] = [
+    "generate",
+    "attack",
+    "recon",
+    "harden",
+    "isolate",
+    "impact",
+    "coordinate",
+    "experiment",
+    "serve",
 ];
 
 /// Usage text printed on bad invocations; documents every known flag.
 pub const USAGE: &str =
-    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment> \
+    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment|serve> \
 [--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
 [--rank K] [--weight length|time] [--cost uniform|lanes|width] \
 [--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness] \
 [--source N] [--hospital IDX] [--top K] [--radius M] [--trips N] [--svg FILE] \
 [--victims N] [--max-hardened K] [--metrics table|jsonl|FILE] \
 [--sources N] [--deadline SECS] [--max-oracle-calls N] [--resume CKPT.jsonl] \
-[--csv FILE] [--faults SPEC] [--threads N]";
+[--csv FILE] [--faults SPEC] [--threads N] \
+[--listen ADDR:PORT] [--workers N] [--queue-depth N] [--batch-max N] \
+[--drain-deadline SECS]";
 
 /// Destination of the `--metrics` telemetry report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +115,7 @@ pub fn command_span_name(cmd: &str) -> &'static str {
         "impact" => "harness.cmd.impact",
         "coordinate" => "harness.cmd.coordinate",
         "experiment" => "harness.cmd.experiment",
+        "serve" => "harness.cmd.serve",
         _ => "harness.cmd.other",
     }
 }
@@ -125,18 +146,33 @@ mod tests {
 
     #[test]
     fn command_span_names_follow_convention() {
-        for cmd in [
-            "generate",
-            "attack",
-            "recon",
-            "harden",
-            "isolate",
-            "impact",
-            "coordinate",
-            "experiment",
-        ] {
+        for cmd in SUBCOMMANDS {
             assert_eq!(command_span_name(cmd), format!("harness.cmd.{cmd}"));
         }
         assert_eq!(command_span_name("bogus"), "harness.cmd.other");
+    }
+
+    /// Guards `USAGE` and `SUBCOMMANDS` against drifting apart: every
+    /// subcommand in the usage `<a|b|...>` list must be a known
+    /// subcommand with its own span name, and vice versa.
+    #[test]
+    fn usage_subcommand_list_matches_span_names() {
+        let list = USAGE
+            .split_once('<')
+            .and_then(|(_, rest)| rest.split_once('>'))
+            .map(|(inner, _)| inner)
+            .expect("usage lists subcommands in <...>");
+        let from_usage: Vec<&str> = list.split('|').collect();
+        assert_eq!(
+            from_usage, SUBCOMMANDS,
+            "usage <...> list and SUBCOMMANDS drifted apart"
+        );
+        for cmd in from_usage {
+            assert_ne!(
+                command_span_name(cmd),
+                "harness.cmd.other",
+                "subcommand {cmd:?} in USAGE has no span name"
+            );
+        }
     }
 }

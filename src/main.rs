@@ -10,11 +10,15 @@
 //! metro-attack impact   --city chicago [--trips 40] [--rank 20]
 //! metro-attack experiment --city boston [--sources 10] [--deadline 30]
 //!                       [--max-oracle-calls N] [--resume CKPT] [--csv FILE]
+//! metro-attack serve    --city boston [--listen 127.0.0.1:4280] [--workers N]
+//!                       [--queue-depth N] [--deadline SECS] [--drain-deadline SECS]
 //! ```
 //!
 //! Every subcommand prints a human-readable report; `attack --svg` also
 //! writes a Figs 1–4-style map. `experiment` runs a full (city, weight)
-//! sweep with checkpoint/resume and per-run deadlines.
+//! sweep with checkpoint/resume and per-run deadlines. `serve` runs the
+//! long-lived query service from the `serve` crate until SIGTERM/ctrl-c
+//! drains it.
 
 use metro_attack::attack::{coordinated_attack, minimal_hardening};
 use metro_attack::cli::{command_span_name, MetricsMode, KNOWN_FLAGS, USAGE};
@@ -476,7 +480,14 @@ fn cmd_experiment(args: &Args) -> ExitCode {
         ExperimentPlan::paper(preset, weight, parse_scale(args), args.num("seed", 42u64));
     plan.path_rank = args.num("rank", plan.path_rank);
     plan.sources_per_hospital = args.num("sources", plan.sources_per_hospital);
-    plan.threads = args.num("threads", plan.threads).max(1);
+    // Same worker-count resolution as `serve` and `serve_load`.
+    plan.threads = match serve::resolve_workers(args.get("threads")) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("bad --threads: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let limits = parse_limits(args);
     plan.deadline_s = limits.deadline.map(|d| d.as_secs_f64());
     plan.max_oracle_calls = limits.max_oracle_calls;
@@ -556,6 +567,58 @@ fn cmd_experiment(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(args: &Args) -> ExitCode {
+    let workers = match serve::resolve_workers(args.get("workers")) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("bad --workers: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let defaults = serve::ServerConfig::default();
+    let drain_secs: f64 = args.num("drain-deadline", 5.0f64);
+    if drain_secs <= 0.0 || !drain_secs.is_finite() {
+        eprintln!("--drain-deadline must be a positive number of seconds");
+        return ExitCode::FAILURE;
+    }
+    let cfg = serve::ServerConfig {
+        listen: args.get("listen").unwrap_or("127.0.0.1:4280").to_string(),
+        // `--city` takes a comma-separated list of presets and/or OSM
+        // extract paths; each becomes one resident network.
+        cities: args
+            .get("city")
+            .unwrap_or("boston")
+            .split(',')
+            .map(str::to_string)
+            .collect(),
+        scale: parse_scale(args),
+        seed: args.num("seed", 42u64),
+        workers,
+        queue_depth: args.num("queue-depth", defaults.queue_depth),
+        batch_max: args.num("batch-max", defaults.batch_max),
+        batching: true,
+        default_deadline: parse_limits(args).deadline,
+        drain_deadline: std::time::Duration::from_secs_f64(drain_secs),
+        retry_after_ms: defaults.retry_after_ms,
+    };
+    serve::signal::install();
+    let cities = cfg.cities.join(", ");
+    let server = match serve::Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parseable line for load generators and the CI smoke job: the
+    // bound port is only known now (`--listen host:0` picks one).
+    println!("listening on {}", server.local_addr());
+    println!("serving {cities} with {workers} workers (SIGTERM or ctrl-c drains)");
+    server.join();
+    println!("drained cleanly");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
@@ -578,6 +641,7 @@ fn main() -> ExitCode {
             "impact" => cmd_impact(&args),
             "coordinate" => cmd_coordinate(&args),
             "experiment" => cmd_experiment(&args),
+            "serve" => cmd_serve(&args),
             _ => usage(),
         }
     };

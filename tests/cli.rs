@@ -347,6 +347,54 @@ fn experiment_rejects_bad_fault_spec() {
 }
 
 #[test]
+fn serve_answers_requests_and_drains_on_sigterm() {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_metro-attack"))
+        .args([
+            "serve",
+            "--city",
+            "boston",
+            "--scale",
+            "0.05",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    lines.read_line(&mut line).unwrap();
+    let addr: std::net::SocketAddr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .parse()
+        .unwrap();
+
+    let mut client = serve::Client::connect(&addr).expect("connect");
+    let mut req = serve::Request::new(1, serve::RequestKind::Route, "boston");
+    req.source = 7;
+    let resp = client.roundtrip(&req).expect("roundtrip");
+    assert!(resp.ok, "{:?}", resp.error);
+    drop(client); // close the connection so drain has nothing in flight
+
+    // Default `kill` signal is SIGTERM: the server must drain and exit 0.
+    let killed = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut lines, &mut rest).unwrap();
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited {status:?}:\n{rest}");
+    assert!(rest.contains("drained cleanly"), "{rest}");
+}
+
+#[test]
 fn metrics_off_by_default() {
     let (ok, stdout, stderr) = run(&[
         "attack", "--city", "chicago", "--scale", "0.05", "--rank", "8",
