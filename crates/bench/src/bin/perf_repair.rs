@@ -1,0 +1,367 @@
+//! Measures the decremental distance-repair layer on full attack
+//! sweeps and writes `BENCH_repair.json`.
+//!
+//! ```text
+//! perf_repair [--sources N] [--rank K] [--iters N] [--out FILE]
+//!             [--min-speedup X]
+//! ```
+//!
+//! For each of two city presets (Boston, Chicago) the bench samples one
+//! small-scale experiment set, then runs every attack algorithm over
+//! all (instance × cost) pairs twice — both with the PR 3 reuse layer's
+//! shared per-hospital `TargetContext`s, once with repair disabled (the
+//! reuse-only baseline: oracles search mutated views with the
+//! intact-graph heuristic and no pruning) and once enabled (each oracle
+//! maintains a decrementally repaired exact reverse table and uses it
+//! to bound A\* relaxations) — and reports:
+//!
+//! - median wall-clock per algorithm and mode, plus city totals and the
+//!   total speedup,
+//! - A\* heap pops per mode and their ratio (the pruning's direct
+//!   effect),
+//! - repair syncs that stayed decremental vs. fell back to a full
+//!   rebuild, and the total nodes re-settled
+//!   (`routing.repair.nodes_resettled` — compare against
+//!   `nodes × syncs`, what per-call full sweeps would have settled),
+//! - whether the two modes produced identical attack outcomes (removed
+//!   edge sets, cost bits, iteration counts, statuses — runtime is the
+//!   one field allowed to differ).
+//!
+//! Instance sampling and context building are deliberately outside the
+//! timed region: both are mode-independent (repair only engages inside
+//! oracle queries), and the harness's thread fan-out is skipped so the
+//! medians measure the sweep, not scheduler noise.
+//!
+//! Exits non-zero when the repaired path is slower than
+//! `--min-speedup`× the reuse-only baseline on any city total or when
+//! outcomes differ. CI runs the full default acceptance configuration
+//! (`--min-speedup 1.5`), the same run that produced the committed
+//! `BENCH_repair.json`.
+
+use citygen::{CityPreset, Scale};
+use experiments::{sample_instances, ExperimentInstance, ExperimentPlan};
+use pathattack::{
+    all_algorithms_extended, AttackAlgorithm, AttackProblem, AttackStatus, NetworkCache,
+    TargetContext, WeightType,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use traffic_graph::{NodeId, RoadNetwork};
+
+/// Everything record-relevant about one attack run (runtime excluded).
+#[derive(PartialEq)]
+struct OutcomeKey {
+    removed: Vec<traffic_graph::EdgeId>,
+    cost_bits: u64,
+    iterations: usize,
+    status: AttackStatus,
+}
+
+struct AlgRow {
+    name: &'static str,
+    baseline_ms: f64,
+    repair_ms: f64,
+    speedup: f64,
+}
+
+struct ModeCounters {
+    astar_pops: u64,
+    spur_searches: u64,
+    spur_skips: u64,
+    repair_hits: u64,
+    repair_fallbacks: u64,
+    nodes_resettled: u64,
+}
+
+struct CityRow {
+    city: &'static str,
+    nodes: usize,
+    runs: usize,
+    algorithms: Vec<AlgRow>,
+    baseline_ms: f64,
+    repair_ms: f64,
+    speedup: f64,
+    pop_ratio: f64,
+    baseline_counters: ModeCounters,
+    repair_counters: ModeCounters,
+    records_identical: bool,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+fn counter(snap: &obs::Snapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
+fn diff(before: &obs::Snapshot, after: &obs::Snapshot) -> ModeCounters {
+    let d = |name: &str| counter(after, name) - counter(before, name);
+    ModeCounters {
+        astar_pops: d("routing.astar.pops"),
+        spur_searches: d("pathattack.oracle.spur_searches"),
+        spur_skips: d("pathattack.oracle.spur_skips"),
+        repair_hits: d("pathattack.reuse.repair.hit"),
+        repair_fallbacks: d("pathattack.reuse.repair.full_fallback"),
+        nodes_resettled: d("routing.repair.nodes_resettled"),
+    }
+}
+
+/// One timed sweep of `alg` over every (instance × cost) pair.
+fn sweep(
+    net: &RoadNetwork,
+    plan: &ExperimentPlan,
+    instances: &[ExperimentInstance],
+    contexts: &HashMap<NodeId, Arc<TargetContext>>,
+    alg: &dyn AttackAlgorithm,
+    repair: bool,
+) -> (f64, Vec<OutcomeKey>) {
+    let mut outcomes = Vec::new();
+    let t = Instant::now();
+    for inst in instances {
+        for &cost in &plan.cost_types {
+            let view = traffic_graph::GraphView::new(net);
+            let problem = AttackProblem::new_in(
+                view,
+                plan.weight,
+                cost,
+                inst.source,
+                inst.target,
+                inst.pstar.clone(),
+                &contexts[&inst.target],
+            )
+            .expect("sampled instance stays buildable")
+            .with_repair(repair);
+            let o = alg.attack(&problem);
+            outcomes.push(OutcomeKey {
+                removed: o.removed,
+                cost_bits: o.total_cost.to_bits(),
+                iterations: o.iterations,
+                status: o.status,
+            });
+        }
+    }
+    (t.elapsed().as_secs_f64() * 1e3, outcomes)
+}
+
+fn bench_city(preset: CityPreset, sources: usize, rank: usize, iters: usize) -> CityRow {
+    let mut plan = ExperimentPlan::paper(preset, WeightType::Time, Scale::Small, 42);
+    plan.sources_per_hospital = sources;
+    plan.path_rank = rank;
+    let net = plan.city.build(plan.scale, plan.seed);
+    let instances = sample_instances(&net, &plan);
+
+    // Shared per-hospital contexts, exactly as the harness builds them:
+    // the baseline here is PR 3's reuse layer, not the pre-reuse code.
+    let cache = Arc::new(NetworkCache::new());
+    let mut contexts: HashMap<NodeId, Arc<TargetContext>> = HashMap::new();
+    for inst in &instances {
+        contexts.entry(inst.target).or_insert_with(|| {
+            Arc::new(TargetContext::build_with_cache(
+                &net,
+                plan.weight,
+                inst.target,
+                cache.clone(),
+            ))
+        });
+    }
+
+    let mut algorithms = Vec::new();
+    let mut runs = 0;
+    let mut baseline_total = 0.0;
+    let mut repair_total = 0.0;
+    let mut identical = true;
+    let mut counters = [None, None];
+    for alg in all_algorithms_extended() {
+        let mut ms = [0.0f64; 2];
+        let mut first_outcomes: Vec<Option<Vec<OutcomeKey>>> = vec![None, None];
+        for (mode, repair) in [false, true].into_iter().enumerate() {
+            // Warm-up faults in allocator arenas and the scratch pools.
+            let _ = sweep(&net, &plan, &instances, &contexts, alg.as_ref(), repair);
+            let mut times = Vec::with_capacity(iters);
+            for i in 0..iters {
+                let before = obs::global().snapshot();
+                let (t, outcomes) = sweep(&net, &plan, &instances, &contexts, alg.as_ref(), repair);
+                times.push(t);
+                if i == 0 {
+                    let after = obs::global().snapshot();
+                    let c = counters[mode].get_or_insert_with(|| diff(&before, &before));
+                    let d = diff(&before, &after);
+                    c.astar_pops += d.astar_pops;
+                    c.spur_searches += d.spur_searches;
+                    c.spur_skips += d.spur_skips;
+                    c.repair_hits += d.repair_hits;
+                    c.repair_fallbacks += d.repair_fallbacks;
+                    c.nodes_resettled += d.nodes_resettled;
+                    runs = outcomes.len();
+                    first_outcomes[mode] = Some(outcomes);
+                }
+            }
+            ms[mode] = median(&mut times);
+        }
+        identical &= first_outcomes[0] == first_outcomes[1];
+        baseline_total += ms[0];
+        repair_total += ms[1];
+        algorithms.push(AlgRow {
+            name: alg.name(),
+            baseline_ms: ms[0],
+            repair_ms: ms[1],
+            speedup: ms[0] / ms[1],
+        });
+    }
+    let [baseline_counters, repair_counters] = counters.map(Option::unwrap);
+
+    CityRow {
+        city: preset.name(),
+        nodes: net.num_nodes(),
+        runs,
+        baseline_ms: baseline_total,
+        repair_ms: repair_total,
+        speedup: baseline_total / repair_total,
+        pop_ratio: baseline_counters.astar_pops as f64 / repair_counters.astar_pops.max(1) as f64,
+        baseline_counters,
+        repair_counters,
+        records_identical: identical,
+        algorithms,
+    }
+}
+
+fn main() {
+    let mut sources = 3usize;
+    let mut rank = 20usize;
+    let mut iters = 5usize;
+    let mut out_path = "BENCH_repair.json".to_string();
+    let mut min_speedup = 1.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |what: &str| -> f64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} N"))
+        };
+        match a.as_str() {
+            "--sources" => sources = num("--sources") as usize,
+            "--rank" => rank = num("--rank") as usize,
+            "--iters" => iters = num("--iters") as usize,
+            "--min-speedup" => min_speedup = num("--min-speedup"),
+            "--out" => out_path = args.next().expect("--out FILE"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    // The pop/spur/repair counters are the bench's measurement substrate.
+    obs::set_enabled(true);
+
+    let rows: Vec<CityRow> = [CityPreset::Boston, CityPreset::Chicago]
+        .into_iter()
+        .map(|preset| {
+            let row = bench_city(preset, sources, rank, iters);
+            println!(
+                "{:<9} reuse-only {:>7.1} ms  +repair {:>7.1} ms  speedup {:.2}x  \
+                 astar pops {} -> {} ({:.1}x)  syncs {} decremental / {} rebuilt  \
+                 resettled {}  outcomes identical: {}",
+                row.city,
+                row.baseline_ms,
+                row.repair_ms,
+                row.speedup,
+                row.baseline_counters.astar_pops,
+                row.repair_counters.astar_pops,
+                row.pop_ratio,
+                row.repair_counters.repair_hits,
+                row.repair_counters.repair_fallbacks,
+                row.repair_counters.nodes_resettled,
+                row.records_identical,
+            );
+            for a in &row.algorithms {
+                println!(
+                    "    {:<20} {:>7.1} ms -> {:>6.1} ms  ({:.2}x)",
+                    a.name, a.baseline_ms, a.repair_ms, a.speedup
+                );
+            }
+            row
+        })
+        .collect();
+
+    let min_observed_speedup = rows.iter().map(|r| r.speedup).fold(f64::MAX, f64::min);
+    let all_identical = rows.iter().all(|r| r.records_identical);
+    let pass = min_observed_speedup >= min_speedup && all_identical;
+
+    let counters_json = |c: &ModeCounters| {
+        format!(
+            "{{\"astar_pops\": {}, \"spur_searches\": {}, \"spur_skips\": {}, \
+             \"repair_decremental\": {}, \"repair_rebuilds\": {}, \"nodes_resettled\": {}}}",
+            c.astar_pops,
+            c.spur_searches,
+            c.spur_skips,
+            c.repair_hits,
+            c.repair_fallbacks,
+            c.nodes_resettled
+        )
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"perf_repair\",\n");
+    json.push_str("  \"scale\": \"small\",\n");
+    json.push_str(&format!("  \"path_rank\": {rank},\n"));
+    json.push_str(&format!("  \"sources_per_hospital\": {sources},\n"));
+    json.push_str("  \"algorithms\": \"extended (paper 4 + GreedyBetweenness)\",\n");
+    json.push_str("  \"baseline\": \"reuse on, repair off\",\n");
+    json.push_str(&format!("  \"iters_per_mode\": {iters},\n"));
+    json.push_str("  \"cities\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"city\": \"{}\", \"nodes\": {}, \"attack_runs\": {},\n",
+            r.city, r.nodes, r.runs
+        ));
+        json.push_str("     \"per_algorithm\": [\n");
+        for (j, a) in r.algorithms.iter().enumerate() {
+            json.push_str(&format!(
+                "       {{\"name\": \"{}\", \"reuse_only_ms\": {:.1}, \"with_repair_ms\": {:.1}, \
+                 \"speedup\": {:.2}}}{}\n",
+                a.name,
+                a.baseline_ms,
+                a.repair_ms,
+                a.speedup,
+                if j + 1 < r.algorithms.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("     ],\n");
+        json.push_str(&format!(
+            "     \"reuse_only\": {{\"wall_ms\": {:.1}, \"counters\": {}}},\n",
+            r.baseline_ms,
+            counters_json(&r.baseline_counters)
+        ));
+        json.push_str(&format!(
+            "     \"with_repair\": {{\"wall_ms\": {:.1}, \"counters\": {}}},\n",
+            r.repair_ms,
+            counters_json(&r.repair_counters)
+        ));
+        json.push_str(&format!(
+            "     \"speedup\": {:.2}, \"astar_pop_ratio\": {:.1}, \"records_identical\": {}}}{}\n",
+            r.speedup,
+            r.pop_ratio,
+            r.records_identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"min_speedup\": {min_observed_speedup:.2},\n"));
+    json.push_str(&format!("  \"threshold_speedup\": {min_speedup},\n"));
+    json.push_str(&format!("  \"pass\": {pass}\n"));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_repair.json");
+    println!(
+        "wrote {out_path} (min speedup {min_observed_speedup:.2}x >= {min_speedup}x, \
+         identical: {all_identical})"
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -152,6 +152,7 @@ pub struct TargetContext {
     net_name: String,
     weights: Arc<Vec<f64>>,
     rev: Arc<Vec<f64>>,
+    rev_parent: Arc<Vec<u32>>,
     cache: Arc<NetworkCache>,
 }
 
@@ -171,15 +172,17 @@ impl TargetContext {
         cache: Arc<NetworkCache>,
     ) -> Self {
         let weights = Arc::new(weight.compute(net));
-        // The one backward sweep every consumer then shares.
+        // The one backward sweep every consumer then shares. The parent
+        // edges come along for free and seed decremental repair tables
+        // ([`routing::RepairTable`]) on attack-mutated views.
         obs::inc("pathattack.reuse.rev_dij.miss");
         let mut scratch = routing::acquire_scratch(net.num_nodes());
-        let rev = Arc::new(scratch.dijkstra.distances(
+        let (rev, rev_parent) = scratch.dijkstra.distances_and_parents(
             &GraphView::new(net),
             |e| weights[e.index()],
             target,
             Direction::Backward,
-        ));
+        );
         TargetContext {
             weight_type: weight,
             target,
@@ -187,7 +190,8 @@ impl TargetContext {
             num_edges: net.num_edges(),
             net_name: net.name().to_string(),
             weights,
-            rev,
+            rev: Arc::new(rev),
+            rev_parent: Arc::new(rev_parent),
             cache,
         }
     }
@@ -206,6 +210,14 @@ impl TargetContext {
     /// network (a consistent A\* heuristic for every derived view).
     pub fn rev(&self) -> &Arc<Vec<f64>> {
         &self.rev
+    }
+
+    /// Shortest-path-tree parent edges of the reverse table:
+    /// `rev_parent[v]` is the out-edge of `v` starting its shortest path
+    /// to the target ([`routing::NO_EDGE`] for the target and
+    /// disconnected nodes). Seeds [`routing::RepairTable`] baselines.
+    pub fn rev_parent(&self) -> &Arc<Vec<u32>> {
+        &self.rev_parent
     }
 
     /// Per-edge weights under [`TargetContext::weight_type`].

@@ -81,6 +81,7 @@ pub struct AttackProblem<'g> {
     protected: Vec<bool>,
     budget: Option<f64>,
     limits: RunLimits,
+    repair: bool,
 }
 
 impl<'g> AttackProblem<'g> {
@@ -187,6 +188,7 @@ impl<'g> AttackProblem<'g> {
             protected: vec![false; num_edges],
             budget: None,
             limits: RunLimits::default(),
+            repair: true,
         })
     }
 
@@ -298,6 +300,24 @@ impl<'g> AttackProblem<'g> {
     pub fn with_limits(mut self, limits: RunLimits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// Enables or disables decremental distance repair (on by default).
+    ///
+    /// When on, the [`crate::Oracle`] maintains a
+    /// [`routing::RepairTable`] and uses its exact distances on the
+    /// mutated view to prune alternative-path searches; results are
+    /// byte-identical either way (the repair-off path exists for the
+    /// determinism tests and the `perf_repair` ablation bench).
+    pub fn with_repair(mut self, repair: bool) -> Self {
+        self.repair = repair;
+        self
+    }
+
+    /// Whether decremental distance repair is enabled for oracles built
+    /// from this problem.
+    pub fn repair(&self) -> bool {
+        self.repair
     }
 
     /// Attaches a shared [`TargetContext`] after construction (builder

@@ -12,9 +12,9 @@
 //!   from `p*` with a Yen-style spur pass along `p*`.
 
 use crate::{faults, AttackProblem};
-use routing::{acquire_scratch, CancelToken, Direction, Path, ScratchGuard};
+use routing::{acquire_scratch, CancelToken, Direction, Path, RepairTable, ScratchGuard};
 use std::sync::Arc;
-use traffic_graph::{EdgeId, GraphView};
+use traffic_graph::GraphView;
 
 /// Reusable search state for one attack run.
 ///
@@ -33,6 +33,12 @@ pub struct Oracle {
     /// problem's [`crate::TargetContext`] when one matches, owned
     /// otherwise.
     rev: Arc<Vec<f64>>,
+    /// Decrementally repaired exact distances on the *current* mutated
+    /// view (present when the problem enables repair). The intact table
+    /// `rev` stays the A\* ordering heuristic — same expansion order,
+    /// same tie-breaks — while the repaired table prunes relaxations
+    /// that provably cannot finish within the violating bound.
+    repair: Option<RepairTable>,
     cancel: Option<CancelToken>,
     max_calls: Option<u64>,
     calls: u64,
@@ -52,26 +58,36 @@ impl Oracle {
         let cancel = limits.deadline.map(CancelToken::deadline_in);
         let net = problem.network();
         let mut scratch = acquire_scratch(net.num_nodes());
-        let rev = match problem.target_context().filter(|c| c.matches(problem)) {
+        let (rev, rev_parent) = match problem.target_context().filter(|c| c.matches(problem)) {
             Some(ctx) => {
                 obs::inc("pathattack.reuse.rev_dij.hit");
-                ctx.rev().clone()
+                (ctx.rev().clone(), ctx.rev_parent().clone())
             }
             None => {
                 obs::inc("pathattack.reuse.rev_dij.miss");
                 scratch.dijkstra.set_cancel(cancel.clone());
-                Arc::new(scratch.dijkstra.distances(
+                let (d, p) = scratch.dijkstra.distances_and_parents(
                     problem.base_view(),
                     |e| problem.weight_of(e),
                     problem.target(),
                     Direction::Backward,
-                ))
+                );
+                (Arc::new(d), Arc::new(p))
             }
         };
+        // The repair baseline may include the base view's pre-attack
+        // removals; syncing to views that keep those removals treats
+        // them as non-tree no-ops, so the table stays exact. (A baseline
+        // truncated by an already-expired deadline is fine too: every
+        // later search is cancelled by the same token.)
+        let repair = problem
+            .repair()
+            .then(|| RepairTable::new(problem.target(), rev.clone(), rev_parent, net.num_edges()));
         scratch.astar.set_cancel(cancel.clone());
         Oracle {
             scratch,
             rev,
+            repair,
             cancel,
             max_calls: limits.max_oracle_calls,
             calls: 0,
@@ -106,12 +122,57 @@ impl Oracle {
 
     /// Cheapest s→t path in `view` that differs from `p*` in at least
     /// one edge. `None` when `p*` is the only remaining s→t path.
+    ///
+    /// With repair enabled, searches are additionally pruned with exact
+    /// distances on `view` (repaired decrementally, not re-swept), and
+    /// any alternative strictly beyond the violating threshold may come
+    /// back as `None` instead of a too-long path. Every caller treats
+    /// the two identically — a too-long alternative and no alternative
+    /// both mean "`p*` is exclusively shortest" — so attack records and
+    /// CSVs are byte-identical with repair on or off.
     pub fn best_alternative(
         &mut self,
         problem: &AttackProblem<'_>,
         view: &GraphView<'_>,
     ) -> Option<Path> {
-        let shortest = self.shortest(problem, view)?;
+        // Prune bound: one tie margin beyond the violating threshold
+        // (`pstar_weight + tie_margin`), so float noise in the pruning
+        // sums can never touch a path any caller would accept.
+        let bound = problem.pstar_weight() + 2.0 * problem.tie_margin();
+        if let Some(rep) = self.repair.as_mut() {
+            let out = rep.sync(view, |e| problem.weight_of(e));
+            if out.rebuilt {
+                obs::inc("pathattack.reuse.repair.full_fallback");
+            } else {
+                obs::inc("pathattack.reuse.repair.hit");
+            }
+        }
+        let Oracle {
+            scratch,
+            repair,
+            rev,
+            ..
+        } = self;
+        let repair = repair.as_ref();
+
+        let shortest = match repair {
+            Some(rep) => scratch.astar.shortest_path_bounded(
+                view,
+                |e| problem.weight_of(e),
+                |v| rev[v.index()],
+                problem.source(),
+                problem.target(),
+                rep.dist(),
+                bound,
+            )?,
+            None => scratch.astar.shortest_path(
+                view,
+                |e| problem.weight_of(e),
+                |v| rev[v.index()],
+                problem.source(),
+                problem.target(),
+            )?,
+        };
         if shortest.edges() != problem.pstar().edges() {
             return Some(shortest);
         }
@@ -127,11 +188,29 @@ impl Oracle {
             prefix_w.push(prefix_w.last().unwrap() + problem.weight_of(e));
         }
         let mut spur_searches: u64 = 0;
+        let mut spur_skips: u64 = 0;
 
         #[allow(clippy::needless_range_loop)] // i indexes nodes, edges and prefix weights together
         for i in 0..pstar.len() {
             let spur_node = pstar.nodes()[i];
-            let mut removed: Vec<EdgeId> = Vec::new();
+            if let Some(rep) = repair {
+                // Exact distance on `view` lower-bounds any spur
+                // completion (the spur view only removes more edges), and
+                // `best` is only ever replaced by a strictly cheaper
+                // path — so once the bound says this spur cannot beat
+                // `best`, the search's outcome is already decided and it
+                // can be skipped without touching the records.
+                let decided = best
+                    .as_ref()
+                    .is_some_and(|b| prefix_w[i] + rep.distance(spur_node) >= b.total_weight());
+                if decided {
+                    spur_skips += 1;
+                    continue;
+                }
+            }
+            // Pooled buffer instead of a per-spur allocation.
+            let mut removed = std::mem::take(&mut scratch.spur_removed);
+            removed.clear();
             // force a deviation at index i
             if work.remove_edge(pstar.edges()[i]) {
                 removed.push(pstar.edges()[i]);
@@ -144,15 +223,26 @@ impl Oracle {
                     }
                 }
             }
-            let rev = &self.rev;
             spur_searches += 1;
-            if let Some(spur) = self.scratch.astar.shortest_path(
-                &work,
-                |e| problem.weight_of(e),
-                |v| rev[v.index()],
-                spur_node,
-                problem.target(),
-            ) {
+            let spur = match repair {
+                Some(rep) => scratch.astar.shortest_path_bounded(
+                    &work,
+                    |e| problem.weight_of(e),
+                    |v| rev[v.index()],
+                    spur_node,
+                    problem.target(),
+                    rep.dist(),
+                    bound - prefix_w[i],
+                ),
+                None => scratch.astar.shortest_path(
+                    &work,
+                    |e| problem.weight_of(e),
+                    |v| rev[v.index()],
+                    spur_node,
+                    problem.target(),
+                ),
+            };
+            if let Some(spur) = spur {
                 let total = prefix_w[i] + spur.total_weight();
                 if best.as_ref().is_none_or(|b| total < b.total_weight()) {
                     let mut edges = pstar.edges()[..i].to_vec();
@@ -162,11 +252,13 @@ impl Oracle {
                     best = Some(joined);
                 }
             }
-            for e in removed {
+            for &e in &removed {
                 work.restore_edge(e);
             }
+            scratch.spur_removed = removed;
         }
         obs::add("pathattack.oracle.spur_searches", spur_searches);
+        obs::add("pathattack.oracle.spur_skips", spur_skips);
         best
     }
 
@@ -269,7 +361,7 @@ mod tests {
     #[test]
     fn best_alternative_when_shortest_is_pstar() {
         let net = three_routes();
-        let p = problem(&net);
+        let p = problem(&net).with_repair(false);
         let mut oracle = Oracle::new(&p);
         let mut view = p.base_view().clone();
         let e = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
@@ -278,6 +370,16 @@ mod tests {
         let alt = oracle.best_alternative(&p, &view).unwrap();
         assert_eq!(alt.total_weight(), 10.0);
         assert_ne!(alt.edges(), p.pstar().edges());
+
+        // With repair on, the 10-route lies beyond the violating bound
+        // and may be pruned to None — the documented equivalence: every
+        // caller treats "too long" and "no alternative" identically, as
+        // next_violating shows for both modes.
+        let p_rep = problem(&net);
+        let mut oracle_rep = Oracle::new(&p_rep);
+        assert!(oracle_rep.best_alternative(&p_rep, &view).is_none());
+        assert!(oracle_rep.next_violating(&p_rep, &view).is_none());
+        assert!(oracle.next_violating(&p, &view).is_none());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Repair-on vs repair-off must be observationally identical.
+//!
+//! The decremental repair layer prunes oracle searches with exact
+//! distances on the mutated view; the contract is that every attack
+//! algorithm removes the same edges, in the same order, at the same
+//! cost, with the same status either way. This pins that contract at
+//! the algorithm level on a real city (the experiment-level CSV pin
+//! lives in `crates/experiments/tests/repair_determinism.rs`).
+
+use citygen::{CityPreset, Scale};
+use pathattack::{all_algorithms_extended, AttackProblem, CostType, TargetContext, WeightType};
+use std::sync::Arc;
+use traffic_graph::{NodeId, PoiKind};
+
+fn problems<'a>(
+    city: &'a traffic_graph::RoadNetwork,
+    ctx: &Arc<TargetContext>,
+    hospital: NodeId,
+    repair: bool,
+) -> Vec<AttackProblem<'a>> {
+    let sources = [NodeId::new(3), NodeId::new(41)];
+    sources
+        .iter()
+        .filter_map(|&s| {
+            AttackProblem::with_path_rank_in(
+                city,
+                WeightType::Time,
+                CostType::Uniform,
+                s,
+                hospital,
+                20,
+                ctx,
+            )
+            .ok()
+            .map(|p| p.with_repair(repair))
+        })
+        .collect()
+}
+
+#[test]
+fn all_algorithms_identical_with_and_without_repair() {
+    let city = CityPreset::Chicago.build(Scale::Small, 7);
+    let hospital = city
+        .pois_of_kind(PoiKind::Hospital)
+        .next()
+        .expect("preset has a hospital")
+        .node;
+    let ctx = Arc::new(TargetContext::build(&city, WeightType::Time, hospital));
+
+    let with = problems(&city, &ctx, hospital, true);
+    let without = problems(&city, &ctx, hospital, false);
+    assert!(!with.is_empty());
+
+    for (p_on, p_off) in with.iter().zip(&without) {
+        assert_eq!(p_on.pstar().edges(), p_off.pstar().edges());
+        for alg in all_algorithms_extended() {
+            let a = alg.attack(p_on);
+            let b = alg.attack(p_off);
+            assert_eq!(a.removed, b.removed, "{} removed set diverged", alg.name());
+            assert_eq!(
+                a.total_cost.to_bits(),
+                b.total_cost.to_bits(),
+                "{} cost diverged",
+                alg.name()
+            );
+            assert_eq!(a.iterations, b.iterations, "{} iterations", alg.name());
+            assert_eq!(a.status, b.status, "{} status", alg.name());
+        }
+    }
+}
+
+#[test]
+fn repair_equivalence_holds_without_shared_context_too() {
+    // The owned-sweep oracle path (no matching TargetContext) builds its
+    // repair baseline from its own backward sweep; results must still
+    // match the repair-off run.
+    let city = CityPreset::Boston.build(Scale::Small, 11);
+    let hospital = city
+        .pois_of_kind(PoiKind::Hospital)
+        .next()
+        .expect("preset has a hospital")
+        .node;
+    let make = |repair: bool| {
+        AttackProblem::with_path_rank(
+            &city,
+            WeightType::Time,
+            CostType::Lanes,
+            NodeId::new(5),
+            hospital,
+            10,
+        )
+        .unwrap()
+        .with_repair(repair)
+    };
+    let p_on = make(true);
+    let p_off = make(false);
+    for alg in all_algorithms_extended() {
+        let a = alg.attack(&p_on);
+        let b = alg.attack(&p_off);
+        assert_eq!(a.removed, b.removed, "{} removed set diverged", alg.name());
+        assert_eq!(a.status, b.status, "{} status", alg.name());
+    }
+}

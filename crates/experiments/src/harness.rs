@@ -60,6 +60,11 @@ pub struct ExperimentPlan {
     /// Sweep [`pathattack::all_algorithms_extended`] instead of the
     /// paper's four (adds the centrality-heavy extension baselines).
     pub extended_algorithms: bool,
+    /// Decremental distance repair inside the oracles (default). The
+    /// repaired tables only prune work, so records are byte-identical
+    /// either way; the off switch exists for the determinism tests and
+    /// the `perf_repair` ablation bench.
+    pub repair: bool,
 }
 
 impl ExperimentPlan {
@@ -82,6 +87,7 @@ impl ExperimentPlan {
             faults: None,
             reuse: true,
             extended_algorithms: false,
+            repair: true,
         }
     }
 
@@ -102,6 +108,7 @@ impl ExperimentPlan {
             faults: None,
             reuse: true,
             extended_algorithms: false,
+            repair: true,
         }
     }
 
@@ -334,7 +341,7 @@ pub fn run_instances_resumable(
                             ),
                         };
                         let problem = match built {
-                            Ok(p) => p.with_limits(limits),
+                            Ok(p) => p.with_limits(limits).with_repair(plan.repair),
                             Err(_) => continue,
                         };
                         for alg in &algorithms {

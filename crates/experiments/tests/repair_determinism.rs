@@ -1,0 +1,119 @@
+//! Proof tests for the decremental repair layer at the pipeline level:
+//! repairing reverse tables across attack-mutated views must never
+//! change a single record.
+//!
+//! Repair's contract is subtler than the reuse layer's. The repaired
+//! tables are *exact* on the mutated view, but they are used only to
+//! prune oracle work that cannot produce a record-relevant path, so the
+//! oracle's observable answers — and therefore every CSV byte outside
+//! the wall-clock column — are identical with the layer on or off. The
+//! kernel-level bit-identity proof lives in
+//! `routing/tests/repair_property.rs`; the algorithm-level contract in
+//! `pathattack/tests/repair_equivalence.rs`; these tests pin the
+//! experiment CSVs, including under checkpoint/resume across modes.
+
+use citygen::CityPreset;
+use experiments::{
+    records_to_csv, run_instances_resumable, run_plan, sample_instances, CheckpointJournal,
+    ExperimentPlan,
+};
+use pathattack::WeightType;
+use std::path::PathBuf;
+
+fn smoke_plan(seed: u64, repair: bool) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::smoke(CityPreset::Chicago, WeightType::Time, seed);
+    plan.repair = repair;
+    plan
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("metro-repair-{name}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Blanks the runtime_s column (the one legitimately nondeterministic
+/// field) so the rest of the CSV can be compared byte-for-byte.
+fn mask_runtime(csv: &str) -> String {
+    csv.lines()
+        .map(|line| {
+            let mut cols: Vec<&str> = line.split(',').collect();
+            if cols.len() > 6 {
+                cols[6] = "-";
+            }
+            cols.join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn repair_on_and_off_produce_byte_identical_records() {
+    let with_repair = run_plan(&smoke_plan(23, true));
+    let without = run_plan(&smoke_plan(23, false));
+    assert!(!with_repair.is_empty());
+    assert_eq!(
+        mask_runtime(&records_to_csv(&with_repair)),
+        mask_runtime(&records_to_csv(&without)),
+    );
+}
+
+#[test]
+fn extended_algorithms_are_repair_invariant_too() {
+    // GreedyBetweenness and friends drive the oracle through the same
+    // mutated-view loop; the pruning must stay invisible there as well.
+    let mut on = smoke_plan(29, true);
+    on.extended_algorithms = true;
+    let mut off = smoke_plan(29, false);
+    off.extended_algorithms = true;
+    assert_eq!(
+        mask_runtime(&records_to_csv(&run_plan(&on))),
+        mask_runtime(&records_to_csv(&run_plan(&off))),
+    );
+}
+
+#[test]
+fn repair_composes_with_reuse_off() {
+    // Repair seeds its baseline from the oracle's own backward sweep
+    // when no shared TargetContext exists; that path must be just as
+    // invisible in the records.
+    let mut on = smoke_plan(31, true);
+    on.reuse = false;
+    let mut off = smoke_plan(31, false);
+    off.reuse = false;
+    assert_eq!(
+        mask_runtime(&records_to_csv(&run_plan(&on))),
+        mask_runtime(&records_to_csv(&run_plan(&off))),
+    );
+}
+
+#[test]
+fn resume_across_repair_modes_is_byte_identical() {
+    let plan_off = smoke_plan(37, false);
+    let net = plan_off.city.build(plan_off.scale, plan_off.seed);
+    let instances = sample_instances(&net, &plan_off);
+    let reference = run_instances_resumable(&net, &plan_off, &instances, None);
+    assert!(reference.len() > 4);
+
+    // Journal the first half of the sweep under repair=off...
+    let path = tmp_journal("cross-mode");
+    {
+        let mut journal = CheckpointJournal::open(&path).unwrap();
+        for r in &reference[..reference.len() / 2] {
+            journal.append(r).unwrap();
+        }
+    }
+    // ...and resume the rest under repair=on. Keys and record contents
+    // are mode-independent, so the completed sweep must reproduce the
+    // uninterrupted repair=off output exactly.
+    let plan_on = smoke_plan(37, true);
+    let mut journal = CheckpointJournal::open(&path).unwrap();
+    assert_eq!(journal.len(), reference.len() / 2);
+    let resumed = run_instances_resumable(&net, &plan_on, &instances, Some(&mut journal));
+    assert_eq!(
+        mask_runtime(&records_to_csv(&resumed)),
+        mask_runtime(&records_to_csv(&reference)),
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -8,12 +8,10 @@
 //! city.
 
 use crate::cancel::{CancelToken, CHECK_STRIDE};
-use crate::dijkstra::HeapEntry;
+use crate::heap::{HeapEntry, NO_EDGE};
 use crate::Path;
 use std::collections::BinaryHeap;
 use traffic_graph::{EdgeId, GraphView, NodeId};
-
-const NO_EDGE: u32 = u32::MAX;
 
 /// Reusable A* searcher with generation-stamped buffers.
 ///
@@ -124,8 +122,62 @@ impl AStar {
         F: Fn(EdgeId) -> f64,
         H: Fn(NodeId) -> f64,
     {
+        self.search(view, weight, h, source, target, None)
+    }
+
+    /// [`AStar::shortest_path`] with an extra *pruning* table: `prune_h`
+    /// holds exact distances-to-target on a subview of `view` (so it is a
+    /// valid lower bound here), and any relaxation whose completion is
+    /// provably longer than `bound` — `g + w(e) + prune_h[w] > bound` —
+    /// is skipped without touching the heap.
+    ///
+    /// Crucially the heap is still ordered by `g + h(v)` with the *same*
+    /// `h` the unbounded search uses, so among surviving entries the pop
+    /// order, tie-breaks, and returned path are identical to
+    /// [`AStar::shortest_path`] whenever that path's weight is within
+    /// `bound`. Callers that only consume paths at or below a threshold
+    /// `≤ bound` therefore observe byte-identical results while the
+    /// search settles only the near-optimal corridor. Returns `None` if
+    /// every `source → target` path exceeds `bound` (a case those
+    /// callers treat the same as a too-long path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn shortest_path_bounded<F, H>(
+        &mut self,
+        view: &GraphView<'_>,
+        weight: F,
+        h: H,
+        source: NodeId,
+        target: NodeId,
+        prune_h: &[f64],
+        bound: f64,
+    ) -> Option<Path>
+    where
+        F: Fn(EdgeId) -> f64,
+        H: Fn(NodeId) -> f64,
+    {
+        self.search(view, weight, h, source, target, Some((prune_h, bound)))
+    }
+
+    fn search<F, H>(
+        &mut self,
+        view: &GraphView<'_>,
+        weight: F,
+        h: H,
+        source: NodeId,
+        target: NodeId,
+        prune: Option<(&[f64], f64)>,
+    ) -> Option<Path>
+    where
+        F: Fn(EdgeId) -> f64,
+        H: Fn(NodeId) -> f64,
+    {
         if source == target {
             return Some(Path::trivial(source));
+        }
+        if let Some((pd, bound)) = prune {
+            if pd[source.index()] > bound {
+                return None;
+            }
         }
         let net = view.network();
         let n = net.num_nodes();
@@ -148,6 +200,7 @@ impl AStar {
         let mut pops: u64 = 0;
         let mut relaxations: u64 = 0;
         let mut prunes: u64 = 0;
+        let mut bound_prunes: u64 = 0;
         let mut found = false;
 
         while let Some(HeapEntry { node: v, .. }) = heap.pop() {
@@ -178,6 +231,14 @@ impl AStar {
                 self.touch(wi);
                 let ng = g + we;
                 if ng < self.dist[wi] {
+                    if let Some((pd, bound)) = prune {
+                        if ng + pd[wi] > bound {
+                            // Every completion through `w` at this g
+                            // provably exceeds the caller's bound.
+                            bound_prunes += 1;
+                            continue;
+                        }
+                    }
                     let hw = h(w);
                     if hw.is_infinite() {
                         // Heuristic proves this neighbor useless: the
@@ -200,18 +261,20 @@ impl AStar {
             // times per attack, so per-search name lookups would dominate
             // the enabled-mode overhead.
             thread_local! {
-                static STATS: [obs::Counter; 4] = [
+                static STATS: [obs::Counter; 5] = [
                     obs::global().counter("routing.astar.searches"),
                     obs::global().counter("routing.astar.pops"),
                     obs::global().counter("routing.astar.relaxations"),
                     obs::global().counter("routing.astar.heuristic_prunes"),
+                    obs::global().counter("routing.astar.bound_prunes"),
                 ];
             }
-            STATS.with(|[searches, c_pops, c_relax, c_prunes]| {
+            STATS.with(|[searches, c_pops, c_relax, c_prunes, c_bound]| {
                 searches.add(1);
                 c_pops.add(pops);
                 c_relax.add(relaxations);
                 c_prunes.add(prunes);
+                c_bound.add(bound_prunes);
             });
         }
 

@@ -5,12 +5,10 @@
 //! meeting point — on street networks this typically settles ~2·√ of the
 //! nodes a unidirectional sweep would.
 
-use crate::dijkstra::HeapEntry;
+use crate::heap::{HeapEntry, NO_EDGE};
 use crate::Path;
 use std::collections::BinaryHeap;
 use traffic_graph::{EdgeId, GraphView, NodeId};
-
-const NO_EDGE: u32 = u32::MAX;
 
 /// Computes a shortest path from `source` to `target` using bidirectional
 /// Dijkstra.

@@ -13,7 +13,7 @@
 //! threshold sampling, circuity statistics, demand assignment warm
 //! starts — where thousands of queries run on the unmodified network.
 
-use crate::dijkstra::HeapEntry;
+use crate::heap::HeapEntry;
 use crate::Path;
 use std::collections::BinaryHeap;
 use traffic_graph::{EdgeId, GraphView, NodeId};

@@ -7,31 +7,10 @@
 //! visits.
 
 use crate::cancel::{CancelToken, CHECK_STRIDE};
+use crate::heap::{HeapEntry, NO_EDGE};
 use crate::Path;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use traffic_graph::{EdgeId, GraphView, NodeId};
-
-/// Min-heap entry (BinaryHeap is a max-heap, so ordering is reversed).
-#[derive(Debug, PartialEq)]
-pub(crate) struct HeapEntry {
-    pub dist: f64,
-    pub node: u32,
-}
-
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.dist.total_cmp(&self.dist)
-    }
-}
 
 /// Direction of a Dijkstra sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,8 +55,6 @@ pub struct Dijkstra {
     generation: u32,
     cancel: Option<CancelToken>,
 }
-
-const NO_EDGE: u32 = u32::MAX;
 
 impl Dijkstra {
     /// Creates a searcher for networks with up to `num_nodes` nodes.
@@ -323,6 +300,39 @@ impl Dijkstra {
                 }
             })
             .collect()
+    }
+
+    /// All-reachable distances plus the shortest-path-tree parent edges.
+    ///
+    /// `parents[v]` is the edge id relaxed into `v` ([`crate::NO_EDGE`]
+    /// for the sweep source and unreached nodes). For a
+    /// [`Direction::Backward`] sweep that edge is an *out*-edge of `v` —
+    /// the first hop of `v`'s shortest path toward the sweep source —
+    /// which is exactly the tree a [`crate::RepairTable`] maintains.
+    pub fn distances_and_parents<F>(
+        &mut self,
+        view: &GraphView<'_>,
+        weight: F,
+        source: NodeId,
+        direction: Direction,
+    ) -> (Vec<f64>, Vec<u32>)
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        self.sweep(view, weight, source, None, direction);
+        let n = view.network().num_nodes();
+        let mut dist = Vec::with_capacity(n);
+        let mut parents = Vec::with_capacity(n);
+        for v in 0..n {
+            if self.stamp[v] == self.generation {
+                dist.push(self.dist[v]);
+                parents.push(self.parent_edge[v]);
+            } else {
+                dist.push(f64::INFINITY);
+                parents.push(NO_EDGE);
+            }
+        }
+        (dist, parents)
     }
 }
 

@@ -49,7 +49,9 @@ mod bidirectional;
 mod cancel;
 mod ch;
 mod dijkstra;
+mod heap;
 mod path;
+mod repair;
 mod scratch;
 mod turns;
 mod yen;
@@ -60,7 +62,9 @@ pub use bidirectional::bidirectional_shortest_path;
 pub use cancel::{CancelToken, CHECK_STRIDE};
 pub use ch::ContractionHierarchy;
 pub use dijkstra::{Dijkstra, Direction};
+pub use heap::{HeapEntry, NO_EDGE};
 pub use path::{BrokenPathError, Path};
+pub use repair::{RepairOutcome, RepairTable};
 pub use scratch::{acquire_scratch, ScratchGuard, SearchScratch};
 pub use turns::{standard_turn_model, turn_aware_shortest_path, TurnPenalty};
 pub use yen::{k_shortest_paths, k_shortest_paths_with, kth_shortest_path, YenConfig};

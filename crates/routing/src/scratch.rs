@@ -17,6 +17,7 @@
 use crate::{AStar, Dijkstra};
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
+use traffic_graph::EdgeId;
 
 /// Cap on the per-thread free list. Callers hold at most a few guards at
 /// once (the harness nests an oracle inside a Yen enumeration at worst),
@@ -34,6 +35,11 @@ pub struct SearchScratch {
     pub dijkstra: Dijkstra,
     /// Reusable A* searcher.
     pub astar: AStar,
+    /// Reusable edge buffer for spur searches: Yen-style enumerations
+    /// record the edges they temporarily remove per spur node here
+    /// (via `std::mem::take` and put-back) instead of allocating a fresh
+    /// `Vec` for every spur.
+    pub spur_removed: Vec<EdgeId>,
 }
 
 impl SearchScratch {
@@ -43,6 +49,7 @@ impl SearchScratch {
         SearchScratch {
             dijkstra: Dijkstra::new(num_nodes),
             astar: AStar::new(num_nodes),
+            spur_removed: Vec::new(),
         }
     }
 }

@@ -239,7 +239,11 @@ where
         for i in dev_start..prev.len() {
             let spur_node = prev.nodes()[i];
 
-            let mut removed: Vec<EdgeId> = Vec::new();
+            // Pooled buffer instead of a per-spur allocation: taken out
+            // of the scratch for the duration of the spur and put back
+            // (cleared) below.
+            let mut removed = std::mem::take(&mut scratch.spur_removed);
+            removed.clear();
             // Block the next edge of every accepted path sharing the
             // first `i` edges with prev.
             for ((p, _), &l) in accepted.iter().zip(&lcp) {
@@ -286,9 +290,10 @@ where
                 }
             }
 
-            for e in removed {
+            for &e in &removed {
                 work.restore_edge(e);
             }
+            scratch.spur_removed = removed;
         }
 
         match heap.pop() {

@@ -1,0 +1,142 @@
+//! Property test for the decremental repair layer: on random directed
+//! networks, after every step of a random removal sequence the repaired
+//! reverse table must be bit-identical to a fresh backward Dijkstra on
+//! the mutated view — including nodes the removals disconnect
+//! (`f64::INFINITY`) — and restoring edges mid-sequence (a view reset)
+//! must land back on the fresh table too.
+
+use proptest::prelude::*;
+use routing::{Dijkstra, Direction, RepairTable, NO_EDGE};
+use std::sync::Arc;
+use traffic_graph::{
+    EdgeAttrs, EdgeId, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
+};
+
+fn network_from(n_nodes: usize, arcs: &[(usize, usize, f64)]) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new("prop");
+    let nodes: Vec<NodeId> = (0..n_nodes)
+        .map(|i| b.add_node(Point::new((i % 5) as f64 * 100.0, (i / 5) as f64 * 100.0)))
+        .collect();
+    for &(u, v, w) in arcs {
+        let mut attrs = EdgeAttrs::from_class(RoadClass::Residential, 1.0 + w);
+        attrs.length_m = 1.0 + w;
+        b.add_edge(nodes[u % n_nodes], nodes[v % n_nodes], attrs);
+    }
+    b.build()
+}
+
+fn weight(net: &RoadNetwork) -> impl Fn(EdgeId) -> f64 + '_ {
+    move |e| net.edge_attrs(e).length_m
+}
+
+/// Fresh backward sweep on the view — the ground truth.
+fn fresh_table(net: &RoadNetwork, view: &GraphView<'_>, target: NodeId) -> (Vec<f64>, Vec<u32>) {
+    Dijkstra::new(net.num_nodes()).distances_and_parents(
+        view,
+        weight(net),
+        target,
+        Direction::Backward,
+    )
+}
+
+fn assert_bitwise_equal(table: &RepairTable, fresh: &[f64], step: usize) {
+    for (v, (&got, &want)) in table.dist().iter().zip(fresh.iter()).enumerate() {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "node {v} after step {step}: repaired {got} != fresh {want}",
+        );
+    }
+}
+
+/// (node count, arc list, removal sequence, target index, threshold).
+type Instance = (usize, Vec<(usize, usize, f64)>, Vec<usize>, usize, usize);
+
+fn instances() -> impl Strategy<Value = Instance> {
+    (3usize..14).prop_flat_map(|n| {
+        let arcs = prop::collection::vec((0..n, 0..n, 0.0f64..400.0), 1..48);
+        arcs.prop_flat_map(move |arcs| {
+            let m = arcs.len();
+            // Removal sequence indexes into the edge list (dedup'd when
+            // applied); a restore point mid-sequence exercises the
+            // reset-and-reapply path.
+            let removals = prop::collection::vec(0..m, 0..m.min(12) + 1);
+            (
+                Just(n),
+                Just(arcs),
+                removals,
+                0..n,
+                // Fallback threshold: 0 forces full rebuilds on some
+                // cases, large values force decremental repair.
+                (0usize..3).prop_map(|i| [0usize, 2, usize::MAX][i]),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn repaired_tables_match_fresh_backward_dijkstra(
+        (n, arcs, removals, target_idx, threshold) in instances()
+    ) {
+        let net = network_from(n, &arcs);
+        let target = NodeId::new(target_idx);
+        let mut view = GraphView::new(&net);
+        let (base_dist, base_parent) = fresh_table(&net, &view, target);
+        let mut table = RepairTable::new(
+            target,
+            Arc::new(base_dist),
+            Arc::new(base_parent),
+            net.num_edges(),
+        )
+        .with_fallback_threshold(threshold);
+
+        for (step, &r) in removals.iter().enumerate() {
+            view.remove_edge(EdgeId::new(r));
+            table.sync(&view, weight(&net));
+            let (fresh, _) = fresh_table(&net, &view, target);
+            assert_bitwise_equal(&table, &fresh, step);
+        }
+
+        // Restore everything (non-monotone view, as GreedyPathCover's
+        // per-round reset produces): the table must reset from its
+        // baseline and still match.
+        view.reset();
+        table.sync(&view, weight(&net));
+        let (fresh, _) = fresh_table(&net, &view, target);
+        assert_bitwise_equal(&table, &fresh, usize::MAX);
+    }
+
+    #[test]
+    fn disconnection_yields_infinity_and_no_parent(
+        (n, arcs, _, target_idx, _) in instances()
+    ) {
+        // Remove every inbound edge of the target: everything except the
+        // target itself must go to infinity, whatever path the repair
+        // takes (single batch, worst-case orphan region).
+        let net = network_from(n, &arcs);
+        let target = NodeId::new(target_idx);
+        let mut view = GraphView::new(&net);
+        let (base_dist, base_parent) = fresh_table(&net, &view, target);
+        let mut table = RepairTable::new(
+            target,
+            Arc::new(base_dist),
+            Arc::new(base_parent),
+            net.num_edges(),
+        );
+        for e in net.in_edges(target) {
+            view.remove_edge(e);
+        }
+        table.sync(&view, weight(&net));
+        let (fresh, fresh_parent) = fresh_table(&net, &view, target);
+        assert_bitwise_equal(&table, &fresh, 0);
+        for (v, (&d, &p)) in fresh.iter().zip(fresh_parent.iter()).enumerate() {
+            if v != target.index() {
+                prop_assert!(d.is_infinite());
+                prop_assert_eq!(p, NO_EDGE);
+            }
+        }
+    }
+}

@@ -710,6 +710,9 @@ fn stats_result(shared: &Shared) -> JsonValue {
         "serve.reuse.ctx.miss",
         "pathattack.reuse.rev_dij.hit",
         "pathattack.reuse.rev_dij.miss",
+        "pathattack.reuse.repair.hit",
+        "pathattack.reuse.repair.full_fallback",
+        "routing.repair.nodes_resettled",
     ] {
         counters.insert(
             name.to_string(),
