@@ -12,8 +12,10 @@
 //! and batching on (requests grouped by (network, weight, target) share
 //! one) — drives an identical deterministic route/attack workload
 //! through each at the given concurrency, and writes `BENCH_serve.json`
-//! with throughput, client-side p50/p99 latency, and the context-reuse
-//! hit rate per mode. It exits non-zero unless: every request succeeds
+//! with throughput, client-side p50/p95/p99 latency (from the same
+//! log2-bucket `obs::Histogram` the server uses), per-phase shed and
+//! queue-/exec-timeout counts, and the context-reuse hit rate per
+//! mode. It exits non-zero unless: every request succeeds
 //! in both modes, all responses are byte-identical across modes
 //! (batching must never change answers), the batched hit rate is
 //! positive, and the batched p99 is within `--max-p99-ratio` of the
@@ -21,9 +23,10 @@
 //!
 //! **External mode** (`--addr`) drives an already-running server (the
 //! CI smoke job starts `metro-attack serve` and points this at it),
-//! asserts a 100 % success rate, and asserts the server reports zero
-//! shed and zero timed-out requests — at smoke concurrency the
-//! admission queue must never fill.
+//! asserts a 100 % success rate, asserts the server reports zero shed
+//! and zero timed-out requests — at smoke concurrency the admission
+//! queue must never fill — and hits the `metrics` endpoint, failing
+//! unless the Prometheus exposition passes `obs::prometheus::lint`.
 
 use serve::{Client, Request, RequestKind, Response, Server, ServerConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,9 +56,14 @@ struct ModeStats {
     wall_ms: f64,
     throughput_rps: f64,
     p50_us: u64,
+    p95_us: u64,
     p99_us: u64,
     ctx_hits: u64,
     ctx_misses: u64,
+    /// Per-phase degradation counts (counter deltas for this mode).
+    shed: u64,
+    timeout_queue: u64,
+    timeout_exec: u64,
     ok: usize,
     errors: usize,
     /// Raw response frames by request id.
@@ -73,18 +81,12 @@ impl ModeStats {
     }
 }
 
-fn quantile(sorted_us: &[u64], q: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
-    sorted_us[idx.min(sorted_us.len() - 1)]
-}
-
-/// What one closed-loop run of the workload produced.
+/// What one closed-loop run of the workload produced. Latencies live in
+/// the same log2-bucket [`obs::Histogram`] the server itself uses, so
+/// client- and server-side quantiles are directly comparable.
 struct DriveResult {
     wall_ms: f64,
-    latencies_us: Vec<u64>,
+    latency: obs::HistogramSnapshot,
     /// Raw response frames by request id.
     responses: Vec<Option<Vec<u8>>>,
     ok: usize,
@@ -95,7 +97,9 @@ struct DriveResult {
 /// closed-loop connections; returns latencies and raw responses.
 fn drive(addr: &std::net::SocketAddr, reqs: &[Request], concurrency: usize) -> DriveResult {
     let next = AtomicUsize::new(0);
-    let latencies = Mutex::new(Vec::with_capacity(reqs.len()));
+    // Lock-free record path: every connection thread records straight
+    // into the shared histogram, no Vec+sort post-pass.
+    let latency = obs::Histogram::new();
     let responses = Mutex::new(vec![None; reqs.len()]);
     let errors = AtomicUsize::new(0);
     let started = Instant::now();
@@ -109,10 +113,7 @@ fn drive(addr: &std::net::SocketAddr, reqs: &[Request], concurrency: usize) -> D
                     let t = Instant::now();
                     match client.roundtrip_raw(&req.to_payload()) {
                         Ok(raw) => {
-                            latencies
-                                .lock()
-                                .unwrap()
-                                .push(t.elapsed().as_micros() as u64);
+                            latency.record(t.elapsed().as_micros() as u64);
                             let parsed = Response::parse(&raw);
                             if !matches!(&parsed, Ok(r) if r.ok) {
                                 errors.fetch_add(1, Ordering::Relaxed);
@@ -131,7 +132,7 @@ fn drive(addr: &std::net::SocketAddr, reqs: &[Request], concurrency: usize) -> D
     let errors = errors.into_inner();
     DriveResult {
         wall_ms,
-        latencies_us: latencies.into_inner().unwrap(),
+        latency: latency.snapshot(),
         responses: responses.into_inner().unwrap(),
         ok: reqs.len() - errors,
         errors,
@@ -155,18 +156,21 @@ fn run_mode(batching: bool, reqs: &[Request], concurrency: usize, workers: usize
     // The obs registry is process-global and both modes run in this
     // process, so reuse counters are measured as before/after deltas.
     let before = obs::global().snapshot();
-    let mut run = drive(&server.local_addr(), reqs, concurrency);
+    let run = drive(&server.local_addr(), reqs, concurrency);
     let after = obs::global().snapshot();
     server.shutdown();
-    run.latencies_us.sort_unstable();
+    let delta = |name: &str| counter(&after, name) - counter(&before, name);
     ModeStats {
         wall_ms: run.wall_ms,
         throughput_rps: reqs.len() as f64 / (run.wall_ms / 1e3),
-        p50_us: quantile(&run.latencies_us, 0.50),
-        p99_us: quantile(&run.latencies_us, 0.99),
-        ctx_hits: counter(&after, "serve.reuse.ctx.hit") - counter(&before, "serve.reuse.ctx.hit"),
-        ctx_misses: counter(&after, "serve.reuse.ctx.miss")
-            - counter(&before, "serve.reuse.ctx.miss"),
+        p50_us: run.latency.quantile(0.50),
+        p95_us: run.latency.quantile(0.95),
+        p99_us: run.latency.quantile(0.99),
+        ctx_hits: delta("serve.reuse.ctx.hit"),
+        ctx_misses: delta("serve.reuse.ctx.miss"),
+        shed: delta("serve.requests.shed"),
+        timeout_queue: delta("serve.requests.timeout.queue"),
+        timeout_exec: delta("serve.requests.timeout.exec"),
         ok: run.ok,
         errors: run.errors,
         responses: run.responses,
@@ -175,15 +179,20 @@ fn run_mode(batching: bool, reqs: &[Request], concurrency: usize, workers: usize
 
 fn mode_json(m: &ModeStats) -> String {
     format!(
-        "{{\"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
-         \"ctx_hits\": {}, \"ctx_misses\": {}, \"hit_rate\": {:.3}, \"ok\": {}, \"errors\": {}}}",
+        "{{\"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
+         \"p99_us\": {}, \"ctx_hits\": {}, \"ctx_misses\": {}, \"hit_rate\": {:.3}, \
+         \"shed\": {}, \"timeout_queue\": {}, \"timeout_exec\": {}, \"ok\": {}, \"errors\": {}}}",
         m.wall_ms,
         m.throughput_rps,
         m.p50_us,
+        m.p95_us,
         m.p99_us,
         m.ctx_hits,
         m.ctx_misses,
         m.hit_rate(),
+        m.shed,
+        m.timeout_queue,
+        m.timeout_exec,
         m.ok,
         m.errors
     )
@@ -193,8 +202,7 @@ fn mode_json(m: &ModeStats) -> String {
 fn run_external(addr: &str, requests: usize, concurrency: usize, allow_imperfect: bool) {
     let addr: std::net::SocketAddr = addr.parse().expect("--addr HOST:PORT");
     let reqs = workload(requests, 4);
-    let mut run = drive(&addr, &reqs, concurrency);
-    run.latencies_us.sort_unstable();
+    let run = drive(&addr, &reqs, concurrency);
     let mut client = Client::connect(&addr).expect("connect for stats");
     let stats = client
         .roundtrip(&Request::new(u64::MAX, RequestKind::Stats, ""))
@@ -209,18 +217,40 @@ fn run_external(addr: &str, requests: usize, concurrency: usize, allow_imperfect
             .unwrap_or(0)
     };
     let shed = stat_counter("serve.requests.shed");
-    let timeout = stat_counter("serve.requests.timeout");
+    let timeout_queue = stat_counter("serve.requests.timeout.queue");
+    let timeout_exec = stat_counter("serve.requests.timeout.exec");
+    // The metrics endpoint must answer with lint-clean Prometheus text.
+    let metrics = client
+        .roundtrip(&Request::new(u64::MAX - 1, RequestKind::Metrics, ""))
+        .expect("metrics request");
+    let exposition = metrics
+        .result
+        .as_ref()
+        .and_then(|r| r.get("exposition"))
+        .and_then(obs::JsonValue::as_str)
+        .expect("metrics exposition text")
+        .to_string();
+    if let Err(e) = obs::prometheus::lint(&exposition) {
+        eprintln!("FAIL: metrics exposition rejected by format lint: {e}");
+        std::process::exit(1);
+    }
     println!(
-        "{}/{} ok in {:.0} ms (p50 {} us, p99 {} us); server: {shed} shed, {timeout} timed out",
+        "metrics endpoint: {} lint-clean exposition lines",
+        exposition.lines().count()
+    );
+    println!(
+        "{}/{} ok in {:.0} ms (p50 {} us, p95 {} us, p99 {} us); \
+         server: {shed} shed, {timeout_queue} queue-expired, {timeout_exec} exec-expired",
         run.ok,
         reqs.len(),
         run.wall_ms,
-        quantile(&run.latencies_us, 0.50),
-        quantile(&run.latencies_us, 0.99),
+        run.latency.quantile(0.50),
+        run.latency.quantile(0.95),
+        run.latency.quantile(0.99),
     );
-    if run.errors > 0 || (!allow_imperfect && (shed > 0 || timeout > 0)) {
+    if run.errors > 0 || (!allow_imperfect && (shed > 0 || timeout_queue > 0 || timeout_exec > 0)) {
         eprintln!(
-            "FAIL: {} errors, {shed} shed, {timeout} timed out",
+            "FAIL: {} errors, {shed} shed, {timeout_queue}+{timeout_exec} timed out",
             run.errors
         );
         std::process::exit(1);
@@ -232,7 +262,11 @@ fn main() {
     let mut concurrency: Option<String> = None;
     let mut rank = 6usize;
     let mut out_path = "BENCH_serve.json".to_string();
-    let mut max_p99_ratio = 1.0f64;
+    // Quantiles now come from the log2-bucket histogram, whose estimate
+    // for a value v can be up to 2v (bucket upper bound): two latencies
+    // in the same bucket compare equal, two in adjacent buckets can
+    // show a 2x ratio. The gate therefore allows one bucket of slack.
+    let mut max_p99_ratio = 2.0f64;
     let mut addr: Option<String> = None;
     let mut allow_imperfect = false;
     let mut args = std::env::args().skip(1);
@@ -289,8 +323,8 @@ fn main() {
 
     for (name, m) in [("unbatched", &unbatched), ("batched", &batched)] {
         println!(
-            "{name:<9} {:>6.1} req/s  p50 {:>7} us  p99 {:>7} us  ctx {} hits / {} misses (rate {:.2})  {} ok, {} errors",
-            m.throughput_rps, m.p50_us, m.p99_us, m.ctx_hits, m.ctx_misses, m.hit_rate(), m.ok, m.errors
+            "{name:<9} {:>6.1} req/s  p50 {:>7} us  p95 {:>7} us  p99 {:>7} us  ctx {} hits / {} misses (rate {:.2})  {} shed, {}+{} timeouts, {} ok, {} errors",
+            m.throughput_rps, m.p50_us, m.p95_us, m.p99_us, m.ctx_hits, m.ctx_misses, m.hit_rate(), m.shed, m.timeout_queue, m.timeout_exec, m.ok, m.errors
         );
     }
     println!(

@@ -61,10 +61,18 @@ impl Oracle {
         let (rev, rev_parent) = match problem.target_context().filter(|c| c.matches(problem)) {
             Some(ctx) => {
                 obs::inc("pathattack.reuse.rev_dij.hit");
+                obs::trace::point(
+                    "oracle.rev_table",
+                    &[("outcome", obs::AttrValue::Str("hit".into()))],
+                );
                 (ctx.rev().clone(), ctx.rev_parent().clone())
             }
             None => {
                 obs::inc("pathattack.reuse.rev_dij.miss");
+                obs::trace::point(
+                    "oracle.rev_table",
+                    &[("outcome", obs::AttrValue::Str("miss".into()))],
+                );
                 scratch.dijkstra.set_cancel(cancel.clone());
                 let (d, p) = scratch.dijkstra.distances_and_parents(
                     problem.base_view(),
@@ -143,8 +151,16 @@ impl Oracle {
             let out = rep.sync(view, |e| problem.weight_of(e));
             if out.rebuilt {
                 obs::inc("pathattack.reuse.repair.full_fallback");
+                obs::trace::point(
+                    "oracle.repair",
+                    &[("outcome", obs::AttrValue::Str("full_fallback".into()))],
+                );
             } else {
                 obs::inc("pathattack.reuse.repair.hit");
+                obs::trace::point(
+                    "oracle.repair",
+                    &[("outcome", obs::AttrValue::Str("hit".into()))],
+                );
             }
         }
         let Oracle {
@@ -286,6 +302,7 @@ impl Oracle {
             return None;
         }
         obs::inc("pathattack.oracle.calls");
+        obs::trace::point("oracle.call", &[("call", obs::AttrValue::U64(self.calls))]);
         let alt = self.best_alternative(problem, view)?;
         problem.is_violating(&alt).then_some(alt)
     }

@@ -355,8 +355,30 @@ pub fn run_instances_resumable(
                                 continue;
                             }
                             faults::set_run_key(&key);
+                            // Per-run trace: deterministic id from the
+                            // run coordinates, installed so the oracle
+                            // and search layers record into it ambiently
+                            // (same mechanism the serve workers use).
+                            let run_trace = telemetry.as_ref().map(|_| {
+                                std::sync::Arc::new(obs::TraceContext::new(
+                                    obs::trace::trace_id(&[
+                                        inst.source.index() as u64,
+                                        inst.target.index() as u64,
+                                        cost as u64,
+                                        alg.name().len() as u64,
+                                    ]),
+                                    "experiment/attack",
+                                ))
+                            });
+                            let trace_guard = run_trace.as_ref().map(obs::trace::install);
                             let started = Instant::now();
                             let attempt = catch_unwind(AssertUnwindSafe(|| alg.attack(&problem)));
+                            drop(trace_guard);
+                            if let (Some(reg), Some(t)) = (&telemetry, &run_trace) {
+                                reg.counter("harness.trace.events")
+                                    .add(t.events().len() as u64);
+                                reg.counter("harness.trace.dropped").add(t.dropped());
+                            }
                             faults::clear_run_key();
                             let record = match attempt {
                                 Ok(outcome) => {

@@ -37,8 +37,17 @@ fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Histogram {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty histogram. Most callers get one from
+    /// [`crate::Registry::histogram`]; a standalone instance suits
+    /// local aggregation (e.g. bench drivers) before reporting.
+    pub fn new() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
@@ -46,6 +55,20 @@ impl Histogram {
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
+    }
+
+    /// Clears all samples, returning the histogram to its empty state.
+    /// Used by windowed metrics to recycle ring slots; concurrent
+    /// `record` calls during a reset may land in either the old or new
+    /// interval, which the window design tolerates.
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 
     /// Records one sample. Lock-free; safe from any thread.
@@ -115,17 +138,29 @@ impl HistogramSnapshot {
     /// Approximate quantile (`q` in `[0, 1]`): the inclusive upper
     /// bound of the bucket containing the `ceil(q * count)`-th sample.
     /// Exact samples `v` satisfy `quantile >= v > quantile / 2`.
+    ///
+    /// Edges are pinned so low-traffic windows never return garbage:
+    /// an empty snapshot yields 0 for every `q`; `q <= 0` yields the
+    /// observed minimum; every estimate is clamped into
+    /// `[min, max]`, so a single-bucket snapshot reports values the
+    /// distribution actually contained rather than the bucket bound.
+    /// NaN is treated as 0.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        // NaN fails both clamp comparisons; route it to the minimum
+        // explicitly rather than letting `ceil` produce rank 0.
+        if q <= 0.0 || q.is_nan() {
+            return self.min;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Tighten the top bucket's bound with the observed max.
-                return bucket_upper(i).min(self.max);
+                // Tighten the bucket bound with the observed extremes.
+                return bucket_upper(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -198,6 +233,63 @@ mod tests {
             );
         }
         assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_edges_are_pinned() {
+        // Empty: every quantile is 0, no panic.
+        let empty = Histogram::new().snapshot();
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+
+        // Single sample: every quantile is that sample.
+        let h = Histogram::new();
+        h.record(777);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 777);
+        }
+
+        // Single bucket, multiple samples: estimates stay inside
+        // [min, max] instead of escaping to the bucket bound (1023).
+        let h = Histogram::new();
+        h.record(600);
+        h.record(700);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 600);
+        assert_eq!(s.quantile(1.0), 700);
+        let mid = s.quantile(0.5);
+        assert!((600..=700).contains(&mid), "q0.5 {mid} outside [600,700]");
+
+        // q <= 0 and NaN return the minimum; q >= 1 the maximum.
+        let h = Histogram::new();
+        for v in [2u64, 40, 9000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 2);
+        assert_eq!(s.quantile(-3.0), 2);
+        assert_eq!(s.quantile(f64::NAN), 2);
+        assert_eq!(s.quantile(1.0), 9000);
+        assert_eq!(s.quantile(7.0), 9000);
+    }
+
+    #[test]
+    fn reset_returns_to_empty() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(1000);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.min, u64::MAX);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.iter().all(|&b| b == 0));
+        // And it keeps working after the reset.
+        h.record(9);
+        assert_eq!(h.snapshot().count, 1);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! them at join time (see `experiments::harness`). Export via
 //! [`sink::TableSink`] or [`sink::JsonlSink`].
 //!
+//! On top of the aggregates sit three live-telemetry layers:
+//! [`trace`] (bounded per-request span trees with deterministic ids),
+//! [`WindowedHistogram`]/[`WindowedCounter`] (rolling 10s/60s
+//! quantiles and rates), and [`prometheus`] (text exposition of
+//! everything above).
+//!
 //! ```
 //! obs::set_enabled(true);
 //! obs::add("doc.example.items", 3);
@@ -36,15 +42,20 @@
 
 mod histogram;
 mod json;
+pub mod prometheus;
 mod registry;
 pub mod sink;
 mod span;
+pub mod trace;
+mod window;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use json::JsonValue;
 pub use registry::{Counter, Gauge, Registry, Snapshot, SpanSnapshot};
 pub use sink::{JsonlSink, TableSink, TelemetrySink};
 pub use span::{span, span_in, SpanGuard};
+pub use trace::{AttrValue, TraceContext, TraceEvent, TraceSpan};
+pub use window::{WindowedCounter, WindowedHistogram};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -97,6 +108,24 @@ pub fn record_value(name: &str, value: u64) {
 pub fn set_gauge(name: &str, value: f64) {
     if enabled() {
         global().gauge(name).set(value);
+    }
+}
+
+/// Records `value` into the global *windowed* histogram `name` (rolling
+/// 10s/60s quantiles); no-op while disabled.
+#[inline]
+pub fn record_windowed(name: &str, value: u64) {
+    if enabled() {
+        global().windowed_histogram(name).record(value);
+    }
+}
+
+/// Adds `n` to the global *windowed* counter `name` (rolling rates);
+/// no-op while disabled.
+#[inline]
+pub fn add_windowed(name: &str, n: u64) {
+    if enabled() {
+        global().windowed_counter(name).add(n);
     }
 }
 

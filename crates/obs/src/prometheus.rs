@@ -1,0 +1,353 @@
+//! Prometheus text exposition (version 0.0.4) for the registry and its
+//! rolling windows, plus a format linter used by tests and CI.
+//!
+//! Name mangling: metric names in this crate are dotted
+//! (`serve.latency_us`); Prometheus names must match
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, so every dot — and any other
+//! out-of-alphabet byte — becomes an underscore
+//! (`serve_latency_us`). The mangling is lossy by design; dotted names
+//! never differ only in punctuation.
+//!
+//! Mapping:
+//! - counters → `counter`;
+//! - gauges → `gauge`;
+//! - histograms → `histogram` with cumulative `_bucket{le="..."}`
+//!   samples at the log2 bucket upper bounds, `+Inf`, `_sum`, `_count`;
+//! - span aggregates → `summary` as `<name>_seconds_sum` /
+//!   `<name>_seconds_count`;
+//! - windowed histograms → a gauge family `<name>_window` labelled
+//!   `{window="10s",q="0.5"}` plus `<name>_window_count{window=...}`;
+//! - windowed counters → `<name>_window_rate{window=...}` gauges in
+//!   events/second.
+
+use crate::registry::{Registry, Snapshot};
+
+/// The windows every exposition reports, label first.
+pub const WINDOWS: [(&str, u64); 2] = [("10s", 10_000), ("60s", 60_000)];
+
+/// Quantiles reported per window.
+pub const WINDOW_QUANTILES: [(&str, f64); 3] = [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)];
+
+/// Mangles a dotted metric name into the Prometheus alphabet.
+pub fn mangle(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    match out.chars().next() {
+        Some(c) if c.is_ascii_digit() => out.insert(0, '_'),
+        None => out.push('_'),
+        _ => {}
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the registry — aggregate snapshot plus live windows — as
+/// Prometheus text format. Deterministic given the registry contents:
+/// families are emitted in sorted-name order per kind.
+pub fn render(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::new();
+    render_snapshot(&mut out, &snapshot);
+    render_windows(&mut out, registry);
+    out
+}
+
+fn render_snapshot(out: &mut String, snapshot: &Snapshot) {
+    use std::fmt::Write;
+    for (name, value) in &snapshot.counters {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {}", fmt_f64(*value));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let mut cumulative = 0u64;
+        for (_, upper, n) in hist.nonzero_buckets() {
+            cumulative += n;
+            let _ = writeln!(out, "{m}_bucket{{le=\"{upper}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{m}_sum {}", hist.sum);
+        let _ = writeln!(out, "{m}_count {}", hist.count);
+    }
+    for (name, span) in &snapshot.spans {
+        let m = format!("{}_seconds", mangle(name));
+        let _ = writeln!(out, "# TYPE {m} summary");
+        let _ = writeln!(out, "{m}_sum {}", fmt_f64(span.total_ns as f64 / 1e9));
+        let _ = writeln!(out, "{m}_count {}", span.count);
+    }
+}
+
+fn render_windows(out: &mut String, registry: &Registry) {
+    use std::fmt::Write;
+    for (name, wh) in registry.windowed_histograms() {
+        let m = mangle(&name);
+        let _ = writeln!(out, "# TYPE {m}_window gauge");
+        let _ = writeln!(out, "# TYPE {m}_window_count gauge");
+        for (label, ms) in WINDOWS {
+            let snap = wh.snapshot_window(ms);
+            for (qname, q) in WINDOW_QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "{m}_window{{window=\"{label}\",q=\"{qname}\"}} {}",
+                    snap.quantile(q)
+                );
+            }
+            let _ = writeln!(out, "{m}_window_count{{window=\"{label}\"}} {}", snap.count);
+        }
+    }
+    for (name, wc) in registry.windowed_counters() {
+        let m = mangle(&name);
+        let _ = writeln!(out, "# TYPE {m}_window_rate gauge");
+        for (label, ms) in WINDOWS {
+            let _ = writeln!(
+                out,
+                "{m}_window_rate{{window=\"{label}\"}} {}",
+                fmt_f64(wc.rate_per_sec(ms))
+            );
+        }
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_value(v: &str) -> bool {
+    matches!(v, "+Inf" | "-Inf" | "NaN") || v.parse::<f64>().is_ok()
+}
+
+/// Splits a sample line into (metric name, label block or "", value).
+fn split_sample(line: &str) -> Option<(&str, &str, &str)> {
+    if let Some(brace) = line.find('{') {
+        let name = &line[..brace];
+        let rest = &line[brace + 1..];
+        let close = rest.find('}')?;
+        let labels = &rest[..close];
+        let value = rest[close + 1..].trim();
+        Some((name, labels, value))
+    } else {
+        let (name, value) = line.split_once(' ')?;
+        Some((name, "", value.trim()))
+    }
+}
+
+/// The histogram-series suffixes that share their family's TYPE line.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Validates Prometheus text format: name alphabet, parseable values,
+/// a `# TYPE` line preceding each family's first sample, and — for
+/// histograms — cumulative bucket monotonicity with `+Inf` equal to
+/// `_count`. Returns the first problem found.
+pub fn lint(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    // (family, labels-minus-le) -> ordered (le, cumulative) samples.
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let err = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_name(name) {
+                    return err(format!("bad TYPE name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return err(format!("bad TYPE kind {kind:?}"));
+                }
+                if types.insert(name, kind).is_some() {
+                    return err(format!("duplicate TYPE for {name}"));
+                }
+            }
+            continue; // HELP and other comments pass through
+        }
+
+        let Some((name, labels, value)) = split_sample(line) else {
+            return err(format!("unparseable sample {line:?}"));
+        };
+        if !valid_name(name) {
+            return err(format!("bad metric name {name:?}"));
+        }
+        if !valid_value(value) {
+            return err(format!("bad sample value {value:?}"));
+        }
+        let family = family_of(name);
+        let declared = types.get(family).or_else(|| types.get(name));
+        let Some(kind) = declared else {
+            return err(format!("sample {name} has no preceding TYPE line"));
+        };
+
+        if *kind == "histogram" && name.ends_with("_bucket") {
+            let mut le = None;
+            let mut others = Vec::new();
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let Some((k, v)) = pair.split_once('=') else {
+                    return err(format!("bad label pair {pair:?}"));
+                };
+                let v = v.trim_matches('"');
+                if k == "le" {
+                    le = Some(v.to_string());
+                } else {
+                    others.push(format!("{k}={v}"));
+                }
+            }
+            let Some(le) = le else {
+                return err(format!("{name} bucket sample missing le label"));
+            };
+            let le_num = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("line {}: bad le value {le:?}", lineno + 1))?
+            };
+            buckets
+                .entry((family.to_string(), others.join(",")))
+                .or_default()
+                .push((le_num, value.parse::<f64>().unwrap_or(f64::NAN)));
+        }
+        if *kind == "histogram" && name.ends_with("_count") {
+            counts.insert(
+                (family.to_string(), labels.to_string()),
+                value.parse::<f64>().unwrap_or(f64::NAN),
+            );
+        }
+    }
+
+    for ((family, labels), series) in &buckets {
+        let mut prev = (f64::NEG_INFINITY, 0.0);
+        let mut inf = None;
+        for &(le, cumulative) in series {
+            if le <= prev.0 {
+                return Err(format!("{family}: le values not increasing"));
+            }
+            if cumulative < prev.1 {
+                return Err(format!("{family}: bucket counts not cumulative"));
+            }
+            prev = (le, cumulative);
+            if le == f64::INFINITY {
+                inf = Some(cumulative);
+            }
+        }
+        let Some(inf) = inf else {
+            return Err(format!("{family}: histogram missing +Inf bucket"));
+        };
+        if let Some(&count) = counts.get(&(family.clone(), labels.clone())) {
+            if count != inf {
+                return Err(format!("{family}: +Inf bucket {inf} != _count {count}"));
+            }
+        } else {
+            return Err(format!("{family}: histogram missing _count sample"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mangle_dots_and_edge_cases() {
+        assert_eq!(mangle("serve.latency_us"), "serve_latency_us");
+        assert_eq!(mangle("a.b-c.d"), "a_b_c_d");
+        assert_eq!(mangle("9lives"), "_9lives");
+        assert_eq!(mangle(""), "_");
+    }
+
+    #[test]
+    fn render_passes_lint_and_contains_each_kind() {
+        let r = Registry::new();
+        r.counter("serve.requests.total").add(7);
+        r.gauge("serve.queue.depth").set(3.0);
+        r.histogram("serve.latency_us").record(120);
+        r.histogram("serve.latency_us").record(90_000);
+        r.record_span("serve.exec", 2_000_000, 0);
+        r.windowed_histogram("serve.latency_us").record(120);
+        r.windowed_counter("serve.requests").add(2);
+        let text = render(&r);
+        lint(&text).unwrap();
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total 7"));
+        assert!(text.contains("# TYPE serve_latency_us histogram"));
+        assert!(text.contains("serve_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("serve_latency_us_count 2"));
+        assert!(text.contains("# TYPE serve_exec_seconds summary"));
+        assert!(text.contains("serve_exec_seconds_sum 0.002"));
+        assert!(text.contains("serve_latency_us_window{window=\"10s\",q=\"0.99\"}"));
+        assert!(text.contains("serve_requests_window_rate{window=\"60s\"}"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_and_lints() {
+        let r = Registry::new();
+        r.histogram("quiet.metric"); // registered, never recorded
+        let text = render(&r);
+        lint(&text).unwrap();
+        assert!(text.contains("quiet_metric_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("quiet_metric_count 0"));
+    }
+
+    #[test]
+    fn lint_rejects_malformed_expositions() {
+        assert!(lint("no_type_line 1").is_err());
+        assert!(lint("# TYPE m counter\nm notanumber").is_err());
+        assert!(lint("# TYPE 9bad counter\n9bad 1").is_err());
+        assert!(lint(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+             h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5"
+        )
+        .is_err()); // counts not cumulative
+        assert!(lint("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1").is_err()); // no +Inf
+        assert!(lint("# TYPE m gauge\nm 1.5\n# comment\n\n# TYPE n counter\nn 2").is_ok());
+    }
+}

@@ -7,6 +7,7 @@
 //! `routing`'s search sweeps).
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::window::{WindowedCounter, WindowedHistogram};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -73,6 +74,12 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     spans: Mutex<BTreeMap<String, SpanSnapshot>>,
+    // Windowed metrics are live-only views: each ring is anchored to
+    // its own construction instant, so epochs from different
+    // registries do not align. They are therefore excluded from both
+    // `merge` and `snapshot`; readers query the live ring directly.
+    windowed_histograms: Mutex<BTreeMap<String, Arc<WindowedHistogram>>>,
+    windowed_counters: Mutex<BTreeMap<String, Arc<WindowedCounter>>>,
 }
 
 impl Default for Registry {
@@ -89,6 +96,8 @@ impl Registry {
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
+            windowed_histograms: Mutex::new(BTreeMap::new()),
+            windowed_counters: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -133,6 +142,51 @@ impl Registry {
                 h
             }
         }
+    }
+
+    /// Returns (registering on first use) the windowed histogram
+    /// `name`. Windowed metrics are live-only: see the field docs for
+    /// why they never appear in [`Registry::snapshot`] or merge.
+    pub fn windowed_histogram(&self, name: &str) -> Arc<WindowedHistogram> {
+        let mut map = Self::poison_free(&self.windowed_histograms);
+        match map.get(name) {
+            Some(w) => Arc::clone(w),
+            None => {
+                let w = Arc::new(WindowedHistogram::new());
+                map.insert(name.to_string(), Arc::clone(&w));
+                w
+            }
+        }
+    }
+
+    /// Returns (registering on first use) the windowed counter `name`.
+    pub fn windowed_counter(&self, name: &str) -> Arc<WindowedCounter> {
+        let mut map = Self::poison_free(&self.windowed_counters);
+        match map.get(name) {
+            Some(w) => Arc::clone(w),
+            None => {
+                let w = Arc::new(WindowedCounter::new());
+                map.insert(name.to_string(), Arc::clone(&w));
+                w
+            }
+        }
+    }
+
+    /// All registered windowed histograms, sorted by name (for
+    /// exposition renderers that iterate the live rings).
+    pub fn windowed_histograms(&self) -> Vec<(String, Arc<WindowedHistogram>)> {
+        Self::poison_free(&self.windowed_histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// All registered windowed counters, sorted by name.
+    pub fn windowed_counters(&self) -> Vec<(String, Arc<WindowedCounter>)> {
+        Self::poison_free(&self.windowed_counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
     }
 
     /// Folds one completed span into the aggregate for `name`. Called

@@ -1,0 +1,452 @@
+//! Request-scoped traces: a bounded, structured event buffer per unit
+//! of work.
+//!
+//! The aggregate registry answers "how much, overall"; a
+//! [`TraceContext`] answers "what happened to *this* request". One is
+//! allocated per serve request (and per experiment run) with a
+//! deterministic trace id, and carried alongside the work. Code records
+//! into it two ways:
+//!
+//! * **explicitly**, by calling [`TraceContext::point`] /
+//!   [`TraceContext::span`] on a context it holds;
+//! * **ambiently**, through the thread-local *current* trace installed
+//!   with [`install`]: deep code (the oracle, A\*, cache lookups) calls
+//!   the free functions [`point`] / [`span`] without knowing whose
+//!   request it is running under. When no trace is installed the free
+//!   functions cost one thread-local flag read.
+//!
+//! Events carry a name, a start offset and duration (microseconds since
+//! the trace began), a nesting depth — so the buffer serializes as a
+//! span *tree*, not a flat list — and a small set of structured
+//! attributes (batch size, cache hit/miss, pop counts, deadline
+//! remaining). The buffer is bounded: past `capacity` events the trace
+//! counts drops instead of growing, so a pathological request cannot
+//! balloon memory.
+//!
+//! Tracing is sampling-free and must never change answers: contexts
+//! only ever *observe*. The serve integration tests pin byte-identical
+//! responses with tracing on and off.
+
+use crate::json::JsonValue;
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One structured attribute value on a [`TraceEvent`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer attribute (counts, sizes, ids).
+    U64(u64),
+    /// Float attribute (weights, rates, milliseconds).
+    F64(f64),
+    /// String attribute (names, keys, outcomes).
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl AttrValue {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            AttrValue::U64(v) => JsonValue::Num(*v as f64),
+            AttrValue::F64(v) => JsonValue::Num(*v),
+            AttrValue::Str(s) => JsonValue::Str(s.clone()),
+        }
+    }
+}
+
+/// One recorded event inside a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Static event name (`queue.wait`, `oracle.call`, ...).
+    pub name: &'static str,
+    /// Microseconds since the trace started.
+    pub start_us: u64,
+    /// Span duration in microseconds; 0 for point events.
+    pub dur_us: u64,
+    /// Nesting depth at record time (0 = root), making the flat buffer
+    /// render as a span tree.
+    pub depth: u32,
+    /// Structured attributes.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl TraceEvent {
+    fn to_json(&self) -> JsonValue {
+        let mut obj = BTreeMap::new();
+        obj.insert("name".to_string(), JsonValue::Str(self.name.to_string()));
+        obj.insert("start_us".to_string(), JsonValue::Num(self.start_us as f64));
+        obj.insert("dur_us".to_string(), JsonValue::Num(self.dur_us as f64));
+        obj.insert("depth".to_string(), JsonValue::Num(self.depth as f64));
+        if !self.attrs.is_empty() {
+            let mut attrs = BTreeMap::new();
+            for (k, v) in &self.attrs {
+                attrs.insert(k.to_string(), v.to_json());
+            }
+            obj.insert("attrs".to_string(), JsonValue::Obj(attrs));
+        }
+        JsonValue::Obj(obj)
+    }
+}
+
+/// A bounded per-request (or per-run) trace buffer.
+///
+/// Cheap to allocate, safe to share across the threads a request passes
+/// through (reader → queue → worker): the buffer is mutex-guarded but
+/// effectively uncontended because the hand-off is sequential.
+#[derive(Debug)]
+pub struct TraceContext {
+    trace_id: u64,
+    label: &'static str,
+    started: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    capacity: usize,
+    depth: AtomicU32,
+    dropped: AtomicU64,
+}
+
+/// Default bound on events kept per trace.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// Deterministic trace-id derivation: FNV-1a over the caller's seed
+/// words. The same (sequence, request-id) pair always yields the same
+/// trace id, so logs from replayed workloads line up run-to-run.
+pub fn trace_id(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in parts {
+        for b in p.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl TraceContext {
+    /// A new trace with the given deterministic id and a `label`
+    /// describing the unit of work (`"serve/attack"`, `"experiment"`).
+    pub fn new(trace_id: u64, label: &'static str) -> TraceContext {
+        TraceContext::with_capacity(trace_id, label, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Like [`TraceContext::new`] with an explicit event-buffer bound.
+    pub fn with_capacity(trace_id: u64, label: &'static str, capacity: usize) -> TraceContext {
+        TraceContext {
+            trace_id,
+            label,
+            started: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+            depth: AtomicU32::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The deterministic trace id.
+    pub fn id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The work-unit label.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Microseconds since the trace was allocated.
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a point event with attributes at the current depth.
+    pub fn point(&self, name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
+        let start_us = self.elapsed_us();
+        let depth = self.depth.load(Ordering::Relaxed);
+        let mut events = self.lock();
+        if events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(TraceEvent {
+            name,
+            start_us,
+            dur_us: 0,
+            depth,
+            attrs,
+        });
+    }
+
+    /// Opens a span: an event whose duration is filled in when the
+    /// returned guard drops. Events recorded while the guard lives are
+    /// one level deeper, forming the span tree.
+    pub fn span(self: &Arc<Self>, name: &'static str) -> TraceSpan {
+        let start_us = self.elapsed_us();
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.lock();
+        let index = if events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            None
+        } else {
+            events.push(TraceEvent {
+                name,
+                start_us,
+                dur_us: 0,
+                depth,
+                attrs: Vec::new(),
+            });
+            Some(events.len() - 1)
+        };
+        drop(events);
+        TraceSpan {
+            ctx: Arc::clone(self),
+            index,
+        }
+    }
+
+    /// A copy of the recorded events, in start order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().clone()
+    }
+
+    /// Serializes the whole trace — id, label, totals, and the span
+    /// tree — as one JSON object (the slow-query-log line format).
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "trace_id".to_string(),
+            JsonValue::Str(format!("{:016x}", self.trace_id)),
+        );
+        obj.insert("label".to_string(), JsonValue::Str(self.label.to_string()));
+        obj.insert(
+            "total_us".to_string(),
+            JsonValue::Num(self.elapsed_us() as f64),
+        );
+        obj.insert(
+            "dropped_events".to_string(),
+            JsonValue::Num(self.dropped() as f64),
+        );
+        obj.insert(
+            "events".to_string(),
+            JsonValue::Arr(self.lock().iter().map(TraceEvent::to_json).collect()),
+        );
+        JsonValue::Obj(obj)
+    }
+}
+
+/// RAII guard for an open [`TraceContext::span`]; fills in the span's
+/// duration (and restores the depth) on drop.
+#[derive(Debug)]
+pub struct TraceSpan {
+    ctx: Arc<TraceContext>,
+    index: Option<usize>,
+}
+
+impl TraceSpan {
+    /// Attaches an attribute to the span (no-op if the event was
+    /// dropped at the capacity bound).
+    pub fn attr(&self, key: &'static str, value: AttrValue) {
+        if let Some(i) = self.index {
+            if let Some(ev) = self.ctx.lock().get_mut(i) {
+                ev.attrs.push((key, value));
+            }
+        }
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        let now = self.ctx.elapsed_us();
+        self.ctx.depth.fetch_sub(1, Ordering::Relaxed);
+        if let Some(i) = self.index {
+            if let Some(ev) = self.ctx.lock().get_mut(i) {
+                ev.dur_us = now.saturating_sub(ev.start_us);
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Fast gate: true iff `STACK` is non-empty. One `Cell` read keeps
+    /// the no-trace-installed path nearly free in hot code.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static STACK: RefCell<Vec<Arc<TraceContext>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `ctx` as this thread's current trace until the returned
+/// guard drops (nesting restores the previous one). Worker threads
+/// install the request's context around processing so deep code can
+/// record ambiently via [`point`] / [`span`].
+pub fn install(ctx: &Arc<TraceContext>) -> TraceInstallGuard {
+    STACK.with(|s| s.borrow_mut().push(Arc::clone(ctx)));
+    ACTIVE.with(|a| a.set(true));
+    TraceInstallGuard { _private: () }
+}
+
+/// Uninstalls the most recent [`install`] on drop.
+#[derive(Debug)]
+pub struct TraceInstallGuard {
+    _private: (),
+}
+
+impl Drop for TraceInstallGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.pop();
+            if stack.is_empty() {
+                ACTIVE.with(|a| a.set(false));
+            }
+        });
+    }
+}
+
+/// The thread's current trace, if one is installed.
+pub fn current() -> Option<Arc<TraceContext>> {
+    if !ACTIVE.with(Cell::get) {
+        return None;
+    }
+    STACK.with(|s| s.borrow().last().cloned())
+}
+
+/// Records a point event on the current trace; one thread-local flag
+/// read when no trace is installed.
+#[inline]
+pub fn point(name: &'static str, attrs: &[(&'static str, AttrValue)]) {
+    if !ACTIVE.with(Cell::get) {
+        return;
+    }
+    if let Some(ctx) = STACK.with(|s| s.borrow().last().cloned()) {
+        ctx.point(name, attrs.to_vec());
+    }
+}
+
+/// Opens a span on the current trace; `None` (inert) when no trace is
+/// installed.
+#[inline]
+pub fn span(name: &'static str) -> Option<TraceSpan> {
+    if !ACTIVE.with(Cell::get) {
+        return None;
+    }
+    STACK
+        .with(|s| s.borrow().last().cloned())
+        .map(|ctx| ctx.span(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_is_deterministic_and_spreads() {
+        assert_eq!(trace_id(&[1, 2]), trace_id(&[1, 2]));
+        assert_ne!(trace_id(&[1, 2]), trace_id(&[2, 1]));
+        assert_ne!(trace_id(&[0]), trace_id(&[1]));
+    }
+
+    #[test]
+    fn spans_nest_and_fill_durations() {
+        let ctx = Arc::new(TraceContext::new(7, "test"));
+        {
+            let _outer = ctx.span("outer");
+            ctx.point("mid", vec![("k", AttrValue::U64(3))]);
+            {
+                let inner = ctx.span("inner");
+                inner.attr("pops", AttrValue::U64(12));
+            }
+        }
+        let events = ctx.events();
+        assert_eq!(
+            events.iter().map(|e| e.name).collect::<Vec<_>>(),
+            ["outer", "mid", "inner"]
+        );
+        assert_eq!(
+            events.iter().map(|e| e.depth).collect::<Vec<_>>(),
+            [0, 1, 1]
+        );
+        assert_eq!(events[1].attrs, vec![("k", AttrValue::U64(3))]);
+        assert_eq!(events[2].attrs, vec![("pops", AttrValue::U64(12))]);
+        // Parent span covers the child.
+        assert!(events[0].dur_us >= events[2].dur_us);
+    }
+
+    #[test]
+    fn capacity_bounds_the_buffer_and_counts_drops() {
+        let ctx = Arc::new(TraceContext::with_capacity(1, "test", 2));
+        for _ in 0..5 {
+            ctx.point("e", vec![]);
+        }
+        assert_eq!(ctx.events().len(), 2);
+        assert_eq!(ctx.dropped(), 3);
+        // A dropped span still balances depth.
+        {
+            let _s = ctx.span("overflow");
+            assert_eq!(ctx.depth.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(ctx.depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn ambient_recording_through_install() {
+        assert!(current().is_none());
+        point("ignored", &[]); // no trace installed: no-op
+        let ctx = Arc::new(TraceContext::new(9, "test"));
+        {
+            let _g = install(&ctx);
+            assert_eq!(current().unwrap().id(), 9);
+            point("seen", &[("n", AttrValue::U64(1))]);
+            let _s = span("timed");
+        }
+        assert!(current().is_none());
+        let names: Vec<_> = ctx.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, ["seen", "timed"]);
+    }
+
+    #[test]
+    fn to_json_is_one_parseable_object() {
+        let ctx = Arc::new(TraceContext::new(0xabcd, "serve/route"));
+        ctx.point("queue.wait", vec![("wait_us", AttrValue::U64(120))]);
+        let json = ctx.to_json().to_json();
+        let back = JsonValue::parse(&json).unwrap();
+        assert_eq!(
+            back.get("trace_id").and_then(JsonValue::as_str),
+            Some("000000000000abcd")
+        );
+        assert_eq!(
+            back.get("label").and_then(JsonValue::as_str),
+            Some("serve/route")
+        );
+        assert_eq!(
+            back.get("events")
+                .and_then(JsonValue::as_arr)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+    }
+}

@@ -132,6 +132,75 @@ fn per_thread_registries_merge_like_the_harness() {
 }
 
 #[test]
+fn merge_semantics_per_metric_kind() {
+    // Counters add; gauges are last-write-wins; histograms sum their
+    // buckets and tighten min/max; spans accumulate count/total/self
+    // and widen their min/max envelope.
+    let dst = Registry::new();
+    dst.counter("m.counter").add(10);
+    dst.gauge("m.gauge").set(1.0);
+    dst.histogram("m.hist").record(8);
+    dst.record_span("m.span", 500, 100);
+
+    let src = Registry::new();
+    src.counter("m.counter").add(5);
+    src.counter("m.only_src").add(3);
+    src.gauge("m.gauge").set(-2.5);
+    src.histogram("m.hist").record(1000);
+    src.record_span("m.span", 2_000, 700);
+
+    dst.merge(&src);
+    let snap = dst.snapshot();
+    assert_eq!(snap.counter("m.counter"), Some(15));
+    assert_eq!(snap.counter("m.only_src"), Some(3), "new names materialize");
+    assert_eq!(snap.gauges, vec![("m.gauge".to_string(), -2.5)]);
+    let h = snap.histogram("m.hist").unwrap();
+    assert_eq!((h.count, h.sum, h.min, h.max), (2, 1008, 8, 1000));
+    // record_span takes (total_ns, child_ns): self = total - child,
+    // so (500-100) + (2000-700) = 1700.
+    let s = snap.span("m.span").unwrap();
+    assert_eq!((s.count, s.total_ns, s.self_ns), (2, 2_500, 1_700));
+    assert_eq!((s.min_ns, s.max_ns), (500, 2_000));
+
+    // Merging the same source again is additive, not idempotent — the
+    // harness must merge each worker registry exactly once.
+    dst.merge(&src);
+    let again = dst.snapshot();
+    assert_eq!(again.counter("m.counter"), Some(20));
+    assert_eq!(again.histogram("m.hist").unwrap().count, 3);
+    assert_eq!(again.span("m.span").unwrap().count, 3);
+}
+
+#[test]
+fn merge_with_empty_registry_changes_nothing() {
+    let dst = Registry::new();
+    dst.counter("m.counter").add(7);
+    dst.histogram("m.hist").record(3);
+    let before = dst.snapshot();
+    dst.merge(&Registry::new());
+    assert_eq!(dst.snapshot(), before);
+}
+
+#[test]
+fn empty_and_zero_histograms_round_trip_through_jsonl() {
+    // A histogram that was registered but never recorded, and one that
+    // only ever saw the value 0 (bucket zero), must both survive the
+    // JSONL round-trip — including the min=u64::MAX empty sentinel.
+    let registry = Registry::new();
+    let _ = registry.histogram("m.empty");
+    registry.histogram("m.zeros").record(0);
+    let snap = registry.snapshot();
+    let empty = snap.histogram("m.empty").unwrap();
+    assert_eq!((empty.count, empty.min), (0, u64::MAX));
+    assert_eq!(empty.quantile(0.5), 0, "empty histogram quantiles are 0");
+
+    let back = Snapshot::from_jsonl(&snap.to_jsonl()).expect("parse back");
+    assert_eq!(back, snap);
+    let zeros = back.histogram("m.zeros").unwrap();
+    assert_eq!((zeros.count, zeros.min, zeros.max), (1, 0, 0));
+}
+
+#[test]
 fn jsonl_export_round_trips_through_parser() {
     let registry = Registry::new();
     registry.counter("routing.dijkstra.pops").add(987654);

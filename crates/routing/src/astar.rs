@@ -276,6 +276,16 @@ impl AStar {
                 c_prunes.add(prunes);
                 c_bound.add(bound_prunes);
             });
+            // One trace point per search (not per pop): cheap enough to
+            // stay sampling-free, detailed enough to explain a slow
+            // request's oracle work in the slow-query log.
+            obs::trace::point(
+                "astar.search",
+                &[
+                    ("pops", obs::AttrValue::U64(pops)),
+                    ("relaxations", obs::AttrValue::U64(relaxations)),
+                ],
+            );
         }
 
         if found {

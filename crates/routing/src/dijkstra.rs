@@ -222,6 +222,14 @@ impl Dijkstra {
                 c_pops.add(pops);
                 c_relax.add(relaxations);
             });
+            // One trace point per sweep, mirroring the A* search point.
+            obs::trace::point(
+                "dijkstra.sweep",
+                &[
+                    ("pops", obs::AttrValue::U64(pops)),
+                    ("relaxations", obs::AttrValue::U64(relaxations)),
+                ],
+            );
         }
     }
 

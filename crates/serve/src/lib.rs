@@ -19,8 +19,13 @@
 //!   accepting, in-flight requests finish under a drain deadline, and
 //!   the process exits 0.
 //!
-//! Telemetry rides on the `obs` crate and is queryable in-band through
-//! the `stats` request kind.
+//! Telemetry rides on the `obs` crate and is queryable in-band: the
+//! `stats` request kind returns a structured snapshot (including
+//! rolling 10s/60s window quantiles and rates), and the `metrics`
+//! kind returns a Prometheus text exposition. Every admitted request
+//! carries a request-scoped [`obs::TraceContext`]; with `--slow-ms N`
+//! the span trees of over-threshold requests land in a JSONL
+//! slow-query log ([`slowlog`]).
 //!
 //! # Examples
 //!
@@ -48,6 +53,7 @@ pub mod queue;
 pub mod registry;
 pub mod server;
 pub mod signal;
+pub mod slowlog;
 
 pub use protocol::{
     error_response, ok_response, read_frame, write_frame, FrameError, Request, RequestKind,
@@ -56,6 +62,7 @@ pub use protocol::{
 pub use queue::BatchQueue;
 pub use registry::{NetworkRegistry, ResidentNetwork};
 pub use server::{Client, Server, ServerConfig};
+pub use slowlog::SlowQueryLog;
 
 /// Resolves a worker-pool size from an optional `--workers` /
 /// `--threads`-style flag value.

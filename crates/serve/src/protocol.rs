@@ -10,7 +10,8 @@
 //! connection.
 //!
 //! Requests are JSON objects with a `kind` field (`route`, `attack`,
-//! `recon`, `impact`, `stats`, `ping`) plus kind-specific parameters;
+//! `recon`, `impact`, `stats`, `metrics`, `ping`) plus kind-specific
+//! parameters;
 //! responses echo the request `id` and carry either `"ok": true` with a
 //! `result` object or `"ok": false` with an `error` string (and a
 //! `retry_after_ms` hint when the server shed the request under load).
@@ -127,6 +128,9 @@ pub enum RequestKind {
     Impact,
     /// Server telemetry snapshot.
     Stats,
+    /// Prometheus text exposition of the full registry plus rolling
+    /// windows (the result carries it as one string field).
+    Metrics,
     /// Liveness probe; echoes back.
     Ping,
 }
@@ -140,6 +144,7 @@ impl RequestKind {
             RequestKind::Recon => "recon",
             RequestKind::Impact => "impact",
             RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
             RequestKind::Ping => "ping",
         }
     }
@@ -152,6 +157,7 @@ impl RequestKind {
             "recon" => Some(RequestKind::Recon),
             "impact" => Some(RequestKind::Impact),
             "stats" => Some(RequestKind::Stats),
+            "metrics" => Some(RequestKind::Metrics),
             "ping" => Some(RequestKind::Ping),
             _ => None,
         }
@@ -162,7 +168,7 @@ impl RequestKind {
 ///
 /// Defaults mirror the CLI: weight `time`, cost `uniform`, rank 20,
 /// algorithm `greedy-pathcover`. `city` is required for every kind
-/// except `stats`/`ping`.
+/// except `stats`/`metrics`/`ping`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim in the response.
@@ -237,7 +243,12 @@ impl Request {
             .get("city")
             .and_then(JsonValue::as_str)
             .unwrap_or_default();
-        if city.is_empty() && !matches!(kind, RequestKind::Stats | RequestKind::Ping) {
+        if city.is_empty()
+            && !matches!(
+                kind,
+                RequestKind::Stats | RequestKind::Metrics | RequestKind::Ping
+            )
+        {
             return Err(format!("kind {kind_name:?} requires \"city\""));
         }
         let num = |key: &str, default: u64| -> Result<u64, String> {
@@ -454,6 +465,7 @@ mod tests {
         assert!(Request::parse(br#"{"kind":"attack"}"#).is_err()); // no city
         assert!(Request::parse(br#"{"kind":"attack","city":"x","rank":-2}"#).is_err());
         assert!(Request::parse(br#"{"kind":"stats"}"#).is_ok()); // city-less kinds
+        assert!(Request::parse(br#"{"kind":"metrics"}"#).is_ok());
     }
 
     #[test]

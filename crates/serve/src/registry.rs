@@ -68,9 +68,17 @@ impl ResidentNetwork {
         let mut contexts = self.contexts.lock();
         if let Some(ctx) = contexts.get(&(weight, target)) {
             obs::inc("serve.reuse.ctx.hit");
+            obs::trace::point(
+                "ctx.cache",
+                &[("outcome", obs::AttrValue::Str("hit".into()))],
+            );
             return ctx.clone();
         }
         obs::inc("serve.reuse.ctx.miss");
+        obs::trace::point(
+            "ctx.cache",
+            &[("outcome", obs::AttrValue::Str("miss".into()))],
+        );
         let ctx = Arc::new(TargetContext::build_with_cache(
             &self.net,
             weight,
@@ -86,6 +94,10 @@ impl ResidentNetwork {
     /// against). Counts `serve.reuse.ctx.miss` only.
     pub fn fresh_context(&self, weight: WeightType, target: NodeId) -> Arc<TargetContext> {
         obs::inc("serve.reuse.ctx.miss");
+        obs::trace::point(
+            "ctx.cache",
+            &[("outcome", obs::AttrValue::Str("fresh".into()))],
+        );
         Arc::new(TargetContext::build(&self.net, weight, target))
     }
 

@@ -31,7 +31,9 @@ use crate::protocol::{
 use crate::queue::BatchQueue;
 use crate::registry::{NetworkRegistry, ResidentNetwork};
 use crate::signal;
-use obs::JsonValue;
+use crate::slowlog::SlowQueryLog;
+use obs::trace::TraceContext;
+use obs::{AttrValue, JsonValue};
 use parking_lot::Mutex;
 use pathattack::{
     AttackAlgorithm, AttackProblem, AttackStatus, GreedyBetweenness, GreedyEdge, GreedyEig,
@@ -39,7 +41,7 @@ use pathattack::{
 };
 use std::collections::BTreeMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -72,6 +74,19 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Retry hint attached to load-shed responses, milliseconds.
     pub retry_after_ms: u64,
+    /// Whether each admitted request carries a [`TraceContext`]
+    /// (sampling-free; on in production). Off is the overhead-bench
+    /// baseline — responses are byte-identical either way.
+    pub tracing: bool,
+    /// Requests slower than this many milliseconds end-to-end have
+    /// their span tree appended to the slow-query log.
+    pub slow_ms: Option<u64>,
+    /// Slow-query log path; defaults to `slow_queries.jsonl` when
+    /// `slow_ms` is set without a path.
+    pub slow_log: Option<String>,
+    /// Where to flush a final registry snapshot during graceful drain
+    /// (the serve-side counterpart of `--metrics FILE`).
+    pub metrics_file: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +103,10 @@ impl Default for ServerConfig {
             default_deadline: None,
             drain_deadline: Duration::from_secs(5),
             retry_after_ms: 50,
+            tracing: true,
+            slow_ms: None,
+            slow_log: None,
+            metrics_file: None,
         }
     }
 }
@@ -101,6 +120,10 @@ struct Job {
     deadline: Option<Instant>,
     received: Instant,
     writer: Arc<Mutex<TcpStream>>,
+    /// Request-scoped trace, allocated at admission (None with
+    /// tracing off). Never read by the execution path — traces only
+    /// observe, so responses stay byte-identical with tracing on/off.
+    trace: Option<Arc<TraceContext>>,
 }
 
 /// State shared by every thread of one server.
@@ -112,6 +135,9 @@ struct Shared {
     draining: AtomicBool,
     active_conns: AtomicUsize,
     conns: Mutex<Vec<Weak<Mutex<TcpStream>>>>,
+    /// Monotone admission sequence; seeds the deterministic trace id.
+    admitted_seq: AtomicU64,
+    slow_log: Option<SlowQueryLog>,
 }
 
 impl Shared {
@@ -156,6 +182,16 @@ impl Server {
             .map_err(|e| format!("cannot read local addr: {e}"))?;
 
         let workers = cfg.workers.max(1);
+        let slow_log = match (&cfg.slow_ms, &cfg.slow_log) {
+            (Some(_), path) => {
+                let path = path.as_deref().unwrap_or("slow_queries.jsonl");
+                Some(
+                    SlowQueryLog::open(std::path::Path::new(path))
+                        .map_err(|e| format!("cannot open slow-query log {path:?}: {e}"))?,
+                )
+            }
+            (None, _) => None,
+        };
         let shared = Arc::new(Shared {
             queue: BatchQueue::new(cfg.queue_depth, cfg.batch_max),
             cfg,
@@ -163,6 +199,8 @@ impl Server {
             draining: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
+            admitted_seq: AtomicU64::new(0),
+            slow_log,
         });
 
         let worker_handles = (0..workers)
@@ -214,6 +252,17 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Every worker has exited: the registry is final. Flush the
+        // drain-time telemetry before reporting the server down, so a
+        // SIGTERM exit loses neither metrics nor slow-query records.
+        if let Some(log) = &self.shared.slow_log {
+            log.sync();
+        }
+        if let Some(path) = &self.shared.cfg.metrics_file {
+            if let Err(e) = flush_metrics_file(path) {
+                eprintln!("metro-serve: cannot write metrics file {path:?}: {e}");
+            }
+        }
     }
 
     /// Convenience: drain, then join.
@@ -221,6 +270,18 @@ impl Server {
         self.drain();
         self.join();
     }
+}
+
+/// Writes the global registry's snapshot to `path` as JSONL, buffered
+/// and renamed into place so a crash mid-write never leaves a
+/// truncated metrics file.
+fn flush_metrics_file(path: &str) -> std::io::Result<()> {
+    use obs::TelemetrySink;
+    let mut buf: Vec<u8> = Vec::new();
+    obs::JsonlSink::new(&mut buf).export(&obs::global().snapshot())?;
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
@@ -333,6 +394,13 @@ fn handle_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc
             );
             return;
         }
+        RequestKind::Metrics => {
+            send(
+                writer,
+                &ok_response(id, &RequestKind::Metrics, metrics_result()),
+            );
+            return;
+        }
         _ => {}
     }
     if shared.draining() {
@@ -410,6 +478,23 @@ fn handle_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc
         .map(Duration::from_millis)
         .or(shared.cfg.default_deadline)
         .map(|d| now + d);
+    let trace = shared.cfg.tracing.then(|| {
+        let seq = shared.admitted_seq.fetch_add(1, Ordering::Relaxed);
+        let ctx = Arc::new(TraceContext::new(
+            obs::trace::trace_id(&[seq, request.id]),
+            request_label(&request.kind),
+        ));
+        ctx.point(
+            "admit",
+            vec![
+                ("kind", AttrValue::Str(request.kind.name().to_string())),
+                ("city", AttrValue::Str(request.city.clone())),
+                ("source", AttrValue::U64(request.source as u64)),
+                ("hospital", AttrValue::U64(request.hospital as u64)),
+            ],
+        );
+        ctx
+    });
     let job = Job {
         request,
         resident: resident.clone(),
@@ -417,10 +502,13 @@ fn handle_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc
         deadline,
         received: now,
         writer: writer.clone(),
+        trace,
     };
     obs::inc("serve.requests.admitted");
+    obs::add_windowed("serve.requests", 1);
     if let Err(job) = shared.queue.push(job) {
         obs::inc("serve.requests.shed");
+        obs::add_windowed("serve.requests.shed", 1);
         send(
             &job.writer,
             &error_response(
@@ -429,6 +517,19 @@ fn handle_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc
                 Some(shared.cfg.retry_after_ms),
             ),
         );
+    }
+}
+
+/// Static trace label for a request kind.
+fn request_label(kind: &RequestKind) -> &'static str {
+    match kind {
+        RequestKind::Route => "serve/route",
+        RequestKind::Attack => "serve/attack",
+        RequestKind::Recon => "serve/recon",
+        RequestKind::Impact => "serve/impact",
+        RequestKind::Stats => "serve/stats",
+        RequestKind::Metrics => "serve/metrics",
+        RequestKind::Ping => "serve/ping",
     }
 }
 
@@ -450,12 +551,50 @@ fn worker_loop(shared: &Arc<Shared>) {
             shared.queue.pop_batch(|_, _| false)
         };
         let Some(batch) = batch else { break };
-        obs::record_value("serve.batch.size", batch.len() as u64);
+        let batch_size = batch.len() as u64;
+        obs::record_value("serve.batch.size", batch_size);
         // One context serves the whole batch; built lazily because
         // recon jobs never touch it.
         let mut batch_ctx: Option<Arc<TargetContext>> = None;
         for job in batch {
+            let trace = job.trace.clone();
+            let received = job.received;
+            // Install the request's trace for the duration of its
+            // processing so deep code (oracle, A*, context caches)
+            // records into it ambiently.
+            let guard = trace.as_ref().map(obs::trace::install);
+            if let Some(t) = &trace {
+                t.point(
+                    "queue.wait",
+                    vec![(
+                        "wait_us",
+                        AttrValue::U64(received.elapsed().as_micros() as u64),
+                    )],
+                );
+                t.point(
+                    "batch",
+                    vec![
+                        ("size", AttrValue::U64(batch_size)),
+                        ("city", AttrValue::Str(job.request.city.clone())),
+                        (
+                            "weight",
+                            AttrValue::Str(job.request.weight.name().to_string()),
+                        ),
+                        ("target", AttrValue::U64(job.target.index() as u64)),
+                    ],
+                );
+            }
             process_job(job, &mut batch_ctx, batching);
+            drop(guard);
+            if let (Some(t), Some(slow_ms)) = (&trace, shared.cfg.slow_ms) {
+                let total_us = received.elapsed().as_micros() as u64;
+                if total_us >= slow_ms.saturating_mul(1_000) {
+                    obs::inc("serve.requests.slow");
+                    if let Some(log) = &shared.slow_log {
+                        log.append(t);
+                    }
+                }
+            }
         }
     }
 }
@@ -478,26 +617,36 @@ fn process_job(job: Job, batch_ctx: &mut Option<Arc<TargetContext>>, batching: b
     let id = job.request.id;
     let now = Instant::now();
     if let Some(deadline) = job.deadline {
+        obs::trace::point(
+            "deadline",
+            &[(
+                "remaining_us",
+                AttrValue::U64(deadline.saturating_duration_since(now).as_micros() as u64),
+            )],
+        );
         if now >= deadline {
             // The deadline elapsed while the job sat in the queue: same
             // contract as an attack that ran out of time — a structured
             // timed-out answer, not a dropped connection.
             obs::inc("serve.requests.timeout");
+            obs::inc("serve.requests.timeout.queue");
             send(&job.writer, &timed_out_payload(&job));
-            obs::record_value(
-                "serve.latency_us",
-                job.received.elapsed().as_micros() as u64,
-            );
+            record_latency(&job);
             return;
         }
     }
-    let result = match job.request.kind {
-        RequestKind::Route => exec_route(&job, &context_for(&job, batch_ctx, batching)),
-        RequestKind::Attack => exec_attack(&job, &context_for(&job, batch_ctx, batching), now),
-        RequestKind::Recon => exec_recon(&job),
-        RequestKind::Impact => exec_impact(&job, &context_for(&job, batch_ctx, batching)),
-        // Handled inline by the reader; unreachable through the queue.
-        RequestKind::Stats | RequestKind::Ping => Err("not a queued request kind".to_string()),
+    let result = {
+        let _exec = obs::trace::span("exec");
+        match job.request.kind {
+            RequestKind::Route => exec_route(&job, &context_for(&job, batch_ctx, batching)),
+            RequestKind::Attack => exec_attack(&job, &context_for(&job, batch_ctx, batching), now),
+            RequestKind::Recon => exec_recon(&job),
+            RequestKind::Impact => exec_impact(&job, &context_for(&job, batch_ctx, batching)),
+            // Handled inline by the reader; unreachable through the queue.
+            RequestKind::Stats | RequestKind::Metrics | RequestKind::Ping => {
+                Err("not a queued request kind".to_string())
+            }
+        }
     };
     match result {
         Ok(value) => {
@@ -509,10 +658,15 @@ fn process_job(job: Job, batch_ctx: &mut Option<Arc<TargetContext>>, batching: b
             send(&job.writer, &error_response(id, &msg, None));
         }
     }
-    obs::record_value(
-        "serve.latency_us",
-        job.received.elapsed().as_micros() as u64,
-    );
+    record_latency(&job);
+}
+
+/// Records one finished request's end-to-end latency into both the
+/// lifetime histogram and the rolling windows.
+fn record_latency(job: &Job) {
+    let us = job.received.elapsed().as_micros() as u64;
+    obs::record_value("serve.latency_us", us);
+    obs::record_windowed("serve.latency_us", us);
 }
 
 /// The answer for a request whose deadline expired in the queue: for
@@ -604,6 +758,7 @@ fn exec_attack(job: &Job, ctx: &Arc<TargetContext>, now: Instant) -> Result<Json
     let out = algorithm.attack(&problem);
     if out.status == AttackStatus::TimedOut {
         obs::inc("serve.requests.timeout");
+        obs::inc("serve.requests.timeout.exec");
     }
     let mut obj = BTreeMap::new();
     obj.insert(
@@ -705,6 +860,9 @@ fn stats_result(shared: &Shared) -> JsonValue {
         "serve.requests.error",
         "serve.requests.shed",
         "serve.requests.timeout",
+        "serve.requests.timeout.queue",
+        "serve.requests.timeout.exec",
+        "serve.requests.slow",
         "serve.requests.rejected_draining",
         "serve.reuse.ctx.hit",
         "serve.reuse.ctx.miss",
@@ -758,6 +916,57 @@ fn stats_result(shared: &Shared) -> JsonValue {
     obj.insert("counters".to_string(), JsonValue::Obj(counters));
     obj.insert("batch_size".to_string(), hist("serve.batch.size"));
     obj.insert("latency_us".to_string(), hist("serve.latency_us"));
+    obj.insert("windows".to_string(), windows_result());
+    JsonValue::Obj(obj)
+}
+
+/// Rolling-window section of the `stats` response: per window
+/// (`10s`/`60s`), latency quantiles from the windowed histogram plus
+/// request/shed rates from the windowed counters.
+fn windows_result() -> JsonValue {
+    let reg = obs::global();
+    let latency = reg.windowed_histogram("serve.latency_us");
+    let requests = reg.windowed_counter("serve.requests");
+    let shed = reg.windowed_counter("serve.requests.shed");
+    let mut windows = BTreeMap::new();
+    for (label, ms) in obs::prometheus::WINDOWS {
+        let snap = latency.snapshot_window(ms);
+        let mut w = BTreeMap::new();
+        w.insert("count".to_string(), JsonValue::Num(snap.count as f64));
+        w.insert(
+            "latency_p50_us".to_string(),
+            JsonValue::Num(snap.quantile(0.5) as f64),
+        );
+        w.insert(
+            "latency_p95_us".to_string(),
+            JsonValue::Num(snap.quantile(0.95) as f64),
+        );
+        w.insert(
+            "latency_p99_us".to_string(),
+            JsonValue::Num(snap.quantile(0.99) as f64),
+        );
+        w.insert("rps".to_string(), JsonValue::Num(requests.rate_per_sec(ms)));
+        w.insert(
+            "shed_per_sec".to_string(),
+            JsonValue::Num(shed.rate_per_sec(ms)),
+        );
+        windows.insert(label.to_string(), JsonValue::Obj(w));
+    }
+    JsonValue::Obj(windows)
+}
+
+/// The `metrics` response body: the Prometheus text exposition of the
+/// whole registry (aggregates plus rolling windows) as one string.
+fn metrics_result() -> JsonValue {
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "content_type".to_string(),
+        JsonValue::Str("text/plain; version=0.0.4".to_string()),
+    );
+    obj.insert(
+        "exposition".to_string(),
+        JsonValue::Str(obs::prometheus::render(obs::global())),
+    );
     JsonValue::Obj(obj)
 }
 

@@ -1,0 +1,93 @@
+//! Slow-query log: JSONL span trees for over-threshold requests.
+//!
+//! When the server runs with `--slow-ms N`, any request whose total
+//! latency crosses the threshold has its full [`obs::TraceContext`] —
+//! trace id, label, and the span tree of queue wait, batch, context
+//! resolution, oracle calls — serialized as one JSON line.
+//!
+//! Appends are atomic at the line level: the file is opened with
+//! `O_APPEND` and each record is a single `write_all` of a complete
+//! line, so concurrent workers (and even concurrent server processes
+//! sharing a log) never interleave bytes mid-record. The log is
+//! `fsync`ed when the server drains so a SIGTERM loses nothing.
+
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// An append-only JSONL sink for slow-request traces.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    file: Mutex<File>,
+}
+
+impl SlowQueryLog {
+    /// Opens (creating if needed) the log at `path` in append mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure.
+    pub fn open(path: &Path) -> std::io::Result<SlowQueryLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(SlowQueryLog {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one trace as a single JSON line. Write errors are
+    /// counted (`serve.slowlog.write_errors`), not propagated — a full
+    /// disk must not take the serving path down.
+    pub fn append(&self, trace: &obs::TraceContext) {
+        let mut line = trace.to_json().to_json();
+        line.push('\n');
+        let mut file = self.file.lock();
+        if file.write_all(line.as_bytes()).is_err() {
+            obs::inc("serve.slowlog.write_errors");
+        } else {
+            obs::inc("serve.slowlog.records");
+        }
+    }
+
+    /// Flushes and syncs the log to disk; called during graceful drain.
+    pub fn sync(&self) {
+        let mut file = self.file.lock();
+        let _ = file.flush();
+        let _ = file.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::TraceContext;
+    use std::sync::Arc;
+
+    #[test]
+    fn appends_one_parseable_line_per_trace() {
+        let dir = std::env::temp_dir().join(format!("slowlog-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        let log = SlowQueryLog::open(&path).unwrap();
+        for i in 0..3u64 {
+            let ctx = Arc::new(TraceContext::new(i, "test"));
+            ctx.point("queue.wait", vec![("wait_us", obs::AttrValue::U64(i))]);
+            log.append(&ctx);
+        }
+        log.sync();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let doc = obs::JsonValue::parse(line).unwrap();
+            assert!(doc.get("trace_id").is_some());
+            assert_eq!(
+                doc.get("events")
+                    .and_then(obs::JsonValue::as_arr)
+                    .map(<[obs::JsonValue]>::len),
+                Some(1)
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

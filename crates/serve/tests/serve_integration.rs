@@ -214,6 +214,149 @@ fn expired_deadline_yields_timed_out_status_not_a_dropped_connection() {
 }
 
 #[test]
+fn responses_are_byte_identical_with_tracing_on_and_off() {
+    // The tracing plane observes requests but must never alter their
+    // answers: raw response frames are compared byte-for-byte.
+    let reqs = workload();
+    let mut by_mode: Vec<BTreeMap<u64, Vec<u8>>> = Vec::new();
+    for tracing in [true, false] {
+        let server = Server::start(ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            cities: vec!["boston".to_string()],
+            workers: 2,
+            tracing,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(&server.local_addr()).unwrap();
+        let mut responses = BTreeMap::new();
+        for req in &reqs {
+            let raw = client.roundtrip_raw(&req.to_payload()).unwrap();
+            let parsed = serve::Response::parse(&raw).unwrap();
+            assert!(parsed.ok, "request {} failed: {:?}", req.id, parsed.error);
+            responses.insert(parsed.id, raw);
+        }
+        server.shutdown();
+        by_mode.push(responses);
+    }
+    assert_eq!(by_mode[0].len(), reqs.len());
+    for (id, raw) in &by_mode[0] {
+        assert_eq!(
+            Some(raw),
+            by_mode[1].get(id),
+            "response {id} differs with tracing on vs off"
+        );
+    }
+}
+
+#[test]
+fn metrics_request_returns_lint_clean_prometheus_text_with_windows() {
+    obs::set_enabled(true);
+    let server = server_with(true, 1);
+    let mut client = Client::connect(&server.local_addr()).unwrap();
+    for i in 0..3u64 {
+        let mut req = Request::new(i, RequestKind::Route, "boston");
+        req.source = 3 + i as usize;
+        req.rank = 3;
+        assert!(client.roundtrip(&req).unwrap().ok);
+    }
+    let resp = client
+        .roundtrip(&Request::new(99, RequestKind::Metrics, ""))
+        .unwrap();
+    assert!(resp.ok, "metrics request failed: {:?}", resp.error);
+    let result = resp.result.expect("metrics result");
+    assert_eq!(
+        result.get("content_type").and_then(JsonValue::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = result
+        .get("exposition")
+        .and_then(JsonValue::as_str)
+        .expect("exposition text")
+        .to_string();
+    obs::prometheus::lint(&text).expect("exposition passes the format lint");
+    // The rolling windows show up as labeled gauges with quantiles.
+    for needle in [
+        "serve_requests_window_rate{window=\"10s\"}",
+        "serve_requests_window_rate{window=\"60s\"}",
+        "serve_latency_us_window{window=\"10s\",q=\"0.5\"}",
+        "serve_latency_us_window_count{window=\"10s\"}",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn slow_query_log_captures_span_trees_of_slow_requests() {
+    let path = std::env::temp_dir().join(format!("metro_slowlog_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        cities: vec!["boston".to_string()],
+        workers: 1,
+        // Threshold 0: every traced request is "slow".
+        slow_ms: Some(0),
+        slow_log: Some(path.display().to_string()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(&server.local_addr()).unwrap();
+    for i in 0..2u64 {
+        let mut req = Request::new(i, RequestKind::Route, "boston");
+        req.source = 3 + i as usize;
+        req.rank = 3;
+        assert!(client.roundtrip(&req).unwrap().ok);
+    }
+    server.shutdown();
+    let text = std::fs::read_to_string(&path).expect("slow log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one record per slow request:\n{text}");
+    for line in lines {
+        let v = JsonValue::parse(line).expect("slow log line is JSON");
+        assert!(
+            v.get("trace_id").and_then(JsonValue::as_str).is_some(),
+            "missing trace_id in {line}"
+        );
+        assert_eq!(
+            v.get("label").and_then(JsonValue::as_str),
+            Some("serve/route")
+        );
+        let events = v.get("events").and_then(JsonValue::as_arr).unwrap();
+        assert!(!events.is_empty(), "span tree is empty: {line}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn drain_flushes_final_metrics_snapshot_to_file() {
+    obs::set_enabled(true);
+    let path = std::env::temp_dir().join(format!("metro_metrics_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        cities: vec!["boston".to_string()],
+        workers: 1,
+        metrics_file: Some(path.display().to_string()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(&server.local_addr()).unwrap();
+    let mut req = Request::new(1, RequestKind::Route, "boston");
+    req.source = 3;
+    req.rank = 3;
+    assert!(client.roundtrip(&req).unwrap().ok);
+    server.shutdown();
+    let text = std::fs::read_to_string(&path).expect("metrics file written on drain");
+    let snap = obs::Snapshot::from_jsonl(&text).expect("metrics file parses");
+    assert!(
+        snap.counter("serve.requests.admitted").unwrap_or(0) >= 1,
+        "final snapshot records the request:\n{text}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn drain_finishes_in_flight_work_and_rejects_new_requests() {
     let server = Server::start(ServerConfig {
         listen: "127.0.0.1:0".to_string(),

@@ -9,7 +9,7 @@ use obs::TelemetrySink;
 use std::io;
 
 /// Every `--key value` flag the CLI accepts, across all subcommands.
-pub const KNOWN_FLAGS: [&str; 28] = [
+pub const KNOWN_FLAGS: [&str; 33] = [
     "city",
     "scale",
     "seed",
@@ -38,10 +38,18 @@ pub const KNOWN_FLAGS: [&str; 28] = [
     "queue-depth",
     "batch-max",
     "drain-deadline",
+    "slow-ms",
+    "slow-log",
+    "addr",
+    "interval",
+    "once",
 ];
 
+/// Flags that take no value (presence alone sets them).
+pub const BOOLEAN_FLAGS: [&str; 1] = ["once"];
+
 /// Every subcommand the CLI dispatches on, in usage order.
-pub const SUBCOMMANDS: [&str; 9] = [
+pub const SUBCOMMANDS: [&str; 10] = [
     "generate",
     "attack",
     "recon",
@@ -51,11 +59,12 @@ pub const SUBCOMMANDS: [&str; 9] = [
     "coordinate",
     "experiment",
     "serve",
+    "trace",
 ];
 
 /// Usage text printed on bad invocations; documents every known flag.
 pub const USAGE: &str =
-    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment|serve> \
+    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment|serve|trace> \
 [--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
 [--rank K] [--weight length|time] [--cost uniform|lanes|width] \
 [--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness] \
@@ -64,7 +73,8 @@ pub const USAGE: &str =
 [--sources N] [--deadline SECS] [--max-oracle-calls N] [--resume CKPT.jsonl] \
 [--csv FILE] [--faults SPEC] [--threads N] \
 [--listen ADDR:PORT] [--workers N] [--queue-depth N] [--batch-max N] \
-[--drain-deadline SECS]";
+[--drain-deadline SECS] [--slow-ms N] [--slow-log FILE] \
+[--addr HOST:PORT] [--interval SECS] [--once]";
 
 /// Destination of the `--metrics` telemetry report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +126,7 @@ pub fn command_span_name(cmd: &str) -> &'static str {
         "coordinate" => "harness.cmd.coordinate",
         "experiment" => "harness.cmd.experiment",
         "serve" => "harness.cmd.serve",
+        "trace" => "harness.cmd.trace",
         _ => "harness.cmd.other",
     }
 }
@@ -130,6 +141,16 @@ mod tests {
             assert!(
                 USAGE.contains(&format!("--{flag}")),
                 "usage text omits --{flag}"
+            );
+        }
+    }
+
+    #[test]
+    fn boolean_flags_are_known_flags() {
+        for flag in BOOLEAN_FLAGS {
+            assert!(
+                KNOWN_FLAGS.contains(&flag),
+                "boolean flag --{flag} missing from KNOWN_FLAGS"
             );
         }
     }

@@ -21,7 +21,7 @@
 //! drains it.
 
 use metro_attack::attack::{coordinated_attack, minimal_hardening};
-use metro_attack::cli::{command_span_name, MetricsMode, KNOWN_FLAGS, USAGE};
+use metro_attack::cli::{command_span_name, MetricsMode, BOOLEAN_FLAGS, KNOWN_FLAGS, USAGE};
 use metro_attack::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -48,6 +48,10 @@ impl Args {
             if !KNOWN_FLAGS.contains(&key) {
                 eprintln!("unknown flag --{key}");
                 usage();
+            }
+            if BOOLEAN_FLAGS.contains(&key) {
+                values.insert(key.to_string(), "true".to_string());
+                continue;
             }
             let Some(v) = it.next() else {
                 eprintln!("missing value for --{key}");
@@ -600,6 +604,21 @@ fn cmd_serve(args: &Args) -> ExitCode {
         default_deadline: parse_limits(args).deadline,
         drain_deadline: std::time::Duration::from_secs_f64(drain_secs),
         retry_after_ms: defaults.retry_after_ms,
+        tracing: true,
+        slow_ms: args.get("slow-ms").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --slow-ms: {v:?}");
+                usage()
+            })
+        }),
+        slow_log: args.get("slow-log").map(str::to_string),
+        // The drain-time flush target: when `--metrics` names a file,
+        // the server writes its final snapshot there during join so a
+        // SIGTERM exit keeps its telemetry.
+        metrics_file: match args.get("metrics").map(MetricsMode::parse) {
+            Some(MetricsMode::File(path)) => Some(path),
+            _ => None,
+        },
     };
     serve::signal::install();
     let cities = cfg.cities.join(", ");
@@ -617,6 +636,151 @@ fn cmd_serve(args: &Args) -> ExitCode {
     server.join();
     println!("drained cleanly");
     ExitCode::SUCCESS
+}
+
+/// `metro-attack trace`: polls a running server's `stats` request and
+/// renders a live terminal view (rps, shed rate, queue depth, rolling
+/// window quantiles, top counters). `--once` prints a single frame and
+/// exits — the CI-friendly mode.
+fn cmd_trace(args: &Args) -> ExitCode {
+    use std::net::ToSocketAddrs;
+    let Some(addr) = args.get("addr") else {
+        eprintln!("trace requires --addr HOST:PORT of a running `metro-attack serve`");
+        return ExitCode::FAILURE;
+    };
+    let once = args.get("once").is_some();
+    let interval: f64 = args.num("interval", 2.0f64);
+    if interval <= 0.0 || !interval.is_finite() {
+        eprintln!("--interval must be a positive number of seconds");
+        return ExitCode::FAILURE;
+    }
+    let sock = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(s) => s,
+        None => {
+            eprintln!("cannot resolve --addr {addr:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut first = true;
+    loop {
+        match fetch_trace_frame(&sock, addr) {
+            Ok(frame) => {
+                if !once && !first {
+                    // Repaint in place: clear screen, cursor home.
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!("{frame}");
+            }
+            Err(e) => {
+                eprintln!("trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        first = false;
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+/// One rendered frame of the live view, from a fresh `stats` roundtrip.
+fn fetch_trace_frame(sock: &std::net::SocketAddr, addr: &str) -> Result<String, String> {
+    use obs::JsonValue;
+    use std::fmt::Write;
+    let mut client =
+        serve::Client::connect(sock).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client.roundtrip(&serve::Request::new(1, serve::RequestKind::Stats, ""))?;
+    if !response.ok {
+        return Err(response
+            .error
+            .unwrap_or_else(|| "stats request failed".to_string()));
+    }
+    let stats = response.result.ok_or("stats response carries no result")?;
+    let num = |v: Option<&JsonValue>| v.and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let joined = |v: Option<&JsonValue>| -> String {
+        v.and_then(JsonValue::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(JsonValue::as_str)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .unwrap_or_default()
+    };
+    let flag = |v: Option<&JsonValue>| matches!(v, Some(JsonValue::Bool(true)));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "metro-serve @ {addr} — cities {}; workers {}; batching {}; draining {}",
+        joined(stats.get("cities")),
+        num(stats.get("workers")),
+        if flag(stats.get("batching")) {
+            "on"
+        } else {
+            "off"
+        },
+        if flag(stats.get("draining")) {
+            "yes"
+        } else {
+            "no"
+        },
+    );
+    let counters = stats.get("counters");
+    let counter = |name: &str| num(counters.and_then(|c| c.get(name)));
+    let _ = writeln!(
+        out,
+        "queue {:.0}/{:.0} · admitted {:.0} ok {:.0} error {:.0} shed {:.0} timeout {:.0} slow {:.0}",
+        num(stats.get("queue_depth")),
+        num(stats.get("queue_capacity")),
+        counter("serve.requests.admitted"),
+        counter("serve.requests.ok"),
+        counter("serve.requests.error"),
+        counter("serve.requests.shed"),
+        counter("serve.requests.timeout"),
+        counter("serve.requests.slow"),
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "window", "rps", "shed/s", "p50 ms", "p95 ms", "p99 ms", "count"
+    );
+    for label in ["10s", "60s"] {
+        let w = stats.get("windows").and_then(|v| v.get(label));
+        let _ = writeln!(
+            out,
+            "{label:<8} {:>9.1} {:>9.1} {:>9.2} {:>9.2} {:>9.2} {:>9.0}",
+            num(w.and_then(|v| v.get("rps"))),
+            num(w.and_then(|v| v.get("shed_per_sec"))),
+            num(w.and_then(|v| v.get("latency_p50_us"))) / 1_000.0,
+            num(w.and_then(|v| v.get("latency_p95_us"))) / 1_000.0,
+            num(w.and_then(|v| v.get("latency_p99_us"))) / 1_000.0,
+            num(w.and_then(|v| v.get("count"))),
+        );
+    }
+    let lat = stats.get("latency_us");
+    let _ = writeln!(
+        out,
+        "lifetime latency: count {:.0} mean {:.2} ms p50 {:.2} ms p99 {:.2} ms",
+        num(lat.and_then(|v| v.get("count"))),
+        num(lat.and_then(|v| v.get("mean"))) / 1_000.0,
+        num(lat.and_then(|v| v.get("p50"))) / 1_000.0,
+        num(lat.and_then(|v| v.get("p99"))) / 1_000.0,
+    );
+    if let Some(JsonValue::Obj(map)) = counters {
+        let mut top: Vec<(&String, f64)> = map
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k, n)))
+            .filter(|(_, n)| *n > 0.0)
+            .collect();
+        top.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let _ = writeln!(out, "top counters:");
+        for (name, value) in top.iter().take(8) {
+            let _ = writeln!(out, "  {name:<42} {value:>12.0}");
+        }
+    }
+    Ok(out)
 }
 
 fn main() -> ExitCode {
@@ -642,6 +806,7 @@ fn main() -> ExitCode {
             "coordinate" => cmd_coordinate(&args),
             "experiment" => cmd_experiment(&args),
             "serve" => cmd_serve(&args),
+            "trace" => cmd_trace(&args),
             _ => usage(),
         }
     };

@@ -395,6 +395,67 @@ fn serve_answers_requests_and_drains_on_sigterm() {
 }
 
 #[test]
+fn trace_once_renders_a_frame_from_a_live_server() {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_metro-attack"))
+        .args([
+            "serve",
+            "--city",
+            "boston",
+            "--scale",
+            "0.05",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    lines.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .to_string();
+
+    // Give the view something to show.
+    let sock: std::net::SocketAddr = addr.parse().unwrap();
+    let mut client = serve::Client::connect(&sock).expect("connect");
+    let mut req = serve::Request::new(1, serve::RequestKind::Route, "boston");
+    req.source = 7;
+    assert!(client.roundtrip(&req).expect("roundtrip").ok);
+    drop(client);
+
+    let (ok, stdout, stderr) = run(&["trace", "--addr", &addr, "--once"]);
+    assert!(ok, "trace --once failed:\n{stderr}");
+    for needle in ["metro-serve @", "window", "10s", "60s", "top counters:"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    // --once never enters the live loop, so no ANSI clear sequences.
+    assert!(
+        !stdout.contains('\x1b'),
+        "unexpected ANSI escapes:\n{stdout}"
+    );
+
+    let killed = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    assert!(child.wait().expect("serve exits").success());
+}
+
+#[test]
+fn trace_requires_an_addr() {
+    let (ok, _, stderr) = run(&["trace", "--once"]);
+    assert!(!ok);
+    assert!(stderr.contains("--addr"), "{stderr}");
+}
+
+#[test]
 fn metrics_off_by_default() {
     let (ok, stdout, stderr) = run(&[
         "attack", "--city", "chicago", "--scale", "0.05", "--rank", "8",
