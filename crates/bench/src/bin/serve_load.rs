@@ -21,6 +21,11 @@
 //! positive, and the batched p99 is within `--max-p99-ratio` of the
 //! unbatched p99.
 //!
+//! Both modes drive the server through [`serve::ResilientClient`]:
+//! benchmark mode with [`RetryPolicy::no_retry`] (client-side retries
+//! must never mask a server regression), external mode with the
+//! default retrying policy.
+//!
 //! **External mode** (`--addr`) drives an already-running server (the
 //! CI smoke job starts `metro-attack serve` and points this at it),
 //! asserts a 100 % success rate, asserts the server reports zero shed
@@ -28,8 +33,8 @@
 //! queue must never fill — and hits the `metrics` endpoint, failing
 //! unless the Prometheus exposition passes `obs::prometheus::lint`.
 
-use serve::{Client, Request, RequestKind, Response, Server, ServerConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use serve::{Request, RequestKind, ResilientClient, RetryPolicy, Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -91,40 +96,48 @@ struct DriveResult {
     responses: Vec<Option<Vec<u8>>>,
     ok: usize,
     errors: usize,
+    /// Client-side retries across all connections (0 under
+    /// [`RetryPolicy::no_retry`], the benchmark-mode policy).
+    retries: u64,
 }
 
 /// Drives `reqs` through the server at `addr` from `concurrency`
-/// closed-loop connections; returns latencies and raw responses.
-fn drive(addr: &std::net::SocketAddr, reqs: &[Request], concurrency: usize) -> DriveResult {
+/// closed-loop [`ResilientClient`]s; returns latencies and raw
+/// responses. Benchmark mode passes [`RetryPolicy::no_retry`] so
+/// client-side resilience cannot mask a server regression; external
+/// mode retries, because a CI smoke run shares the host with the
+/// server and transient sheds are the client's problem to absorb.
+fn drive(addr: &str, reqs: &[Request], concurrency: usize, policy: &RetryPolicy) -> DriveResult {
     let next = AtomicUsize::new(0);
     // Lock-free record path: every connection thread records straight
     // into the shared histogram, no Vec+sort post-pass.
     let latency = obs::Histogram::new();
     let responses = Mutex::new(vec![None; reqs.len()]);
     let errors = AtomicUsize::new(0);
+    let retries = AtomicU64::new(0);
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..concurrency {
             scope.spawn(|| {
-                let mut client = Client::connect(addr).expect("connect");
+                let mut client = ResilientClient::new(addr, policy.clone());
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(req) = reqs.get(i) else { break };
                     let t = Instant::now();
-                    match client.roundtrip_raw(&req.to_payload()) {
-                        Ok(raw) => {
+                    match client.call(req) {
+                        Ok(call) => {
                             latency.record(t.elapsed().as_micros() as u64);
-                            let parsed = Response::parse(&raw);
-                            if !matches!(&parsed, Ok(r) if r.ok) {
+                            if !call.response.ok {
                                 errors.fetch_add(1, Ordering::Relaxed);
                             }
-                            responses.lock().unwrap()[i] = Some(raw);
+                            responses.lock().unwrap()[i] = Some(call.raw);
                         }
                         Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
+                retries.fetch_add(client.retries(), Ordering::Relaxed);
             });
         }
     });
@@ -136,6 +149,7 @@ fn drive(addr: &std::net::SocketAddr, reqs: &[Request], concurrency: usize) -> D
         responses: responses.into_inner().unwrap(),
         ok: reqs.len() - errors,
         errors,
+        retries: retries.into_inner(),
     }
 }
 
@@ -156,7 +170,12 @@ fn run_mode(batching: bool, reqs: &[Request], concurrency: usize, workers: usize
     // The obs registry is process-global and both modes run in this
     // process, so reuse counters are measured as before/after deltas.
     let before = obs::global().snapshot();
-    let run = drive(&server.local_addr(), reqs, concurrency);
+    let run = drive(
+        &server.local_addr().to_string(),
+        reqs,
+        concurrency,
+        &RetryPolicy::no_retry(),
+    );
     let after = obs::global().snapshot();
     server.shutdown();
     let delta = |name: &str| counter(&after, name) - counter(&before, name);
@@ -200,13 +219,17 @@ fn mode_json(m: &ModeStats) -> String {
 
 /// External mode: drive a running server, then interrogate its stats.
 fn run_external(addr: &str, requests: usize, concurrency: usize, allow_imperfect: bool) {
-    let addr: std::net::SocketAddr = addr.parse().expect("--addr HOST:PORT");
+    let _: std::net::SocketAddr = addr.parse().expect("--addr HOST:PORT");
     let reqs = workload(requests, 4);
-    let run = drive(&addr, &reqs, concurrency);
-    let mut client = Client::connect(&addr).expect("connect for stats");
+    let run = drive(addr, &reqs, concurrency, &RetryPolicy::default());
+    // Control-plane ids stay small: a u64 near MAX does not survive the
+    // JSON f64 roundtrip, and the resilient client treats the mangled
+    // id echo as a transport failure.
+    let mut client = ResilientClient::new(addr, RetryPolicy::default());
     let stats = client
-        .roundtrip(&Request::new(u64::MAX, RequestKind::Stats, ""))
-        .expect("stats request");
+        .call(&Request::new(900_001, RequestKind::Stats, ""))
+        .expect("stats request")
+        .response;
     let stat_counter = |name: &str| -> u64 {
         stats
             .result
@@ -221,8 +244,9 @@ fn run_external(addr: &str, requests: usize, concurrency: usize, allow_imperfect
     let timeout_exec = stat_counter("serve.requests.timeout.exec");
     // The metrics endpoint must answer with lint-clean Prometheus text.
     let metrics = client
-        .roundtrip(&Request::new(u64::MAX - 1, RequestKind::Metrics, ""))
-        .expect("metrics request");
+        .call(&Request::new(900_002, RequestKind::Metrics, ""))
+        .expect("metrics request")
+        .response;
     let exposition = metrics
         .result
         .as_ref()
@@ -239,7 +263,7 @@ fn run_external(addr: &str, requests: usize, concurrency: usize, allow_imperfect
         exposition.lines().count()
     );
     println!(
-        "{}/{} ok in {:.0} ms (p50 {} us, p95 {} us, p99 {} us); \
+        "{}/{} ok in {:.0} ms (p50 {} us, p95 {} us, p99 {} us, {} client retries); \
          server: {shed} shed, {timeout_queue} queue-expired, {timeout_exec} exec-expired",
         run.ok,
         reqs.len(),
@@ -247,6 +271,7 @@ fn run_external(addr: &str, requests: usize, concurrency: usize, allow_imperfect
         run.latency.quantile(0.50),
         run.latency.quantile(0.95),
         run.latency.quantile(0.99),
+        run.retries,
     );
     if run.errors > 0 || (!allow_imperfect && (shed > 0 || timeout_queue > 0 || timeout_exec > 0)) {
         eprintln!(

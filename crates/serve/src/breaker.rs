@@ -1,0 +1,266 @@
+//! Per-city circuit breakers: fast-fail a resident network whose
+//! executions keep timing out or panicking.
+//!
+//! Each resident network gets one [`CircuitBreaker`]. Workers report
+//! execution outcomes ([`CircuitBreaker::record_success`] /
+//! [`CircuitBreaker::record_failure`]); the reader path asks
+//! [`CircuitBreaker::admit`] before queueing a request. The state
+//! machine is the classic three-state breaker:
+//!
+//! * **Closed** — requests flow; `failure_threshold` *consecutive*
+//!   failures (exec timeouts or worker panics — plain validation or
+//!   parameter errors are neutral) trip it open.
+//! * **Open** — requests fast-fail with a `retry_after_ms` hint equal
+//!   to the remaining cooldown, costing the client one round-trip
+//!   instead of a queue slot and a doomed execution.
+//! * **Half-open** — after `cooldown`, up to `half_open_probes`
+//!   requests are admitted as probes. One probe success closes the
+//!   breaker; one probe failure re-opens it for a fresh cooldown.
+//!
+//! The breaker deliberately keys on the *city*, not the connection:
+//! exec timeouts and panics are properties of the resident network
+//! (pathological instance, poisoned cache), so one misbehaving city
+//! must not take queries against healthy cities down with it.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one [`CircuitBreaker`] (shared by every city).
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker fast-fails before probing.
+    pub cooldown: Duration,
+    /// Concurrent probe requests admitted while half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(1),
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// Breaker position, as reported by the `health` request kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests fast-fail until the cooldown elapses.
+    Open,
+    /// Probing: a bounded number of requests test the city again.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Wire name used in the `health` response.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probes_in_flight: u32,
+    opens: u64,
+}
+
+/// Point-in-time view of a breaker, for the `health` surface.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerSnapshot {
+    /// Current position.
+    pub state: BreakerState,
+    /// Consecutive failures recorded since the last success.
+    pub consecutive_failures: u32,
+    /// Times this breaker has tripped open over its lifetime.
+    pub opens: u64,
+}
+
+/// One city's circuit breaker. All methods are cheap (one short mutex
+/// section) and panic-free.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probes_in_flight: 0,
+                opens: 0,
+            }),
+        }
+    }
+
+    /// Asks to admit one request. `Ok(())` lets it through (and, while
+    /// half-open, reserves a probe slot that the matching
+    /// `record_success` / `record_failure` / [`CircuitBreaker::release`]
+    /// settles). `Err(retry_after_ms)` fast-fails it with the remaining
+    /// cooldown as the retry hint.
+    pub fn admit(&self) -> Result<(), u64> {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .map(|t| t.elapsed())
+                    .unwrap_or(self.cfg.cooldown);
+                if elapsed >= self.cfg.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probes_in_flight = 1;
+                    Ok(())
+                } else {
+                    let remaining = self.cfg.cooldown - elapsed;
+                    Err((remaining.as_millis() as u64).max(1))
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probes_in_flight < self.cfg.half_open_probes.max(1) {
+                    inner.probes_in_flight += 1;
+                    Ok(())
+                } else {
+                    Err((self.cfg.cooldown.as_millis() as u64).max(1))
+                }
+            }
+        }
+    }
+
+    /// Reports a successful execution: resets the failure streak and
+    /// closes a half-open breaker.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = 0;
+        if inner.state == BreakerState::HalfOpen {
+            inner.state = BreakerState::Closed;
+            inner.probes_in_flight = 0;
+            inner.opened_at = None;
+        }
+    }
+
+    /// Reports a failed execution (exec timeout or worker panic).
+    /// Trips a closed breaker after `failure_threshold` consecutive
+    /// failures; re-opens a half-open breaker immediately.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        match inner.state {
+            BreakerState::Closed => {
+                if inner.consecutive_failures >= self.cfg.failure_threshold.max(1) {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    inner.opens += 1;
+                    obs::inc("serve.breaker.open");
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.probes_in_flight = 0;
+                inner.opens += 1;
+                obs::inc("serve.breaker.open");
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Releases an admitted request that produced neither a breaker
+    /// success nor a breaker failure (validation errors, queue-expired
+    /// deadlines): frees the probe slot without a verdict so a
+    /// half-open breaker keeps probing.
+    pub fn release(&self) {
+        let mut inner = self.inner.lock();
+        if inner.state == BreakerState::HalfOpen {
+            inner.probes_in_flight = inner.probes_in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Point-in-time view for the `health` surface.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let inner = self.inner.lock();
+        BreakerSnapshot {
+            state: inner.state,
+            consecutive_failures: inner.consecutive_failures,
+            opens: inner.opens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+            half_open_probes: 1,
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let b = fast_breaker(3, 10_000);
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // streak broken
+        b.record_failure();
+        b.record_failure();
+        assert!(b.admit().is_ok(), "two consecutive failures stay closed");
+        b.record_failure();
+        assert_eq!(b.snapshot().state, BreakerState::Open);
+        let hint = b.admit().unwrap_err();
+        assert!(hint >= 1, "open breaker returns a retry hint");
+        assert_eq!(b.snapshot().opens, 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let b = fast_breaker(1, 20);
+        b.record_failure();
+        assert_eq!(b.snapshot().state, BreakerState::Open);
+        assert!(b.admit().is_err(), "cooldown not elapsed");
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.admit().is_ok(), "cooldown elapsed: probe admitted");
+        assert_eq!(b.snapshot().state, BreakerState::HalfOpen);
+        assert!(b.admit().is_err(), "only one concurrent probe");
+        b.record_failure();
+        assert_eq!(b.snapshot().state, BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.admit().is_ok());
+        b.record_success();
+        assert_eq!(b.snapshot().state, BreakerState::Closed);
+        assert!(b.admit().is_ok(), "closed again after probe success");
+        assert_eq!(b.snapshot().opens, 2);
+    }
+
+    #[test]
+    fn neutral_release_frees_the_probe_slot() {
+        let b = fast_breaker(1, 10);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.admit().is_ok());
+        assert!(b.admit().is_err(), "probe slot taken");
+        b.release(); // e.g. the probe's deadline expired in the queue
+        assert!(b.admit().is_ok(), "released slot admits the next probe");
+    }
+}

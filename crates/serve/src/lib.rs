@@ -17,7 +17,15 @@
 //!   that produce the existing `timed_out` status;
 //! * graceful drain on SIGTERM/ctrl-c ([`signal`]): the listener stops
 //!   accepting, in-flight requests finish under a drain deadline, and
-//!   the process exits 0.
+//!   the process exits 0;
+//! * a resilience layer: workers and the accept loop run under a
+//!   restart-budgeted supervisor ([`supervisor`]), per-city circuit
+//!   breakers fast-fail unhealthy resident networks ([`breaker`]), a
+//!   seeded chaos proxy injects deterministic connection faults for
+//!   tests and the `resilience_proof` bench ([`chaos`]), and a
+//!   retrying, reconnecting client enforces the retry contract
+//!   ([`client`]). The `health` request kind reports breaker state,
+//!   worker liveness, and drain status.
 //!
 //! Telemetry rides on the `obs` crate and is queryable in-band: the
 //! `stats` request kind returns a structured snapshot (including
@@ -48,21 +56,29 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod breaker;
+pub mod chaos;
+pub mod client;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
 pub mod signal;
 pub mod slowlog;
+pub mod supervisor;
 
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosSite};
+pub use client::{Call, ResilientClient, RetryBudget, RetryPolicy};
 pub use protocol::{
-    error_response, ok_response, read_frame, write_frame, FrameError, Request, RequestKind,
-    Response, MAX_FRAME,
+    error_response, frame_checksum, ok_response, read_frame, write_frame, FrameError, Request,
+    RequestKind, Response, FRAME_HEADER, MAX_FRAME,
 };
 pub use queue::BatchQueue;
 pub use registry::{NetworkRegistry, ResidentNetwork};
 pub use server::{Client, Server, ServerConfig};
 pub use slowlog::SlowQueryLog;
+pub use supervisor::RestartBudget;
 
 /// Resolves a worker-pool size from an optional `--workers` /
 /// `--threads`-style flag value.

@@ -20,7 +20,7 @@
 //! then returns `None` once the backlog is empty.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -46,6 +46,16 @@ impl<T> std::fmt::Debug for BatchQueue<T> {
 }
 
 impl<T> BatchQueue<T> {
+    /// Locks the queue state, recovering from poisoning: the state is a
+    /// `VecDeque` plus a flag, both structurally valid at every point a
+    /// panicking thread could hold the lock (no multi-step invariant
+    /// spans an operation that can panic), so a supervisor-restarted
+    /// worker can keep using the queue after a sibling died in
+    /// `same_key` or an allocation.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A queue admitting at most `capacity` items, popped in batches of
     /// at most `batch_max`.
     pub fn new(capacity: usize, batch_max: usize) -> BatchQueue<T> {
@@ -62,7 +72,7 @@ impl<T> BatchQueue<T> {
 
     /// Current backlog.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.lock().items.len()
     }
 
     /// Whether the backlog is empty.
@@ -82,7 +92,7 @@ impl<T> BatchQueue<T> {
     /// Hands the item back when the queue is full (the caller sheds it)
     /// or closed (the caller rejects it as draining).
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.closed || inner.items.len() >= self.capacity {
             return Err(item);
         }
@@ -98,14 +108,16 @@ impl<T> BatchQueue<T> {
     /// arrival order). Returns `None` once the queue is closed and
     /// drained.
     pub fn pop_batch(&self, same_key: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         loop {
             if let Some(head) = inner.items.pop_front() {
                 let mut batch = vec![head];
                 let mut i = 0;
                 while i < inner.items.len() && batch.len() < self.batch_max {
                     if same_key(&batch[0], &inner.items[i]) {
-                        // `remove` keeps the relative order of what stays.
+                        // Infallible: the loop guard holds `i < len`, so
+                        // `remove(i)` is in bounds. `remove` keeps the
+                        // relative order of what stays.
                         batch.push(inner.items.remove(i).unwrap());
                     } else {
                         i += 1;
@@ -117,14 +129,17 @@ impl<T> BatchQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).unwrap();
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Stops admitting new items and wakes every waiting worker; queued
     /// items still drain through `pop_batch`.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.lock().closed = true;
         self.ready.notify_all();
     }
 }

@@ -1,29 +1,49 @@
-//! The server: accept loop, connection readers, worker pool, drain.
+//! The server: accept loop, connection readers, supervised worker
+//! pool, circuit breakers, drain.
 //!
 //! Thread structure (all std threads, no framework):
 //!
 //! * **accept thread** — nonblocking `TcpListener` polled every 10 ms so
 //!   it also notices the drain flag ([`crate::signal`] or
-//!   [`Server::drain`]) promptly. On drain it stops accepting, waits for
-//!   live connections to finish (bounded by the drain deadline, after
-//!   which stragglers are force-closed), then closes the queue.
+//!   [`Server::drain`]) promptly. On drain it stops accepting and
+//!   exits; the supervisor then waits for live connections to finish
+//!   (bounded by the drain deadline, after which stragglers are
+//!   force-closed) and closes the queue.
 //! * **reader threads** (one per connection) — frame + parse requests,
 //!   validate them against the resident networks (cheap work, early
-//!   errors), and push [`Job`]s into the [`BatchQueue`]. `stats` and
-//!   `ping` are answered inline. A full queue sheds with a
-//!   retry-after error; a draining server rejects new work the same
+//!   errors), and push [`Job`]s into the [`BatchQueue`]. `stats`,
+//!   `health`, and `ping` are answered inline. A full queue sheds with
+//!   a retry-after error; a draining server rejects new work the same
 //!   way, but jobs already admitted always get their response.
 //! * **worker threads** (`workers` of them) — pop batches grouped by
 //!   (network, weight, target), resolve one shared [`TargetContext`]
 //!   per batch (or a fresh one per request with batching off) and run
 //!   the route/attack/recon/impact computations against the existing
-//!   `pathattack` / `traffic-sim` APIs.
+//!   `pathattack` / `traffic-sim` APIs. Each job runs under
+//!   `catch_unwind`: a panic answers that request with a structured
+//!   error (no retry hint — re-sending a poison pill would just kill
+//!   the next worker), hands the rest of the batch back to the queue,
+//!   and retires the worker thread.
+//! * **supervisor thread** — owns every worker/accept `JoinHandle` and
+//!   a token-bucket [`RestartBudget`]. A panicked worker (or accept
+//!   loop) is respawned while the budget holds
+//!   (`serve.worker.restart`); when it runs dry the supervisor
+//!   escalates to a graceful drain instead of thrashing. It also runs
+//!   the drain endgame once the accept loop exits.
+//!
+//! Per-city [`CircuitBreaker`]s sit between validation and admission:
+//! consecutive exec timeouts or panics against one resident network
+//! trip its breaker, and further requests for that city fast-fail with
+//! a `retry_after_ms` hint until a half-open probe succeeds. The
+//! `health` request kind exposes breaker state, worker liveness, and
+//! drain status.
 //!
 //! Responses deliberately carry no wall-clock fields: the same request
 //! must serialize to byte-identical responses with batching on or off,
 //! which is how `serve_load` proves the reuse layer never changes
 //! answers.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::protocol::{
     error_response, ok_response, read_frame, write_frame, FrameError, Request, RequestKind,
     Response,
@@ -32,6 +52,7 @@ use crate::queue::BatchQueue;
 use crate::registry::{NetworkRegistry, ResidentNetwork};
 use crate::signal;
 use crate::slowlog::SlowQueryLog;
+use crate::supervisor::RestartBudget;
 use obs::trace::TraceContext;
 use obs::{AttrValue, JsonValue};
 use parking_lot::Mutex;
@@ -41,8 +62,9 @@ use pathattack::{
 };
 use std::collections::BTreeMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{mpsc, Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use traffic_graph::NodeId;
@@ -87,6 +109,23 @@ pub struct ServerConfig {
     /// Where to flush a final registry snapshot during graceful drain
     /// (the serve-side counterpart of `--metrics FILE`).
     pub metrics_file: Option<String>,
+    /// Worker/accept restarts the supervisor grants immediately (token
+    /// bucket burst) before the refill rate applies.
+    pub restart_burst: u32,
+    /// Sustained restart rate (tokens per second). 0 disables refill:
+    /// `restart_burst` restarts total, ever.
+    pub restart_per_sec: f64,
+    /// Per-city circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Whether `"inject": "panic"` requests actually panic the
+    /// executing worker. Off in production (such requests get a plain
+    /// error); the chaos tests and `resilience_proof` turn it on.
+    pub fault_injection: bool,
+    /// Master switch for the per-job resilience machinery (breaker
+    /// admission checks and per-job `catch_unwind`). On in production;
+    /// off is the overhead-bench baseline. The supervisor itself always
+    /// runs — it is off the per-request hot path.
+    pub resilience: bool,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +146,11 @@ impl Default for ServerConfig {
             slow_ms: None,
             slow_log: None,
             metrics_file: None,
+            restart_burst: 5,
+            restart_per_sec: 1.0,
+            breaker: BreakerConfig::default(),
+            fault_injection: false,
+            resilience: true,
         }
     }
 }
@@ -138,6 +182,18 @@ struct Shared {
     /// Monotone admission sequence; seeds the deterministic trace id.
     admitted_seq: AtomicU64,
     slow_log: Option<SlowQueryLog>,
+    /// Worker threads currently running (the `health` liveness figure).
+    workers_alive: AtomicUsize,
+    /// Worker panics caught over the server's lifetime.
+    panics: AtomicU64,
+    /// Supervisor restarts granted over the server's lifetime.
+    restarts: AtomicU64,
+    /// Set when the supervisor escalated to drain (restart budget
+    /// exhausted or an unrecoverable accept-loop failure).
+    escalated: AtomicBool,
+    /// One circuit breaker per resident network, keyed by city name.
+    /// Built at startup and never mutated, so lookups are lock-free.
+    breakers: BTreeMap<String, CircuitBreaker>,
 }
 
 impl Shared {
@@ -151,18 +207,22 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Loads the resident networks, binds the listener, and spawns the
-    /// accept loop plus worker pool. Telemetry is switched on — the
-    /// `stats` request depends on it.
+    /// accept loop, worker pool, and supervisor. Telemetry is switched
+    /// on — the `stats` request depends on it.
+    ///
+    /// Worker spawns are fallible: a failed spawn is logged and the
+    /// server continues with a smaller pool
+    /// (`serve.worker.spawn_failed`); only zero workers is fatal.
     ///
     /// # Errors
     ///
-    /// Describes the bad city spec or bind failure.
+    /// Describes the bad city spec, bind failure, or a fully failed
+    /// pool.
     pub fn start(cfg: ServerConfig) -> Result<Server, String> {
         obs::set_enabled(true);
         let mut registry = NetworkRegistry::new();
@@ -192,6 +252,11 @@ impl Server {
             }
             (None, _) => None,
         };
+        let breakers = registry
+            .names()
+            .iter()
+            .map(|name| (name.clone(), CircuitBreaker::new(cfg.breaker.clone())))
+            .collect();
         let shared = Arc::new(Shared {
             queue: BatchQueue::new(cfg.queue_depth, cfg.batch_max),
             cfg,
@@ -201,29 +266,45 @@ impl Server {
             conns: Mutex::new(Vec::new()),
             admitted_seq: AtomicU64::new(0),
             slow_log,
+            workers_alive: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            escalated: AtomicBool::new(false),
+            breakers,
         });
 
-        let worker_handles = (0..workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        let accept = {
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        let mut spawned = 0usize;
+        for i in 0..workers {
+            match spawn_worker(&shared, i, &tx) {
+                Ok(h) => {
+                    handles.push(h);
+                    spawned += 1;
+                }
+                Err(e) => {
+                    obs::inc("serve.worker.spawn_failed");
+                    eprintln!("metro-serve: {e}; continuing with a smaller pool");
+                }
+            }
+        }
+        if spawned == 0 {
+            shared.queue.close();
+            return Err("no worker threads could be spawned".to_string());
+        }
+        let accept = spawn_accept(listener, &shared, &tx)?;
+        handles.push(accept);
+        let supervisor = {
             let shared = shared.clone();
             std::thread::Builder::new()
-                .name("serve-accept".to_string())
-                .spawn(move || accept_loop(listener, &shared))
-                .expect("spawn accept loop")
+                .name("serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, local_addr, rx, tx, handles, spawned))
+                .map_err(|e| format!("cannot spawn supervisor: {e}"))?
         };
         Ok(Server {
             shared,
             local_addr,
-            accept: Some(accept),
-            workers: worker_handles,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -242,14 +323,11 @@ impl Server {
         self.shared.draining()
     }
 
-    /// Blocks until the server has fully drained (accept loop and every
-    /// worker exited). Without a prior [`Server::drain`] or signal this
-    /// waits for one to arrive.
+    /// Blocks until the server has fully drained (supervisor, accept
+    /// loop, and every worker exited). Without a prior
+    /// [`Server::drain`] or signal this waits for one to arrive.
     pub fn join(mut self) {
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
         // Every worker has exited: the registry is final. Flush the
@@ -284,6 +362,182 @@ fn flush_metrics_file(path: &str) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// Lifecycle events the supervisor reacts to.
+enum SupEvent {
+    /// The accept loop returned (`panicked: false` means a normal
+    /// drain exit).
+    AcceptExited {
+        /// Whether it died of a panic rather than a drain.
+        panicked: bool,
+    },
+    /// A worker thread returned.
+    WorkerExited {
+        /// Pool slot, reused for the replacement's thread name.
+        index: usize,
+        /// Whether it died of a panic rather than a drain.
+        panicked: bool,
+    },
+}
+
+/// How a worker's run ended (the non-panicking exit reasons).
+enum WorkerExit {
+    /// The queue closed and drained.
+    Drained,
+    /// A job panicked; the worker answered it, re-queued the rest of
+    /// its batch, and retired so the supervisor can decide.
+    Panicked,
+}
+
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    index: usize,
+    tx: &mpsc::Sender<SupEvent>,
+) -> Result<JoinHandle<()>, String> {
+    let shared = shared.clone();
+    let tx = tx.clone();
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{index}"))
+        .spawn(move || {
+            shared.workers_alive.fetch_add(1, Ordering::SeqCst);
+            let exit = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared)));
+            shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+            let panicked = !matches!(exit, Ok(WorkerExit::Drained));
+            let _ = tx.send(SupEvent::WorkerExited { index, panicked });
+        })
+        .map_err(|e| format!("cannot spawn worker {index}: {e}"))
+}
+
+fn spawn_accept(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<SupEvent>,
+) -> Result<JoinHandle<()>, String> {
+    let shared = shared.clone();
+    let tx = tx.clone();
+    std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || {
+            let exit = catch_unwind(AssertUnwindSafe(|| accept_loop(listener, &shared)));
+            let _ = tx.send(SupEvent::AcceptExited {
+                panicked: exit.is_err(),
+            });
+        })
+        .map_err(|e| format!("cannot spawn accept loop: {e}"))
+}
+
+/// Flags the server as degraded-beyond-repair and starts a drain.
+fn escalate(shared: &Shared, why: &str) {
+    if !shared.escalated.swap(true, Ordering::SeqCst) {
+        obs::inc("serve.supervisor.escalated");
+        eprintln!("metro-serve: {why}; escalating to drain");
+    }
+    shared.draining.store(true, Ordering::SeqCst);
+}
+
+/// The drain endgame, run by the supervisor once the accept loop has
+/// exited (no new connections): wait for live connections bounded by
+/// the drain deadline, force-close stragglers, then close the queue so
+/// workers finish the backlog and exit.
+fn run_drain(shared: &Shared) {
+    let drain_started = Instant::now();
+    while shared.active_conns.load(Ordering::SeqCst) > 0
+        && drain_started.elapsed() < shared.cfg.drain_deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if shared.active_conns.load(Ordering::SeqCst) > 0 {
+        for conn in shared.conns.lock().iter() {
+            if let Some(stream) = conn.upgrade() {
+                obs::inc("serve.drain.force_closed");
+                let _ = stream.lock().shutdown(Shutdown::Both);
+            }
+        }
+    }
+    shared.queue.close();
+}
+
+/// Reacts to worker/accept exits until the server is fully down:
+/// panicked threads are respawned while the restart budget holds,
+/// after which the supervisor escalates to a drain. Owns every thread
+/// handle and joins them all before returning, so [`Server::join`]
+/// only needs to join the supervisor.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    local_addr: SocketAddr,
+    rx: mpsc::Receiver<SupEvent>,
+    tx: mpsc::Sender<SupEvent>,
+    mut handles: Vec<JoinHandle<()>>,
+    mut workers_left: usize,
+) {
+    let mut budget = RestartBudget::new(shared.cfg.restart_burst, shared.cfg.restart_per_sec);
+    let mut accept_alive = true;
+    let mut drained = false;
+    while accept_alive || workers_left > 0 {
+        let Ok(event) = rx.recv() else { break };
+        match event {
+            SupEvent::WorkerExited { index, panicked } => {
+                workers_left -= 1;
+                if !panicked {
+                    continue;
+                }
+                if shared.draining() || !budget.try_take() {
+                    escalate(shared, "worker restart budget exhausted");
+                    continue;
+                }
+                match spawn_worker(shared, index, &tx) {
+                    Ok(h) => {
+                        handles.push(h);
+                        workers_left += 1;
+                        shared.restarts.fetch_add(1, Ordering::SeqCst);
+                        obs::inc("serve.worker.restart");
+                    }
+                    Err(e) => {
+                        obs::inc("serve.worker.spawn_failed");
+                        escalate(shared, &e.to_string());
+                    }
+                }
+            }
+            SupEvent::AcceptExited { panicked } => {
+                if panicked && !shared.draining() && budget.try_take() {
+                    // Rebind the same address and put a fresh accept
+                    // loop up; established connections were never owned
+                    // by the accept thread and keep working throughout.
+                    let rebound = TcpListener::bind(local_addr)
+                        .map_err(|e| format!("cannot rebind {local_addr}: {e}"))
+                        .and_then(|l| {
+                            l.set_nonblocking(true)
+                                .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+                            Ok(l)
+                        })
+                        .and_then(|l| spawn_accept(l, shared, &tx));
+                    match rebound {
+                        Ok(h) => {
+                            handles.push(h);
+                            shared.restarts.fetch_add(1, Ordering::SeqCst);
+                            obs::inc("serve.worker.restart");
+                            obs::inc("serve.accept.restart");
+                            continue;
+                        }
+                        Err(e) => escalate(shared, &format!("accept loop lost: {e}")),
+                    }
+                } else if panicked {
+                    escalate(shared, "accept-loop restart budget exhausted");
+                }
+                accept_alive = false;
+                run_drain(shared);
+                drained = true;
+            }
+        }
+    }
+    if !drained {
+        // Defensive: never leave workers blocked on an open queue.
+        shared.queue.close();
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     while !shared.draining() {
         match listener.accept() {
@@ -312,25 +566,8 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
-    // Drain: no new connections (listener drops below), existing ones
-    // finish until the deadline, stragglers are then force-closed so
-    // shutdown time stays bounded.
-    drop(listener);
-    let drain_started = Instant::now();
-    while shared.active_conns.load(Ordering::SeqCst) > 0
-        && drain_started.elapsed() < shared.cfg.drain_deadline
-    {
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    if shared.active_conns.load(Ordering::SeqCst) > 0 {
-        for conn in shared.conns.lock().iter() {
-            if let Some(stream) = conn.upgrade() {
-                obs::inc("serve.drain.force_closed");
-                let _ = stream.lock().shutdown(Shutdown::Both);
-            }
-        }
-    }
-    shared.queue.close();
+    // Drain: returning drops the listener (no new connections); the
+    // supervisor notices the exit and runs the drain endgame.
 }
 
 fn send(writer: &Mutex<TcpStream>, payload: &[u8]) {
@@ -356,6 +593,23 @@ fn reader_loop(mut stream: TcpStream, writer: &Arc<Mutex<TcpStream>>, shared: &A
                 send(
                     writer,
                     &error_response(0, &format!("frame of {n} bytes exceeds the cap"), None),
+                );
+                break;
+            }
+            Err(FrameError::Corrupted { expected, got }) => {
+                // A failed checksum means the length itself may be
+                // wrong, so the frame boundary is untrustworthy: answer
+                // once, then close (same contract as oversized).
+                obs::inc("serve.protocol.corrupted");
+                send(
+                    writer,
+                    &error_response(
+                        0,
+                        &format!(
+                            "frame checksum mismatch (header {expected:#010x}, payload {got:#010x}); closing"
+                        ),
+                        None,
+                    ),
                 );
                 break;
             }
@@ -398,6 +652,15 @@ fn handle_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc
             send(
                 writer,
                 &ok_response(id, &RequestKind::Metrics, metrics_result()),
+            );
+            return;
+        }
+        RequestKind::Health => {
+            // Answered inline and before the draining check: health is
+            // the one surface that must keep working while degraded.
+            send(
+                writer,
+                &ok_response(id, &RequestKind::Health, health_result(shared)),
             );
             return;
         }
@@ -471,6 +734,25 @@ fn handle_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc
             return;
         }
     }
+    if shared.cfg.resilience {
+        if let Some(breaker) = shared.breakers.get(&request.city) {
+            if let Err(retry_after_ms) = breaker.admit() {
+                obs::inc("serve.breaker.fast_fail");
+                send(
+                    writer,
+                    &error_response(
+                        id,
+                        &format!(
+                            "circuit open for city {:?}: recent requests kept timing out or panicking",
+                            request.city
+                        ),
+                        Some(retry_after_ms),
+                    ),
+                );
+                return;
+            }
+        }
+    }
     let target = hospitals[request.hospital].node;
     let now = Instant::now();
     let deadline = request
@@ -509,6 +791,13 @@ fn handle_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc
     if let Err(job) = shared.queue.push(job) {
         obs::inc("serve.requests.shed");
         obs::add_windowed("serve.requests.shed", 1);
+        if shared.cfg.resilience {
+            // The breaker reserved a probe slot at admission; a shed
+            // request produced no verdict, so hand the slot back.
+            if let Some(breaker) = shared.breakers.get(&job.request.city) {
+                breaker.release();
+            }
+        }
         send(
             &job.writer,
             &error_response(
@@ -529,6 +818,7 @@ fn request_label(kind: &RequestKind) -> &'static str {
         RequestKind::Impact => "serve/impact",
         RequestKind::Stats => "serve/stats",
         RequestKind::Metrics => "serve/metrics",
+        RequestKind::Health => "serve/health",
         RequestKind::Ping => "serve/ping",
     }
 }
@@ -542,7 +832,38 @@ fn same_key(a: &Job, b: &Job) -> bool {
         && a.target == b.target
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// How one job's execution ended, for the breaker's bookkeeping.
+enum JobOutcome {
+    /// Executed and answered `ok` (breaker success).
+    Success,
+    /// Answered with a plain error — bad parameters, unknown
+    /// algorithm: says nothing about the city's health (breaker
+    /// neutral).
+    Error,
+    /// The execution itself ran out of time (breaker failure).
+    ExecTimeout,
+    /// The deadline expired while queued — a load signal, not a city
+    /// signal (breaker neutral).
+    QueueExpired,
+}
+
+/// Settles the breaker verdict a successful (non-panicking) job owes
+/// for its admission slot.
+fn settle_breaker(shared: &Shared, city: &str, outcome: &JobOutcome) {
+    if !shared.cfg.resilience {
+        return;
+    }
+    let Some(breaker) = shared.breakers.get(city) else {
+        return;
+    };
+    match outcome {
+        JobOutcome::Success => breaker.record_success(),
+        JobOutcome::ExecTimeout => breaker.record_failure(),
+        JobOutcome::Error | JobOutcome::QueueExpired => breaker.release(),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) -> WorkerExit {
     let batching = shared.cfg.batching;
     loop {
         let batch = if batching {
@@ -550,49 +871,123 @@ fn worker_loop(shared: &Arc<Shared>) {
         } else {
             shared.queue.pop_batch(|_, _| false)
         };
-        let Some(batch) = batch else { break };
+        let Some(batch) = batch else {
+            return WorkerExit::Drained;
+        };
         let batch_size = batch.len() as u64;
         obs::record_value("serve.batch.size", batch_size);
         // One context serves the whole batch; built lazily because
         // recon jobs never touch it.
         let mut batch_ctx: Option<Arc<TargetContext>> = None;
-        for job in batch {
+        let mut jobs = batch.into_iter();
+        while let Some(job) = jobs.next() {
+            // Captured before the job is consumed so a panic can still
+            // be answered on the right connection.
+            let id = job.request.id;
+            let city = job.request.city.clone();
+            let writer = job.writer.clone();
             let trace = job.trace.clone();
             let received = job.received;
-            // Install the request's trace for the duration of its
-            // processing so deep code (oracle, A*, context caches)
-            // records into it ambiently.
-            let guard = trace.as_ref().map(obs::trace::install);
-            if let Some(t) = &trace {
-                t.point(
-                    "queue.wait",
-                    vec![(
-                        "wait_us",
-                        AttrValue::U64(received.elapsed().as_micros() as u64),
-                    )],
-                );
-                t.point(
-                    "batch",
-                    vec![
-                        ("size", AttrValue::U64(batch_size)),
-                        ("city", AttrValue::Str(job.request.city.clone())),
-                        (
-                            "weight",
-                            AttrValue::Str(job.request.weight.name().to_string()),
-                        ),
-                        ("target", AttrValue::U64(job.target.index() as u64)),
-                    ],
-                );
-            }
-            process_job(job, &mut batch_ctx, batching);
-            drop(guard);
-            if let (Some(t), Some(slow_ms)) = (&trace, shared.cfg.slow_ms) {
-                let total_us = received.elapsed().as_micros() as u64;
-                if total_us >= slow_ms.saturating_mul(1_000) {
-                    obs::inc("serve.requests.slow");
-                    if let Some(log) = &shared.slow_log {
-                        log.append(t);
+            let run = || {
+                // Install the request's trace for the duration of its
+                // processing so deep code (oracle, A*, context caches)
+                // records into it ambiently. The guard lives inside the
+                // unwind boundary: a panic drops it during unwinding,
+                // so the next job never inherits a stale trace.
+                let _guard = trace.as_ref().map(obs::trace::install);
+                if let Some(t) = &trace {
+                    t.point(
+                        "queue.wait",
+                        vec![(
+                            "wait_us",
+                            AttrValue::U64(received.elapsed().as_micros() as u64),
+                        )],
+                    );
+                    t.point(
+                        "batch",
+                        vec![
+                            ("size", AttrValue::U64(batch_size)),
+                            ("city", AttrValue::Str(job.request.city.clone())),
+                            (
+                                "weight",
+                                AttrValue::Str(job.request.weight.name().to_string()),
+                            ),
+                            ("target", AttrValue::U64(job.target.index() as u64)),
+                        ],
+                    );
+                }
+                process_job(job, &mut batch_ctx, shared)
+            };
+            let outcome = if shared.cfg.resilience {
+                catch_unwind(AssertUnwindSafe(run))
+            } else {
+                Ok(run())
+            };
+            match outcome {
+                Ok((outcome, payload)) => {
+                    // Settle the breaker *before* the response leaves:
+                    // the moment the client reads this answer it may
+                    // pipeline its next request, which must be admitted
+                    // against the settled state (a probe success that
+                    // settled after the send would fast-fail it).
+                    settle_breaker(shared, &city, &outcome);
+                    send(&writer, &payload);
+                    if let (Some(t), Some(slow_ms)) = (&trace, shared.cfg.slow_ms) {
+                        let total_us = received.elapsed().as_micros() as u64;
+                        if total_us >= slow_ms.saturating_mul(1_000) {
+                            obs::inc("serve.requests.slow");
+                            if let Some(log) = &shared.slow_log {
+                                log.append(t);
+                            }
+                        }
                     }
+                }
+                Err(_) => {
+                    // The job's state (shared context, caches) is
+                    // suspect after an unwind: answer the request with
+                    // a *final* error — no retry hint, so a resilient
+                    // client will not re-send a poison pill — give the
+                    // rest of the batch back to the queue, and retire
+                    // this worker for the supervisor to replace.
+                    obs::inc("serve.worker.panic");
+                    shared.panics.fetch_add(1, Ordering::SeqCst);
+                    obs::inc("serve.requests.error");
+                    if shared.cfg.resilience {
+                        if let Some(breaker) = shared.breakers.get(&city) {
+                            breaker.record_failure();
+                        }
+                    }
+                    send(
+                        &writer,
+                        &error_response(
+                            id,
+                            "internal error: worker panicked while executing this request",
+                            None,
+                        ),
+                    );
+                    for j in jobs {
+                        let jid = j.request.id;
+                        let jwriter = j.writer.clone();
+                        let jcity = j.request.city.clone();
+                        if shared.queue.push(j).is_err() {
+                            obs::inc("serve.requests.shed");
+                            obs::add_windowed("serve.requests.shed", 1);
+                            if shared.cfg.resilience {
+                                if let Some(breaker) = shared.breakers.get(&jcity) {
+                                    breaker.release();
+                                }
+                            }
+                            send(
+                                &jwriter,
+                                &error_response(
+                                    jid,
+                                    "overloaded: could not requeue after a worker panic",
+                                    Some(shared.cfg.retry_after_ms),
+                                ),
+                            );
+                        }
+                    }
+                    return WorkerExit::Panicked;
                 }
             }
         }
@@ -613,7 +1008,16 @@ fn context_for(
     }
 }
 
-fn process_job(job: Job, batch_ctx: &mut Option<Arc<TargetContext>>, batching: bool) {
+/// Executes one job and returns its outcome plus the response frame
+/// payload. The caller sends the payload *after* settling the breaker
+/// with the outcome, so a client that pipelines its next request the
+/// moment it reads this answer observes consistent admission state.
+fn process_job(
+    job: Job,
+    batch_ctx: &mut Option<Arc<TargetContext>>,
+    shared: &Shared,
+) -> (JobOutcome, Vec<u8>) {
+    let batching = shared.cfg.batching;
     let id = job.request.id;
     let now = Instant::now();
     if let Some(deadline) = job.deadline {
@@ -630,35 +1034,59 @@ fn process_job(job: Job, batch_ctx: &mut Option<Arc<TargetContext>>, batching: b
             // timed-out answer, not a dropped connection.
             obs::inc("serve.requests.timeout");
             obs::inc("serve.requests.timeout.queue");
-            send(&job.writer, &timed_out_payload(&job));
             record_latency(&job);
-            return;
+            return (JobOutcome::QueueExpired, timed_out_payload(&job));
         }
     }
+    if job.request.inject_panic {
+        if shared.cfg.fault_injection {
+            // The chaos tests and `resilience_proof` exercise the
+            // supervisor through this: a real unwind from request
+            // depth, caught by the worker's per-job boundary.
+            panic!("injected worker panic (fault injection)");
+        }
+        obs::inc("serve.requests.error");
+        record_latency(&job);
+        return (
+            JobOutcome::Error,
+            error_response(id, "fault injection is disabled on this server", None),
+        );
+    }
+    let mut exec_timed_out = false;
     let result = {
         let _exec = obs::trace::span("exec");
         match job.request.kind {
             RequestKind::Route => exec_route(&job, &context_for(&job, batch_ctx, batching)),
-            RequestKind::Attack => exec_attack(&job, &context_for(&job, batch_ctx, batching), now),
+            RequestKind::Attack => exec_attack(&job, &context_for(&job, batch_ctx, batching), now)
+                .map(|(value, timed_out)| {
+                    exec_timed_out = timed_out;
+                    value
+                }),
             RequestKind::Recon => exec_recon(&job),
             RequestKind::Impact => exec_impact(&job, &context_for(&job, batch_ctx, batching)),
             // Handled inline by the reader; unreachable through the queue.
-            RequestKind::Stats | RequestKind::Metrics | RequestKind::Ping => {
+            RequestKind::Stats | RequestKind::Metrics | RequestKind::Health | RequestKind::Ping => {
                 Err("not a queued request kind".to_string())
             }
         }
     };
-    match result {
+    let (outcome, payload) = match result {
         Ok(value) => {
             obs::inc("serve.requests.ok");
-            send(&job.writer, &ok_response(id, &job.request.kind, value));
+            let outcome = if exec_timed_out {
+                JobOutcome::ExecTimeout
+            } else {
+                JobOutcome::Success
+            };
+            (outcome, ok_response(id, &job.request.kind, value))
         }
         Err(msg) => {
             obs::inc("serve.requests.error");
-            send(&job.writer, &error_response(id, &msg, None));
+            (JobOutcome::Error, error_response(id, &msg, None))
         }
-    }
+    };
     record_latency(&job);
+    (outcome, payload)
 }
 
 /// Records one finished request's end-to-end latency into both the
@@ -737,7 +1165,14 @@ fn exec_route(job: &Job, ctx: &Arc<TargetContext>) -> Result<JsonValue, String> 
     Ok(JsonValue::Obj(obj))
 }
 
-fn exec_attack(job: &Job, ctx: &Arc<TargetContext>, now: Instant) -> Result<JsonValue, String> {
+/// Runs an attack; the second element of the pair reports whether the
+/// algorithm ran out of time (a breaker failure even though the
+/// response itself is `ok` with a `timed_out` status).
+fn exec_attack(
+    job: &Job,
+    ctx: &Arc<TargetContext>,
+    now: Instant,
+) -> Result<(JsonValue, bool), String> {
     let req = &job.request;
     let limits = RunLimits {
         deadline: job.deadline.map(|d| d.saturating_duration_since(now)),
@@ -782,7 +1217,7 @@ fn exec_attack(job: &Job, ctx: &Arc<TargetContext>, now: Instant) -> Result<Json
         "algorithm".to_string(),
         JsonValue::Str(out.algorithm.clone()),
     );
-    Ok(JsonValue::Obj(obj))
+    Ok((JsonValue::Obj(obj), out.status == AttackStatus::TimedOut))
 }
 
 fn exec_recon(job: &Job) -> Result<JsonValue, String> {
@@ -848,6 +1283,58 @@ fn exec_impact(job: &Job, ctx: &Arc<TargetContext>) -> Result<JsonValue, String>
     Ok(JsonValue::Obj(obj))
 }
 
+/// The `health` response body: drain/escalation status, worker
+/// liveness, and per-city breaker state. Unlike every queued kind this
+/// reports *live* state (it is excluded from byte-identity workloads).
+fn health_result(shared: &Shared) -> JsonValue {
+    let configured = shared.cfg.workers.max(1);
+    let alive = shared.workers_alive.load(Ordering::SeqCst);
+    let draining = shared.draining();
+    let escalated = shared.escalated.load(Ordering::SeqCst);
+    let mut breakers = BTreeMap::new();
+    let mut any_open = false;
+    for (city, breaker) in &shared.breakers {
+        let snap = breaker.snapshot();
+        any_open |= snap.state == BreakerState::Open;
+        let mut b = BTreeMap::new();
+        b.insert(
+            "state".to_string(),
+            JsonValue::Str(snap.state.name().to_string()),
+        );
+        b.insert(
+            "consecutive_failures".to_string(),
+            JsonValue::Num(snap.consecutive_failures as f64),
+        );
+        b.insert("opens".to_string(), JsonValue::Num(snap.opens as f64));
+        breakers.insert(city.clone(), JsonValue::Obj(b));
+    }
+    let status = if draining {
+        "draining"
+    } else if escalated || alive < configured || any_open {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let mut workers = BTreeMap::new();
+    workers.insert("configured".to_string(), JsonValue::Num(configured as f64));
+    workers.insert("alive".to_string(), JsonValue::Num(alive as f64));
+    workers.insert(
+        "panics".to_string(),
+        JsonValue::Num(shared.panics.load(Ordering::SeqCst) as f64),
+    );
+    workers.insert(
+        "restarts".to_string(),
+        JsonValue::Num(shared.restarts.load(Ordering::SeqCst) as f64),
+    );
+    let mut obj = BTreeMap::new();
+    obj.insert("status".to_string(), JsonValue::Str(status.to_string()));
+    obj.insert("draining".to_string(), JsonValue::Bool(draining));
+    obj.insert("escalated".to_string(), JsonValue::Bool(escalated));
+    obj.insert("workers".to_string(), JsonValue::Obj(workers));
+    obj.insert("breakers".to_string(), JsonValue::Obj(breakers));
+    JsonValue::Obj(obj)
+}
+
 /// The `stats` response body: service configuration, live queue state,
 /// and the serve-relevant slice of the telemetry registry.
 fn stats_result(shared: &Shared) -> JsonValue {
@@ -864,6 +1351,11 @@ fn stats_result(shared: &Shared) -> JsonValue {
         "serve.requests.timeout.exec",
         "serve.requests.slow",
         "serve.requests.rejected_draining",
+        "serve.worker.panic",
+        "serve.worker.restart",
+        "serve.worker.spawn_failed",
+        "serve.breaker.open",
+        "serve.breaker.fast_fail",
         "serve.reuse.ctx.hit",
         "serve.reuse.ctx.miss",
         "pathattack.reuse.rev_dij.hit",

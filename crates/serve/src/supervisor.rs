@@ -1,0 +1,111 @@
+//! Worker-pool supervision: the restart budget behind panic recovery.
+//!
+//! Every worker thread and the accept loop run under `catch_unwind`
+//! (see `server.rs`); when one dies of a panic the supervisor decides
+//! between *restart* and *escalate*. The decision is a token bucket:
+//! `burst` tokens up front, refilled at `per_sec`, one token per
+//! restart. A single poisoned request costs one restart and the pool
+//! heals; a panic storm (every request panics, or a worker that
+//! panics on arrival in a tight loop) drains the bucket, at which
+//! point the supervisor escalates to a graceful drain — bounded
+//! blast radius instead of a thrashing pool that looks alive but
+//! serves nothing.
+//!
+//! The budget is intentionally *not* global obs state: each server
+//! instance owns one, so in-process test servers cannot starve each
+//! other.
+
+use std::time::Instant;
+
+/// Token-bucket restart budget: `burst` restarts immediately, refilled
+/// continuously at `per_sec`.
+#[derive(Debug)]
+pub struct RestartBudget {
+    capacity: f64,
+    tokens: f64,
+    per_sec: f64,
+    last_refill: Instant,
+}
+
+impl RestartBudget {
+    /// A full bucket of `burst` tokens refilling at `per_sec` tokens
+    /// per second (`per_sec = 0` disables refill: `burst` restarts
+    /// total, ever).
+    pub fn new(burst: u32, per_sec: f64) -> RestartBudget {
+        let capacity = f64::from(burst.max(1));
+        RestartBudget {
+            capacity,
+            tokens: capacity,
+            per_sec: per_sec.max(0.0),
+            last_refill: Instant::now(),
+        }
+    }
+
+    /// Takes one restart token if available.
+    pub fn try_take(&mut self) -> bool {
+        self.try_take_at(Instant::now())
+    }
+
+    /// Clock-injected core of [`RestartBudget::try_take`] (tests pass
+    /// synthetic instants; production passes `Instant::now()`).
+    pub fn try_take_at(&mut self, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.last_refill);
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * self.per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (fractional while refilling).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_exhausts_without_refill() {
+        let mut b = RestartBudget::new(2, 0.0);
+        let t0 = Instant::now();
+        assert!(b.try_take_at(t0));
+        assert!(b.try_take_at(t0));
+        assert!(!b.try_take_at(t0), "burst of 2 allows exactly 2 restarts");
+        // per_sec = 0: no amount of waiting refills the bucket.
+        assert!(!b.try_take_at(t0 + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn refill_restores_tokens_up_to_capacity() {
+        let mut b = RestartBudget::new(2, 1.0);
+        let t0 = Instant::now();
+        assert!(b.try_take_at(t0));
+        assert!(b.try_take_at(t0));
+        assert!(!b.try_take_at(t0));
+        // Half a second refills half a token: still not enough.
+        assert!(!b.try_take_at(t0 + Duration::from_millis(500)));
+        // 1.5 s after t0 the bucket has ~1 token again.
+        assert!(b.try_take_at(t0 + Duration::from_millis(1600)));
+        // Refill caps at capacity: a long idle stretch buys at most
+        // `burst` restarts, not unbounded credit.
+        let mut b = RestartBudget::new(2, 10.0);
+        let t0 = Instant::now();
+        assert!(b.try_take_at(t0 + Duration::from_secs(100)));
+        assert!(b.try_take_at(t0 + Duration::from_secs(100)));
+        assert!(!b.try_take_at(t0 + Duration::from_secs(100)));
+    }
+
+    #[test]
+    fn zero_burst_is_clamped_to_one() {
+        let mut b = RestartBudget::new(0, 0.0);
+        assert!(b.try_take(), "burst clamps to at least one restart");
+        assert!(!b.try_take());
+    }
+}

@@ -394,3 +394,51 @@ fn drain_finishes_in_flight_work_and_rejects_new_requests() {
     }
     server.join();
 }
+
+#[test]
+fn health_reports_pool_breakers_and_drain_state() {
+    let server = server_with(true, 2);
+    let mut client = Client::connect(&server.local_addr()).unwrap();
+    // Workers register themselves as they start; give the pool a
+    // moment to come fully alive before asserting on the snapshot.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let result = loop {
+        let resp = client
+            .roundtrip(&Request::new(1, RequestKind::Health, ""))
+            .unwrap();
+        assert!(resp.ok, "health failed: {:?}", resp.error);
+        let result = resp.result.expect("health result");
+        let alive = result
+            .get("workers")
+            .and_then(|w| w.get("alive"))
+            .and_then(JsonValue::as_u64);
+        if alive == Some(2) || std::time::Instant::now() > deadline {
+            break result;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    assert_eq!(result.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert!(matches!(
+        result.get("draining"),
+        Some(JsonValue::Bool(false))
+    ));
+    assert!(matches!(
+        result.get("escalated"),
+        Some(JsonValue::Bool(false))
+    ));
+    let workers = result.get("workers").expect("workers object");
+    assert_eq!(
+        workers.get("configured").and_then(JsonValue::as_u64),
+        Some(2)
+    );
+    assert_eq!(workers.get("alive").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(workers.get("restarts").and_then(JsonValue::as_u64), Some(0));
+    // One resident city, one breaker, born closed.
+    let state = result
+        .get("breakers")
+        .and_then(|b| b.get("boston"))
+        .and_then(|b| b.get("state"))
+        .and_then(JsonValue::as_str);
+    assert_eq!(state, Some("closed"));
+    server.shutdown();
+}

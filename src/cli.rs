@@ -9,7 +9,7 @@ use obs::TelemetrySink;
 use std::io;
 
 /// Every `--key value` flag the CLI accepts, across all subcommands.
-pub const KNOWN_FLAGS: [&str; 33] = [
+pub const KNOWN_FLAGS: [&str; 34] = [
     "city",
     "scale",
     "seed",
@@ -43,13 +43,14 @@ pub const KNOWN_FLAGS: [&str; 33] = [
     "addr",
     "interval",
     "once",
+    "chaos",
 ];
 
 /// Flags that take no value (presence alone sets them).
 pub const BOOLEAN_FLAGS: [&str; 1] = ["once"];
 
 /// Every subcommand the CLI dispatches on, in usage order.
-pub const SUBCOMMANDS: [&str; 10] = [
+pub const SUBCOMMANDS: [&str; 11] = [
     "generate",
     "attack",
     "recon",
@@ -60,11 +61,12 @@ pub const SUBCOMMANDS: [&str; 10] = [
     "experiment",
     "serve",
     "trace",
+    "chaos",
 ];
 
 /// Usage text printed on bad invocations; documents every known flag.
 pub const USAGE: &str =
-    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment|serve|trace> \
+    "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment|serve|trace|chaos> \
 [--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
 [--rank K] [--weight length|time] [--cost uniform|lanes|width] \
 [--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness] \
@@ -74,7 +76,7 @@ pub const USAGE: &str =
 [--csv FILE] [--faults SPEC] [--threads N] \
 [--listen ADDR:PORT] [--workers N] [--queue-depth N] [--batch-max N] \
 [--drain-deadline SECS] [--slow-ms N] [--slow-log FILE] \
-[--addr HOST:PORT] [--interval SECS] [--once]";
+[--addr HOST:PORT] [--interval SECS] [--once] [--chaos SPEC]";
 
 /// Destination of the `--metrics` telemetry report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,6 +129,7 @@ pub fn command_span_name(cmd: &str) -> &'static str {
         "experiment" => "harness.cmd.experiment",
         "serve" => "harness.cmd.serve",
         "trace" => "harness.cmd.trace",
+        "chaos" => "harness.cmd.chaos",
         _ => "harness.cmd.other",
     }
 }

@@ -12,13 +12,17 @@
 //!                       [--max-oracle-calls N] [--resume CKPT] [--csv FILE]
 //! metro-attack serve    --city boston [--listen 127.0.0.1:4280] [--workers N]
 //!                       [--queue-depth N] [--deadline SECS] [--drain-deadline SECS]
+//!                       [--chaos SPEC]
+//! metro-attack chaos    --addr HOST:PORT [--listen 127.0.0.1:0] [--chaos SPEC]
 //! ```
 //!
 //! Every subcommand prints a human-readable report; `attack --svg` also
 //! writes a Figs 1–4-style map. `experiment` runs a full (city, weight)
 //! sweep with checkpoint/resume and per-run deadlines. `serve` runs the
 //! long-lived query service from the `serve` crate until SIGTERM/ctrl-c
-//! drains it.
+//! drains it; with `--chaos SPEC` the server hides behind an in-process
+//! chaos proxy injecting seeded connection faults. `chaos` runs the
+//! same proxy standalone in front of any running server.
 
 use metro_attack::attack::{coordinated_attack, minimal_hardening};
 use metro_attack::cli::{command_span_name, MetricsMode, BOOLEAN_FLAGS, KNOWN_FLAGS, USAGE};
@@ -585,8 +589,23 @@ fn cmd_serve(args: &Args) -> ExitCode {
         eprintln!("--drain-deadline must be a positive number of seconds");
         return ExitCode::FAILURE;
     }
+    let chaos_plan = match args.get("chaos").map(serve::ChaosPlan::parse) {
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(e)) => {
+            eprintln!("bad --chaos spec: {e}");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let requested_listen = args.get("listen").unwrap_or("127.0.0.1:4280").to_string();
     let cfg = serve::ServerConfig {
-        listen: args.get("listen").unwrap_or("127.0.0.1:4280").to_string(),
+        // With a chaos proxy in front, the real server hides on an
+        // ephemeral port and the proxy takes the requested address.
+        listen: if chaos_plan.is_some() {
+            "127.0.0.1:0".to_string()
+        } else {
+            requested_listen.clone()
+        },
         // `--city` takes a comma-separated list of presets and/or OSM
         // extract paths; each becomes one resident network.
         cities: args
@@ -619,6 +638,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
             Some(MetricsMode::File(path)) => Some(path),
             _ => None,
         },
+        ..defaults
     };
     serve::signal::install();
     let cities = cfg.cities.join(", ");
@@ -629,12 +649,79 @@ fn cmd_serve(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let proxy = match chaos_plan {
+        Some(plan) => {
+            match serve::ChaosProxy::start(&requested_listen, server.local_addr(), plan) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("cannot start chaos proxy: {e}");
+                    server.shutdown();
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     // Parseable line for load generators and the CI smoke job: the
     // bound port is only known now (`--listen host:0` picks one).
-    println!("listening on {}", server.local_addr());
+    // Clients must talk to the chaos proxy when one is up.
+    match &proxy {
+        Some(p) => {
+            println!("listening on {}", p.local_addr());
+            println!(
+                "chaos proxy injecting faults in front of {}",
+                server.local_addr()
+            );
+        }
+        None => println!("listening on {}", server.local_addr()),
+    }
     println!("serving {cities} with {workers} workers (SIGTERM or ctrl-c drains)");
     server.join();
+    if let Some(p) = proxy {
+        p.stop();
+    }
     println!("drained cleanly");
+    ExitCode::SUCCESS
+}
+
+/// `metro-attack chaos`: a standalone fault-injecting forwarder in
+/// front of any running server — same engine as `serve --chaos`, for
+/// testing a server you did not start yourself.
+fn cmd_chaos(args: &Args) -> ExitCode {
+    use std::net::ToSocketAddrs;
+    let Some(addr) = args.get("addr") else {
+        eprintln!("chaos requires --addr HOST:PORT of the upstream server");
+        return ExitCode::FAILURE;
+    };
+    let Some(upstream) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        eprintln!("cannot resolve --addr {addr:?}");
+        return ExitCode::FAILURE;
+    };
+    let plan = match args.get("chaos").map(serve::ChaosPlan::parse) {
+        Some(Ok(plan)) => plan,
+        Some(Err(e)) => {
+            eprintln!("bad --chaos spec: {e}");
+            return ExitCode::FAILURE;
+        }
+        // No spec: a transparent forwarder (still useful as a traffic tap).
+        None => serve::ChaosPlan::default(),
+    };
+    let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+    let proxy = match serve::ChaosProxy::start(listen, upstream, plan) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot start chaos proxy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    serve::signal::install();
+    println!("listening on {}", proxy.local_addr());
+    println!("chaos proxy forwarding to {upstream} (SIGTERM or ctrl-c stops)");
+    while !serve::signal::drain_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    proxy.stop();
+    println!("chaos proxy stopped");
     ExitCode::SUCCESS
 }
 
@@ -642,8 +729,13 @@ fn cmd_serve(args: &Args) -> ExitCode {
 /// renders a live terminal view (rps, shed rate, queue depth, rolling
 /// window quantiles, top counters). `--once` prints a single frame and
 /// exits — the CI-friendly mode.
+///
+/// The dashboard holds one [`serve::ResilientClient`] across frames,
+/// so a dropped connection or a restarting server no longer kills the
+/// view: each fetch retries with backoff (bounded attempts, so `--once`
+/// still fails fast), and in live mode a frame that exhausts its
+/// retries prints a warning and keeps polling at the next interval.
 fn cmd_trace(args: &Args) -> ExitCode {
-    use std::net::ToSocketAddrs;
     let Some(addr) = args.get("addr") else {
         eprintln!("trace requires --addr HOST:PORT of a running `metro-attack serve`");
         return ExitCode::FAILURE;
@@ -654,16 +746,19 @@ fn cmd_trace(args: &Args) -> ExitCode {
         eprintln!("--interval must be a positive number of seconds");
         return ExitCode::FAILURE;
     }
-    let sock = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
-        Some(s) => s,
-        None => {
-            eprintln!("cannot resolve --addr {addr:?}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let mut client = serve::ResilientClient::new(
+        addr,
+        serve::RetryPolicy {
+            max_attempts: 4,
+            base_backoff: std::time::Duration::from_millis(100),
+            max_backoff: std::time::Duration::from_secs(2),
+            attempt_timeout: Some(std::time::Duration::from_secs(5)),
+            ..serve::RetryPolicy::default()
+        },
+    );
     let mut first = true;
     loop {
-        match fetch_trace_frame(&sock, addr) {
+        match fetch_trace_frame(&mut client, addr) {
             Ok(frame) => {
                 if !once && !first {
                     // Repaint in place: clear screen, cursor home.
@@ -673,7 +768,10 @@ fn cmd_trace(args: &Args) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("trace: {e}");
-                return ExitCode::FAILURE;
+                if once {
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("trace: retrying at the next interval");
             }
         }
         if once {
@@ -684,13 +782,14 @@ fn cmd_trace(args: &Args) -> ExitCode {
     }
 }
 
-/// One rendered frame of the live view, from a fresh `stats` roundtrip.
-fn fetch_trace_frame(sock: &std::net::SocketAddr, addr: &str) -> Result<String, String> {
+/// One rendered frame of the live view, from a `stats` roundtrip on
+/// the dashboard's shared retrying client.
+fn fetch_trace_frame(client: &mut serve::ResilientClient, addr: &str) -> Result<String, String> {
     use obs::JsonValue;
     use std::fmt::Write;
-    let mut client =
-        serve::Client::connect(sock).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let response = client.roundtrip(&serve::Request::new(1, serve::RequestKind::Stats, ""))?;
+    let response = client
+        .call(&serve::Request::new(1, serve::RequestKind::Stats, ""))?
+        .response;
     if !response.ok {
         return Err(response
             .error
@@ -807,6 +906,7 @@ fn main() -> ExitCode {
             "experiment" => cmd_experiment(&args),
             "serve" => cmd_serve(&args),
             "trace" => cmd_trace(&args),
+            "chaos" => cmd_chaos(&args),
             _ => usage(),
         }
     };

@@ -456,6 +456,20 @@ fn trace_requires_an_addr() {
 }
 
 #[test]
+fn chaos_requires_an_addr() {
+    let (ok, _, stderr) = run(&["chaos"]);
+    assert!(!ok);
+    assert!(stderr.contains("--addr"), "{stderr}");
+}
+
+#[test]
+fn chaos_rejects_a_bad_plan_spec() {
+    let (ok, _, stderr) = run(&["chaos", "--addr", "127.0.0.1:9", "--chaos", "frobnicate=1"]);
+    assert!(!ok);
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+}
+
+#[test]
 fn metrics_off_by_default() {
     let (ok, stdout, stderr) = run(&[
         "attack", "--city", "chicago", "--scale", "0.05", "--rank", "8",
