@@ -251,6 +251,7 @@ pub fn figure(cfg: &RunConfig, number: usize) -> (String, usize) {
         &FigureSpec {
             pstar: problem.pstar().clone(),
             removed: outcome.removed.clone(),
+            perturbed: Vec::new(),
             source,
             target: hospital.node,
             title: format!(

@@ -12,6 +12,7 @@ mod greedy_edge;
 mod greedy_eig;
 mod greedy_pathcover;
 mod lp_pathcover;
+mod lp_perturb;
 
 pub use greedy_betweenness::GreedyBetweenness;
 pub use greedy_edge::GreedyEdge;
@@ -19,6 +20,7 @@ pub use greedy_eig::GreedyEig;
 pub(crate) use greedy_pathcover::greedy_cover_multi;
 pub use greedy_pathcover::GreedyPathCover;
 pub use lp_pathcover::{LpPathCover, Rounding};
+pub use lp_perturb::LpPerturb;
 
 use crate::{AttackOutcome, AttackProblem};
 

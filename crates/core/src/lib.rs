@@ -52,6 +52,7 @@ mod defense;
 pub mod faults;
 mod limits;
 mod multi;
+mod perturb;
 mod problem;
 mod recon;
 mod result;
@@ -61,13 +62,14 @@ mod weights;
 pub(crate) use algorithms::greedy_cover_multi;
 pub use algorithms::{
     all_algorithms, all_algorithms_extended, AttackAlgorithm, GreedyBetweenness, GreedyEdge,
-    GreedyEig, GreedyPathCover, LpPathCover, Rounding,
+    GreedyEig, GreedyPathCover, LpPathCover, LpPerturb, Rounding,
 };
 pub use context::{NetworkCache, TargetContext};
 pub use defense::{minimal_hardening, HardeningPlan};
 pub use faults::{FaultPlan, FaultSite};
 pub use limits::RunLimits;
 pub use multi::{coordinated_attack, CoordinatedError, CoordinatedOutcome};
+pub use perturb::{PerturbOracle, PerturbProblem, PerturbResult};
 pub use problem::{AttackProblem, ProblemError};
 pub use recon::{critical_segments, CriticalSegment};
 pub use result::{AttackOutcome, AttackStatus, Degradation};

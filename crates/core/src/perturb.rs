@@ -1,0 +1,589 @@
+//! The PATHPERTURB problem layer: minimum-cost edge-weight perturbation.
+//!
+//! Companion modality to Force Path Cut ("Optimal Edge Weight
+//! Perturbations to Attack Shortest Paths", Miller et al.): instead of
+//! *removing* edges, the adversary *raises* their weights — road works,
+//! signal retiming, reported congestion — until the target route `p*`
+//! is uniquely shortest, at minimum total perturbation cost.
+//!
+//! - [`PerturbProblem`] wraps an [`AttackProblem`] with the
+//!   perturbation-specific knobs: an optional per-edge delta cap and an
+//!   optional integer-rounding post-pass. The cut-cost models
+//!   (UNIFORM/LANES/WIDTH) are reused as *per unit of added weight*
+//!   costs.
+//! - [`PerturbOracle`] answers violating-path queries under a
+//!   [`WeightOverlay`] instead of a mutated view. Perturbations never
+//!   remove edges, so there is nothing for decremental repair to track:
+//!   the modality is repair-invariant by construction, and the intact
+//!   reverse-distance table stays an admissible A\* heuristic because
+//!   deltas are non-negative.
+//! - [`PerturbResult`] carries the perturbation vector plus enough
+//!   accounting to certify it independently via
+//!   [`PerturbResult::verify`].
+
+use crate::{faults, AttackProblem, AttackStatus, Degradation};
+use routing::{acquire_scratch, CancelToken, Direction, Path, ScratchGuard, WeightOverlay};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+use traffic_graph::EdgeId;
+
+/// A weight-perturbation attack instance: an [`AttackProblem`] plus the
+/// perturbation-specific budget model.
+///
+/// The same edges that Force Path Cut may remove are the ones a
+/// perturbation may lengthen ([`PerturbProblem::is_perturbable`] is
+/// exactly [`AttackProblem::is_cuttable`]): edges on `p*`, artificial
+/// connectors, protected edges, and pre-removed edges are all off
+/// limits. The problem's [`crate::CostType`] vector is reinterpreted as
+/// the cost *per unit of added weight* on each edge, and the problem's
+/// budget (if any) bounds the total perturbation cost.
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{CityPreset, Scale};
+/// use pathattack::{AttackProblem, LpPerturb, PerturbProblem, WeightType, CostType};
+/// use traffic_graph::{NodeId, PoiKind};
+///
+/// let city = CityPreset::SanFrancisco.build(Scale::Small, 5);
+/// let hospital = city.pois_of_kind(PoiKind::Hospital).next().unwrap().node;
+/// let inner = AttackProblem::with_path_rank(
+///     &city, WeightType::Length, CostType::Uniform, NodeId::new(0), hospital, 10,
+/// ).unwrap();
+/// let problem = PerturbProblem::new(inner);
+/// let result = LpPerturb::default().attack(&problem);
+/// assert!(result.is_success());
+/// result.verify(&problem).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct PerturbProblem<'g> {
+    inner: AttackProblem<'g>,
+    edge_cap: Option<f64>,
+    integer_round: bool,
+}
+
+impl<'g> PerturbProblem<'g> {
+    /// Wraps an attack problem as a perturbation instance with no
+    /// per-edge cap and no integer rounding.
+    pub fn new(inner: AttackProblem<'g>) -> Self {
+        PerturbProblem {
+            inner,
+            edge_cap: None,
+            integer_round: false,
+        }
+    }
+
+    /// Caps the weight increase of every single edge at `cap`. A tight
+    /// cap can make an instance infeasible (the LP reports it, the
+    /// attack returns [`AttackStatus::Stuck`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not finite and positive.
+    pub fn with_edge_cap(mut self, cap: f64) -> Self {
+        assert!(
+            cap.is_finite() && cap > 0.0,
+            "per-edge perturbation cap must be finite and positive, got {cap}"
+        );
+        self.edge_cap = Some(cap);
+        self
+    }
+
+    /// Enables the integer-rounding post-pass: after the fractional LP
+    /// succeeds, every delta is rounded up to the next integer (clamped
+    /// to the per-edge cap) and the result re-certified; if rounding
+    /// breaks feasibility or the budget, the fractional solution is
+    /// kept.
+    pub fn with_integer_rounding(mut self, integer_round: bool) -> Self {
+        self.integer_round = integer_round;
+        self
+    }
+
+    /// The wrapped cut-attack problem (weights, costs, `p*`, limits).
+    pub fn inner(&self) -> &AttackProblem<'g> {
+        &self.inner
+    }
+
+    /// The per-edge delta cap, if any.
+    pub fn edge_cap(&self) -> Option<f64> {
+        self.edge_cap
+    }
+
+    /// Whether the integer-rounding post-pass is enabled.
+    pub fn integer_rounding(&self) -> bool {
+        self.integer_round
+    }
+
+    /// Whether the adversary may lengthen `e` — the same edges Force
+    /// Path Cut may remove.
+    pub fn is_perturbable(&self, e: EdgeId) -> bool {
+        self.inner.is_cuttable(e)
+    }
+
+    /// The weight every violating path must be pushed past: one tie
+    /// margin beyond the violating threshold, so float noise in path
+    /// sums can never drop a "fixed" path back into violation.
+    pub fn clearance_weight(&self) -> f64 {
+        self.inner.pstar_weight() + 2.0 * self.inner.tie_margin()
+    }
+}
+
+/// Result of running one perturbation algorithm on one
+/// [`PerturbProblem`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerturbResult {
+    /// Name of the algorithm that produced this result.
+    pub algorithm: String,
+    /// `(edge, delta)` pairs in edge order, every delta positive.
+    pub perturbed: Vec<(EdgeId, f64)>,
+    /// Total perturbation cost: `Σ cost(e) · δ(e)`.
+    pub total_cost: f64,
+    /// Total added weight: `Σ δ(e)`.
+    pub total_delta: f64,
+    /// Constraint-generation rounds (violating paths turned into LP
+    /// rows or greedy bumps).
+    pub rounds: usize,
+    /// Oracle queries issued.
+    pub oracle_calls: u64,
+    /// Whether the integer-rounding post-pass produced the final
+    /// deltas (`false` when disabled or when rounding was reverted).
+    pub integer_rounded: bool,
+    /// Wall-clock time of the attack computation.
+    pub runtime: Duration,
+    /// How the attack terminated.
+    pub status: AttackStatus,
+    /// Which fallback (if any) produced this result.
+    pub degraded: Degradation,
+}
+
+impl PerturbResult {
+    /// Number of perturbed edges.
+    pub fn num_perturbed(&self) -> usize {
+        self.perturbed.len()
+    }
+
+    /// Whether the attack reached its goal.
+    pub fn is_success(&self) -> bool {
+        self.status == AttackStatus::Success
+    }
+
+    /// Rebuilds the result's [`WeightOverlay`].
+    pub fn overlay(&self, num_edges: usize) -> WeightOverlay {
+        let mut overlay = WeightOverlay::new(num_edges);
+        for &(e, d) in &self.perturbed {
+            overlay.set(e, d);
+        }
+        overlay
+    }
+
+    /// Independently certifies this result against `problem`:
+    ///
+    /// 1. every perturbed edge is perturbable, its delta positive,
+    ///    finite, and within the per-edge cap, and the vector is sorted
+    ///    by edge with no duplicates;
+    /// 2. the reported cost and total delta match the cost model;
+    /// 3. if the status is [`AttackStatus::Success`], re-running the
+    ///    search oracle on the perturbed weights confirms `p*` is the
+    ///    exclusive shortest path (within tie margin).
+    pub fn verify(&self, problem: &PerturbProblem<'_>) -> Result<(), String> {
+        let inner = problem.inner();
+        let mut cost = 0.0;
+        let mut delta_sum = 0.0;
+        let mut prev: Option<EdgeId> = None;
+        for &(e, d) in &self.perturbed {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!("edge {e} has invalid delta {d}"));
+            }
+            if !problem.is_perturbable(e) {
+                return Err(format!("perturbed edge {e} is not perturbable"));
+            }
+            if let Some(cap) = problem.edge_cap() {
+                if d > cap + 1e-9 {
+                    return Err(format!("edge {e} delta {d} exceeds cap {cap}"));
+                }
+            }
+            if prev.is_some_and(|p| p >= e) {
+                return Err(format!("perturbed edge {e} out of order or duplicated"));
+            }
+            prev = Some(e);
+            cost += inner.cost_of(e) * d;
+            delta_sum += d;
+        }
+        if (cost - self.total_cost).abs() > 1e-6 * cost.max(1.0) {
+            return Err(format!(
+                "cost mismatch: reported {}, recomputed {}",
+                self.total_cost, cost
+            ));
+        }
+        if (delta_sum - self.total_delta).abs() > 1e-6 * delta_sum.max(1.0) {
+            return Err(format!(
+                "delta mismatch: reported {}, recomputed {}",
+                self.total_delta, delta_sum
+            ));
+        }
+        if self.status == AttackStatus::Success {
+            let overlay = self.overlay(inner.network().num_edges());
+            let mut oracle = PerturbOracle::new(problem);
+            if let Some(v) = oracle.next_violating(problem, &overlay) {
+                return Err(format!(
+                    "a violating path of perturbed weight {} remains (p* = {})",
+                    v.total_weight(),
+                    inner.pstar_weight()
+                ));
+            }
+            if oracle.interrupted() {
+                return Err("certification oracle was interrupted".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Violating-path oracle for perturbation attacks.
+///
+/// Structurally the cut oracle ([`crate::Oracle`]) minus decremental
+/// repair: perturbations never remove edges, so the base view is
+/// searched as-is with the overlay folded into the weight closure. The
+/// reverse-distance table on the *base* weights stays an admissible
+/// A\* heuristic throughout, because deltas only lengthen paths. Run
+/// limits (deadline, oracle-call cap) behave exactly as in the cut
+/// oracle — after a `None`, check [`PerturbOracle::interrupted`]
+/// before treating it as success.
+#[derive(Debug)]
+pub struct PerturbOracle {
+    scratch: ScratchGuard,
+    rev: Arc<Vec<f64>>,
+    cancel: Option<CancelToken>,
+    max_calls: Option<u64>,
+    calls: u64,
+    exhausted: bool,
+}
+
+impl PerturbOracle {
+    /// Builds the oracle. A matching [`crate::TargetContext`] on the
+    /// wrapped problem is reused exactly as in [`crate::Oracle::new`]
+    /// (perturb requests batch under the same context key); otherwise
+    /// one backward Dijkstra runs here.
+    pub fn new(problem: &PerturbProblem<'_>) -> Self {
+        let _timer = obs::span("pathattack.perturb.oracle.build");
+        let inner = problem.inner();
+        let limits = inner.limits();
+        let cancel = limits.deadline.map(CancelToken::deadline_in);
+        let net = inner.network();
+        let mut scratch = acquire_scratch(net.num_nodes());
+        let rev = match inner.target_context().filter(|c| c.matches(inner)) {
+            Some(ctx) => {
+                obs::inc("pathattack.reuse.rev_dij.hit");
+                obs::trace::point(
+                    "oracle.rev_table",
+                    &[("outcome", obs::AttrValue::Str("hit".into()))],
+                );
+                ctx.rev().clone()
+            }
+            None => {
+                obs::inc("pathattack.reuse.rev_dij.miss");
+                obs::trace::point(
+                    "oracle.rev_table",
+                    &[("outcome", obs::AttrValue::Str("miss".into()))],
+                );
+                scratch.dijkstra.set_cancel(cancel.clone());
+                let (d, _) = scratch.dijkstra.distances_and_parents(
+                    inner.base_view(),
+                    |e| inner.weight_of(e),
+                    inner.target(),
+                    Direction::Backward,
+                );
+                Arc::new(d)
+            }
+        };
+        scratch.astar.set_cancel(cancel.clone());
+        PerturbOracle {
+            scratch,
+            rev,
+            cancel,
+            max_calls: limits.max_oracle_calls,
+            calls: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Whether a run limit has fired (see [`crate::Oracle::interrupted`]).
+    pub fn interrupted(&self) -> bool {
+        self.exhausted || self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    /// Number of [`PerturbOracle::next_violating`] queries issued so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Cheapest s→t path under the perturbed weights that differs from
+    /// `p*` in at least one edge. `None` when `p*` is the only s→t
+    /// path.
+    pub fn best_alternative(
+        &mut self,
+        problem: &PerturbProblem<'_>,
+        overlay: &WeightOverlay,
+    ) -> Option<Path> {
+        let inner = problem.inner();
+        let view = inner.base_view();
+        let weight = |e: EdgeId| inner.weight_of(e) + overlay.delta(e);
+        let PerturbOracle { scratch, rev, .. } = self;
+
+        let shortest = scratch.astar.shortest_path(
+            view,
+            weight,
+            |v| rev[v.index()],
+            inner.source(),
+            inner.target(),
+        )?;
+        if shortest.edges() != inner.pstar().edges() {
+            return Some(shortest);
+        }
+        // Shortest == p*: find the best deviation with a spur pass
+        // (p* edges carry no delta — they are never perturbable — so
+        // its prefix weights match the base weights).
+        let pstar = inner.pstar().clone();
+        let net = inner.network();
+        let mut work = view.clone();
+        let mut best: Option<Path> = None;
+
+        let mut prefix_w = Vec::with_capacity(pstar.len() + 1);
+        prefix_w.push(0.0);
+        for &e in pstar.edges() {
+            prefix_w.push(prefix_w.last().unwrap() + weight(e));
+        }
+        let mut spur_searches: u64 = 0;
+
+        #[allow(clippy::needless_range_loop)] // i indexes nodes, edges and prefix weights together
+        for i in 0..pstar.len() {
+            let spur_node = pstar.nodes()[i];
+            // Pooled buffer instead of a per-spur allocation.
+            let mut removed = std::mem::take(&mut scratch.spur_removed);
+            removed.clear();
+            // force a deviation at index i
+            if work.remove_edge(pstar.edges()[i]) {
+                removed.push(pstar.edges()[i]);
+            }
+            // keep the deviation simple: no re-entry into the prefix
+            for &v in &pstar.nodes()[..i] {
+                for e in net.out_edges(v) {
+                    if work.remove_edge(e) {
+                        removed.push(e);
+                    }
+                }
+            }
+            spur_searches += 1;
+            let spur = scratch.astar.shortest_path(
+                &work,
+                weight,
+                |v| rev[v.index()],
+                spur_node,
+                inner.target(),
+            );
+            if let Some(spur) = spur {
+                let total = prefix_w[i] + spur.total_weight();
+                if best.as_ref().is_none_or(|b| total < b.total_weight()) {
+                    let mut edges = pstar.edges()[..i].to_vec();
+                    edges.extend_from_slice(spur.edges());
+                    let joined =
+                        Path::from_edges(net, edges, weight).expect("prefix + spur is contiguous");
+                    best = Some(joined);
+                }
+            }
+            for &e in &removed {
+                work.restore_edge(e);
+            }
+            scratch.spur_removed = removed;
+        }
+        obs::add("pathattack.oracle.spur_searches", spur_searches);
+        best
+    }
+
+    /// The next violating path under the perturbed weights: the
+    /// cheapest s→t path distinct from `p*` whose perturbed weight does
+    /// not exceed `w(p*)` (within the tie margin). `None` means the
+    /// attack has succeeded — `p*` is the exclusive shortest path under
+    /// `base + overlay`.
+    pub fn next_violating(
+        &mut self,
+        problem: &PerturbProblem<'_>,
+        overlay: &WeightOverlay,
+    ) -> Option<Path> {
+        faults::before_oracle_call();
+        self.calls += 1;
+        if let Some(max) = self.max_calls {
+            if self.calls > max {
+                self.exhausted = true;
+                if let Some(t) = &self.cancel {
+                    t.cancel();
+                }
+                return None;
+            }
+        }
+        if self.interrupted() {
+            return None;
+        }
+        obs::inc("pathattack.perturb.oracle.calls");
+        obs::trace::point("oracle.call", &[("call", obs::AttrValue::U64(self.calls))]);
+        let alt = self.best_alternative(problem, overlay)?;
+        // Paths are built under the perturbed weight closure, so the
+        // wrapped problem's violation test compares perturbed weight
+        // against the unperturbed w(p*) — exactly the PATHPERTURB goal.
+        problem.inner().is_violating(&alt).then_some(alt)
+    }
+
+    /// Distance from `node` to the target on the unperturbed weights.
+    pub fn reverse_distance(&self, node: traffic_graph::NodeId) -> f64 {
+        self.rev[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostType, RunLimits, WeightType};
+    use traffic_graph::{EdgeAttrs, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder};
+
+    /// Three parallel routes a→d with weights 4, 6, 10 (as in the cut
+    /// oracle tests); p* = the middle route.
+    fn three_routes() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("three");
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let m1 = b.add_node(Point::new(1.0, 2.0));
+        let m2 = b.add_node(Point::new(1.0, 0.0));
+        let m3 = b.add_node(Point::new(1.0, -2.0));
+        let d = b.add_node(Point::new(2.0, 0.0));
+        let mut arc = |from, to, len: f64| {
+            b.add_edge(from, to, EdgeAttrs::from_class(RoadClass::Primary, len));
+        };
+        arc(a, m1, 2.0);
+        arc(m1, d, 2.0); // 4
+        arc(a, m2, 3.0);
+        arc(m2, d, 3.0); // 6
+        arc(a, m3, 5.0);
+        arc(m3, d, 5.0); // 10
+        b.build()
+    }
+
+    fn perturb_problem(net: &RoadNetwork) -> PerturbProblem<'_> {
+        PerturbProblem::new(
+            AttackProblem::with_path_rank(
+                net,
+                WeightType::Length,
+                CostType::Uniform,
+                NodeId::new(0),
+                NodeId::new(4),
+                2,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn oracle_sees_shorter_route_then_clears_after_perturbation() {
+        let net = three_routes();
+        let p = perturb_problem(&net);
+        let mut oracle = PerturbOracle::new(&p);
+        let mut overlay = WeightOverlay::new(net.num_edges());
+        let v = oracle
+            .next_violating(&p, &overlay)
+            .expect("route 4 violates");
+        assert_eq!(v.total_weight(), 4.0);
+
+        // push the 4-route past the clearance weight
+        let e = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        overlay.set(e, p.clearance_weight() - 4.0);
+        assert!(oracle.next_violating(&p, &overlay).is_none());
+        assert!(!oracle.interrupted());
+    }
+
+    #[test]
+    fn spur_pass_reports_perturbed_tie_breaker() {
+        // Raise the 4-route exactly to w(p*): it ties, stays violating.
+        let net = three_routes();
+        let p = perturb_problem(&net);
+        let mut oracle = PerturbOracle::new(&p);
+        let mut overlay = WeightOverlay::new(net.num_edges());
+        let e = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        overlay.set(e, 2.0); // 4-route now weighs 6 == w(p*)
+        let v = oracle.next_violating(&p, &overlay).expect("tie violates");
+        assert_eq!(v.total_weight(), 6.0);
+        assert_ne!(v.edges(), p.inner().pstar().edges());
+    }
+
+    #[test]
+    fn call_cap_zero_interrupts_first_query() {
+        let net = three_routes();
+        let p = PerturbProblem::new(
+            AttackProblem::with_path_rank(
+                &net,
+                WeightType::Length,
+                CostType::Uniform,
+                NodeId::new(0),
+                NodeId::new(4),
+                2,
+            )
+            .unwrap()
+            .with_limits(RunLimits::default().with_max_oracle_calls(0)),
+        );
+        let mut oracle = PerturbOracle::new(&p);
+        let overlay = WeightOverlay::new(net.num_edges());
+        assert!(oracle.next_violating(&p, &overlay).is_none());
+        assert!(oracle.interrupted());
+        assert_eq!(oracle.calls(), 1);
+    }
+
+    #[test]
+    fn verify_rejects_tampered_results() {
+        let net = three_routes();
+        let p = perturb_problem(&net);
+        let e = net.find_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let delta = p.clearance_weight() - 4.0;
+        let good = PerturbResult {
+            algorithm: "test".into(),
+            perturbed: vec![(e, delta)],
+            total_cost: delta,
+            total_delta: delta,
+            rounds: 1,
+            oracle_calls: 2,
+            integer_rounded: false,
+            runtime: Duration::ZERO,
+            status: AttackStatus::Success,
+            degraded: Degradation::None,
+        };
+        good.verify(&p).unwrap();
+
+        // wrong cost
+        let mut bad = good.clone();
+        bad.total_cost = 0.5;
+        assert!(bad.verify(&p).is_err());
+
+        // perturbing p* itself is illegal
+        let pstar_edge = p.inner().pstar().edges()[0];
+        let mut bad = good.clone();
+        bad.perturbed = vec![(pstar_edge, 1.0)];
+        bad.total_cost = 1.0;
+        bad.total_delta = 1.0;
+        assert!(bad.verify(&p).is_err());
+
+        // too small a delta leaves the 4-route violating
+        let mut bad = good.clone();
+        bad.perturbed = vec![(e, 1.0)];
+        bad.total_cost = 1.0;
+        bad.total_delta = 1.0;
+        assert!(bad.verify(&p).is_err());
+
+        // cap violations are caught
+        let capped = perturb_problem(&net).with_edge_cap(delta / 2.0);
+        assert!(good.verify(&capped).is_err());
+    }
+
+    #[test]
+    fn clearance_weight_exceeds_violating_threshold() {
+        let net = three_routes();
+        let p = perturb_problem(&net);
+        assert!(p.clearance_weight() > p.inner().pstar_weight() + p.inner().tie_margin());
+    }
+}

@@ -33,6 +33,7 @@ mod checkpoint;
 mod harness;
 mod lattice_sweep;
 mod metrics;
+mod perturb_sweep;
 mod sweep;
 mod tables;
 mod threshold;
@@ -52,6 +53,11 @@ pub use harness::{
 pub use lattice_sweep::{disorder_city, lattice_sweep, render_lattice_sweep, LatticePoint};
 pub use metrics::{
     aggregate, city_average, records_to_csv, AggregateRow, CityAverage, ExperimentRecord,
+};
+pub use perturb_sweep::{
+    aggregate_perturb, perturb_record_key, perturb_records_to_csv, run_perturb_instances,
+    run_perturb_instances_resumable, PerturbAggregateRow, PerturbJournal, PerturbOptions,
+    PerturbRecord,
 };
 pub use sweep::{rank_sweep, render_rank_sweep, RankSweepPoint};
 pub use tables::{render_experiment_table, render_table1, render_table10, render_table9};

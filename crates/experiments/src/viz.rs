@@ -2,8 +2,9 @@
 //!
 //! Follows the paper's visual language: the street network in light
 //! gray, the chosen alternative route `p*` in blue, removed segments in
-//! red, the source as a blue circle and the destination (hospital) as a
-//! yellow circle.
+//! red, perturbed segments in orange (opacity shaded by perturbation
+//! magnitude), the source as a blue circle and the destination
+//! (hospital) as a yellow circle.
 
 use routing::Path;
 use std::fmt::Write as _;
@@ -16,6 +17,10 @@ pub struct FigureSpec {
     pub pstar: Path,
     /// Removed road segments (red).
     pub removed: Vec<EdgeId>,
+    /// Perturbed road segments with their weight deltas (orange, the
+    /// opacity of each segment shaded by its delta relative to the
+    /// largest one).
+    pub perturbed: Vec<(EdgeId, f64)>,
     /// Source intersection (blue dot).
     pub source: NodeId,
     /// Destination intersection (yellow dot).
@@ -61,6 +66,7 @@ fn stroke_width(class: RoadClass) -> f64 {
 /// let svg = render_svg(&city, &FigureSpec {
 ///     pstar: problem.pstar().clone(),
 ///     removed: outcome.removed.clone(),
+///     perturbed: Vec::new(),
 ///     source: problem.source(),
 ///     target: problem.target(),
 ///     title: "example".into(),
@@ -146,6 +152,36 @@ pub fn render_svg(net: &RoadNetwork, spec: &FigureSpec) -> String {
     }
     let _ = write!(s, "</g>");
 
+    // Perturbed edges in orange, opacity shaded by magnitude.
+    if !spec.perturbed.is_empty() {
+        let max_delta = spec
+            .perturbed
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let _ = write!(
+            s,
+            r##"<g stroke="#ff7f0e" stroke-width="4" stroke-linecap="round">"##
+        );
+        for &(e, d) in &spec.perturbed {
+            let (u, v) = net.edge_endpoints(e);
+            let (pu, pv) = (net.node_point(u), net.node_point(v));
+            // Keep even the smallest delta visible.
+            let opacity = 0.35 + 0.65 * (d / max_delta).clamp(0.0, 1.0);
+            let _ = write!(
+                s,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke-opacity="{:.2}"/>"#,
+                tx(pu.x),
+                ty(pu.y),
+                tx(pv.x),
+                ty(pv.y),
+                opacity
+            );
+        }
+        let _ = write!(s, "</g>");
+    }
+
     // Endpoints.
     let sp = net.node_point(spec.source);
     let tp = net.node_point(spec.target);
@@ -193,6 +229,7 @@ mod tests {
         FigureSpec {
             pstar: problem.pstar().clone(),
             removed: outcome.removed,
+            perturbed: Vec::new(),
             source: problem.source(),
             target: problem.target(),
             title: "test & <figure>".into(),
@@ -219,6 +256,25 @@ mod tests {
         // at least one line per non-artificial undirected street (two
         // directed edges render as two overlapping lines)
         assert!(lines > city.num_edges() / 2);
+    }
+
+    #[test]
+    fn perturbed_edges_shaded_by_magnitude() {
+        let city = CityPreset::Chicago.build(Scale::Small, 11);
+        let mut spec = spec_on(&city);
+        let edges: Vec<EdgeId> = std::mem::take(&mut spec.removed);
+        spec.perturbed = edges
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (e, (i + 1) as f64))
+            .collect();
+        assert!(spec.perturbed.len() > 1, "need >1 edge to compare shades");
+        let svg = render_svg(&city, &spec);
+        assert!(svg.contains("#ff7f0e"), "perturbed layer missing");
+        // the largest delta is fully opaque, smaller ones are dimmer
+        assert!(svg.contains(r#"stroke-opacity="1.00""#));
+        let dimmed = svg.matches("stroke-opacity=").count();
+        assert_eq!(dimmed, spec.perturbed.len());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Simplex edge cases: programs engineered to sit exactly on the
+//! solver's failure surfaces — degenerate optima (zero-rhs rows,
+//! redundant constraints, ties in the ratio test), unboundedness that
+//! only shows up after a nontrivial phase 1, and infeasibility arising
+//! from upper bounds rather than explicit rows. Each must come back
+//! with the right [`Outcome`] — never a panic, never a spin past the
+//! built-in size-scaled pivot cap.
+
+use lp::{ConstraintOp, Outcome, Problem};
+
+fn assert_close(a: f64, b: f64) {
+    assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+}
+
+#[test]
+fn degenerate_optimum_with_zero_rhs_rows_terminates_at_the_optimum() {
+    // x = 0 is forced through a degenerate vertex: three redundant
+    // rows all active at the origin, plus a zero-rhs row whose basic
+    // variable enters and leaves at value 0. Dantzig pricing alone can
+    // cycle here; the Bland fallback must carry it to the optimum.
+    let mut p = Problem::minimize(vec![1.0, 1.0, 1.0]);
+    p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Le, 0.0);
+    p.add_constraint(vec![(1, 1.0), (2, -1.0)], ConstraintOp::Le, 0.0);
+    p.add_constraint(vec![(2, 1.0), (0, -1.0)], ConstraintOp::Le, 0.0);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Ge, 3.0);
+    let s = p.solve().expect_optimal();
+    // Symmetric cycle rows force x0 = x1 = x2; the Ge row pins the sum.
+    assert_close(s.objective, 3.0);
+    for v in 0..3 {
+        assert_close(s.x[v], 1.0);
+    }
+}
+
+#[test]
+fn fully_degenerate_feasible_region_is_a_single_point() {
+    // Equalities intersecting in exactly one point, plus a redundant
+    // inequality through the same point: every basis is degenerate.
+    let mut p = Problem::minimize(vec![-1.0, -1.0]);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+    p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Eq, 0.0);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 2.0);
+    let s = p.solve().expect_optimal();
+    assert_close(s.x[0], 1.0);
+    assert_close(s.x[1], 1.0);
+    assert_close(s.objective, -2.0);
+}
+
+#[test]
+fn ratio_test_tie_on_degenerate_rows_does_not_cycle() {
+    // Two identical rows produce a permanent tie in the ratio test
+    // (both leave at the same ratio every pivot). The basis-index
+    // tiebreak must keep this deterministic and terminating.
+    let mut p = Problem::minimize(vec![-1.0, 2.0]);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 4.0);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 4.0);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 4.0);
+    let s = p.solve().expect_optimal();
+    assert_close(s.objective, -4.0);
+    assert_close(s.x[0], 4.0);
+}
+
+#[test]
+fn unbounded_only_after_phase_one() {
+    // Phase 1 must first do real work (the Ge row introduces an
+    // artificial), and only then is the objective discovered to be
+    // unbounded below along the recession direction x1 -> infinity.
+    let mut p = Problem::minimize(vec![1.0, -2.0]);
+    p.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 3.0);
+    assert_eq!(p.solve(), Outcome::Unbounded);
+}
+
+#[test]
+fn unbounded_along_an_equality_manifold() {
+    // x0 - x1 = 1 is a line; min -(x0 + x1) runs to -infinity along it.
+    let mut p = Problem::minimize(vec![-1.0, -1.0]);
+    p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Eq, 1.0);
+    assert_eq!(p.solve(), Outcome::Unbounded);
+}
+
+#[test]
+fn bounding_the_recession_direction_restores_an_optimum() {
+    // The same program as above becomes bounded once the ray is capped
+    // — proves Unbounded above was about the region, not a solver bug.
+    let mut p = Problem::minimize(vec![-1.0, -1.0]);
+    p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Eq, 1.0);
+    p.bound_var(0, 5.0);
+    let s = p.solve().expect_optimal();
+    assert_close(s.x[0], 5.0);
+    assert_close(s.x[1], 4.0);
+    assert_close(s.objective, -9.0);
+}
+
+#[test]
+fn infeasibility_from_upper_bounds_alone() {
+    // No contradictory rows: the Ge row is fine until the upper bounds
+    // (extra Le rows added during standard-form conversion) shrink the
+    // region to nothing. 0.4 + 0.4 < 1.
+    let mut p = Problem::minimize(vec![1.0, 1.0]);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0);
+    p.bound_var(0, 0.4);
+    p.bound_var(1, 0.4);
+    assert_eq!(p.solve(), Outcome::Infeasible);
+}
+
+#[test]
+fn contradictory_equalities_are_infeasible_not_a_crash() {
+    let mut p = Problem::minimize(vec![1.0, 1.0]);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 1.0);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+    assert_eq!(p.solve(), Outcome::Infeasible);
+}
+
+#[test]
+fn infeasible_with_negative_rhs_normalization() {
+    // -x - y <= -10 normalizes to x + y >= 10; caps of 2 each make it
+    // empty. Exercises the sign-flip path and phase 1 together.
+    let mut p = Problem::minimize(vec![0.0, 0.0]);
+    p.add_constraint(vec![(0, -1.0), (1, -1.0)], ConstraintOp::Le, -10.0);
+    p.bound_var(0, 2.0);
+    p.bound_var(1, 2.0);
+    assert_eq!(p.solve(), Outcome::Infeasible);
+}
+
+#[test]
+fn zero_variable_program_with_consistent_rows_is_trivially_optimal() {
+    // Empty-sum rows: 0 >= -1 holds, so the empty assignment is optimal
+    // with objective 0 — a shape constraint generators can emit when
+    // every coefficient of a row filters out.
+    let mut p = Problem::minimize(vec![]);
+    p.add_constraint(vec![], ConstraintOp::Ge, -1.0);
+    let s = p.solve().expect_optimal();
+    assert_close(s.objective, 0.0);
+    assert!(s.x.is_empty());
+}
+
+#[test]
+fn zero_variable_program_with_impossible_row_is_infeasible() {
+    // 0 >= 1 can never hold; must classify, not panic, with no columns.
+    let mut p = Problem::minimize(vec![]);
+    p.add_constraint(vec![], ConstraintOp::Ge, 1.0);
+    assert_eq!(p.solve(), Outcome::Infeasible);
+}
+
+#[test]
+fn stalls_on_degenerate_programs_report_iteration_limit_not_infeasible() {
+    // A feasible degenerate program with the pivot cap at zero: phase 1
+    // cannot even start, and the honest answer is IterationLimit —
+    // mistaking a stall for Infeasible would make callers treat a
+    // solvable instance as a certificate of impossibility.
+    let mut p = Problem::minimize(vec![1.0, 1.0]);
+    p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Ge, 0.0);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 2.0);
+    p.set_iteration_limit(0);
+    assert_eq!(p.solve(), Outcome::IterationLimit);
+    // Lifting the cap solves the same program.
+    let mut p = Problem::minimize(vec![1.0, 1.0]);
+    p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Ge, 0.0);
+    p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 2.0);
+    let s = p.solve().expect_optimal();
+    assert_close(s.objective, 2.0);
+}

@@ -50,6 +50,7 @@ mod cancel;
 mod ch;
 mod dijkstra;
 mod heap;
+mod overlay;
 mod path;
 mod repair;
 mod scratch;
@@ -63,6 +64,7 @@ pub use cancel::{CancelToken, CHECK_STRIDE};
 pub use ch::ContractionHierarchy;
 pub use dijkstra::{Dijkstra, Direction};
 pub use heap::{HeapEntry, NO_EDGE};
+pub use overlay::WeightOverlay;
 pub use path::{BrokenPathError, Path};
 pub use repair::{RepairOutcome, RepairTable};
 pub use scratch::{acquire_scratch, ScratchGuard, SearchScratch};

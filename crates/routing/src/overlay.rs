@@ -1,0 +1,171 @@
+//! Additive per-edge weight overlays over an immutable weight vector.
+//!
+//! The perturbation attack (`PATHPERTURB`) raises edge weights instead
+//! of removing edges. Rebuilding the weight vector (or the network) per
+//! LP round would dominate the runtime, so a perturbation is an additive
+//! overlay: `weight'(e) = base(e) + δ(e)` with `δ ≥ 0`, O(1) to set or
+//! clear per edge, and composable with [`traffic_graph::GraphView`]
+//! removal masks — every search in this crate takes the weight as a
+//! closure, so overlay and mask combine without mutating anything.
+
+use traffic_graph::EdgeId;
+
+/// A non-negative additive perturbation of a base weight function.
+///
+/// # Examples
+///
+/// ```
+/// use routing::WeightOverlay;
+/// use traffic_graph::EdgeId;
+///
+/// let base = [1.0, 2.0, 3.0];
+/// let mut overlay = WeightOverlay::new(base.len());
+/// overlay.set(EdgeId::new(1), 0.5);
+/// let weight = overlay.compose(|e: EdgeId| base[e.index()]);
+/// assert_eq!(weight(EdgeId::new(0)), 1.0);
+/// assert_eq!(weight(EdgeId::new(1)), 2.5);
+/// assert_eq!(overlay.total_delta(), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightOverlay {
+    delta: Vec<f64>,
+    perturbed: usize,
+}
+
+impl WeightOverlay {
+    /// An overlay with every delta zero.
+    pub fn new(num_edges: usize) -> Self {
+        WeightOverlay {
+            delta: vec![0.0; num_edges],
+            perturbed: 0,
+        }
+    }
+
+    /// Number of edges the overlay covers.
+    pub fn num_edges(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The current delta of `edge` (zero when unperturbed).
+    #[inline]
+    pub fn delta(&self, edge: EdgeId) -> f64 {
+        self.delta[edge.index()]
+    }
+
+    /// Sets the delta of `edge`, replacing any previous value. A zero
+    /// delta un-perturbs the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or non-finite (a negative delta
+    /// would break the admissibility of reverse-distance heuristics
+    /// computed on the base weights).
+    pub fn set(&mut self, edge: EdgeId, delta: f64) {
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "overlay delta must be finite and non-negative, got {delta}"
+        );
+        let slot = &mut self.delta[edge.index()];
+        match (*slot > 0.0, delta > 0.0) {
+            (false, true) => self.perturbed += 1,
+            (true, false) => self.perturbed -= 1,
+            _ => {}
+        }
+        *slot = delta;
+    }
+
+    /// Resets every delta to zero.
+    pub fn clear(&mut self) {
+        if self.perturbed > 0 {
+            self.delta.fill(0.0);
+            self.perturbed = 0;
+        }
+    }
+
+    /// Whether no edge is perturbed.
+    pub fn is_empty(&self) -> bool {
+        self.perturbed == 0
+    }
+
+    /// Number of edges with a positive delta.
+    pub fn perturbed_count(&self) -> usize {
+        self.perturbed
+    }
+
+    /// `(edge, delta)` pairs for every perturbed edge, in edge order.
+    pub fn perturbed_edges(&self) -> impl Iterator<Item = (EdgeId, f64)> + '_ {
+        self.delta
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0.0)
+            .map(|(i, &d)| (EdgeId::new(i), d))
+    }
+
+    /// Sum of all deltas (total added weight).
+    pub fn total_delta(&self) -> f64 {
+        self.perturbed_edges().map(|(_, d)| d).sum()
+    }
+
+    /// Composes the overlay with a base weight function into the
+    /// perturbed weight function `e ↦ base(e) + δ(e)`.
+    ///
+    /// The returned closure borrows the overlay, so it has the same
+    /// shape as every other weight closure in this crate and can be
+    /// handed straight to [`crate::Dijkstra`] or [`crate::AStar`]
+    /// alongside a removal-masked view.
+    pub fn compose<'a, F>(&'a self, base: F) -> impl Fn(EdgeId) -> f64 + 'a
+    where
+        F: Fn(EdgeId) -> f64 + 'a,
+    {
+        move |e| base(e) + self.delta[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_clear_track_counts() {
+        let mut o = WeightOverlay::new(4);
+        assert!(o.is_empty());
+        o.set(EdgeId::new(1), 2.0);
+        o.set(EdgeId::new(3), 0.5);
+        assert_eq!(o.perturbed_count(), 2);
+        // replacing keeps the count; zeroing decrements it
+        o.set(EdgeId::new(1), 1.0);
+        assert_eq!(o.perturbed_count(), 2);
+        o.set(EdgeId::new(1), 0.0);
+        assert_eq!(o.perturbed_count(), 1);
+        o.clear();
+        assert!(o.is_empty());
+        assert_eq!(o.delta(EdgeId::new(3)), 0.0);
+    }
+
+    #[test]
+    fn perturbed_edges_in_edge_order() {
+        let mut o = WeightOverlay::new(5);
+        o.set(EdgeId::new(4), 1.0);
+        o.set(EdgeId::new(0), 3.0);
+        let pairs: Vec<_> = o.perturbed_edges().collect();
+        assert_eq!(pairs, vec![(EdgeId::new(0), 3.0), (EdgeId::new(4), 1.0)]);
+        assert_eq!(o.total_delta(), 4.0);
+    }
+
+    #[test]
+    fn compose_adds_deltas() {
+        let base = [10.0, 20.0];
+        let mut o = WeightOverlay::new(2);
+        o.set(EdgeId::new(0), 0.25);
+        let w = o.compose(|e: EdgeId| base[e.index()]);
+        assert_eq!(w(EdgeId::new(0)), 10.25);
+        assert_eq!(w(EdgeId::new(1)), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delta_panics() {
+        let mut o = WeightOverlay::new(1);
+        o.set(EdgeId::new(0), -1.0);
+    }
+}

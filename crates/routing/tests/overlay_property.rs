@@ -1,0 +1,133 @@
+//! Property test for weight overlays: on random directed networks, a
+//! [`WeightOverlay`] composed with a removal-masked [`GraphView`] must
+//! be bit-identical to building the mutated network from scratch —
+//! removed arcs dropped, perturbed arc weights baked in at build time.
+//! This is the contract the perturbation attack relies on: overlay +
+//! mask is a pure view, never an approximation.
+
+use proptest::prelude::*;
+use routing::{Dijkstra, Direction, WeightOverlay};
+use traffic_graph::{
+    EdgeAttrs, EdgeId, GraphView, NodeId, Point, RoadClass, RoadNetwork, RoadNetworkBuilder,
+};
+
+/// Builds a network whose edge weights are exactly the given values
+/// (stored in `length_m`, read back verbatim by the weight closure).
+fn network_with_weights(n_nodes: usize, arcs: &[(usize, usize, f64)]) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new("overlay-prop");
+    let nodes: Vec<NodeId> = (0..n_nodes)
+        .map(|i| b.add_node(Point::new((i % 5) as f64 * 100.0, (i / 5) as f64 * 100.0)))
+        .collect();
+    for &(u, v, w) in arcs {
+        let mut attrs = EdgeAttrs::from_class(RoadClass::Residential, w);
+        attrs.length_m = w;
+        b.add_edge(nodes[u % n_nodes], nodes[v % n_nodes], attrs);
+    }
+    b.build()
+}
+
+/// (node count, arc list, per-arc mutations, target). Each mutation is
+/// `(choice, delta)`: choice 0 removes the arc, choice 1 perturbs it by
+/// `delta`, anything else leaves it untouched.
+type Instance = (usize, Vec<(usize, usize, f64)>, Vec<(usize, f64)>, usize);
+
+fn instances() -> impl Strategy<Value = Instance> {
+    (3usize..14).prop_flat_map(|n| {
+        let arcs = prop::collection::vec((0..n, 0..n, 1.0f64..400.0), 1..48);
+        arcs.prop_flat_map(move |arcs| {
+            let m = arcs.len();
+            let mutations = prop::collection::vec((0usize..4, 0.5f64..50.0), m);
+            (Just(n), Just(arcs), mutations, 0..n)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Backward distance tables must match bit-for-bit between
+    /// (original network + removal mask + overlay closure) and the
+    /// mutated network built from scratch.
+    #[test]
+    fn overlay_plus_mask_matches_scratch_built_network(
+        (n, arcs, mutations, target_idx) in instances()
+    ) {
+        let net = network_with_weights(n, &arcs);
+        let target = NodeId::new(target_idx);
+        let removed: Vec<bool> = mutations.iter().map(|&(c, _)| c == 0).collect();
+        let deltas: Vec<f64> = mutations
+            .iter()
+            .map(|&(c, d)| if c == 1 { d } else { 0.0 })
+            .collect();
+
+        // View side: removal mask + additive overlay.
+        let mut view = GraphView::new(&net);
+        let mut overlay = WeightOverlay::new(net.num_edges());
+        for (i, (&gone, &d)) in removed.iter().zip(&deltas).enumerate() {
+            if gone {
+                view.remove_edge(EdgeId::new(i));
+            } else if d > 0.0 {
+                overlay.set(EdgeId::new(i), d);
+            }
+        }
+        let base = |e: EdgeId| net.edge_attrs(e).length_m;
+        let composed = overlay.compose(base);
+        let (via_overlay, _) = Dijkstra::new(net.num_nodes()).distances_and_parents(
+            &view,
+            &composed,
+            target,
+            Direction::Backward,
+        );
+
+        // Scratch side: surviving arcs with the perturbed weight baked
+        // in, using the same `base + delta` addition so the bits agree.
+        let mutated_arcs: Vec<(usize, usize, f64)> = arcs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed[*i])
+            .map(|(i, &(u, v, w))| (u, v, w + deltas[i]))
+            .collect();
+        let scratch = network_with_weights(n, &mutated_arcs);
+        let scratch_view = GraphView::new(&scratch);
+        let (fresh, _) = Dijkstra::new(scratch.num_nodes()).distances_and_parents(
+            &scratch_view,
+            |e| scratch.edge_attrs(e).length_m,
+            target,
+            Direction::Backward,
+        );
+
+        prop_assert_eq!(via_overlay.len(), fresh.len());
+        for (v, (&got, &want)) in via_overlay.iter().zip(fresh.iter()).enumerate() {
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "node {}: overlay {} != scratch {}",
+                v,
+                got,
+                want
+            );
+        }
+    }
+
+    /// An all-zero overlay is exactly the base weight function.
+    #[test]
+    fn empty_overlay_is_identity(
+        (n, arcs, _, target_idx) in instances()
+    ) {
+        let net = network_with_weights(n, &arcs);
+        let target = NodeId::new(target_idx);
+        let view = GraphView::new(&net);
+        let overlay = WeightOverlay::new(net.num_edges());
+        let base = |e: EdgeId| net.edge_attrs(e).length_m;
+        let composed = overlay.compose(base);
+        let (a, _) = Dijkstra::new(net.num_nodes()).distances_and_parents(
+            &view, &composed, target, Direction::Backward,
+        );
+        let (b, _) = Dijkstra::new(net.num_nodes()).distances_and_parents(
+            &view, base, target, Direction::Backward,
+        );
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

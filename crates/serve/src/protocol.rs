@@ -16,8 +16,8 @@
 //! connection.
 //!
 //! Requests are JSON objects with a `kind` field (`route`, `attack`,
-//! `recon`, `impact`, `stats`, `metrics`, `health`, `ping`) plus
-//! kind-specific parameters;
+//! `perturb`, `recon`, `impact`, `stats`, `metrics`, `health`, `ping`)
+//! plus kind-specific parameters;
 //! responses echo the request `id` and carry either `"ok": true` with a
 //! `result` object or `"ok": false` with an `error` string (and a
 //! `retry_after_ms` hint when the server shed the request under load).
@@ -32,6 +32,16 @@ use std::io::{self, Read, Write};
 
 /// Hard cap on one frame's payload size (1 MiB).
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Largest request id the wire format can carry without loss.
+///
+/// Ids travel as JSON numbers and round-trip through `f64`, which
+/// represents every integer up to 2^53 exactly. An id above that would
+/// be silently rounded in flight — the response would echo a *different*
+/// id than the client sent, breaking correlation — so
+/// [`Request::parse`] rejects such ids with a structured error instead
+/// of letting them corrupt.
+pub const MAX_EXACT_ID: u64 = 1 << 53;
 
 /// Size of the frame header: 4-byte length plus 4-byte checksum.
 pub const FRAME_HEADER: usize = 8;
@@ -166,6 +176,9 @@ pub enum RequestKind {
     Route,
     /// Force Path Cut attack on the (source, hospital) trip.
     Attack,
+    /// PATHPERTURB: minimum-cost edge-weight perturbation forcing the
+    /// rank-`rank` alternative to become uniquely shortest.
+    Perturb,
     /// Betweenness reconnaissance: the `top` most critical segments.
     Recon,
     /// City-wide congestion impact of the attack's cut set.
@@ -188,6 +201,7 @@ impl RequestKind {
         match self {
             RequestKind::Route => "route",
             RequestKind::Attack => "attack",
+            RequestKind::Perturb => "perturb",
             RequestKind::Recon => "recon",
             RequestKind::Impact => "impact",
             RequestKind::Stats => "stats",
@@ -202,6 +216,7 @@ impl RequestKind {
         match name {
             "route" => Some(RequestKind::Route),
             "attack" => Some(RequestKind::Attack),
+            "perturb" => Some(RequestKind::Perturb),
             "recon" => Some(RequestKind::Recon),
             "impact" => Some(RequestKind::Impact),
             "stats" => Some(RequestKind::Stats),
@@ -229,6 +244,7 @@ impl RequestKind {
         match self {
             RequestKind::Route
             | RequestKind::Attack
+            | RequestKind::Perturb
             | RequestKind::Recon
             | RequestKind::Impact
             | RequestKind::Stats
@@ -247,6 +263,8 @@ impl RequestKind {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim in the response.
+    /// Must not exceed [`MAX_EXACT_ID`]: larger ids do not survive the
+    /// JSON `f64` round trip and are rejected at parse time.
     pub id: u64,
     /// What to do.
     pub kind: RequestKind,
@@ -271,6 +289,11 @@ pub struct Request {
     pub trips: usize,
     /// `impact`: demand RNG seed.
     pub seed: u64,
+    /// `perturb`: optional per-edge cap on the weight increase.
+    pub perturb_cap: Option<f64>,
+    /// `perturb`: round deltas up to whole weight units (with a
+    /// feasibility re-check; reverted if rounding breaks certification).
+    pub integer_round: bool,
     /// Per-request deadline override in milliseconds (`None` = server
     /// default).
     pub deadline_ms: Option<u64>,
@@ -297,6 +320,8 @@ impl Request {
             top: 10,
             trips: 20,
             seed: 42,
+            perturb_cap: None,
+            integer_round: false,
             deadline_ms: None,
             inject_panic: false,
         }
@@ -340,7 +365,17 @@ impl Request {
                     .ok_or_else(|| format!("\"{key}\" must be a non-negative number")),
             }
         };
-        let mut req = Request::new(num("id", 0)?, kind, city);
+        let id = num("id", 0)?;
+        if id > MAX_EXACT_ID {
+            // The saturating f64 -> u64 cast above makes any
+            // unrepresentable id land strictly past 2^53, so this one
+            // check catches both "too large to be exact" and "absurd".
+            return Err(format!(
+                "\"id\" {id} exceeds 2^53; ids above {MAX_EXACT_ID} do not survive the JSON \
+                 number round trip"
+            ));
+        }
+        let mut req = Request::new(id, kind, city);
         req.source = num("source", req.source as u64)? as usize;
         req.hospital = num("hospital", req.hospital as u64)? as usize;
         req.rank = num("rank", req.rank as u64)? as usize;
@@ -372,6 +407,21 @@ impl Request {
         if let Some(a) = doc.get("algorithm").and_then(JsonValue::as_str) {
             req.algorithm = a.to_string();
         }
+        req.perturb_cap = match doc.get("perturb_cap") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => {
+                let cap = v.as_f64().ok_or("\"perturb_cap\" must be a number")?;
+                if !cap.is_finite() || cap <= 0.0 {
+                    return Err("\"perturb_cap\" must be finite and positive".to_string());
+                }
+                Some(cap)
+            }
+        };
+        req.integer_round = match doc.get("integer_round") {
+            None | Some(JsonValue::Null) => false,
+            Some(JsonValue::Bool(b)) => *b,
+            Some(_) => return Err("\"integer_round\" must be a boolean".to_string()),
+        };
         req.inject_panic = match doc.get("inject") {
             None | Some(JsonValue::Null) => false,
             Some(JsonValue::Str(s)) if s == "panic" => true,
@@ -427,6 +477,12 @@ impl Request {
         obj.insert("top".to_string(), JsonValue::Num(self.top as f64));
         obj.insert("trips".to_string(), JsonValue::Num(self.trips as f64));
         obj.insert("seed".to_string(), JsonValue::Num(self.seed as f64));
+        if let Some(cap) = self.perturb_cap {
+            obj.insert("perturb_cap".to_string(), JsonValue::Num(cap));
+        }
+        if self.integer_round {
+            obj.insert("integer_round".to_string(), JsonValue::Bool(true));
+        }
         if let Some(d) = self.deadline_ms {
             obj.insert("deadline_ms".to_string(), JsonValue::Num(d as f64));
         }
@@ -613,9 +669,53 @@ mod tests {
         // Every current kind is a pure query; the contract is exercised
         // (rather than dead) through the resilient client's transport
         // retry gate.
-        for kind in ["route", "attack", "recon", "impact", "stats", "health"] {
+        for kind in [
+            "route", "attack", "perturb", "recon", "impact", "stats", "health",
+        ] {
             assert!(RequestKind::from_name(kind).unwrap().is_idempotent());
         }
+    }
+
+    #[test]
+    fn perturb_request_round_trips_with_its_knobs() {
+        let mut req = Request::new(21, RequestKind::Perturb, "chicago");
+        req.source = 5;
+        req.rank = 12;
+        req.perturb_cap = Some(2.5);
+        req.integer_round = true;
+        let back = Request::parse(&req.to_payload()).unwrap();
+        assert_eq!(back, req);
+        // knobs default off
+        let plain = Request::parse(br#"{"kind":"perturb","city":"chicago","id":1}"#).unwrap();
+        assert_eq!(plain.perturb_cap, None);
+        assert!(!plain.integer_round);
+        // malformed knobs rejected
+        assert!(
+            Request::parse(br#"{"kind":"perturb","city":"x","perturb_cap":-1}"#).is_err(),
+            "non-positive cap must be rejected"
+        );
+        assert!(Request::parse(br#"{"kind":"perturb","city":"x","perturb_cap":"big"}"#).is_err());
+        assert!(Request::parse(br#"{"kind":"perturb","city":"x","integer_round":1}"#).is_err());
+    }
+
+    #[test]
+    fn ids_past_the_f64_precision_cliff_are_rejected() {
+        // 2^53 is the last integer f64 represents exactly: accepted.
+        let payload = format!(r#"{{"kind":"ping","id":{MAX_EXACT_ID}}}"#);
+        let req = Request::parse(payload.as_bytes()).unwrap();
+        assert_eq!(req.id, MAX_EXACT_ID);
+        // 2^53 + 2 is the next representable f64 integer; anything the
+        // parser sees past the cliff must come back as a structured
+        // error, not a silently rounded id.
+        let payload = format!(r#"{{"kind":"ping","id":{}}}"#, MAX_EXACT_ID + 2);
+        let err = Request::parse(payload.as_bytes()).unwrap_err();
+        assert!(err.contains("2^53"), "{err}");
+        // 2^53 + 1 rounds *down* to 2^53 inside the f64 parse — exactly
+        // the corruption the guard exists for. The guard cannot see the
+        // original text, so this one slips through as 2^53; document
+        // the boundary honestly: the contract is "ids <= 2^53".
+        let huge = Request::parse(br#"{"kind":"ping","id":18446744073709551615}"#);
+        assert!(huge.is_err(), "u64::MAX-sized ids must be rejected");
     }
 
     #[test]

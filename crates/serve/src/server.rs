@@ -58,7 +58,7 @@ use obs::{AttrValue, JsonValue};
 use parking_lot::Mutex;
 use pathattack::{
     AttackAlgorithm, AttackProblem, AttackStatus, GreedyBetweenness, GreedyEdge, GreedyEig,
-    GreedyPathCover, LpPathCover, RunLimits, TargetContext,
+    GreedyPathCover, LpPathCover, LpPerturb, PerturbProblem, RunLimits, TargetContext,
 };
 use std::collections::BTreeMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -814,6 +814,7 @@ fn request_label(kind: &RequestKind) -> &'static str {
     match kind {
         RequestKind::Route => "serve/route",
         RequestKind::Attack => "serve/attack",
+        RequestKind::Perturb => "serve/perturb",
         RequestKind::Recon => "serve/recon",
         RequestKind::Impact => "serve/impact",
         RequestKind::Stats => "serve/stats",
@@ -1062,6 +1063,14 @@ fn process_job(
                     exec_timed_out = timed_out;
                     value
                 }),
+            RequestKind::Perturb => {
+                exec_perturb(&job, &context_for(&job, batch_ctx, batching), now).map(
+                    |(value, timed_out)| {
+                        exec_timed_out = timed_out;
+                        value
+                    },
+                )
+            }
             RequestKind::Recon => exec_recon(&job),
             RequestKind::Impact => exec_impact(&job, &context_for(&job, batch_ctx, batching)),
             // Handled inline by the reader; unreachable through the queue.
@@ -1110,6 +1119,18 @@ fn timed_out_payload(job: &Job) -> Vec<u8> {
         obj.insert("removed".to_string(), JsonValue::Arr(Vec::new()));
         obj.insert("total_cost".to_string(), JsonValue::Num(0.0));
         obj.insert("iterations".to_string(), JsonValue::Num(0.0));
+        ok_response(job.request.id, &job.request.kind, JsonValue::Obj(obj))
+    } else if matches!(job.request.kind, RequestKind::Perturb) {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "status".to_string(),
+            JsonValue::Str(AttackStatus::TimedOut.name().to_string()),
+        );
+        obj.insert("perturbed".to_string(), JsonValue::Arr(Vec::new()));
+        obj.insert("deltas".to_string(), JsonValue::Arr(Vec::new()));
+        obj.insert("total_cost".to_string(), JsonValue::Num(0.0));
+        obj.insert("total_delta".to_string(), JsonValue::Num(0.0));
+        obj.insert("rounds".to_string(), JsonValue::Num(0.0));
         ok_response(job.request.id, &job.request.kind, JsonValue::Obj(obj))
     } else {
         error_response(job.request.id, "deadline exceeded in queue", None)
@@ -1220,9 +1241,83 @@ fn exec_attack(
     Ok((JsonValue::Obj(obj), out.status == AttackStatus::TimedOut))
 }
 
+/// Runs the PATHPERTURB weight-perturbation attack. Like
+/// [`exec_attack`], the second element reports an exec timeout (a
+/// breaker failure even though the response is `ok` with a `timed_out`
+/// status). Shares the batch's [`TargetContext`]: a perturb job batches
+/// with route/attack jobs against the same (network, weight, hospital).
+fn exec_perturb(
+    job: &Job,
+    ctx: &Arc<TargetContext>,
+    now: Instant,
+) -> Result<(JsonValue, bool), String> {
+    let req = &job.request;
+    let limits = RunLimits {
+        deadline: job.deadline.map(|d| d.saturating_duration_since(now)),
+        ..RunLimits::default()
+    };
+    let problem = AttackProblem::with_path_rank_in(
+        job.resident.net(),
+        req.weight,
+        req.cost,
+        NodeId::new(req.source),
+        job.target,
+        req.rank,
+        ctx,
+    )
+    .map_err(|e| e.to_string())?
+    .with_limits(limits);
+    let mut perturb = PerturbProblem::new(problem).with_integer_rounding(req.integer_round);
+    if let Some(cap) = req.perturb_cap {
+        perturb = perturb.with_edge_cap(cap);
+    }
+    let out = LpPerturb::default().attack(&perturb);
+    if out.status == AttackStatus::TimedOut {
+        obs::inc("serve.requests.timeout");
+        obs::inc("serve.requests.timeout.exec");
+    }
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "status".to_string(),
+        JsonValue::Str(out.status.name().to_string()),
+    );
+    obj.insert(
+        "perturbed".to_string(),
+        num_arr(out.perturbed.iter().map(|(e, _)| e.index())),
+    );
+    obj.insert(
+        "deltas".to_string(),
+        JsonValue::Arr(
+            out.perturbed
+                .iter()
+                .map(|&(_, d)| JsonValue::Num(d))
+                .collect(),
+        ),
+    );
+    obj.insert("total_cost".to_string(), JsonValue::Num(out.total_cost));
+    obj.insert("total_delta".to_string(), JsonValue::Num(out.total_delta));
+    obj.insert("rounds".to_string(), JsonValue::Num(out.rounds as f64));
+    obj.insert(
+        "integer_rounded".to_string(),
+        JsonValue::Bool(out.integer_rounded),
+    );
+    obj.insert(
+        "pstar_weight".to_string(),
+        JsonValue::Num(perturb.inner().pstar_weight()),
+    );
+    obj.insert(
+        "algorithm".to_string(),
+        JsonValue::Str(out.algorithm.clone()),
+    );
+    Ok((JsonValue::Obj(obj), out.status == AttackStatus::TimedOut))
+}
+
 fn exec_recon(job: &Job) -> Result<JsonValue, String> {
     let req = &job.request;
     let segments = pathattack::critical_segments(job.resident.net(), req.weight, Some(64), req.top);
+    // Per-unit perturbation price of each segment under the requested
+    // attacker cost model: what one unit of added weight there costs.
+    let unit_cost = req.cost.compute(job.resident.net());
     let items = segments
         .iter()
         .map(|seg| {
@@ -1231,6 +1326,10 @@ fn exec_recon(job: &Job) -> Result<JsonValue, String> {
             obj.insert("betweenness".to_string(), JsonValue::Num(seg.betweenness));
             obj.insert("class".to_string(), JsonValue::Str(seg.class.to_string()));
             obj.insert("length_m".to_string(), JsonValue::Num(seg.length_m));
+            obj.insert(
+                "perturb_unit_cost".to_string(),
+                JsonValue::Num(unit_cost[seg.edge.index()]),
+            );
             JsonValue::Obj(obj)
         })
         .collect();

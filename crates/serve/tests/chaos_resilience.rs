@@ -17,7 +17,7 @@ fn panic_request(id: u64) -> Request {
 /// Health fields relevant here: (alive, configured, restarts, draining, escalated).
 fn health(client: &mut Client) -> (u64, u64, u64, bool, bool) {
     let resp = client
-        .roundtrip(&Request::new(u64::MAX, RequestKind::Health, ""))
+        .roundtrip(&Request::new(serve::MAX_EXACT_ID, RequestKind::Health, ""))
         .expect("health roundtrip");
     assert!(resp.ok, "health failed: {:?}", resp.error);
     let result = resp.result.expect("health result");

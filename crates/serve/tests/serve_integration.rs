@@ -29,6 +29,8 @@ fn workload() -> Vec<Request> {
         (RequestKind::Route, 3, 5),
         (RequestKind::Recon, 0, 1),
         (RequestKind::Attack, 11, 8),
+        (RequestKind::Perturb, 3, 5),
+        (RequestKind::Perturb, 17, 6),
         (RequestKind::Route, 29, 4),
     ]
     .into_iter()
@@ -118,6 +120,69 @@ fn batching_reuses_contexts_across_requests() {
         .and_then(JsonValue::as_u64)
         .unwrap_or(0);
     assert!(hits > 0, "expected shared-context hits, got {result:?}");
+    server.shutdown();
+}
+
+#[test]
+fn perturb_requests_return_structured_perturbations() {
+    let server = server_with(true, 1);
+    let mut client = Client::connect(&server.local_addr()).unwrap();
+    let mut req = Request::new(7, RequestKind::Perturb, "boston");
+    req.source = 3;
+    req.rank = 5;
+    let resp = client.roundtrip(&req).unwrap();
+    assert!(resp.ok, "perturb failed: {:?}", resp.error);
+    let result = resp.result.expect("perturb result");
+    assert_eq!(
+        result.get("status").and_then(JsonValue::as_str),
+        Some("success"),
+        "{result:?}"
+    );
+    let perturbed = result
+        .get("perturbed")
+        .and_then(JsonValue::as_arr)
+        .expect("perturbed edge array");
+    let deltas = result
+        .get("deltas")
+        .and_then(JsonValue::as_arr)
+        .expect("delta array");
+    assert!(!perturbed.is_empty(), "{result:?}");
+    assert_eq!(perturbed.len(), deltas.len());
+    let total_delta = result
+        .get("total_delta")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    assert!(total_delta > 0.0, "{result:?}");
+    assert_eq!(
+        result.get("algorithm").and_then(JsonValue::as_str),
+        Some("LP-Perturb")
+    );
+    // Per-edge caps travel through the wire and shape the answer: a cap
+    // forces the delta to spread without breaking certification.
+    let mut capped = req.clone();
+    capped.id = 8;
+    capped.perturb_cap = Some(total_delta.max(0.5));
+    let resp = client.roundtrip(&capped).unwrap();
+    assert!(resp.ok, "capped perturb failed: {:?}", resp.error);
+    // Recon now prices each segment for perturbation too.
+    let mut recon = Request::new(9, RequestKind::Recon, "boston");
+    recon.top = 3;
+    let resp = client.roundtrip(&recon).unwrap();
+    assert!(resp.ok);
+    let segments = resp
+        .result
+        .as_ref()
+        .and_then(|r| r.get("segments"))
+        .and_then(JsonValue::as_arr)
+        .expect("segments");
+    for seg in segments {
+        assert!(
+            seg.get("perturb_unit_cost")
+                .and_then(JsonValue::as_f64)
+                .is_some_and(|c| c > 0.0),
+            "{seg:?}"
+        );
+    }
     server.shutdown();
 }
 

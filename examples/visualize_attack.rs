@@ -39,6 +39,7 @@ fn main() {
         &FigureSpec {
             pstar: problem.pstar().clone(),
             removed: outcome.removed.clone(),
+            perturbed: Vec::new(),
             source,
             target: hospital.node,
             title: format!(

@@ -9,7 +9,7 @@ use obs::TelemetrySink;
 use std::io;
 
 /// Every `--key value` flag the CLI accepts, across all subcommands.
-pub const KNOWN_FLAGS: [&str; 34] = [
+pub const KNOWN_FLAGS: [&str; 36] = [
     "city",
     "scale",
     "seed",
@@ -44,10 +44,12 @@ pub const KNOWN_FLAGS: [&str; 34] = [
     "interval",
     "once",
     "chaos",
+    "perturb-cap",
+    "integer-round",
 ];
 
 /// Flags that take no value (presence alone sets them).
-pub const BOOLEAN_FLAGS: [&str; 1] = ["once"];
+pub const BOOLEAN_FLAGS: [&str; 2] = ["once", "integer-round"];
 
 /// Every subcommand the CLI dispatches on, in usage order.
 pub const SUBCOMMANDS: [&str; 11] = [
@@ -69,14 +71,15 @@ pub const USAGE: &str =
     "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment|serve|trace|chaos> \
 [--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
 [--rank K] [--weight length|time] [--cost uniform|lanes|width] \
-[--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness] \
+[--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness|lp-perturb] \
 [--source N] [--hospital IDX] [--top K] [--radius M] [--trips N] [--svg FILE] \
 [--victims N] [--max-hardened K] [--metrics table|jsonl|FILE] \
 [--sources N] [--deadline SECS] [--max-oracle-calls N] [--resume CKPT.jsonl] \
 [--csv FILE] [--faults SPEC] [--threads N] \
 [--listen ADDR:PORT] [--workers N] [--queue-depth N] [--batch-max N] \
 [--drain-deadline SECS] [--slow-ms N] [--slow-log FILE] \
-[--addr HOST:PORT] [--interval SECS] [--once] [--chaos SPEC]";
+[--addr HOST:PORT] [--interval SECS] [--once] [--chaos SPEC] \
+[--perturb-cap DELTA] [--integer-round]";
 
 /// Destination of the `--metrics` telemetry report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,6 +159,22 @@ mod tests {
                 "boolean flag --{flag} missing from KNOWN_FLAGS"
             );
         }
+    }
+
+    /// The PATHPERTURB surface must stay wired: both perturbation flags
+    /// known (with `--integer-round` as presence-only), and the usage
+    /// text advertising the `lp-perturb` algorithm spelling that
+    /// `attack`/`experiment` dispatch on.
+    #[test]
+    fn perturbation_flags_are_wired() {
+        assert!(KNOWN_FLAGS.contains(&"perturb-cap"));
+        assert!(KNOWN_FLAGS.contains(&"integer-round"));
+        assert!(BOOLEAN_FLAGS.contains(&"integer-round"));
+        assert!(!BOOLEAN_FLAGS.contains(&"perturb-cap"), "cap takes a value");
+        assert!(
+            USAGE.contains("lp-perturb"),
+            "usage omits the lp-perturb algorithm"
+        );
     }
 
     #[test]

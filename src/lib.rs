@@ -65,17 +65,19 @@ pub mod prelude {
         CoastalConfig, GridConfig, OrganicConfig, Scale, SprawlConfig,
     };
     pub use experiments::{
-        aggregate, city_average, rank_sweep, records_to_csv, render_experiment_table,
-        render_rank_sweep, render_svg, render_table1, render_table10, render_table9,
-        run_instances_resumable, run_plan, sample_instances, threshold_row, write_atomic,
-        CheckpointJournal, ExperimentPlan, FigureSpec, RankSweepPoint,
+        aggregate, aggregate_perturb, city_average, perturb_records_to_csv, rank_sweep,
+        records_to_csv, render_experiment_table, render_rank_sweep, render_svg, render_table1,
+        render_table10, render_table9, run_instances_resumable, run_perturb_instances,
+        run_perturb_instances_resumable, run_plan, sample_instances, threshold_row, write_atomic,
+        CheckpointJournal, ExperimentPlan, FigureSpec, PerturbAggregateRow, PerturbJournal,
+        PerturbOptions, PerturbRecord, RankSweepPoint,
     };
     pub use pathattack::{
         all_algorithms, all_algorithms_extended, coordinated_attack, critical_segments,
         minimal_hardening, AttackAlgorithm, AttackOutcome, AttackProblem, AttackStatus,
         CoordinatedError, CoordinatedOutcome, CostType, CriticalSegment, Degradation, FaultPlan,
         GreedyBetweenness, GreedyEdge, GreedyEig, GreedyPathCover, HardeningPlan, LpPathCover,
-        Rounding, RunLimits, WeightType,
+        LpPerturb, PerturbOracle, PerturbProblem, PerturbResult, Rounding, RunLimits, WeightType,
     };
     pub use routing::{
         bidirectional_shortest_path, k_shortest_paths, k_shortest_paths_with, kth_shortest_path,

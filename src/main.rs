@@ -4,6 +4,7 @@
 //! metro-attack generate --city chicago [--scale small] [--seed 42]
 //! metro-attack attack   --city boston  [--rank 50] [--algorithm greedy-pathcover]
 //!                       [--weight time] [--cost uniform] [--source N] [--svg out.svg]
+//!                       [--perturb-cap DELTA] [--integer-round]   (with --algorithm lp-perturb)
 //! metro-attack recon    --city chicago [--top 10]
 //! metro-attack harden   --city sf      [--rank 30]
 //! metro-attack isolate  --city sf      [--radius 400]
@@ -153,6 +154,28 @@ fn parse_limits(args: &Args) -> RunLimits {
     limits
 }
 
+/// Whether `--algorithm` names the PATHPERTURB weight-perturbation
+/// attack (which has its own problem/result types rather than the
+/// [`AttackAlgorithm`] cut interface).
+fn perturb_requested(args: &Args) -> bool {
+    matches!(args.get("algorithm"), Some("lp-perturb" | "perturb"))
+}
+
+/// Parses `--perturb-cap` (per-edge delta cap, finite and positive).
+fn parse_perturb_cap(args: &Args) -> Option<f64> {
+    args.get("perturb-cap").map(|v| {
+        let cap: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --perturb-cap: {v:?}");
+            usage()
+        });
+        if !cap.is_finite() || cap <= 0.0 {
+            eprintln!("--perturb-cap must be finite and positive");
+            usage()
+        }
+        cap
+    })
+}
+
 fn parse_algorithm(args: &Args) -> Box<dyn AttackAlgorithm> {
     match args.get("algorithm").unwrap_or("greedy-pathcover") {
         "lp" | "lp-pathcover" => Box::new(LpPathCover::default()),
@@ -247,6 +270,9 @@ fn cmd_attack(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if perturb_requested(args) {
+        return attack_with_perturbation(args, &city, source, &hospital_name, hospital, problem);
+    }
     let alg = parse_algorithm(args);
     let out = alg.attack(&problem);
     println!(
@@ -290,6 +316,76 @@ fn cmd_attack(args: &Args) -> ExitCode {
             &FigureSpec {
                 pstar: problem.pstar().clone(),
                 removed: out.removed.clone(),
+                perturbed: Vec::new(),
+                source,
+                target: hospital,
+                title: format!("{} attack on {}", out.algorithm, city.name()),
+            },
+        );
+        if let Err(e) = write_atomic(std::path::Path::new(path), svg.as_bytes()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `attack --algorithm lp-perturb`: instead of cutting roads, raise
+/// their traversal weights at minimum cost until p* is uniquely
+/// shortest (the PATHPERTURB modality). `--svg` shades the perturbed
+/// segments orange by delta magnitude.
+fn attack_with_perturbation(
+    args: &Args,
+    city: &RoadNetwork,
+    source: NodeId,
+    hospital_name: &str,
+    hospital: NodeId,
+    problem: AttackProblem<'_>,
+) -> ExitCode {
+    let rank = args.num("rank", 50usize);
+    let mut perturb =
+        PerturbProblem::new(problem).with_integer_rounding(args.get("integer-round").is_some());
+    if let Some(cap) = parse_perturb_cap(args) {
+        perturb = perturb.with_edge_cap(cap);
+    }
+    let out = LpPerturb::default().attack(&perturb);
+    println!(
+        "{} forcing {} → {} onto the rank-{rank} route ({} segments, weight {:.1})",
+        out.algorithm,
+        source,
+        hospital_name,
+        perturb.inner().pstar().len(),
+        perturb.inner().pstar_weight(),
+    );
+    println!(
+        "status {:?}: perturbed {} segments, total delta {:.2}, total cost {:.2}, {} rounds, {:.2} ms",
+        out.status,
+        out.num_perturbed(),
+        out.total_delta,
+        out.total_cost,
+        out.rounds,
+        out.runtime.as_secs_f64() * 1e3
+    );
+    for &(e, d) in &out.perturbed {
+        let (u, v) = city.edge_endpoints(e);
+        let a = city.edge_attrs(e);
+        println!(
+            "  slow {e}: {u} → {v} ({}, {:.0} m) by +{d:.2}",
+            a.class, a.length_m
+        );
+    }
+    if out.is_success() {
+        out.verify(&perturb).expect("verification");
+        println!("verified: p* is the exclusive shortest path under the perturbed weights");
+    }
+    if let Some(path) = args.get("svg") {
+        let svg = render_svg(
+            city,
+            &FigureSpec {
+                pstar: perturb.inner().pstar().clone(),
+                removed: Vec::new(),
+                perturbed: out.perturbed.clone(),
                 source,
                 target: hospital,
                 title: format!("{} attack on {}", out.algorithm, city.name()),
@@ -313,6 +409,9 @@ fn cmd_recon(args: &Args) -> ExitCode {
         Some(64),
         args.num("top", 10usize),
     );
+    // Per-unit perturbation price under the requested attacker cost
+    // model: what one unit of added weight on that segment costs.
+    let unit_cost = parse_cost(args).compute(&city);
     println!(
         "most critical segments of {} (sampled betweenness):",
         city.name()
@@ -320,13 +419,14 @@ fn cmd_recon(args: &Args) -> ExitCode {
     for (i, seg) in top.iter().enumerate() {
         let (u, v) = city.edge_endpoints(seg.edge);
         println!(
-            "{:>3}. {} → {} ({}, {:.0} m) betweenness {:.0}",
+            "{:>3}. {} → {} ({}, {:.0} m) betweenness {:.0}, perturb unit cost {:.2}",
             i + 1,
             u,
             v,
             seg.class,
             seg.length_m,
-            seg.betweenness
+            seg.betweenness,
+            unit_cost[seg.edge.index()]
         );
     }
     ExitCode::SUCCESS
@@ -515,6 +615,9 @@ fn cmd_experiment(args: &Args) -> ExitCode {
         eprintln!("no usable (source, hospital) instances at this scale/rank");
         return ExitCode::FAILURE;
     }
+    if perturb_requested(args) {
+        return experiment_with_perturbation(args, &net, &plan, &instances);
+    }
     let mut journal = match args.get("resume") {
         Some(path) => match CheckpointJournal::open(path) {
             Ok(j) => {
@@ -566,6 +669,84 @@ fn cmd_experiment(args: &Args) -> ExitCode {
     }
     if let Some(path) = args.get("csv") {
         let csv = records_to_csv(&records);
+        if let Err(e) = write_atomic(std::path::Path::new(path), csv.as_bytes()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiment --algorithm lp-perturb`: the cut-vs-perturb comparison
+/// sweep. Every instance runs both the LP-Perturb weight attack and the
+/// LP-PathCover cut baseline; the table and `--csv` carry side-by-side
+/// cost and runtime columns, and `--resume` journals to a
+/// [`PerturbJournal`].
+fn experiment_with_perturbation(
+    args: &Args,
+    net: &RoadNetwork,
+    plan: &ExperimentPlan,
+    instances: &[metro_attack::experiments::ExperimentInstance],
+) -> ExitCode {
+    let mut options = PerturbOptions {
+        integer_rounding: args.get("integer-round").is_some(),
+        ..PerturbOptions::default()
+    };
+    options.edge_cap = parse_perturb_cap(args);
+    let mut journal = match args.get("resume") {
+        Some(path) => match PerturbJournal::open(path) {
+            Ok(j) => {
+                println!("resuming from {path}: {} runs already journaled", j.len());
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("cannot open perturb checkpoint {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let records = run_perturb_instances_resumable(net, plan, instances, options, journal.as_mut());
+
+    println!(
+        "PERTURB vs CUT — {} ({} weight), {} runs",
+        net.name(),
+        plan.weight.name(),
+        records.len()
+    );
+    println!(
+        "{:<9} {:>14} {:>10} {:>15} {:>11} {:>6} {:>8}",
+        "cost", "perturb cost", "cut cost", "perturb ms", "cut ms", "n", "both ok"
+    );
+    for row in aggregate_perturb(&records) {
+        println!(
+            "{:<9} {:>14.2} {:>10.2} {:>15.2} {:>11.2} {:>6} {:>8}",
+            row.cost.name(),
+            row.avg_perturb_cost,
+            row.avg_cut_cost,
+            row.avg_perturb_runtime_s * 1e3,
+            row.avg_cut_runtime_s * 1e3,
+            row.n,
+            row.both_succeeded
+        );
+    }
+    let perturb_failures = records
+        .iter()
+        .filter(|r| r.perturb_status != AttackStatus::Success)
+        .count();
+    let degraded = records
+        .iter()
+        .filter(|r| r.degraded != Degradation::None)
+        .count();
+    println!(
+        "{} runs: {} perturb failures, {} degraded",
+        records.len(),
+        perturb_failures,
+        degraded
+    );
+    if let Some(path) = args.get("csv") {
+        let csv = perturb_records_to_csv(&records);
         if let Err(e) = write_atomic(std::path::Path::new(path), csv.as_bytes()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
