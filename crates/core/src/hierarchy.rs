@@ -1,0 +1,173 @@
+//! Shared per-city customizable contraction hierarchy.
+//!
+//! A [`NetworkHierarchy`] bundles the frozen CSR substrate
+//! ([`traffic_graph::FrozenGraph`]) with the metric-independent CCH
+//! topology ([`routing::Cch`]) and a small cache of customized metrics,
+//! one per weight vector. It is the unit `serve` keeps resident per
+//! city and the thing an [`crate::AttackProblem`] attaches via
+//! [`crate::AttackProblem::with_hierarchy`]: oracles built from such a
+//! problem prune their searches with hierarchy-backed exact distances
+//! instead of a decrementally repaired Dijkstra table.
+//!
+//! Metrics are cached by the *identity* of the weight vector (the
+//! `Arc`'s pointer), which matches how weights flow through this crate:
+//! problems sharing a [`crate::TargetContext`] share one `Arc<Vec<f64>>`
+//! per weight model, so the expensive full customization runs once per
+//! `(city, weight model)` and every later problem reuses it. The cache
+//! holds the `Arc`s it keys on, so a pointer can never be recycled
+//! while its entry lives.
+
+use routing::{Cch, CchMetric, CchRevTable};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use traffic_graph::{FrozenGraph, NodeId, RoadNetwork};
+
+/// Customized-metric cache entry: the weight vector the key points at
+/// (held so the pointer can't be recycled) plus its metric.
+type MetricEntry = (Arc<Vec<f64>>, Arc<CchMetric>);
+
+/// Resident routing core for one city: frozen CSR substrate, CCH
+/// topology, and customized metrics keyed by weight vector.
+///
+/// # Examples
+///
+/// ```
+/// use citygen::{CityPreset, Scale};
+/// use pathattack::NetworkHierarchy;
+///
+/// let city = CityPreset::Chicago.build(Scale::Small, 7);
+/// let h = NetworkHierarchy::build(&city);
+/// assert_eq!(h.num_nodes(), city.num_nodes());
+/// assert!(h.num_arcs() >= city.num_edges() / 2);
+/// assert!(h.bytes_resident() > 0);
+/// ```
+pub struct NetworkHierarchy {
+    frozen: FrozenGraph,
+    cch: Arc<Cch>,
+    metrics: Mutex<HashMap<usize, MetricEntry>>,
+    /// Intact-network prototype tables keyed by `(weight ptr, target)`.
+    /// A fresh table costs a full descending sweep over all arcs; a
+    /// clone of the swept prototype costs `O(nodes)`, so every oracle
+    /// after the first for the same `(weight, target)` starts warm.
+    rev_protos: Mutex<HashMap<(usize, u32), CchRevTable>>,
+    customizations: AtomicU64,
+}
+
+impl std::fmt::Debug for NetworkHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkHierarchy")
+            .field("nodes", &self.num_nodes())
+            .field("arcs", &self.num_arcs())
+            .field("customizations", &self.customizations())
+            .finish()
+    }
+}
+
+impl NetworkHierarchy {
+    /// Freezes `net` and builds the metric-independent CCH topology.
+    /// The expensive step — run once per city and share the result.
+    pub fn build(net: &RoadNetwork) -> Self {
+        let _timer = obs::span("pathattack.hierarchy.build");
+        let frozen = FrozenGraph::freeze(net);
+        let cch = Arc::new(Cch::build(&frozen));
+        NetworkHierarchy {
+            frozen,
+            cch,
+            metrics: Mutex::new(HashMap::new()),
+            rev_protos: Mutex::new(HashMap::new()),
+            customizations: AtomicU64::new(0),
+        }
+    }
+
+    /// The frozen CSR substrate.
+    pub fn frozen(&self) -> &FrozenGraph {
+        &self.frozen
+    }
+
+    /// The metric-independent hierarchy topology.
+    pub fn cch(&self) -> &Arc<Cch> {
+        &self.cch
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.cch.num_nodes()
+    }
+
+    /// Number of chordal arcs (original plus fill shortcuts).
+    pub fn num_arcs(&self) -> usize {
+        self.cch.num_arcs()
+    }
+
+    /// Full customizations run so far (cache misses in
+    /// [`NetworkHierarchy::metric_for`]).
+    pub fn customizations(&self) -> u64 {
+        self.customizations.load(Ordering::Relaxed)
+    }
+
+    /// Heap bytes held by the substrate, the topology, and every cached
+    /// metric — what `serve` reports per resident city.
+    pub fn bytes_resident(&self) -> usize {
+        let metrics: usize = self
+            .metrics
+            .lock()
+            .expect("hierarchy metric cache poisoned")
+            .values()
+            .map(|(w, m)| w.len() * 8 + m.bytes_resident())
+            .sum();
+        let protos: usize = self
+            .rev_protos
+            .lock()
+            .expect("hierarchy rev-table cache poisoned")
+            .values()
+            .map(|t| t.bytes_resident())
+            .sum();
+        self.frozen.bytes_resident() + self.cch.bytes_resident() + metrics + protos
+    }
+
+    /// The intact-network metric for `weights`, customizing on first
+    /// use. Keyed by the `Arc`'s pointer identity: pass the problem's
+    /// shared weight vector, not a fresh copy, to hit the cache.
+    pub fn metric_for(&self, weights: &Arc<Vec<f64>>) -> Arc<CchMetric> {
+        let key = Arc::as_ptr(weights) as usize;
+        let mut cache = self
+            .metrics
+            .lock()
+            .expect("hierarchy metric cache poisoned");
+        if let Some((_, metric)) = cache.get(&key) {
+            obs::inc("pathattack.reuse.cch_metric.hit");
+            return metric.clone();
+        }
+        obs::inc("pathattack.reuse.cch_metric.miss");
+        self.customizations.fetch_add(1, Ordering::Relaxed);
+        let metric = Arc::new(self.cch.customize(|e| weights[e.index()]));
+        cache.insert(key, (weights.clone(), metric.clone()));
+        metric
+    }
+
+    /// A hierarchy-backed one-to-all reverse table toward `target`,
+    /// ready for [`routing::CchRevTable::sync`] against mutated views.
+    /// The intact-network sweep runs once per `(weight, target)`; later
+    /// calls clone the cached prototype in `O(nodes)`.
+    pub fn rev_table(&self, weights: &Arc<Vec<f64>>, target: NodeId) -> CchRevTable {
+        let key = (Arc::as_ptr(weights) as usize, target.index() as u32);
+        if let Some(proto) = self
+            .rev_protos
+            .lock()
+            .expect("hierarchy rev-table cache poisoned")
+            .get(&key)
+        {
+            obs::inc("pathattack.reuse.cch_rev.hit");
+            return proto.clone();
+        }
+        obs::inc("pathattack.reuse.cch_rev.miss");
+        let metric = self.metric_for(weights);
+        let table = CchRevTable::new(self.cch.clone(), metric, target, self.frozen.num_edges());
+        self.rev_protos
+            .lock()
+            .expect("hierarchy rev-table cache poisoned")
+            .insert(key, table.clone());
+        table
+    }
+}

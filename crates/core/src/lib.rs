@@ -50,6 +50,7 @@ mod algorithms;
 mod context;
 mod defense;
 pub mod faults;
+mod hierarchy;
 mod limits;
 mod multi;
 mod perturb;
@@ -67,6 +68,7 @@ pub use algorithms::{
 pub use context::{NetworkCache, TargetContext};
 pub use defense::{minimal_hardening, HardeningPlan};
 pub use faults::{FaultPlan, FaultSite};
+pub use hierarchy::NetworkHierarchy;
 pub use limits::RunLimits;
 pub use multi::{coordinated_attack, CoordinatedError, CoordinatedOutcome};
 pub use perturb::{PerturbOracle, PerturbProblem, PerturbResult};

@@ -12,7 +12,9 @@
 //!   from `p*` with a Yen-style spur pass along `p*`.
 
 use crate::{faults, AttackProblem};
-use routing::{acquire_scratch, CancelToken, Direction, Path, RepairTable, ScratchGuard};
+use routing::{
+    acquire_scratch, CancelToken, CchRevTable, Direction, Path, RepairTable, ScratchGuard,
+};
 use std::sync::Arc;
 use traffic_graph::GraphView;
 
@@ -39,6 +41,12 @@ pub struct Oracle {
     /// same tie-breaks — while the repaired table prunes relaxations
     /// that provably cannot finish within the violating bound.
     repair: Option<RepairTable>,
+    /// Hierarchy-backed exact distances on the current mutated view
+    /// (present when the problem attaches a
+    /// [`crate::NetworkHierarchy`]); takes the repair table's pruning
+    /// role, with each view mutation handled by an incremental CCH
+    /// re-customization instead of a Dijkstra repair.
+    cch: Option<CchRevTable>,
     cancel: Option<CancelToken>,
     max_calls: Option<u64>,
     calls: u64,
@@ -83,19 +91,32 @@ impl Oracle {
                 (Arc::new(d), Arc::new(p))
             }
         };
+        // A hierarchy displaces the repair table: both provide exact
+        // current-view distances for pruning, and building both would
+        // double the sync work per mutation. The hierarchy's baseline
+        // is the intact network; any pre-attack removals of the base
+        // view enter through the first sync's diff. The oracle's
+        // `(rev, rev_parent)` baseline — exactly what the repair path
+        // would build from — is attached so a budget-blown sync can
+        // demote to decremental repair without a fresh sweep.
+        let cch = problem.hierarchy().map(|h| {
+            let mut table = h.rev_table(problem.weights_arc(), problem.target());
+            table.set_fallback_baseline(rev.clone(), rev_parent.clone());
+            table
+        });
         // The repair baseline may include the base view's pre-attack
         // removals; syncing to views that keep those removals treats
         // them as non-tree no-ops, so the table stays exact. (A baseline
         // truncated by an already-expired deadline is fine too: every
         // later search is cancelled by the same token.)
-        let repair = problem
-            .repair()
+        let repair = (problem.repair() && cch.is_none())
             .then(|| RepairTable::new(problem.target(), rev.clone(), rev_parent, net.num_edges()));
         scratch.astar.set_cancel(cancel.clone());
         Oracle {
             scratch,
             rev,
             repair,
+            cch,
             cancel,
             max_calls: limits.max_oracle_calls,
             calls: 0,
@@ -147,7 +168,23 @@ impl Oracle {
         // (`pstar_weight + tie_margin`), so float noise in the pruning
         // sums can never touch a path any caller would accept.
         let bound = problem.pstar_weight() + 2.0 * problem.tie_margin();
-        if let Some(rep) = self.repair.as_mut() {
+        if let Some(table) = self.cch.as_mut() {
+            let out = table.sync(view, |e| problem.weight_of(e));
+            let outcome = if out.fallback {
+                obs::inc("pathattack.reuse.cch.fallback");
+                "fallback"
+            } else if out.reset {
+                obs::inc("pathattack.reuse.cch.reset");
+                "reset"
+            } else {
+                obs::inc("pathattack.reuse.cch.sync");
+                "incremental"
+            };
+            obs::trace::point(
+                "oracle.cch",
+                &[("outcome", obs::AttrValue::Str(outcome.into()))],
+            );
+        } else if let Some(rep) = self.repair.as_mut() {
             let out = rep.sync(view, |e| problem.weight_of(e));
             if out.rebuilt {
                 obs::inc("pathattack.reuse.repair.full_fallback");
@@ -166,19 +203,27 @@ impl Oracle {
         let Oracle {
             scratch,
             repair,
+            cch,
             rev,
             ..
         } = self;
-        let repair = repair.as_ref();
+        // Exact current-view distances used only to prune: hierarchy
+        // when attached, repaired table otherwise. Both are exact for
+        // the synced view, so the records cannot depend on the choice.
+        let prune: Option<&[f64]> = match (cch.as_ref(), repair.as_ref()) {
+            (Some(table), _) => Some(table.dist()),
+            (None, Some(rep)) => Some(rep.dist()),
+            (None, None) => None,
+        };
 
-        let shortest = match repair {
-            Some(rep) => scratch.astar.shortest_path_bounded(
+        let shortest = match prune {
+            Some(dist) => scratch.astar.shortest_path_bounded(
                 view,
                 |e| problem.weight_of(e),
                 |v| rev[v.index()],
                 problem.source(),
                 problem.target(),
-                rep.dist(),
+                dist,
                 bound,
             )?,
             None => scratch.astar.shortest_path(
@@ -209,7 +254,7 @@ impl Oracle {
         #[allow(clippy::needless_range_loop)] // i indexes nodes, edges and prefix weights together
         for i in 0..pstar.len() {
             let spur_node = pstar.nodes()[i];
-            if let Some(rep) = repair {
+            if let Some(dist) = prune {
                 // Exact distance on `view` lower-bounds any spur
                 // completion (the spur view only removes more edges), and
                 // `best` is only ever replaced by a strictly cheaper
@@ -218,7 +263,7 @@ impl Oracle {
                 // can be skipped without touching the records.
                 let decided = best
                     .as_ref()
-                    .is_some_and(|b| prefix_w[i] + rep.distance(spur_node) >= b.total_weight());
+                    .is_some_and(|b| prefix_w[i] + dist[spur_node.index()] >= b.total_weight());
                 if decided {
                     spur_skips += 1;
                     continue;
@@ -240,14 +285,14 @@ impl Oracle {
                 }
             }
             spur_searches += 1;
-            let spur = match repair {
-                Some(rep) => scratch.astar.shortest_path_bounded(
+            let spur = match prune {
+                Some(dist) => scratch.astar.shortest_path_bounded(
                     &work,
                     |e| problem.weight_of(e),
                     |v| rev[v.index()],
                     spur_node,
                     problem.target(),
-                    rep.dist(),
+                    dist,
                     bound - prefix_w[i],
                 ),
                 None => scratch.astar.shortest_path(

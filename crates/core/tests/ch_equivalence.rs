@@ -1,0 +1,121 @@
+//! Hierarchy-on vs hierarchy-off must be observationally identical.
+//!
+//! A resident [`pathattack::NetworkHierarchy`] replaces the repaired
+//! Dijkstra table as the oracle's pruning provider: hierarchy-backed
+//! exact distances on the mutated view bound A* and decide spur
+//! searches, but never order them. The contract is therefore the same
+//! as repair's — every attack algorithm removes the same edges, in the
+//! same order, at the same cost, with the same status whether the
+//! hierarchy is attached or not. This pins that contract at the
+//! algorithm level on real cities.
+
+use citygen::{CityPreset, Scale};
+use pathattack::{
+    all_algorithms_extended, AttackProblem, CostType, NetworkHierarchy, TargetContext, WeightType,
+};
+use std::sync::Arc;
+use traffic_graph::{NodeId, PoiKind};
+
+fn problems<'a>(
+    city: &'a traffic_graph::RoadNetwork,
+    ctx: &Arc<TargetContext>,
+    hospital: NodeId,
+    hierarchy: Option<&Arc<NetworkHierarchy>>,
+) -> Vec<AttackProblem<'a>> {
+    let sources = [NodeId::new(3), NodeId::new(41)];
+    sources
+        .iter()
+        .filter_map(|&s| {
+            AttackProblem::with_path_rank_in(
+                city,
+                WeightType::Time,
+                CostType::Uniform,
+                s,
+                hospital,
+                20,
+                ctx,
+            )
+            .ok()
+            .map(|p| match hierarchy {
+                Some(h) => p.with_hierarchy(h),
+                None => p,
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn all_algorithms_identical_with_and_without_hierarchy() {
+    let city = CityPreset::Chicago.build(Scale::Small, 7);
+    let hospital = city
+        .pois_of_kind(PoiKind::Hospital)
+        .next()
+        .expect("preset has a hospital")
+        .node;
+    let ctx = Arc::new(TargetContext::build(&city, WeightType::Time, hospital));
+    let hierarchy = Arc::new(NetworkHierarchy::build(&city));
+
+    let with = problems(&city, &ctx, hospital, Some(&hierarchy));
+    let without = problems(&city, &ctx, hospital, None);
+    assert!(!with.is_empty());
+
+    for (p_on, p_off) in with.iter().zip(&without) {
+        assert_eq!(p_on.pstar().edges(), p_off.pstar().edges());
+        for alg in all_algorithms_extended() {
+            let a = alg.attack(p_on);
+            let b = alg.attack(p_off);
+            assert_eq!(a.removed, b.removed, "{} removed set diverged", alg.name());
+            assert_eq!(
+                a.total_cost.to_bits(),
+                b.total_cost.to_bits(),
+                "{} cost diverged",
+                alg.name()
+            );
+            assert_eq!(a.iterations, b.iterations, "{} iterations", alg.name());
+            assert_eq!(a.status, b.status, "{} status", alg.name());
+        }
+    }
+    // Both problems share the context's weight vector, so the expensive
+    // full customization ran once for the whole sweep.
+    assert_eq!(hierarchy.customizations(), 1);
+}
+
+#[test]
+fn hierarchy_displaces_repair_with_identical_results() {
+    // Attaching a hierarchy to a problem that also requested repair must
+    // not change anything: the hierarchy takes over pruning, and results
+    // stay byte-identical to the plain repair run.
+    let city = CityPreset::Boston.build(Scale::Small, 11);
+    let hospital = city
+        .pois_of_kind(PoiKind::Hospital)
+        .next()
+        .expect("preset has a hospital")
+        .node;
+    let hierarchy = Arc::new(NetworkHierarchy::build(&city));
+    let make = || {
+        AttackProblem::with_path_rank(
+            &city,
+            WeightType::Time,
+            CostType::Lanes,
+            NodeId::new(5),
+            hospital,
+            10,
+        )
+        .unwrap()
+        .with_repair(true)
+    };
+    let p_on = make().with_hierarchy(&hierarchy);
+    let p_off = make();
+    for alg in all_algorithms_extended() {
+        let a = alg.attack(&p_on);
+        let b = alg.attack(&p_off);
+        assert_eq!(a.removed, b.removed, "{} removed set diverged", alg.name());
+        assert_eq!(
+            a.total_cost.to_bits(),
+            b.total_cost.to_bits(),
+            "{} cost diverged",
+            alg.name()
+        );
+        assert_eq!(a.status, b.status, "{} status", alg.name());
+    }
+}

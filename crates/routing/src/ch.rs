@@ -7,11 +7,16 @@
 //! hierarchy — typically settling a few hundred nodes on city-scale
 //! graphs.
 //!
-//! Scope note: a CH is valid for the exact edge set it was built on.
-//! Attack loops mutate the view per iteration, so the attack algorithms
-//! use plain Dijkstra/A\* instead; the CH serves the *harness* — Table X
-//! threshold sampling, circuity statistics, demand assignment warm
-//! starts — where thousands of queries run on the unmodified network.
+//! Scope note: a classic CH is valid for the exact edge set and metric
+//! it was built on — witness searches bake the weights into the
+//! shortcut set, so a single removal or perturbation invalidates the
+//! whole hierarchy. That is fine for the *harness* — Table X threshold
+//! sampling, circuity statistics, demand assignment warm starts — where
+//! thousands of queries run on the unmodified network. Attack loops,
+//! which mutate the view every iteration, use the *customizable*
+//! hierarchy in [`crate::Cch`] instead: its contraction is
+//! metric-independent, so a mutation costs a partial re-customization
+//! rather than a rebuild.
 
 use crate::heap::HeapEntry;
 use crate::Path;

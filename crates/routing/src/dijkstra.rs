@@ -10,7 +10,7 @@ use crate::cancel::{CancelToken, CHECK_STRIDE};
 use crate::heap::{HeapEntry, NO_EDGE};
 use crate::Path;
 use std::collections::BinaryHeap;
-use traffic_graph::{EdgeId, GraphView, NodeId};
+use traffic_graph::{EdgeId, GraphView, NodeId, Topology};
 
 /// Direction of a Dijkstra sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,20 +126,27 @@ impl Dijkstra {
     ///
     /// `weight` must be non-negative for live edges.
     ///
+    /// Generic over [`Topology`], so the same searcher runs on a
+    /// [`GraphView`] removal mask or on the frozen CSR substrate
+    /// ([`traffic_graph::FrozenGraph`] / [`traffic_graph::FrozenView`]);
+    /// arc enumeration order is identical across substrates, so result
+    /// bits are too.
+    ///
     /// # Panics
     ///
     /// Panics (debug) on negative weights.
-    pub fn sweep<F>(
+    pub fn sweep<T, F>(
         &mut self,
-        view: &GraphView<'_>,
+        view: &T,
         weight: F,
         source: NodeId,
         stop_at: Option<NodeId>,
         direction: Direction,
     ) where
+        T: Topology,
         F: Fn(EdgeId) -> f64,
     {
-        let n = view.network().num_nodes();
+        let n = view.num_nodes();
         self.fresh(n);
         self.touch(source.index());
         self.dist[source.index()] = 0.0;
@@ -173,20 +180,32 @@ impl Dijkstra {
                 break;
             }
             let node = NodeId::new(vi);
-            let relax = |this: &mut Self,
-                         heap: &mut BinaryHeap<HeapEntry>,
-                         relaxations: &mut u64,
-                         e: EdgeId,
-                         w: NodeId| {
-                *relaxations += 1;
+            // Split borrows so the relaxation closure can run inside the
+            // topology's arc callback.
+            let Dijkstra {
+                dist,
+                parent_edge,
+                stamp,
+                settled,
+                generation,
+                ..
+            } = self;
+            let generation = *generation;
+            let mut relax = |e: EdgeId, w: NodeId| {
+                relaxations += 1;
                 let we = weight(e);
                 debug_assert!(we >= 0.0, "negative edge weight");
                 let wi = w.index();
-                this.touch(wi);
+                if stamp[wi] != generation {
+                    stamp[wi] = generation;
+                    dist[wi] = f64::INFINITY;
+                    parent_edge[wi] = NO_EDGE;
+                    settled[wi] = 0;
+                }
                 let nd = d + we;
-                if nd < this.dist[wi] {
-                    this.dist[wi] = nd;
-                    this.parent_edge[wi] = e.index() as u32;
+                if nd < dist[wi] {
+                    dist[wi] = nd;
+                    parent_edge[wi] = e.index() as u32;
                     heap.push(HeapEntry {
                         dist: nd,
                         node: wi as u32,
@@ -194,16 +213,8 @@ impl Dijkstra {
                 }
             };
             match direction {
-                Direction::Forward => {
-                    for (e, w) in view.out_neighbors(node) {
-                        relax(self, &mut heap, &mut relaxations, e, w);
-                    }
-                }
-                Direction::Backward => {
-                    for (e, w) in view.in_neighbors(node) {
-                        relax(self, &mut heap, &mut relaxations, e, w);
-                    }
-                }
+                Direction::Forward => view.for_each_out(node, &mut relax),
+                Direction::Backward => view.for_each_in(node, &mut relax),
             }
         }
 

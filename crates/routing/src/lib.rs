@@ -47,6 +47,7 @@ mod alt;
 mod astar;
 mod bidirectional;
 mod cancel;
+mod cch;
 mod ch;
 mod dijkstra;
 mod heap;
@@ -61,6 +62,7 @@ pub use alt::Landmarks;
 pub use astar::AStar;
 pub use bidirectional::bidirectional_shortest_path;
 pub use cancel::{CancelToken, CHECK_STRIDE};
+pub use cch::{Cch, CchMetric, CchRevTable, CchSearch, CchSyncOutcome};
 pub use ch::ContractionHierarchy;
 pub use dijkstra::{Dijkstra, Direction};
 pub use heap::{HeapEntry, NO_EDGE};

@@ -72,6 +72,7 @@ pub struct RepairOutcome {
 /// target), then call [`RepairTable::sync`] with each mutated view
 /// before reading distances. See the [module docs](self) for the
 /// algorithm and its guarantees.
+#[derive(Clone)]
 pub struct RepairTable {
     target: NodeId,
     base_dist: Arc<Vec<f64>>,
@@ -164,6 +165,14 @@ impl RepairTable {
     /// (`f64::INFINITY` when disconnected).
     pub fn distance(&self, node: NodeId) -> f64 {
         self.dist[node.index()]
+    }
+
+    /// Heap bytes owned by this table (the shared baseline `Arc`s are
+    /// not counted — they live once per target context).
+    pub fn bytes_resident(&self) -> usize {
+        8 * self.dist.len()
+            + 4 * (self.parent.len() + self.mark.len() + self.settled.len())
+            + self.removed.len()
     }
 
     /// Brings the table in sync with `view`'s removal set and returns

@@ -1,0 +1,447 @@
+//! Frozen struct-of-arrays CSR substrate for continental-scale routing.
+//!
+//! [`crate::RoadNetwork`] already stores CSR adjacency, but its accessors
+//! hand out [`crate::EdgeAttrs`] structs and `EdgeId` iterators that
+//! force a pointer chase per edge relaxation. At the paper's Table I
+//! sizes that is irrelevant; at the `mega` scale tier (~1.3 M nodes,
+//! ~3 M directed segments for Los Angeles ×25) the attribute loads
+//! dominate the inner loops of contraction, customization and one-to-all
+//! sweeps.
+//!
+//! [`FrozenGraph`] is the answer: a read-only snapshot that packs
+//! forward *and* reverse adjacency into contiguous `u32` arenas, with
+//! head node and edge id stored side by side (one cache line serves the
+//! relaxation instead of two), and per-edge attributes unpacked into
+//! plain `f64` columns. It is built once per city and shared read-only;
+//! anything that iterates a [`crate::GraphView`] can iterate a frozen
+//! graph through the [`Topology`] trait, which both implement — the
+//! routing crate's Dijkstra runs unchanged over either. [`FrozenView`]
+//! adds the same removal-mask semantics `GraphView` has, so attack
+//! workloads can mutate a frozen city without touching the arenas.
+
+use crate::geometry::Point;
+use crate::ids::{EdgeId, NodeId};
+use crate::network::RoadNetwork;
+
+/// Uniform adjacency access for search algorithms: implemented by the
+/// mutable-mask [`crate::GraphView`] and by the frozen CSR substrate
+/// ([`FrozenGraph`], [`FrozenView`]), so a shortest-path routine written
+/// against this trait runs on either representation.
+///
+/// Arc enumeration order is the edge-id order of the underlying
+/// `RoadNetwork` CSR in all implementations, which keeps tie-breaking —
+/// and therefore result bits — identical across substrates.
+pub trait Topology {
+    /// Number of nodes (dense ids `0..num_nodes`).
+    fn num_nodes(&self) -> usize;
+
+    /// Calls `f(edge, head)` for every live arc leaving `node`.
+    fn for_each_out(&self, node: NodeId, f: impl FnMut(EdgeId, NodeId));
+
+    /// Calls `f(edge, tail)` for every live arc entering `node`.
+    fn for_each_in(&self, node: NodeId, f: impl FnMut(EdgeId, NodeId));
+}
+
+impl Topology for crate::GraphView<'_> {
+    fn num_nodes(&self) -> usize {
+        self.network().num_nodes()
+    }
+
+    fn for_each_out(&self, node: NodeId, mut f: impl FnMut(EdgeId, NodeId)) {
+        for (e, u) in self.out_neighbors(node) {
+            f(e, u);
+        }
+    }
+
+    fn for_each_in(&self, node: NodeId, mut f: impl FnMut(EdgeId, NodeId)) {
+        for (e, u) in self.in_neighbors(node) {
+            f(e, u);
+        }
+    }
+}
+
+/// A frozen, struct-of-arrays CSR snapshot of a [`RoadNetwork`].
+///
+/// Node and edge ids are the same dense `u32` indices the source
+/// network uses, so `NodeId`/`EdgeId` values are interchangeable between
+/// the two representations.
+///
+/// # Examples
+///
+/// ```
+/// use traffic_graph::{FrozenGraph, RoadNetworkBuilder, Point, RoadClass};
+/// let mut b = RoadNetworkBuilder::new("demo");
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(100.0, 0.0));
+/// b.add_street(a, c, RoadClass::Residential);
+/// let net = b.build();
+/// let frozen = FrozenGraph::freeze(&net);
+/// assert_eq!(frozen.num_nodes(), net.num_nodes());
+/// assert!(frozen.bytes_resident() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrozenGraph {
+    num_nodes: usize,
+    // Forward arcs: for node v, arcs out_start[v]..out_start[v+1]; the
+    // head node and originating edge id sit in parallel arenas.
+    out_start: Vec<u32>,
+    out_head: Vec<u32>,
+    out_edge: Vec<u32>,
+    // Reverse arcs, same layout.
+    in_start: Vec<u32>,
+    in_tail: Vec<u32>,
+    in_edge: Vec<u32>,
+    // Per-edge attribute columns (indexed by EdgeId).
+    length_m: Vec<f64>,
+    travel_time_s: Vec<f64>,
+    lanes: Vec<f64>,
+    width_m: Vec<f64>,
+    artificial: Vec<u64>,
+    // Node coordinates (the CCH nested-dissection order needs them).
+    points: Vec<Point>,
+}
+
+impl FrozenGraph {
+    /// Builds the frozen snapshot from `net`. One linear pass; the
+    /// result shares nothing with `net` and can outlive it.
+    pub fn freeze(net: &RoadNetwork) -> FrozenGraph {
+        let n = net.num_nodes();
+        let m = net.num_edges();
+        let mut out_start = Vec::with_capacity(n + 1);
+        let mut out_head = Vec::with_capacity(m);
+        let mut out_edge = Vec::with_capacity(m);
+        out_start.push(0);
+        for v in net.nodes() {
+            for e in net.out_edges(v) {
+                out_head.push(net.edge_target(e).index() as u32);
+                out_edge.push(e.index() as u32);
+            }
+            out_start.push(out_edge.len() as u32);
+        }
+        let mut in_start = Vec::with_capacity(n + 1);
+        let mut in_tail = Vec::with_capacity(m);
+        let mut in_edge = Vec::with_capacity(m);
+        in_start.push(0);
+        for v in net.nodes() {
+            for e in net.in_edges(v) {
+                in_tail.push(net.edge_source(e).index() as u32);
+                in_edge.push(e.index() as u32);
+            }
+            in_start.push(in_edge.len() as u32);
+        }
+        let mut length_m = Vec::with_capacity(m);
+        let mut travel_time_s = Vec::with_capacity(m);
+        let mut lanes = Vec::with_capacity(m);
+        let mut width_m = Vec::with_capacity(m);
+        let mut artificial = vec![0u64; m.div_ceil(64)];
+        for e in 0..m {
+            let a = net.edge_attrs(EdgeId::new(e));
+            length_m.push(a.length_m);
+            travel_time_s.push(a.travel_time_s());
+            lanes.push(f64::from(a.lanes));
+            width_m.push(a.width_m);
+            if a.artificial {
+                artificial[e / 64] |= 1u64 << (e % 64);
+            }
+        }
+        let points = (0..n).map(|v| net.node_point(NodeId::new(v))).collect();
+        FrozenGraph {
+            num_nodes: n,
+            out_start,
+            out_head,
+            out_edge,
+            in_start,
+            in_tail,
+            in_edge,
+            length_m,
+            travel_time_s,
+            lanes,
+            width_m,
+            artificial,
+            points,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.length_m.len()
+    }
+
+    /// Coordinates of `node`.
+    #[inline]
+    pub fn node_point(&self, node: NodeId) -> Point {
+        self.points[node.index()]
+    }
+
+    /// `(edge, head)` pairs leaving `node`, in edge-id CSR order.
+    #[inline]
+    pub fn out_arcs(&self, node: NodeId) -> impl ExactSizeIterator<Item = (EdgeId, NodeId)> + '_ {
+        let s = self.out_start[node.index()] as usize;
+        let e = self.out_start[node.index() + 1] as usize;
+        self.out_edge[s..e]
+            .iter()
+            .zip(&self.out_head[s..e])
+            .map(|(&e, &h)| (EdgeId::new(e as usize), NodeId::new(h as usize)))
+    }
+
+    /// `(edge, tail)` pairs entering `node`, in edge-id CSR order.
+    #[inline]
+    pub fn in_arcs(&self, node: NodeId) -> impl ExactSizeIterator<Item = (EdgeId, NodeId)> + '_ {
+        let s = self.in_start[node.index()] as usize;
+        let e = self.in_start[node.index() + 1] as usize;
+        self.in_edge[s..e]
+            .iter()
+            .zip(&self.in_tail[s..e])
+            .map(|(&e, &t)| (EdgeId::new(e as usize), NodeId::new(t as usize)))
+    }
+
+    /// The length column, meters, indexed by edge id.
+    pub fn length_column(&self) -> &[f64] {
+        &self.length_m
+    }
+
+    /// The free-flow travel-time column, seconds, indexed by edge id.
+    pub fn time_column(&self) -> &[f64] {
+        &self.travel_time_s
+    }
+
+    /// The lane-count column (as `f64` — it feeds cost arithmetic),
+    /// indexed by edge id.
+    pub fn lanes_column(&self) -> &[f64] {
+        &self.lanes
+    }
+
+    /// The carriageway-width column, meters, indexed by edge id.
+    pub fn width_column(&self) -> &[f64] {
+        &self.width_m
+    }
+
+    /// Whether `edge` was synthetically inserted for POI snapping.
+    #[inline]
+    pub fn is_artificial(&self, edge: EdgeId) -> bool {
+        let e = edge.index();
+        self.artificial[e / 64] >> (e % 64) & 1 == 1
+    }
+
+    /// Total heap bytes held by the arenas and columns — what `serve`
+    /// reports per resident city.
+    pub fn bytes_resident(&self) -> usize {
+        let u32s = self.out_start.len()
+            + self.out_head.len()
+            + self.out_edge.len()
+            + self.in_start.len()
+            + self.in_tail.len()
+            + self.in_edge.len();
+        let f64s = self.length_m.len()
+            + self.travel_time_s.len()
+            + self.lanes.len()
+            + self.width_m.len()
+            + 2 * self.points.len();
+        u32s * 4 + f64s * 8 + self.artificial.len() * 8
+    }
+
+    /// A mutable removal-mask view over this frozen graph, mirroring
+    /// [`crate::GraphView::new`].
+    pub fn view(&self) -> FrozenView<'_> {
+        FrozenView {
+            frozen: self,
+            removed: vec![false; self.num_edges()],
+            removed_count: 0,
+        }
+    }
+}
+
+impl Topology for FrozenGraph {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    #[inline]
+    fn for_each_out(&self, node: NodeId, mut f: impl FnMut(EdgeId, NodeId)) {
+        for (e, u) in self.out_arcs(node) {
+            f(e, u);
+        }
+    }
+
+    #[inline]
+    fn for_each_in(&self, node: NodeId, mut f: impl FnMut(EdgeId, NodeId)) {
+        for (e, u) in self.in_arcs(node) {
+            f(e, u);
+        }
+    }
+}
+
+/// A removal mask over a [`FrozenGraph`] — the frozen twin of
+/// [`crate::GraphView`].
+#[derive(Debug, Clone)]
+pub struct FrozenView<'f> {
+    frozen: &'f FrozenGraph,
+    removed: Vec<bool>,
+    removed_count: usize,
+}
+
+impl<'f> FrozenView<'f> {
+    /// The underlying frozen graph.
+    pub fn frozen(&self) -> &'f FrozenGraph {
+        self.frozen
+    }
+
+    /// Number of currently removed edges.
+    pub fn removed_count(&self) -> usize {
+        self.removed_count
+    }
+
+    /// Whether `edge` is currently removed.
+    #[inline]
+    pub fn is_removed(&self, edge: EdgeId) -> bool {
+        self.removed[edge.index()]
+    }
+
+    /// Removes `edge` from the view; no-op if already removed.
+    pub fn remove_edge(&mut self, edge: EdgeId) {
+        if !self.removed[edge.index()] {
+            self.removed[edge.index()] = true;
+            self.removed_count += 1;
+        }
+    }
+
+    /// Restores `edge`; no-op if not removed.
+    pub fn restore_edge(&mut self, edge: EdgeId) {
+        if self.removed[edge.index()] {
+            self.removed[edge.index()] = false;
+            self.removed_count -= 1;
+        }
+    }
+
+    /// Restores every removed edge.
+    pub fn reset(&mut self) {
+        self.removed.fill(false);
+        self.removed_count = 0;
+    }
+}
+
+impl Topology for FrozenView<'_> {
+    fn num_nodes(&self) -> usize {
+        self.frozen.num_nodes
+    }
+
+    #[inline]
+    fn for_each_out(&self, node: NodeId, mut f: impl FnMut(EdgeId, NodeId)) {
+        for (e, u) in self.frozen.out_arcs(node) {
+            if !self.removed[e.index()] {
+                f(e, u);
+            }
+        }
+    }
+
+    #[inline]
+    fn for_each_in(&self, node: NodeId, mut f: impl FnMut(EdgeId, NodeId)) {
+        for (e, u) in self.frozen.in_arcs(node) {
+            if !self.removed[e.index()] {
+                f(e, u);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::RoadClass;
+    use crate::builder::RoadNetworkBuilder;
+    use crate::view::GraphView;
+
+    fn sample() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new("frozen-sample");
+        let p: Vec<_> = (0..6)
+            .map(|i| b.add_node(Point::new(f64::from(i) * 100.0, f64::from(i % 2) * 80.0)))
+            .collect();
+        b.add_street(p[0], p[1], RoadClass::Primary);
+        b.add_street(p[1], p[2], RoadClass::Residential);
+        b.add_street(p[2], p[3], RoadClass::Secondary);
+        b.add_street(p[3], p[4], RoadClass::Residential);
+        b.add_street(p[4], p[5], RoadClass::Tertiary);
+        b.add_edge(
+            p[5],
+            p[0],
+            crate::attrs::EdgeAttrs::from_class(RoadClass::Motorway, 500.0),
+        );
+        b.build()
+    }
+
+    /// Every arc the live view enumerates, the frozen substrate must
+    /// enumerate identically — same edges, same heads, same order.
+    #[test]
+    fn adjacency_matches_graph_view() {
+        let net = sample();
+        let frozen = FrozenGraph::freeze(&net);
+        let view = GraphView::new(&net);
+        assert_eq!(Topology::num_nodes(&frozen), Topology::num_nodes(&view));
+        for v in net.nodes() {
+            let mut from_view = Vec::new();
+            view.for_each_out(v, |e, u| from_view.push((e, u)));
+            let mut from_frozen = Vec::new();
+            frozen.for_each_out(v, |e, u| from_frozen.push((e, u)));
+            assert_eq!(from_view, from_frozen, "out arcs of {v}");
+            let mut from_view = Vec::new();
+            view.for_each_in(v, |e, u| from_view.push((e, u)));
+            let mut from_frozen = Vec::new();
+            frozen.for_each_in(v, |e, u| from_frozen.push((e, u)));
+            assert_eq!(from_view, from_frozen, "in arcs of {v}");
+        }
+    }
+
+    #[test]
+    fn attribute_columns_match_attrs() {
+        let net = sample();
+        let frozen = FrozenGraph::freeze(&net);
+        assert_eq!(frozen.num_edges(), net.num_edges());
+        for e in 0..net.num_edges() {
+            let id = EdgeId::new(e);
+            let a = net.edge_attrs(id);
+            assert_eq!(frozen.length_column()[e], a.length_m);
+            assert_eq!(frozen.time_column()[e], a.travel_time_s());
+            assert_eq!(frozen.lanes_column()[e], f64::from(a.lanes));
+            assert_eq!(frozen.width_column()[e], a.width_m);
+            assert_eq!(frozen.is_artificial(id), a.artificial);
+        }
+        for v in net.nodes() {
+            assert_eq!(frozen.node_point(v), net.node_point(v));
+        }
+    }
+
+    #[test]
+    fn frozen_view_masks_arcs() {
+        let net = sample();
+        let frozen = FrozenGraph::freeze(&net);
+        let mut view = frozen.view();
+        let victim = EdgeId::new(0);
+        assert!(!view.is_removed(victim));
+        view.remove_edge(victim);
+        view.remove_edge(victim);
+        assert_eq!(view.removed_count(), 1);
+        let mut seen = Vec::new();
+        view.for_each_out(net.edge_source(victim), |e, _| seen.push(e));
+        assert!(!seen.contains(&victim));
+        view.restore_edge(victim);
+        assert_eq!(view.removed_count(), 0);
+        view.remove_edge(victim);
+        view.reset();
+        assert_eq!(view.removed_count(), 0);
+    }
+
+    #[test]
+    fn bytes_resident_scales_with_size() {
+        let net = sample();
+        let frozen = FrozenGraph::freeze(&net);
+        // 6 nodes / 11 edges: a few hundred bytes of arenas and columns.
+        let bytes = frozen.bytes_resident();
+        assert!(bytes > 400, "implausibly small: {bytes}");
+        assert!(bytes < 10_000, "implausibly large: {bytes}");
+    }
+}

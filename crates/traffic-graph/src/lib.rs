@@ -48,12 +48,14 @@ mod attrs;
 mod builder;
 mod centrality;
 mod connectivity;
+mod csr;
 mod flow;
 mod geometry;
 mod ids;
 pub mod io;
 mod latticeness;
 mod network;
+mod spatial;
 mod view;
 
 pub use attrs::{EdgeAttrs, Poi, PoiKind, RoadClass, AVERAGE_CAR_WIDTH_M, DEFAULT_LANE_WIDTH_M};
@@ -68,9 +70,11 @@ pub use connectivity::{
     is_reachable, is_strongly_connected, largest_scc, reachable_from, reaching_to,
     strongly_connected_components,
 };
+pub use csr::{FrozenGraph, FrozenView, Topology};
 pub use flow::{isolate_area, FlowNetwork, IsolationCut};
 pub use geometry::{project_onto_segment, BoundingBox, Point};
 pub use ids::{EdgeId, NodeId};
 pub use latticeness::{average_circuity, orientation_histogram, orientation_order};
 pub use network::RoadNetwork;
+pub use spatial::SpatialGrid;
 pub use view::GraphView;

@@ -69,7 +69,7 @@ pub const SUBCOMMANDS: [&str; 11] = [
 /// Usage text printed on bad invocations; documents every known flag.
 pub const USAGE: &str =
     "usage: metro-attack <generate|attack|recon|harden|isolate|impact|coordinate|experiment|serve|trace|chaos> \
-[--city boston|sf|chicago|la] [--scale small|medium|paper|<f>] [--seed N] \
+[--city boston|sf|chicago|la] [--scale small|medium|paper|x10|mega|<f>] [--seed N] \
 [--rank K] [--weight length|time] [--cost uniform|lanes|width] \
 [--algorithm lp|greedy-pathcover|greedy-edge|greedy-eig|greedy-betweenness|lp-perturb] \
 [--source N] [--hospital IDX] [--top K] [--radius M] [--trips N] [--svg FILE] \
@@ -174,6 +174,32 @@ mod tests {
         assert!(
             USAGE.contains("lp-perturb"),
             "usage omits the lp-perturb algorithm"
+        );
+    }
+
+    /// Guards the `--scale` surface against drift: every named tier that
+    /// `citygen::Scale::from_cli` accepts must be listed in the usage
+    /// text, and every tier the usage text advertises must parse.
+    #[test]
+    fn scale_tiers_match_usage() {
+        let list = USAGE
+            .split_once("--scale ")
+            .map(|(_, rest)| rest.split(']').next().unwrap_or(""))
+            .expect("usage documents --scale");
+        let tiers: Vec<&str> = list.split('|').filter(|t| *t != "<f>").collect();
+        assert_eq!(tiers, ["small", "medium", "paper", "x10", "mega"]);
+        for tier in tiers {
+            assert!(
+                citygen::Scale::from_cli(tier).is_some(),
+                "usage advertises --scale {tier} but it does not parse"
+            );
+        }
+        // Factors above 1.0 are first-class, named or bare.
+        assert_eq!(citygen::Scale::from_cli("x10"), Some(citygen::Scale::X10));
+        assert_eq!(citygen::Scale::from_cli("mega"), Some(citygen::Scale::Mega));
+        assert_eq!(
+            citygen::Scale::from_cli("12.5"),
+            Some(citygen::Scale::Custom(12.5))
         );
     }
 

@@ -96,15 +96,11 @@ fn parse_city(args: &Args) -> CityPreset {
 }
 
 fn parse_scale(args: &Args) -> Scale {
-    match args.get("scale").unwrap_or("small") {
-        "small" => Scale::Small,
-        "medium" => Scale::Medium,
-        "paper" => Scale::Paper,
-        other => Scale::Custom(other.parse().unwrap_or_else(|_| {
-            eprintln!("bad scale {other:?}");
-            usage()
-        })),
-    }
+    let value = args.get("scale").unwrap_or("small");
+    Scale::from_cli(value).unwrap_or_else(|| {
+        eprintln!("bad scale {value:?}");
+        usage()
+    })
 }
 
 fn parse_weight(args: &Args) -> WeightType {
